@@ -1,0 +1,128 @@
+// Command coordsim runs a single service coordination simulation and
+// prints the resulting metrics: pick a topology, a traffic pattern, a
+// load level, and a coordination algorithm.
+//
+// Usage:
+//
+//	coordsim -algo gcasp -topology Abilene -pattern poisson -ingresses 3
+//	coordsim -algo sp -pattern fixed -horizon 20000 -seed 7
+//	coordsim -algo drl -train-episodes 200     # trains first, then runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distcoord/internal/baselines"
+	"distcoord/internal/eval"
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "gcasp", "coordination algorithm: drl, central, gcasp, sp")
+		topology  = flag.String("topology", "Abilene", "network topology (Abilene, BT Europe, China Telecom, Interroute)")
+		topoFile  = flag.String("topology-file", "", "load a custom topology file instead (see internal/graph.Parse)")
+		pattern   = flag.String("pattern", "poisson", "arrival pattern: fixed, poisson, mmpp, trace")
+		ingresses = flag.Int("ingresses", 2, "number of ingress nodes (v1..vK)")
+		deadline  = flag.Float64("deadline", 100, "flow deadline τ")
+		horizon   = flag.Float64("horizon", 2000, "simulation horizon T")
+		seed      = flag.Int64("seed", 0, "simulation seed")
+		episodes  = flag.Int("train-episodes", 300, "DRL training episodes (only -algo drl)")
+	)
+	flag.Parse()
+
+	if err := run(*algo, *topology, *topoFile, *pattern, *ingresses, *deadline, *horizon, *seed, *episodes); err != nil {
+		fmt.Fprintln(os.Stderr, "coordsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algo, topology, topoFile, pattern string, ingresses int, deadline, horizon float64, seed int64, episodes int) error {
+	spec, err := patternSpec(pattern)
+	if err != nil {
+		return err
+	}
+	s := eval.Base()
+	s.Topology = topology
+	if topoFile != "" {
+		f, err := os.Open(topoFile)
+		if err != nil {
+			return err
+		}
+		s.Graph, err = graph.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	s.Traffic = spec
+	s.NumIngresses = ingresses
+	s.Deadline = deadline
+	s.Horizon = horizon
+
+	inst, err := s.Instantiate(seed)
+	if err != nil {
+		return err
+	}
+
+	var c simnet.Coordinator
+	switch algo {
+	case "sp":
+		c = baselines.SP{}
+	case "gcasp":
+		c = baselines.GCASP{}
+	case "central":
+		c = baselines.NewCentral(100)
+	case "drl":
+		budget := eval.DefaultTrainBudget()
+		budget.Episodes = episodes
+		fmt.Fprintf(os.Stderr, "training DRL agent (%d episodes x %d seeds)...\n", budget.Episodes, budget.Seeds)
+		policy, err := eval.TrainDRL(s, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "training scores per seed: %v\n", policy.Stats.SeedScores)
+		c, err = policy.Factory()(inst, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q (want drl, central, gcasp, sp)", algo)
+	}
+
+	m, err := inst.Run(c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm:      %s\n", c.Name())
+	fmt.Printf("topology:       %s (%d nodes, %d links)\n", inst.Graph.Name(), inst.Graph.NumNodes(), inst.Graph.NumLinks())
+	fmt.Printf("traffic:        %s at %d ingress node(s)\n", spec.Label, ingresses)
+	fmt.Printf("flows arrived:  %d\n", m.Arrived)
+	fmt.Printf("successful:     %d (%.1f%%)\n", m.Succeeded, 100*m.SuccessRatio())
+	fmt.Printf("dropped:        %d\n", m.Dropped)
+	for cause, n := range m.DropsBy {
+		fmt.Printf("  %-16s %d\n", cause.String()+":", n)
+	}
+	fmt.Printf("avg e2e delay:  %.1f ms (max %.1f ms)\n", m.AvgDelay(), m.MaxDelay)
+	fmt.Printf("decisions:      %d (%d processings, %d forwards, %d keeps)\n",
+		m.Decisions, m.Processings, m.Forwards, m.Keeps)
+	return nil
+}
+
+func patternSpec(pattern string) (traffic.Spec, error) {
+	switch pattern {
+	case "fixed":
+		return traffic.FixedSpec(10), nil
+	case "poisson":
+		return traffic.PoissonSpec(10), nil
+	case "mmpp":
+		return traffic.MMPPSpec(12, 8, 100, 0.05), nil
+	case "trace":
+		return traffic.SyntheticTraceSpec(10, 2, 4), nil
+	}
+	return traffic.Spec{}, fmt.Errorf("unknown pattern %q (want fixed, poisson, mmpp, trace)", pattern)
+}

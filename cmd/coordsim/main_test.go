@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestPatternSpec(t *testing.T) {
+	for _, name := range []string{"fixed", "poisson", "mmpp", "trace"} {
+		spec, err := patternSpec(name)
+		if err != nil {
+			t.Errorf("patternSpec(%q): %v", name, err)
+			continue
+		}
+		if spec.New == nil {
+			t.Errorf("patternSpec(%q) has nil factory", name)
+		}
+	}
+	if _, err := patternSpec("nope"); err == nil {
+		t.Error("patternSpec accepted unknown pattern")
+	}
+}
+
+func TestRunRejectsUnknownAlgo(t *testing.T) {
+	if err := run("quantum", "Abilene", "", "poisson", 1, 100, 100, 0, 1); err == nil {
+		t.Error("run accepted unknown algorithm")
+	}
+}
+
+func TestRunRejectsUnknownPattern(t *testing.T) {
+	if err := run("sp", "Abilene", "", "bursty", 1, 100, 100, 0, 1); err == nil {
+		t.Error("run accepted unknown pattern")
+	}
+}
+
+func TestRunSPQuick(t *testing.T) {
+	if err := run("sp", "Abilene", "", "fixed", 1, 100, 300, 0, 1); err != nil {
+		t.Errorf("run(sp): %v", err)
+	}
+}
+
+func TestRunRejectsMissingTopologyFile(t *testing.T) {
+	if err := run("sp", "Abilene", "/nonexistent/topo.txt", "fixed", 1, 100, 300, 0, 1); err == nil {
+		t.Error("run accepted missing topology file")
+	}
+}

@@ -1,0 +1,170 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Sec. V). Each experiment trains the distributed DRL agent
+// as needed, runs all comparison algorithms over multiple seeds, and
+// prints the resulting series as text tables.
+//
+// Usage:
+//
+//	experiments -exp table1                  # Table I
+//	experiments -exp fig6b                   # Fig. 6b (Poisson arrival)
+//	experiments -exp all                     # everything
+//	experiments -exp point -ingresses 4      # one scenario, all algorithms
+//	experiments -exp fig6b -paper            # paper-scale settings (slow)
+//
+// Default budgets are sized for commodity CPUs; -paper selects the
+// paper's hyperparameters (10 training seeds, 4 parallel envs, 2x256
+// networks, horizon 20000, 30 evaluation seeds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"distcoord/internal/eval"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table1, fig6a-d, fig7, fig8a, fig8b, fig9a, fig9b, point, all")
+		seeds     = flag.Int("seeds", 3, "evaluation seeds per data point (paper: 30)")
+		horizon   = flag.Float64("horizon", 2000, "evaluation horizon T (paper: 20000)")
+		episodes  = flag.Int("train-episodes", 300, "training update iterations per seed (600+ for paper-like quality)")
+		trSeeds   = flag.Int("train-seeds", 2, "independently trained agents k (paper: 10)")
+		trEnvs    = flag.Int("train-envs", 4, "parallel training environments l (paper: 4)")
+		trHorizon = flag.Float64("train-horizon", 1000, "training episode horizon")
+		hidden    = flag.String("hidden", "32,32", "hidden layer sizes (paper: 256,256)")
+		paper     = flag.Bool("paper", false, "use the paper's full-scale settings (slow)")
+		ingresses = flag.Int("ingresses", 2, "ingress count for -exp point")
+		verbose   = flag.Bool("v", true, "print progress")
+	)
+	flag.Parse()
+
+	opts := eval.Options{
+		EvalSeeds: *seeds,
+		Horizon:   *horizon,
+		Budget: eval.TrainBudget{
+			Episodes:     *episodes,
+			ParallelEnvs: *trEnvs,
+			Seeds:        *trSeeds,
+			Horizon:      *trHorizon,
+		},
+	}
+	var err error
+	opts.Budget.Hidden, err = parseHidden(*hidden)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *paper {
+		opts.EvalSeeds = 30
+		opts.Horizon = 20000
+		opts.Budget = eval.PaperTrainBudget()
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	} else {
+		opts.Logf = func(string, ...interface{}) {}
+	}
+
+	if err := run(*exp, opts, *ingresses); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func parseHidden(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid -hidden value %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(exp string, opts eval.Options, ingresses int) error {
+	printFigure := func(f eval.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(f)
+		return nil
+	}
+	switch exp {
+	case "table1":
+		fmt.Println(eval.TableI())
+	case "fig6a", "fig6b", "fig6c", "fig6d":
+		return printFigure(eval.Fig6(strings.TrimPrefix(exp, "fig6"), opts))
+	case "fig7":
+		return printFigure(eval.Fig7(opts))
+	case "fig8a":
+		return printFigure(eval.Fig8a(opts))
+	case "fig8b":
+		return printFigure(eval.Fig8b(opts))
+	case "fig9a":
+		return printFigure(eval.Fig9a(opts))
+	case "fig9b":
+		rows, err := eval.Fig9b(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatTiming(rows))
+	case "point":
+		return runPoint(opts, ingresses)
+	case "all":
+		fmt.Println(eval.TableI())
+		for _, v := range []string{"a", "b", "c", "d"} {
+			if err := printFigure(eval.Fig6(v, opts)); err != nil {
+				return err
+			}
+		}
+		if err := printFigure(eval.Fig7(opts)); err != nil {
+			return err
+		}
+		if err := printFigure(eval.Fig8a(opts)); err != nil {
+			return err
+		}
+		if err := printFigure(eval.Fig8b(opts)); err != nil {
+			return err
+		}
+		if err := printFigure(eval.Fig9a(opts)); err != nil {
+			return err
+		}
+		rows, err := eval.Fig9b(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.FormatTiming(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// runPoint evaluates a single scenario point with every algorithm — a
+// quick way to inspect one configuration without a full figure sweep.
+func runPoint(opts eval.Options, ingresses int) error {
+	s := eval.Base()
+	s.NumIngresses = ingresses
+	s.Horizon = opts.Horizon
+
+	opts.Logf("point: %d ingresses: training DistDRL...", ingresses)
+	policy, err := eval.TrainDRL(s, opts.Budget)
+	if err != nil {
+		return err
+	}
+	opts.Logf("point: training seed scores: %v", policy.Stats.SeedScores)
+	fig, err := eval.PointFigure(s, policy, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig)
+	return nil
+}

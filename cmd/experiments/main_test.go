@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"distcoord/internal/eval"
+)
+
+func TestParseHidden(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"64,64", []int{64, 64}, true},
+		{"256, 256", []int{256, 256}, true},
+		{"32", []int{32}, true},
+		{"", nil, false},
+		{"a,b", nil, false},
+		{"0", nil, false},
+		{"-5", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseHidden(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseHidden(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseHidden(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseHidden(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("figZZ", optsForTest(), 2); err == nil {
+		t.Error("run accepted unknown experiment")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run("table1", optsForTest(), 2); err != nil {
+		t.Errorf("table1: %v", err)
+	}
+}
+
+func optsForTest() eval.Options {
+	o := eval.DefaultOptions()
+	o.Logf = func(string, ...interface{}) {}
+	return o
+}

@@ -1,0 +1,76 @@
+// Command topo inspects and exports the evaluation topologies and
+// validates user-supplied topology files.
+//
+// Usage:
+//
+//	topo -name Abilene -format stats          # Table I style statistics
+//	topo -name "BT Europe" -format dot        # Graphviz DOT on stdout
+//	topo -name Interroute -format file        # topology file format
+//	topo -validate my-network.txt             # check a custom topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distcoord/internal/graph"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "Abilene", "registry topology name")
+		format   = flag.String("format", "stats", "output format: stats, dot, file")
+		validate = flag.String("validate", "", "validate a topology file and print its statistics")
+	)
+	flag.Parse()
+
+	if err := run(*name, *format, *validate); err != nil {
+		fmt.Fprintln(os.Stderr, "topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, format, validate string) error {
+	var g *graph.Graph
+	if validate != "" {
+		f, err := os.Open(validate)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.Parse(f)
+		if err != nil {
+			return err
+		}
+		if !g.Connected() {
+			fmt.Println("warning: topology is not connected")
+		}
+		return printStats(g)
+	}
+
+	g, err := graph.ByName(name)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "stats":
+		return printStats(g)
+	case "dot":
+		return g.WriteDOT(os.Stdout)
+	case "file":
+		return g.Write(os.Stdout)
+	}
+	return fmt.Errorf("unknown format %q (want stats, dot, file)", format)
+}
+
+func printStats(g *graph.Graph) error {
+	apsp := graph.NewAPSP(g)
+	fmt.Printf("topology:   %s\n", g.Name())
+	fmt.Printf("nodes:      %d\n", g.NumNodes())
+	fmt.Printf("links:      %d\n", g.NumLinks())
+	fmt.Printf("degree:     min %d / max %d / avg %.2f\n", g.MinDegree(), g.MaxDegree(), g.AvgDegree())
+	fmt.Printf("diameter:   %.2f ms (shortest-path delay)\n", apsp.Diameter())
+	fmt.Printf("connected:  %v\n", g.Connected())
+	return nil
+}

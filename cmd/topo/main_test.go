@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	for _, format := range []string{"stats", "dot", "file"} {
+		if err := run("Abilene", format, ""); err != nil {
+			t.Errorf("run(Abilene, %s): %v", format, err)
+		}
+	}
+}
+
+func TestRunUnknowns(t *testing.T) {
+	if err := run("Atlantis", "stats", ""); err == nil {
+		t.Error("accepted unknown topology")
+	}
+	if err := run("Abilene", "hologram", ""); err == nil {
+		t.Error("accepted unknown format")
+	}
+}
+
+func TestValidateFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.txt")
+	content := "topology t\nnode a 0 0 1\nnode b 0 1 1\nlink a b 1 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", path); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+	if err := run("", "", filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("accepted missing file")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("frob\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", bad); err == nil {
+		t.Error("accepted malformed file")
+	}
+}

@@ -1,0 +1,128 @@
+// Command train runs the centralized training procedure (Alg. 1) for the
+// distributed DRL coordinator on a chosen scenario and saves the selected
+// actor network to disk. The saved policy can be evaluated later with
+// -eval, mirroring the paper's train-offline / deploy-distributed split.
+//
+// Usage:
+//
+//	train -out agent.json -ingresses 3 -episodes 400
+//	train -eval agent.json -ingresses 3        # evaluate a saved policy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distcoord/internal/coord"
+	"distcoord/internal/eval"
+	"distcoord/internal/nn"
+	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "agent.json", "output path for the trained actor network")
+		evalPath  = flag.String("eval", "", "evaluate a saved actor instead of training")
+		topology  = flag.String("topology", "Abilene", "network topology")
+		pattern   = flag.String("pattern", "poisson", "arrival pattern: fixed, poisson, mmpp, trace")
+		ingresses = flag.Int("ingresses", 2, "number of ingress nodes")
+		deadline  = flag.Float64("deadline", 100, "flow deadline τ")
+		episodes  = flag.Int("episodes", 300, "training update iterations per seed")
+		seeds     = flag.Int("train-seeds", 2, "independently trained agents k (paper: 10)")
+		envs      = flag.Int("envs", 4, "parallel training environments l (paper: 4)")
+		horizon   = flag.Float64("train-horizon", 1000, "training episode horizon")
+		evalSeeds = flag.Int("eval-seeds", 3, "evaluation seeds (with -eval)")
+	)
+	flag.Parse()
+
+	s := eval.Base()
+	s.Topology = *topology
+	s.NumIngresses = *ingresses
+	s.Deadline = *deadline
+	switch *pattern {
+	case "fixed":
+		s.Traffic = traffic.FixedSpec(10)
+	case "poisson":
+		s.Traffic = traffic.PoissonSpec(10)
+	case "mmpp":
+		s.Traffic = traffic.MMPPSpec(12, 8, 100, 0.05)
+	case "trace":
+		s.Traffic = traffic.SyntheticTraceSpec(10, 2, 4)
+	default:
+		fmt.Fprintf(os.Stderr, "train: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	s.Horizon = 2000
+
+	if *evalPath != "" {
+		if err := evaluateSaved(s, *evalPath, *evalSeeds); err != nil {
+			fmt.Fprintln(os.Stderr, "train:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	budget := eval.TrainBudget{
+		Episodes:     *episodes,
+		ParallelEnvs: *envs,
+		Seeds:        *seeds,
+		Horizon:      *horizon,
+		Hidden:       []int{32, 32},
+		Progress: func(seed, ep int, st rl.UpdateStats, score float64) {
+			if ep%25 == 0 {
+				fmt.Fprintf(os.Stderr, "seed %d episode %4d: success=%.3f return=%.2f entropy=%.3f kl=%.5f\n",
+					seed, ep, score, st.MeanReturn, st.Entropy, st.KL)
+			}
+		},
+	}
+	policy, err := eval.TrainDRL(s, budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "best seed %d (score %.3f); per-seed scores %v\n",
+		policy.Stats.BestSeed, policy.Stats.BestScore, policy.Stats.SeedScores)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := policy.Agent.Actor.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("saved trained actor to %s\n", *out)
+}
+
+// evaluateSaved loads an actor network and evaluates it on the scenario.
+func evaluateSaved(s eval.Scenario, path string, seeds int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	actor, err := nn.Load(f)
+	if err != nil {
+		return err
+	}
+	factory := func(inst *eval.Instance, seed int64) (simnet.Coordinator, error) {
+		adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+		d, err := coord.NewDistributed(adapter, actor)
+		if err != nil {
+			return nil, err
+		}
+		d.Reseed(seed)
+		return d, nil
+	}
+	o, err := eval.Evaluate(s, factory, seeds, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DistDRL (%s): success=%s avg delay=%s\n", path, o.Succ, o.Delay)
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distcoord/internal/coord"
+	"distcoord/internal/eval"
+	"distcoord/internal/rl"
+)
+
+func TestEvaluateSaved(t *testing.T) {
+	s := eval.Base()
+	s.Horizon = 300
+
+	// Build and save a (random-weight) actor of the right shape.
+	inst, err := s.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	agent, err := rl.NewAgent(rl.AgentConfig{
+		ObsSize:    adapter.ObsSize(),
+		NumActions: adapter.NumActions(),
+		Hidden:     []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "agent.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Actor.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := evaluateSaved(s, path, 1); err != nil {
+		t.Errorf("evaluateSaved: %v", err)
+	}
+	if err := evaluateSaved(s, filepath.Join(t.TempDir(), "missing.json"), 1); err == nil {
+		t.Error("accepted missing agent file")
+	}
+}
+
+func TestEvaluateSavedRejectsWrongShape(t *testing.T) {
+	s := eval.Base()
+	s.Horizon = 300
+	agent, err := rl.NewAgent(rl.AgentConfig{ObsSize: 3, NumActions: 2, Hidden: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wrong.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Actor.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := evaluateSaved(s, path, 1); err == nil {
+		t.Error("accepted actor with mismatched observation size")
+	}
+}

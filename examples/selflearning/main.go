@@ -1,0 +1,67 @@
+// Selflearning: the paper's headline workflow end to end — centralized
+// training of one actor-critic on pooled experience from all nodes
+// (Fig. 4a), then fully distributed inference with a policy copy at every
+// node (Fig. 4b), compared against the hand-written GCASP heuristic.
+//
+// The training budget here is kept small so the example finishes in
+// about a minute; see cmd/train for full-scale training.
+//
+// Run with: go run ./examples/selflearning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distcoord/internal/baselines"
+	"distcoord/internal/eval"
+	"distcoord/internal/rl"
+)
+
+func main() {
+	// The paper's base scenario: Abilene, two ingresses (Sunnyvale and
+	// Los Angeles), egress v8 (Kansas City), Poisson flow arrival.
+	scenario := eval.Base()
+	scenario.Horizon = 2000
+
+	budget := eval.TrainBudget{
+		Episodes:     120,
+		ParallelEnvs: 4,
+		Seeds:        1,
+		Horizon:      800,
+		Hidden:       []int{32, 32},
+		Progress: func(seed, ep int, st rl.UpdateStats, score float64) {
+			if ep%20 == 0 {
+				fmt.Printf("  episode %3d: success ratio %.2f, mean return %.2f\n", ep, score, st.MeanReturn)
+			}
+		},
+	}
+
+	fmt.Println("training the distributed DRL coordinator (centralized, pooled experience):")
+	policy, err := eval.TrainDRL(scenario, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ndeploying one policy copy per node and evaluating:")
+	drl, err := eval.Evaluate(scenario, policy.Factory(), 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gcasp, err := eval.Evaluate(scenario, eval.Static(baselines.GCASP{}), 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := eval.Evaluate(scenario, eval.Static(baselines.SP{}), 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("  DistDRL  success %s, avg delay %5.1f ms\n", drl.Succ, drl.Delay.Mean)
+	fmt.Printf("  GCASP    success %s, avg delay %5.1f ms\n", gcasp.Succ, gcasp.Delay.Mean)
+	fmt.Printf("  SP       success %s, avg delay %5.1f ms\n", sp.Succ, sp.Delay.Mean)
+	fmt.Println("\nThe curve above shows the agent learning coordination from scratch.")
+	fmt.Println("This demo budget (120 episodes, one seed) stops well before")
+	fmt.Println("convergence; the full budget in cmd/experiments (600+ episodes,")
+	fmt.Println("multiple seeds) reaches and beats the heuristics — see EXPERIMENTS.md.")
+}

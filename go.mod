@@ -1,0 +1,3 @@
+module distcoord
+
+go 1.22

@@ -1,0 +1,304 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+// diamond builds the graph 0-1-3, 0-2-3 where the 0-1-3 route is the
+// shortest path (delays 1+1) and 0-2-3 is longer (2+2).
+func diamond(nodeCap, linkCap float64) *graph.Graph {
+	g := graph.New("diamond")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", 0, float64(i))
+		g.SetNodeCapacity(graph.NodeID(i), nodeCap)
+	}
+	mustLink := func(a, b graph.NodeID, d float64) {
+		if err := g.AddLink(a, b, d); err != nil {
+			panic(err)
+		}
+	}
+	mustLink(0, 1, 1)
+	mustLink(1, 3, 1)
+	mustLink(0, 2, 2)
+	mustLink(2, 3, 2)
+	for i := 0; i < g.NumLinks(); i++ {
+		g.SetLinkCapacity(i, linkCap)
+	}
+	return g
+}
+
+func oneCompService(proc float64) *simnet.Service {
+	return &simnet.Service{Name: "s", Chain: []*simnet.Component{
+		{Name: "c1", ProcDelay: proc, IdleTimeout: 1000, ResourcePerRate: 1},
+	}}
+}
+
+func runOn(t *testing.T, g *graph.Graph, svc *simnet.Service, c simnet.Coordinator,
+	interval, horizon, deadline float64) *simnet.Metrics {
+	t.Helper()
+	sim, err := simnet.New(simnet.Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []simnet.Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: interval}}},
+		Egress:      3,
+		Template:    simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: deadline},
+		Horizon:     horizon,
+		Coordinator: c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSPStaysOnShortestPath(t *testing.T) {
+	g := diamond(0.5, 10) // nodes cannot process (capacity 0.5 < 1)...
+	// ...except the egress where SP is forced to try; with capacity 0.5
+	// everywhere every flow is dropped at the egress, never rerouted.
+	m := runOn(t, g, oneCompService(5), SP{}, 10, 51, 100)
+	if m.Succeeded != 0 {
+		t.Errorf("succeeded = %d, want 0 (no capacity anywhere)", m.Succeeded)
+	}
+	if m.DropsBy[simnet.DropNodeCapacity] != m.Dropped {
+		t.Errorf("drops = %v, want all node-capacity at the egress", m.DropsBy)
+	}
+}
+
+func TestSPSucceedsWithCapacity(t *testing.T) {
+	g := diamond(10, 10)
+	m := runOn(t, g, oneCompService(5), SP{}, 10, 101, 100)
+	if m.SuccessRatio() != 1 {
+		t.Errorf("success ratio = %f, want 1", m.SuccessRatio())
+	}
+	// SP processes at the ingress (capacity free) and forwards along
+	// 0-1-3: delay 5 + 1 + 1 = 7.
+	if m.AvgDelay() != 7 {
+		t.Errorf("avg delay = %f, want 7 (shortest path)", m.AvgDelay())
+	}
+}
+
+func TestGCASPReroutesAroundBottleneck(t *testing.T) {
+	// Ingress cannot process (cap 0) but both middle nodes can; GCASP
+	// must find a neighbor with compute.
+	g := diamond(10, 10)
+	g.SetNodeCapacity(0, 0)
+	m := runOn(t, g, oneCompService(5), GCASP{}, 10, 101, 100)
+	if m.SuccessRatio() != 1 {
+		t.Errorf("success ratio = %f, want 1 (reroute to neighbor with compute)", m.SuccessRatio())
+	}
+}
+
+func TestGCASPOutperformsSPUnderOverload(t *testing.T) {
+	// Node 1 (on the shortest path) has tiny capacity; node 2 has
+	// plenty. SP drops everything the shortest path cannot carry; GCASP
+	// reroutes.
+	g := diamond(10, 10)
+	g.SetNodeCapacity(0, 0)
+	g.SetNodeCapacity(1, 1)
+	g.SetNodeCapacity(3, 0)
+	svc := oneCompService(5)
+	// Flows every 2 steps each holding 1 capacity for 6 time steps: node
+	// 1 alone sustains only a third of the load.
+	sp := runOn(t, g, svc, SP{}, 2, 201, 100)
+	gc := runOn(t, g, svc, GCASP{}, 2, 201, 100)
+	if gc.SuccessRatio() <= sp.SuccessRatio() {
+		t.Errorf("GCASP %.3f not better than SP %.3f under bottleneck", gc.SuccessRatio(), sp.SuccessRatio())
+	}
+}
+
+func TestCentralFallsBackToSPBeforeRules(t *testing.T) {
+	g := diamond(10, 10)
+	c := NewCentral(1000) // never ticks meaningfully within the horizon
+	m := runOn(t, g, oneCompService(5), c, 10, 101, 100)
+	if m.SuccessRatio() != 1 {
+		t.Errorf("success ratio = %f, want 1 (SP fallback works here)", m.SuccessRatio())
+	}
+}
+
+func TestCentralComputesRulesAfterTick(t *testing.T) {
+	g := diamond(10, 10)
+	c := NewCentral(50)
+	m := runOn(t, g, oneCompService(5), c, 10, 301, 100)
+	if m.SuccessRatio() != 1 {
+		t.Errorf("success ratio = %f, want 1", m.SuccessRatio())
+	}
+	if len(c.assign) == 0 {
+		t.Error("no rules computed despite ticks and traffic")
+	}
+	nodes := c.assign[ruleKey{ingress: 0, service: "s"}]
+	if len(nodes) != 1 {
+		t.Fatalf("rule for ingress 0 = %v, want one node per component", nodes)
+	}
+	// The assigned node must lie on the shortest path 0-1-3.
+	if nodes[0] != 0 && nodes[0] != 1 && nodes[0] != 3 {
+		t.Errorf("assigned node %d not on shortest path", nodes[0])
+	}
+}
+
+func TestCentralRulesAreStale(t *testing.T) {
+	// The central coordinator plans for the observed average load; a
+	// burst arriving right after a tick is coordinated with stale rules.
+	// Construct: capacity only at node 1 sustains the average but not
+	// the burst, while node 2 sits idle. GCASP (fresh local decisions)
+	// must beat Central here.
+	g := diamond(10, 10)
+	g.SetNodeCapacity(0, 0)
+	g.SetNodeCapacity(1, 2)
+	g.SetNodeCapacity(3, 0)
+	svc := oneCompService(5)
+
+	run := func(c simnet.Coordinator, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		sim, err := simnet.New(simnet.Config{
+			Graph:       g,
+			Service:     svc,
+			Ingresses:   []simnet.Ingress{{Node: 0, Arrivals: traffic.NewPoisson(3, rng)}},
+			Egress:      3,
+			Template:    simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+			Horizon:     2000,
+			Coordinator: c,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.SuccessRatio()
+	}
+	var centralSum, gcaspSum float64
+	const seeds = 5
+	for s := int64(0); s < seeds; s++ {
+		centralSum += run(NewCentral(100), s)
+		gcaspSum += run(GCASP{}, s)
+	}
+	if gcaspSum/seeds <= centralSum/seeds {
+		t.Errorf("GCASP %.3f not better than Central %.3f under bursty traffic",
+			gcaspSum/seeds, centralSum/seeds)
+	}
+}
+
+func TestCentralResetClearsState(t *testing.T) {
+	c := NewCentral(50)
+	key := ruleKey{ingress: 3, service: "s"}
+	c.assign[key] = []graph.NodeID{1}
+	c.arrivals[key] = 7
+	c.seen = true
+	c.Reset(nil)
+	if len(c.assign) != 0 || len(c.arrivals) != 0 || c.seen {
+		t.Error("Reset left stale state")
+	}
+}
+
+func TestBaselinesAreDeterministic(t *testing.T) {
+	g := diamond(2, 2)
+	svc := oneCompService(5)
+	for _, mk := range []func() simnet.Coordinator{
+		func() simnet.Coordinator { return SP{} },
+		func() simnet.Coordinator { return GCASP{} },
+		func() simnet.Coordinator { return NewCentral(50) },
+	} {
+		a := runOn(t, g, svc, mk(), 3, 500, 50)
+		b := runOn(t, g, svc, mk(), 3, 500, 50)
+		if a.Succeeded != b.Succeeded || a.Dropped != b.Dropped || a.SumDelay != b.SumDelay {
+			t.Errorf("%T: non-deterministic metrics", mk())
+		}
+	}
+}
+
+func TestForwardTowardsUnreachable(t *testing.T) {
+	g := graph.New("pair")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 1)
+	// No links: destination unreachable.
+	st := simnet.NewState(g, graph.NewAPSP(g))
+	if a := forwardTowards(st, 0, 1); a != 0 {
+		t.Errorf("forwardTowards(unreachable) = %d, want 0", a)
+	}
+}
+
+func TestCoordinatorNames(t *testing.T) {
+	if (SP{}).Name() != "SP" {
+		t.Errorf("SP name = %q", (SP{}).Name())
+	}
+	if (GCASP{}).Name() != "GCASP" {
+		t.Errorf("GCASP name = %q", GCASP{}.Name())
+	}
+	if NewCentral(10).Name() != "Central" {
+		t.Errorf("Central name = %q", NewCentral(10).Name())
+	}
+}
+
+// TestGCASPSearchesWhenNoNeighborHasCompute: with no compute anywhere in
+// the neighborhood, GCASP must keep the flow moving (emptiestNeighbor)
+// rather than processing into a drop.
+func TestGCASPSearchesWhenNoNeighborHasCompute(t *testing.T) {
+	// Line 0-1-2-3: compute only at node 3 (the node before egress...
+	// actually egress is 3 in runOn), so put compute only at node 2;
+	// everything else is 0. GCASP must walk the flow to node 2.
+	g := diamond(0, 10)
+	g.SetNodeCapacity(2, 10) // only the long-way node can process
+	m := runOn(t, g, oneCompService(5), GCASP{}, 10, 101, 100)
+	if m.SuccessRatio() != 1 {
+		t.Errorf("success = %f, want 1 (search must find node 2)", m.SuccessRatio())
+	}
+}
+
+// TestGCASPProcessedFlowRoutesAroundFullLink: a fully processed flow
+// takes the detour when the shortest-path link toward the egress is
+// saturated.
+func TestGCASPProcessedFlowRoutesAroundFullLink(t *testing.T) {
+	g := diamond(10, 10)
+	// Saturate link 0-1 (index 0) artificially via tiny capacity: flows
+	// for the shortest path cannot use it.
+	g.SetLinkCapacity(0, 0.25)
+	m := runOn(t, g, oneCompService(5), GCASP{}, 10, 101, 100)
+	if m.SuccessRatio() != 1 {
+		t.Errorf("success = %f, want 1 (detour via node 2)", m.SuccessRatio())
+	}
+	if m.DropsBy[simnet.DropLinkCapacity] != 0 {
+		t.Errorf("link drops = %d, want 0", m.DropsBy[simnet.DropLinkCapacity])
+	}
+}
+
+// TestCentralMultiIngress: rules must be computed independently per
+// ingress and spread load across nodes.
+func TestCentralMultiIngress(t *testing.T) {
+	g := diamond(10, 10)
+	c := NewCentral(50)
+	sim, err := simnet.New(simnet.Config{
+		Graph:   g,
+		Service: oneCompService(5),
+		Ingresses: []simnet.Ingress{
+			{Node: 0, Arrivals: traffic.Fixed{Interval: 10}},
+			{Node: 1, Arrivals: traffic.Fixed{Interval: 10}},
+		},
+		Egress:      3,
+		Template:    simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     500,
+		Coordinator: c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SuccessRatio() < 0.95 {
+		t.Errorf("success = %f, want ~1", m.SuccessRatio())
+	}
+	if len(c.assign) != 2 {
+		t.Errorf("rules for %d classes, want 2 (one per ingress)", len(c.assign))
+	}
+}

@@ -1,0 +1,215 @@
+package baselines
+
+import (
+	"sort"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+)
+
+// Central emulates the centralized coordination approach of [10]: a
+// central controller periodically recomputes placement and forwarding
+// rules for all nodes from globally monitored state, and the nodes apply
+// those rules to every incoming flow at runtime. Between updates the
+// rules are frozen, so the controller's view of the network is always
+// somewhat outdated — exactly the architectural weakness the paper's
+// Fig. 6b/6c exposes under stochastic traffic. Routing between rule
+// targets follows shortest paths, as in [10] (which considers neither
+// dynamic routing nor link capacities).
+//
+// The learned component of [10] is replaced by a load-balancing rule
+// optimizer over the same inputs; see DESIGN.md, substitution 5.
+type Central struct {
+	// MonitorInterval is the period between global monitoring snapshots
+	// and rule updates.
+	MonitorInterval float64
+
+	// assign[key][j] is the node that processes chain component j for
+	// flows of one (ingress, service) class.
+	assign map[ruleKey][]graph.NodeID
+	// arrivals counts flows per class since the last tick, estimating
+	// per-class load.
+	arrivals map[ruleKey]int
+	lastRate map[ruleKey]float64
+	// classes holds the monitoring facts learned per observed class.
+	classes map[ruleKey]*classInfo
+
+	egress graph.NodeID
+	seen   bool
+}
+
+// ruleKey identifies one traffic class: flows of one service entering at
+// one ingress.
+type ruleKey struct {
+	ingress graph.NodeID
+	service string
+}
+
+// classInfo is what monitoring learns about a traffic class.
+type classInfo struct {
+	service  *simnet.Service
+	rate     float64 // flow data rate λ
+	duration float64
+	deadline float64
+}
+
+// NewCentral returns a centralized coordinator updating its rules every
+// interval time steps (the paper cites ~1 min Prometheus monitoring; the
+// base scenario uses 100 steps).
+func NewCentral(interval float64) *Central {
+	c := &Central{MonitorInterval: interval}
+	c.Reset(nil)
+	return c
+}
+
+// Name implements simnet.Coordinator.
+func (c *Central) Name() string { return "Central" }
+
+// Reset implements simnet.Resetter.
+func (c *Central) Reset(*simnet.State) {
+	c.assign = make(map[ruleKey][]graph.NodeID)
+	c.arrivals = make(map[ruleKey]int)
+	c.lastRate = make(map[ruleKey]float64)
+	c.classes = make(map[ruleKey]*classInfo)
+	c.seen = false
+}
+
+// Interval implements simnet.Ticker.
+func (c *Central) Interval() float64 { return c.MonitorInterval }
+
+// Decide implements simnet.Coordinator by looking up the frozen rules:
+// flows are processed exactly at their ingress path's assigned nodes and
+// follow shortest paths between them. Rules deliberately ignore the live
+// utilization — only the periodic Tick sees (a snapshot of) it.
+func (c *Central) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
+	key := ruleKey{ingress: f.Ingress, service: f.Service.Name}
+	if f.Decisions == 0 { // first decision of a new flow: monitoring input
+		c.arrivals[key]++
+		c.classes[key] = &classInfo{
+			service:  f.Service,
+			rate:     f.Rate,
+			duration: f.Duration,
+			deadline: f.Deadline,
+		}
+		c.egress = f.Egress
+		c.seen = true
+	}
+	if f.Processed() {
+		return forwardTowards(st, v, f.Egress)
+	}
+	nodes := c.assign[key]
+	if len(nodes) != f.Service.Len() {
+		// No rules for this class yet (before the first informed tick):
+		// behave like SP.
+		return SP{}.Decide(st, f, v, now)
+	}
+	target := nodes[f.CompIdx]
+	if v == target {
+		return 0
+	}
+	return forwardTowards(st, v, target)
+}
+
+// Tick implements simnet.Ticker: take a global monitoring snapshot and
+// recompute all rules. The snapshot immediately starts aging; flows that
+// arrive later in the interval are coordinated with stale information.
+func (c *Central) Tick(st *simnet.State, now float64) {
+	defer func() {
+		for k := range c.arrivals {
+			c.arrivals[k] = 0
+		}
+	}()
+	if !c.seen {
+		return
+	}
+	keys := make([]ruleKey, 0, len(c.arrivals))
+	for k := range c.arrivals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ingress != keys[j].ingress {
+			return keys[i].ingress < keys[j].ingress
+		}
+		return keys[i].service < keys[j].service
+	})
+
+	planned := make(map[graph.NodeID]float64)
+	for _, k := range keys {
+		rate := float64(c.arrivals[k]) / c.MonitorInterval
+		if prev, ok := c.lastRate[k]; ok {
+			rate = 0.5*rate + 0.5*prev // smooth noisy interval counts
+		}
+		c.lastRate[k] = rate
+		c.assign[k] = c.planPath(st, k, rate, planned)
+	}
+}
+
+// planPath assigns each chain component of flows from one ingress to a
+// processing node, balancing the estimated concurrent demand against
+// node capacities while keeping the resulting route (shortest paths
+// between consecutive targets and the egress) within the deadline.
+// planned accumulates demand across ingresses so co-located ingresses
+// spread over distinct nodes. Flows are overlapping streams, so the
+// sustained-demand estimate carries a peak safety factor.
+func (c *Central) planPath(st *simnet.State, key ruleKey, rate float64, planned map[graph.NodeID]float64) []graph.NodeID {
+	info := c.classes[key]
+	prevAssign := c.assign[key]
+	ingress := key.ingress
+	const peakFactor = 1.8
+	apsp := st.APSP()
+	g := st.Graph()
+	diameter := apsp.Diameter()
+	if diameter <= 0 {
+		diameter = 1
+	}
+	procTime := 0.0
+	for _, comp := range info.service.Chain {
+		procTime += comp.ProcDelay
+	}
+	// Delay budget for the route, leaving headroom for processing and
+	// queueing at not-yet-ready instances.
+	budget := 0.8*info.deadline - procTime
+
+	assign := make([]graph.NodeID, len(info.service.Chain))
+	prev := ingress
+	usedDelay := 0.0
+	for j, comp := range info.service.Chain {
+		load := rate * (comp.ProcDelay + info.duration) * comp.Resource(info.rate) * peakFactor
+		best := graph.None
+		bestFits := false
+		bestScore := 0.0
+		for _, n := range g.Nodes() {
+			if n.Capacity <= 0 {
+				continue
+			}
+			toCand := apsp.Dist(prev, n.ID)
+			onward := apsp.Dist(n.ID, c.egress)
+			if graph.Infinite(toCand) || graph.Infinite(onward) {
+				continue
+			}
+			if budget > 0 && usedDelay+toCand+onward > budget {
+				continue
+			}
+			fits := planned[n.ID]+load <= n.Capacity
+			detour := (toCand + onward - apsp.Dist(prev, c.egress)) / diameter
+			score := (planned[n.ID]+load)/n.Capacity + 0.3*detour
+			if len(prevAssign) > j && prevAssign[j] == n.ID {
+				score -= 0.05 // hysteresis: avoid rule churn between ticks
+			}
+			switch {
+			case best == graph.None,
+				fits && !bestFits,
+				fits == bestFits && score < bestScore:
+				best, bestFits, bestScore = n.ID, fits, score
+			}
+		}
+		if best == graph.None {
+			best = prev // no feasible candidate: give up gracefully
+		}
+		assign[j] = best
+		planned[best] += load
+		usedDelay += apsp.Dist(prev, best)
+		prev = best
+	}
+	return assign
+}

@@ -1,0 +1,173 @@
+// Package coord implements the paper's core contribution (Sec. IV): the
+// partially observable MDP for distributed service coordination — local
+// observation vectors, the action semantics, and the shaped reward — plus
+// the distributed DRL coordinator deployed at every node and the
+// centralized-training environment that pools experience from all nodes
+// into one actor-critic.
+package coord
+
+import (
+	"math"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+)
+
+// Adapter converts between network state and the DRL agent's observation
+// and action spaces (the observation/action adapters of Fig. 5). One
+// adapter serves all nodes of a topology: spaces are sized by the network
+// degree Δ_G, not by the node, so a single neural network can act for
+// every node (Sec. IV-B1).
+type Adapter struct {
+	g          *graph.Graph
+	apsp       *graph.APSP
+	maxDeg     int
+	maxNodeCap float64
+	maxLinkCap []float64 // per node: max capacity over its outgoing links
+	diameter   float64
+
+	// Normalize toggles the [-1,1] observation normalization of
+	// Sec. IV-B1. Disabling it is only useful for the ablation bench.
+	Normalize bool
+}
+
+// NewAdapter builds the adapter for a capacity-assigned graph.
+func NewAdapter(g *graph.Graph, apsp *graph.APSP) *Adapter {
+	if apsp == nil {
+		apsp = graph.NewAPSP(g)
+	}
+	a := &Adapter{
+		g:          g,
+		apsp:       apsp,
+		maxDeg:     g.MaxDegree(),
+		maxNodeCap: g.MaxNodeCapacity(),
+		maxLinkCap: make([]float64, g.NumNodes()),
+		diameter:   apsp.Diameter(),
+		Normalize:  true,
+	}
+	for v := range a.maxLinkCap {
+		a.maxLinkCap[v] = g.MaxLinkCapacityAt(graph.NodeID(v))
+	}
+	return a
+}
+
+// Graph returns the adapter's substrate network.
+func (a *Adapter) Graph() *graph.Graph { return a.g }
+
+// APSP returns the adapter's precomputed shortest paths.
+func (a *Adapter) APSP() *graph.APSP { return a.apsp }
+
+// MaxDegree returns Δ_G.
+func (a *Adapter) MaxDegree() int { return a.maxDeg }
+
+// Diameter returns D_G, the delay diameter normalizing link penalties.
+func (a *Adapter) Diameter() float64 { return a.diameter }
+
+// ObsSize returns the observation vector length:
+// |F_f| + |R^L| + |R^V| + |D| + |X| = 2 + Δ + (Δ+1) + Δ + (Δ+1) = 4Δ+4.
+func (a *Adapter) ObsSize() int { return 4*a.maxDeg + 4 }
+
+// NumActions returns the action space size Δ_G + 1 (Sec. IV-B2).
+func (a *Adapter) NumActions() int { return a.maxDeg + 1 }
+
+// Observe builds the local observation 𝒪 = ⟨F_f, R_v^L, R_v^V, D_{v,f},
+// X_v⟩ for flow f at node v (Sec. IV-B1). All components are normalized
+// into [-1,1] and padded with −1 to Δ_G slots so every node produces
+// equally sized vectors; dummy neighbors read −1.
+func (a *Adapter) Observe(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) []float64 {
+	obs := make([]float64, 0, a.ObsSize())
+	neighbors := a.g.Neighbors(v)
+	remaining := f.Remaining(now)
+
+	// F_f: chain progress p̂_f and normalized remaining deadline τ̂_f.
+	obs = append(obs, clamp(f.Progress(), 0, 1))
+	obs = append(obs, clamp(remaining/f.Deadline, 0, 1))
+
+	// R_v^L: free outgoing link resources after subtracting λ_f,
+	// normalized by the largest outgoing link capacity: ≥ 0 iff the link
+	// can carry the flow.
+	linkNorm := a.maxLinkCap[v]
+	for i := 0; i < a.maxDeg; i++ {
+		if i >= len(neighbors) {
+			obs = append(obs, -1)
+			continue
+		}
+		free := st.FreeLink(neighbors[i].Link) - f.Rate
+		obs = append(obs, a.norm(free, linkNorm))
+	}
+
+	// R_v^V: free compute at v and each neighbor after subtracting the
+	// requested component's demand, normalized by the global maximum
+	// node capacity (identifies high-absolute-capacity nodes). Zero
+	// demand for fully processed flows.
+	demand := 0.0
+	if c := f.Current(); c != nil {
+		demand = c.Resource(f.Rate)
+	}
+	obs = append(obs, a.norm(st.FreeNode(v)-demand, a.maxNodeCap))
+	for i := 0; i < a.maxDeg; i++ {
+		if i >= len(neighbors) {
+			obs = append(obs, -1)
+			continue
+		}
+		obs = append(obs, a.norm(st.FreeNode(neighbors[i].Neighbor)-demand, a.maxNodeCap))
+	}
+
+	// D_{v,f}: per neighbor, the slack of reaching the egress via that
+	// neighbor on a shortest path, relative to the remaining deadline.
+	// Negative means forwarding that way cannot succeed anymore.
+	for i := 0; i < a.maxDeg; i++ {
+		if i >= len(neighbors) {
+			obs = append(obs, -1)
+			continue
+		}
+		d := a.apsp.DistVia(v, neighbors[i], f.Egress)
+		val := -1.0
+		if remaining > 0 && !graph.Infinite(d) {
+			val = math.Max(-1, (remaining-d)/remaining)
+		}
+		obs = append(obs, val)
+	}
+
+	// X_v: instance availability of the requested component at v and
+	// each neighbor (always 0 once the flow is fully processed).
+	comp := f.Current()
+	obs = append(obs, boolObs(st.HasInstance(v, comp)))
+	for i := 0; i < a.maxDeg; i++ {
+		if i >= len(neighbors) {
+			obs = append(obs, -1)
+			continue
+		}
+		obs = append(obs, boolObs(st.HasInstance(neighbors[i].Neighbor, comp)))
+	}
+	return obs
+}
+
+// norm normalizes a free-capacity value into [-1,1] (or passes it through
+// when normalization is disabled for ablations).
+func (a *Adapter) norm(val, by float64) float64 {
+	if !a.Normalize {
+		return val
+	}
+	if by <= 0 {
+		return -1
+	}
+	return clamp(val/by, -1, 1)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func boolObs(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

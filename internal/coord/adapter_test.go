@@ -1,0 +1,250 @@
+package coord
+
+import (
+	"math/rand"
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+// starGraph: node 0 is the center with n leaves, unit delays, given caps.
+func starGraph(leaves int, nodeCap, linkCap float64) *graph.Graph {
+	g := graph.New("star")
+	c := g.AddNode("center", 0, 0)
+	g.SetNodeCapacity(c, nodeCap)
+	for i := 0; i < leaves; i++ {
+		v := g.AddNode("", 0, 0)
+		g.SetNodeCapacity(v, nodeCap)
+		if err := g.AddLink(c, v, 1); err != nil {
+			panic(err)
+		}
+		g.SetLinkCapacity(i, linkCap)
+	}
+	return g
+}
+
+func testSvc() *simnet.Service {
+	return &simnet.Service{Name: "s", Chain: []*simnet.Component{
+		{Name: "c1", ProcDelay: 5, IdleTimeout: 100, ResourcePerRate: 1},
+		{Name: "c2", ProcDelay: 5, IdleTimeout: 100, ResourcePerRate: 1},
+	}}
+}
+
+func newFlow(svc *simnet.Service, egress graph.NodeID) *simnet.Flow {
+	return &simnet.Flow{
+		ID:       1,
+		Service:  svc,
+		Ingress:  0,
+		Egress:   egress,
+		Rate:     1,
+		Duration: 1,
+		Deadline: 100,
+		Arrival:  0,
+	}
+}
+
+func TestAdapterSizes(t *testing.T) {
+	g := starGraph(3, 2, 5) // Δ_G = 3
+	a := NewAdapter(g, nil)
+	if a.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", a.MaxDegree())
+	}
+	if a.ObsSize() != 16 {
+		t.Errorf("ObsSize = %d, want 16 (= 4Δ+4)", a.ObsSize())
+	}
+	if a.NumActions() != 4 {
+		t.Errorf("NumActions = %d, want 4 (= Δ+1)", a.NumActions())
+	}
+}
+
+func TestObserveLayoutAndPadding(t *testing.T) {
+	g := starGraph(3, 2, 5)
+	a := NewAdapter(g, nil)
+	st := simnet.NewState(g, a.APSP())
+	svc := testSvc()
+	f := newFlow(svc, 1)
+
+	// Observe at leaf node 3: one real neighbor (the center), two dummies.
+	obs := a.Observe(st, f, 3, 0)
+	if len(obs) != a.ObsSize() {
+		t.Fatalf("obs length = %d, want %d", len(obs), a.ObsSize())
+	}
+	// Layout: [p̂, τ̂ | R^L ×3 | R^V(self) R^V ×3 | D ×3 | X(self) X ×3].
+	if obs[0] != 0 {
+		t.Errorf("p̂ = %f, want 0 (fresh flow)", obs[0])
+	}
+	if obs[1] != 1 {
+		t.Errorf("τ̂ = %f, want 1 (fresh flow)", obs[1])
+	}
+	// R^L: slot 0 real (free 5 − rate 1 = 4, normalized /5 = 0.8), slots
+	// 1, 2 dummy (−1).
+	if obs[2] != 0.8 {
+		t.Errorf("R^L[0] = %f, want 0.8", obs[2])
+	}
+	if obs[3] != -1 || obs[4] != -1 {
+		t.Errorf("R^L padding = %f,%f, want -1,-1", obs[3], obs[4])
+	}
+	// R^V: self (free 2 − demand 1 = 1, /2 = 0.5), neighbor center 0.5,
+	// dummies −1.
+	if obs[5] != 0.5 || obs[6] != 0.5 {
+		t.Errorf("R^V self/neighbor = %f,%f, want 0.5,0.5", obs[5], obs[6])
+	}
+	if obs[7] != -1 || obs[8] != -1 {
+		t.Errorf("R^V padding = %f,%f", obs[7], obs[8])
+	}
+	// D: via center to egress 1: link 1 + dist(center,1)=1 → 2 total;
+	// (100−2)/100 = 0.98. Dummies −1.
+	if obs[9] != 0.98 {
+		t.Errorf("D[0] = %f, want 0.98", obs[9])
+	}
+	if obs[10] != -1 || obs[11] != -1 {
+		t.Errorf("D padding = %f,%f", obs[10], obs[11])
+	}
+	// X: no instances anywhere: self 0, neighbor 0, dummies −1.
+	if obs[12] != 0 || obs[13] != 0 {
+		t.Errorf("X self/neighbor = %f,%f, want 0,0", obs[12], obs[13])
+	}
+	if obs[14] != -1 || obs[15] != -1 {
+		t.Errorf("X padding = %f,%f", obs[14], obs[15])
+	}
+}
+
+func TestObserveLinkFitSign(t *testing.T) {
+	g := starGraph(2, 2, 1) // link capacity 1
+	a := NewAdapter(g, nil)
+	st := simnet.NewState(g, a.APSP())
+	svc := testSvc()
+	f := newFlow(svc, 2)
+	// Fresh links: free 1 − rate 1 = 0 → observation exactly 0 (fits).
+	obs := a.Observe(st, f, 0, 0)
+	if obs[2] != 0 {
+		t.Errorf("R^L for exactly-fitting link = %f, want 0", obs[2])
+	}
+	// Rate 2 cannot fit: negative.
+	f.Rate = 2
+	obs = a.Observe(st, f, 0, 0)
+	if obs[2] >= 0 {
+		t.Errorf("R^L for non-fitting flow = %f, want < 0", obs[2])
+	}
+}
+
+func TestObserveInstanceAvailability(t *testing.T) {
+	g := starGraph(2, 2, 5)
+	a := NewAdapter(g, nil)
+	st := simnet.NewState(g, a.APSP())
+	svc := testSvc()
+	f := newFlow(svc, 2)
+
+	// A fully processed flow always reads X = 0 (Sec. IV-B1e).
+	f.CompIdx = 2
+	obs := a.Observe(st, f, 0, 0)
+	// Layout for Δ=2: 2 + 2 + 3 + 2 + 3 = 12; X block is obs[9..11].
+	if obs[9] != 0 {
+		t.Errorf("X(self) for processed flow = %f, want 0", obs[9])
+	}
+	// Demand for processed flow is 0: R^V(self) = free/maxCap = 1.
+	if obs[4] != 1 {
+		t.Errorf("R^V(self) for processed flow = %f, want 1 (zero demand)", obs[4])
+	}
+}
+
+func TestObserveDeadlineSlackNegative(t *testing.T) {
+	g := starGraph(2, 2, 5)
+	a := NewAdapter(g, nil)
+	st := simnet.NewState(g, a.APSP())
+	svc := testSvc()
+	f := newFlow(svc, 2)
+	f.Deadline = 3
+	// At node 1 (leaf), egress node 2: path via center is 2 links = 2
+	// delay. At now = 2 remaining is 1 < 2: slack negative but ≥ −1.
+	obs := a.Observe(st, f, 1, 2)
+	d := obs[7] // Δ=2 layout: D block at obs[7..8]
+	if d >= 0 || d < -1 {
+		t.Errorf("deadline slack = %f, want in [-1, 0)", d)
+	}
+}
+
+// TestObservationsAlwaysInRange drives a full random simulation and
+// asserts every observation component stays within [-1, 1].
+func TestObservationsAlwaysInRange(t *testing.T) {
+	g := starGraph(3, 2, 2)
+	a := NewAdapter(g, nil)
+	svc := testSvc()
+	rng := rand.New(rand.NewSource(5))
+	checker := rl0Coordinator{a: a, rng: rng, t: t}
+	sim, err := simnet.New(simnet.Config{
+		Graph:       g,
+		APSP:        a.APSP(),
+		Service:     svc,
+		Ingresses:   []simnet.Ingress{{Node: 1, Arrivals: traffic.NewPoisson(3, rng)}},
+		Egress:      2,
+		Template:    simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: 40},
+		Horizon:     2000,
+		Coordinator: checker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rl0Coordinator observes (asserting range) and acts randomly.
+type rl0Coordinator struct {
+	a   *Adapter
+	rng *rand.Rand
+	t   *testing.T
+}
+
+func (c rl0Coordinator) Name() string { return "range-checker" }
+
+func (c rl0Coordinator) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
+	obs := c.a.Observe(st, f, v, now)
+	if len(obs) != c.a.ObsSize() {
+		c.t.Fatalf("obs size %d, want %d", len(obs), c.a.ObsSize())
+	}
+	for i, o := range obs {
+		if o < -1-1e-9 || o > 1+1e-9 {
+			c.t.Fatalf("obs[%d] = %f out of [-1,1] (flow %d at node %d, t=%f)", i, o, f.ID, v, now)
+		}
+	}
+	return c.rng.Intn(c.a.NumActions())
+}
+
+func TestNormalizationAblation(t *testing.T) {
+	g := starGraph(2, 10, 50)
+	a := NewAdapter(g, nil)
+	a.Normalize = false
+	st := simnet.NewState(g, a.APSP())
+	f := newFlow(testSvc(), 2)
+	obs := a.Observe(st, f, 0, 0)
+	// Unnormalized link observation: free 50 − 1 = 49, far outside [-1,1].
+	if obs[2] != 49 {
+		t.Errorf("unnormalized R^L = %f, want 49", obs[2])
+	}
+}
+
+func TestRewardShaper(t *testing.T) {
+	s := newShaper(DefaultRewards(), 10)
+	if got := s.traverse(4); got != 0.25 {
+		t.Errorf("traverse = %f, want 0.25 (= 1/n_s)", got)
+	}
+	if got := s.link(2); got != -0.2 {
+		t.Errorf("link(2) = %f, want -0.2 (= -d_l/D_G)", got)
+	}
+	if got := s.keep(); got != -0.1 {
+		t.Errorf("keep = %f, want -0.1 (= -1/D_G)", got)
+	}
+	off := newShaper(RewardConfig{Complete: 10, Drop: -10, Shaping: false}, 10)
+	if off.traverse(4) != 0 || off.link(2) != 0 || off.keep() != 0 {
+		t.Error("shaping ablation still produces shaped rewards")
+	}
+	// Degenerate parameters fall back to safe divisors.
+	deg := newShaper(DefaultRewards(), 0)
+	if deg.keep() != -1 || deg.traverse(0) != 1 {
+		t.Errorf("degenerate shaper: keep=%f traverse=%f", deg.keep(), deg.traverse(0))
+	}
+}

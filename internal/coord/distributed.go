@@ -1,0 +1,77 @@
+package coord
+
+import (
+	"errors"
+	"math/rand"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/nn"
+	"distcoord/internal/simnet"
+)
+
+// Distributed is the paper's fully distributed DRL coordinator (Fig. 4b):
+// after centralized training, every node v receives its own copy π_θ^v of
+// the trained actor and decides for incoming flows purely from local
+// observations, independently of and in parallel with all other nodes.
+// It implements simnet.Coordinator.
+type Distributed struct {
+	adapter *Adapter
+	// actors holds one network copy per node — deliberately not shared,
+	// mirroring the deployment architecture (and making per-node
+	// inference timing honest, Fig. 9b).
+	actors []*nn.MLP
+
+	// Stochastic samples actions from π instead of taking the argmax.
+	// It defaults to true, matching the paper's stable-baselines
+	// implementation (predict with deterministic=False): the trust
+	// region keeps π smooth, and sampling is what breaks routing
+	// symmetry — a pure argmax policy can ping-pong flows between two
+	// nodes forever.
+	Stochastic bool
+	rng        *rand.Rand
+}
+
+// NewDistributed deploys a copy of the trained actor at each node of the
+// adapter's network.
+func NewDistributed(adapter *Adapter, actor *nn.MLP) (*Distributed, error) {
+	if actor.InputSize() != adapter.ObsSize() {
+		return nil, errors.New("coord: actor input size does not match adapter observation size")
+	}
+	if actor.OutputSize() != adapter.NumActions() {
+		return nil, errors.New("coord: actor output size does not match adapter action space")
+	}
+	d := &Distributed{
+		adapter:    adapter,
+		actors:     make([]*nn.MLP, adapter.Graph().NumNodes()),
+		Stochastic: true,
+		rng:        rand.New(rand.NewSource(1)),
+	}
+	for v := range d.actors {
+		d.actors[v] = actor.Clone()
+	}
+	return d, nil
+}
+
+// Name implements simnet.Coordinator.
+func (d *Distributed) Name() string { return "DistDRL" }
+
+// Decide implements simnet.Coordinator: observe locally, run the node's
+// own policy copy, act.
+func (d *Distributed) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
+	obs := d.adapter.Observe(st, f, v, now)
+	logits := d.actors[v].Forward(obs)
+	if d.Stochastic {
+		return nn.SampleCategorical(d.rng, nn.Softmax(logits))
+	}
+	return nn.Argmax(logits)
+}
+
+// Reseed reinitializes the sampling source (for reproducible evaluation
+// runs).
+func (d *Distributed) Reseed(seed int64) { d.rng = rand.New(rand.NewSource(seed)) }
+
+// DecideAt runs inference for a specific node's policy copy on a
+// prebuilt observation (used by the inference-latency bench, Fig. 9b).
+func (d *Distributed) DecideAt(v graph.NodeID, obs []float64) int {
+	return nn.Argmax(d.actors[v].Forward(obs))
+}

@@ -1,0 +1,239 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+// EnvConfig describes one coordination scenario used for training: the
+// network, the service, where traffic enters and exits, and how it
+// arrives.
+type EnvConfig struct {
+	Graph   *graph.Graph
+	APSP    *graph.APSP // optional
+	Service *simnet.Service
+	// Services optionally defines a weighted multi-service mix; when
+	// set, Service is ignored (cf. simnet.Config).
+	Services []simnet.WeightedService
+
+	IngressNodes []graph.NodeID
+	Egress       graph.NodeID
+	Traffic      traffic.Spec
+	Template     simnet.FlowTemplate
+
+	// Horizon is the training episode length (time steps of flow
+	// generation per rollout).
+	Horizon float64
+
+	Rewards RewardConfig
+}
+
+func (c *EnvConfig) validate() error {
+	if c.Graph == nil {
+		return errors.New("coord: EnvConfig.Graph is nil")
+	}
+	if c.Service == nil && len(c.Services) == 0 {
+		return errors.New("coord: EnvConfig has no service")
+	}
+	if len(c.IngressNodes) == 0 {
+		return errors.New("coord: no ingress nodes")
+	}
+	if c.Traffic.New == nil {
+		return errors.New("coord: no traffic spec")
+	}
+	if c.Horizon <= 0 {
+		return errors.New("coord: Horizon must be positive")
+	}
+	if c.Rewards == (RewardConfig{}) {
+		c.Rewards = DefaultRewards()
+	}
+	return nil
+}
+
+// Env is the training environment of Alg. 1: each rollout simulates the
+// scenario once, pooling all nodes' decision steps into per-flow
+// trajectories, and scores the episode by its flow success ratio. It
+// implements rl.Env.
+type Env struct {
+	cfg     EnvConfig
+	adapter *Adapter
+	rng     *rand.Rand
+}
+
+// NewEnv builds a training environment. seed drives the traffic
+// randomness of successive rollouts.
+func NewEnv(cfg EnvConfig, seed int64) (*Env, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.APSP == nil {
+		cfg.APSP = graph.NewAPSP(cfg.Graph)
+	}
+	return &Env{
+		cfg:     cfg,
+		adapter: NewAdapter(cfg.Graph, cfg.APSP),
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Adapter returns the environment's observation/action adapter.
+func (e *Env) Adapter() *Adapter { return e.adapter }
+
+// Rollout implements rl.Env: it runs one simulated episode under the
+// given policy and returns the per-flow trajectories and the episode's
+// success ratio.
+func (e *Env) Rollout(p rl.Policy) ([]rl.Trajectory, float64, error) {
+	col := newCollector(e.adapter, e.cfg.Rewards)
+	tc := &trainingCoordinator{adapter: e.adapter, policy: p, col: col}
+
+	ingresses := make([]simnet.Ingress, len(e.cfg.IngressNodes))
+	for i, v := range e.cfg.IngressNodes {
+		ingresses[i] = simnet.Ingress{
+			Node: v,
+			// Each rollout derives a fresh, independent arrival stream.
+			Arrivals: e.cfg.Traffic.New(rand.New(rand.NewSource(e.rng.Int63()))),
+		}
+	}
+
+	sim, err := simnet.New(simnet.Config{
+		Graph:       e.cfg.Graph,
+		APSP:        e.cfg.APSP,
+		Service:     e.cfg.Service,
+		Services:    e.cfg.Services,
+		ServiceSeed: e.rng.Int63(),
+		Ingresses:   ingresses,
+		Egress:      e.cfg.Egress,
+		Template:    e.cfg.Template,
+		Horizon:     e.cfg.Horizon,
+		Coordinator: tc,
+		Listener:    col,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := sim.Run()
+	if err != nil {
+		return nil, 0, err
+	}
+	if n := len(col.open); n != 0 {
+		return nil, 0, fmt.Errorf("coord: %d trajectories left open after rollout", n)
+	}
+	return col.done, m.SuccessRatio(), nil
+}
+
+// trainingCoordinator queries the policy for every decision and reports
+// (observation, action) pairs to the collector.
+type trainingCoordinator struct {
+	adapter *Adapter
+	policy  rl.Policy
+	col     *collector
+}
+
+// Name implements simnet.Coordinator.
+func (t *trainingCoordinator) Name() string { return "drl-training" }
+
+// Decide implements simnet.Coordinator.
+func (t *trainingCoordinator) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
+	obs := t.adapter.Observe(st, f, v, now)
+	action := t.policy.SelectAction(obs)
+	t.col.onDecide(f, obs, action)
+	return action
+}
+
+// collector assembles per-flow trajectories from simulator events. Each
+// decision opens a step; shaping rewards accumulate onto the open step
+// until the flow's next decision or its end finalizes it (the per-agent
+// experience tuples of Alg. 1 ln. 7, pooled across all nodes).
+type collector struct {
+	simnet.NopListener
+	g      *graph.Graph
+	shaper *shaper
+	open   map[int]*flowTrace
+	done   []rl.Trajectory
+}
+
+type flowTrace struct {
+	steps   []rl.Step
+	pending rl.Step
+	reward  float64
+	active  bool
+}
+
+func newCollector(a *Adapter, rc RewardConfig) *collector {
+	return &collector{
+		g:      a.Graph(),
+		shaper: newShaper(rc, a.Diameter()),
+		open:   make(map[int]*flowTrace),
+	}
+}
+
+// onDecide records a new decision, finalizing the flow's previous step.
+func (c *collector) onDecide(f *simnet.Flow, obs []float64, action int) {
+	ft := c.open[f.ID]
+	if ft == nil {
+		ft = &flowTrace{}
+		c.open[f.ID] = ft
+	}
+	ft.closePending()
+	ft.pending = rl.Step{Obs: obs, Action: action}
+	ft.active = true
+}
+
+func (ft *flowTrace) closePending() {
+	if !ft.active {
+		return
+	}
+	ft.pending.Reward = ft.reward
+	ft.steps = append(ft.steps, ft.pending)
+	ft.reward = 0
+	ft.active = false
+}
+
+// OnAction implements simnet.Listener: shaping penalties for link
+// forwarding and keeping processed flows.
+func (c *collector) OnAction(f *simnet.Flow, v graph.NodeID, now float64, action int, res simnet.ActionResult) {
+	ft := c.open[f.ID]
+	if ft == nil || !ft.active {
+		return
+	}
+	switch res.Kind {
+	case simnet.ActionForwarded:
+		ft.reward += c.shaper.link(c.g.Link(res.Link).Delay)
+	case simnet.ActionKept:
+		ft.reward += c.shaper.keep()
+	}
+}
+
+// OnTraversed implements simnet.Listener: +1/n_s shaping reward.
+func (c *collector) OnTraversed(f *simnet.Flow, v graph.NodeID, now float64) {
+	if ft := c.open[f.ID]; ft != nil && ft.active {
+		ft.reward += c.shaper.traverse(f.Service.Len())
+	}
+}
+
+// OnFlowEnd implements simnet.Listener: terminal ±10 and trajectory
+// completion.
+func (c *collector) OnFlowEnd(f *simnet.Flow, success bool, cause simnet.DropCause, now float64) {
+	ft := c.open[f.ID]
+	if ft == nil {
+		return
+	}
+	if ft.active {
+		if success {
+			ft.reward += c.shaper.cfg.Complete
+		} else {
+			ft.reward += c.shaper.cfg.Drop
+		}
+		ft.closePending()
+	}
+	if len(ft.steps) > 0 {
+		c.done = append(c.done, rl.Trajectory{Steps: ft.steps})
+	}
+	delete(c.open, f.ID)
+}

@@ -1,0 +1,63 @@
+package coord
+
+// RewardConfig holds the reward function ℛ of Sec. IV-B3. Zero value
+// fields select the paper's constants via withDefaults.
+type RewardConfig struct {
+	// Complete is the terminal reward for a successful flow (+10).
+	Complete float64
+	// Drop is the terminal penalty for a dropped flow (−10).
+	Drop float64
+	// Shaping enables the auxiliary rewards (+1/n_s per traversed
+	// instance, −d_l/D_G per link, −1/D_G per keep). Disabling it is the
+	// reward-shaping ablation: training then only sees the sparse ±10.
+	Shaping bool
+}
+
+// DefaultRewards returns the paper's reward configuration.
+func DefaultRewards() RewardConfig {
+	return RewardConfig{Complete: 10, Drop: -10, Shaping: true}
+}
+
+// shaper computes the shaped reward components for one topology.
+type shaper struct {
+	cfg      RewardConfig
+	diameter float64 // D_G
+}
+
+func newShaper(cfg RewardConfig, diameter float64) *shaper {
+	if diameter <= 0 {
+		diameter = 1
+	}
+	return &shaper{cfg: cfg, diameter: diameter}
+}
+
+// traverse returns the reward for successfully traversing one instance of
+// a chain of length chainLen: +1/n_s, encouraging local processing
+// (Sec. IV-B3). The chain length is per flow, so multi-service scenarios
+// shape each flow by its own service.
+func (s *shaper) traverse(chainLen int) float64 {
+	if !s.cfg.Shaping {
+		return 0
+	}
+	if chainLen <= 0 {
+		chainLen = 1
+	}
+	return 1 / float64(chainLen)
+}
+
+// link returns the penalty for sending a flow over a link with delay dl:
+// −d_l/D_G, encouraging short routes.
+func (s *shaper) link(dl float64) float64 {
+	if !s.cfg.Shaping {
+		return 0
+	}
+	return -dl / s.diameter
+}
+
+// keep returns the penalty for holding an already processed flow: −1/D_G.
+func (s *shaper) keep() float64 {
+	if !s.cfg.Shaping {
+		return 0
+	}
+	return -1 / s.diameter
+}

@@ -1,0 +1,94 @@
+package coord
+
+import (
+	"fmt"
+
+	"distcoord/internal/rl"
+)
+
+// TrainOptions scale the training procedure. Zero values pick defaults
+// sized for commodity hardware; the paper's full settings are
+// Seeds: 10, ParallelEnvs: 4 with substantially more episodes.
+type TrainOptions struct {
+	// Episodes per seed (update iterations). Default 60.
+	Episodes int
+	// ParallelEnvs is l in Alg. 1. Default 4.
+	ParallelEnvs int
+	// Seeds is k, the number of independently trained agents. Default 3.
+	Seeds int
+	// Hidden overrides the network architecture (default 2x256 per the
+	// paper; tests use smaller nets).
+	Hidden []int
+	// LR overrides the learning rate (default 7e-4, see AgentConfig).
+	LR float64
+	// Seed is the base random seed.
+	Seed int64
+	// Progress, when non-nil, receives per-episode training updates.
+	Progress func(seed, episode int, stats rl.UpdateStats, score float64)
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Episodes <= 0 {
+		o.Episodes = 60
+	}
+	if o.ParallelEnvs <= 0 {
+		o.ParallelEnvs = 4
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 3
+	}
+	if o.LR == 0 {
+		o.LR = 3e-3 // RMSprop-tuned default (see rl.AgentConfig)
+	}
+	return o
+}
+
+// TrainResult bundles the trained agent with everything needed to deploy
+// it.
+type TrainResult struct {
+	Agent   *rl.Agent
+	Adapter *Adapter
+	Stats   rl.TrainResult
+}
+
+// Deploy returns the distributed coordinator with the trained policy
+// copied to every node (Alg. 1 ln. 14).
+func (r *TrainResult) Deploy() (*Distributed, error) {
+	return NewDistributed(r.Adapter, r.Agent.Actor)
+}
+
+// Train runs the centralized training procedure of Alg. 1 on the given
+// scenario: k seeds, each with l parallel environment copies, selecting
+// the best agent by final success ratio.
+func Train(envCfg EnvConfig, opts TrainOptions) (*TrainResult, error) {
+	opts = opts.withDefaults()
+	// Probe the scenario once to size the spaces and fail fast on
+	// invalid configurations.
+	probe, err := NewEnv(envCfg, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("coord: invalid training scenario: %w", err)
+	}
+	adapter := probe.Adapter()
+
+	agent, stats, err := rl.Train(rl.TrainConfig{
+		Agent: rl.AgentConfig{
+			ObsSize:    adapter.ObsSize(),
+			NumActions: adapter.NumActions(),
+			Hidden:     opts.Hidden,
+			LR:         opts.LR,
+			Seed:       opts.Seed,
+		},
+		Episodes:     opts.Episodes,
+		ParallelEnvs: opts.ParallelEnvs,
+		Seeds:        opts.Seeds,
+		LRDecay:      true,
+		Progress:     opts.Progress,
+		NewEnv: func(envSeed int64) (rl.Env, error) {
+			return NewEnv(envCfg, envSeed)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("coord: training failed: %w", err)
+	}
+	return &TrainResult{Agent: agent, Adapter: adapter, Stats: stats}, nil
+}

@@ -1,0 +1,339 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"distcoord/internal/baselines"
+	"distcoord/internal/graph"
+	"distcoord/internal/traffic"
+)
+
+func tinyOptions() Options {
+	return Options{
+		EvalSeeds:       1,
+		Horizon:         300,
+		MonitorInterval: 100,
+		Budget: TrainBudget{
+			Episodes:     3,
+			ParallelEnvs: 1,
+			Seeds:        1,
+			Horizon:      120,
+			Hidden:       []int{8},
+		},
+	}
+}
+
+func TestVideoService(t *testing.T) {
+	svc := VideoService()
+	if svc.Len() != 3 {
+		t.Fatalf("chain length = %d, want 3", svc.Len())
+	}
+	for _, c := range svc.Chain {
+		if c.ProcDelay != 5 {
+			t.Errorf("component %s processing delay = %f, want 5", c.Name, c.ProcDelay)
+		}
+		if c.Resource(2) != 2*c.ResourcePerRate || c.Resource(0) != 0 {
+			t.Errorf("component %s resources not linear in load", c.Name)
+		}
+	}
+}
+
+func TestInstantiateCapacitiesInRange(t *testing.T) {
+	inst, err := Base().Instantiate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range inst.Graph.Nodes() {
+		if n.Capacity < 0 || n.Capacity > 2 {
+			t.Errorf("node %d capacity %f outside [0,2]", n.ID, n.Capacity)
+		}
+	}
+	for i, l := range inst.Graph.Links() {
+		if l.Capacity < 1 || l.Capacity > 5 {
+			t.Errorf("link %d capacity %f outside [1,5]", i, l.Capacity)
+		}
+	}
+}
+
+func TestInstantiateDeterministic(t *testing.T) {
+	a, err := Base().Instantiate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Base().Instantiate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.Graph.NumNodes(); v++ {
+		if a.Graph.Node(graph.NodeID(v)).Capacity != b.Graph.Node(graph.NodeID(v)).Capacity {
+			t.Fatal("capacity draws differ for identical seeds")
+		}
+	}
+	// Capacities are part of the scenario: a different evaluation seed
+	// keeps the same capacity draw ...
+	c, err := Base().Instantiate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.Graph.NumNodes(); v++ {
+		if a.Graph.Node(graph.NodeID(v)).Capacity != c.Graph.Node(graph.NodeID(v)).Capacity {
+			t.Fatal("capacity draw changed with the evaluation seed")
+		}
+	}
+	// ... while a different CapacitySeed redraws them.
+	s2 := Base()
+	s2.CapacitySeed = 99
+	d, err := s2.Instantiate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := 0; v < a.Graph.NumNodes(); v++ {
+		same = same && a.Graph.Node(graph.NodeID(v)).Capacity == d.Graph.Node(graph.NodeID(v)).Capacity
+	}
+	if same {
+		t.Error("different CapacitySeed produced identical capacity draws")
+	}
+}
+
+func TestInstantiateValidation(t *testing.T) {
+	s := Base()
+	s.Topology = "Nowhere"
+	if _, err := s.Instantiate(1); err == nil {
+		t.Error("accepted unknown topology")
+	}
+	s = Base()
+	s.Egress = 99
+	if _, err := s.Instantiate(1); err == nil {
+		t.Error("accepted out-of-range egress")
+	}
+	s = Base()
+	s.IngressNodes = []graph.NodeID{42}
+	if _, err := s.Instantiate(1); err == nil {
+		t.Error("accepted out-of-range ingress")
+	}
+}
+
+func TestIngressesSelection(t *testing.T) {
+	s := Base()
+	s.NumIngresses = 3
+	got := s.Ingresses()
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Ingresses = %v, want [0 1 2]", got)
+	}
+	s.IngressNodes = []graph.NodeID{5, 6}
+	got = s.Ingresses()
+	if len(got) != 2 || got[0] != 5 {
+		t.Errorf("explicit Ingresses = %v, want [5 6]", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %f, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-9 {
+		t.Errorf("std = %f, want 2", s.Std)
+	}
+	if s.N != 8 {
+		t.Errorf("n = %d, want 8", s.N)
+	}
+	empty := summarize(nil)
+	if empty.Mean != 0 || empty.Std != 0 || empty.N != 0 {
+		t.Error("empty summary not zero")
+	}
+	if got := s.String(); got != "5.000±2.000" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEvaluateBaselines(t *testing.T) {
+	s := Base()
+	s.Horizon = 500
+	s.Traffic = traffic.FixedSpec(10)
+	for _, mk := range []CoordinatorFactory{
+		Static(baselines.SP{}),
+		Static(baselines.GCASP{}),
+	} {
+		o, err := Evaluate(s, mk, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Succ.Mean < 0 || o.Succ.Mean > 1 {
+			t.Errorf("success ratio %f outside [0,1]", o.Succ.Mean)
+		}
+		if o.Succ.N != 2 {
+			t.Errorf("N = %d, want 2", o.Succ.N)
+		}
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	s := Base()
+	s.Horizon = 500
+	a, err := Evaluate(s, Static(baselines.GCASP{}), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(s, Static(baselines.GCASP{}), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Succ != b.Succ {
+		t.Errorf("non-deterministic evaluation: %v vs %v", a.Succ, b.Succ)
+	}
+}
+
+func TestTrainDRLAndDeploy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short mode")
+	}
+	opts := tinyOptions()
+	s := Base()
+	s.Horizon = opts.Horizon
+	policy, err := TrainDRL(s, opts.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.Stats.BestSeed < 0 {
+		t.Errorf("BestSeed = %d", policy.Stats.BestSeed)
+	}
+	o, err := Evaluate(s, policy.Factory(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Succ.Mean < 0 || o.Succ.Mean > 1 {
+		t.Errorf("success ratio %f outside [0,1]", o.Succ.Mean)
+	}
+}
+
+func TestFig6UnknownVariant(t *testing.T) {
+	if _, err := Fig6("z", tinyOptions()); err == nil {
+		t.Error("accepted unknown variant")
+	}
+}
+
+func TestTrafficPatternsComplete(t *testing.T) {
+	pats := TrafficPatterns()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if pats[k].New == nil {
+			t.Errorf("pattern %q missing", k)
+		}
+	}
+}
+
+func TestTableIOutput(t *testing.T) {
+	out := TableI()
+	for _, want := range []string{"Abilene", "BT Europe", "China Telecom", "Interroute", "110"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureString(t *testing.T) {
+	f := Figure{
+		ID:     "6a",
+		Title:  "demo",
+		XLabel: "ingress nodes",
+		Series: []Series{
+			{Algo: "DistDRL", Points: []Point{{X: "1", Outcome: Outcome{Succ: Summary{Mean: 0.9, N: 3}}}}},
+			{Algo: "SP", Points: []Point{{X: "1", Outcome: Outcome{Succ: Summary{Mean: 0.5, N: 3}}}}},
+		},
+	}
+	out := f.String()
+	for _, want := range []string{"Figure 6a", "DistDRL", "SP", "0.900"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9bTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement skipped in -short mode")
+	}
+	opts := tinyOptions()
+	rows, err := Fig9b(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.DistDRL <= 0 || r.Central <= 0 {
+			t.Errorf("%s: non-positive timings %+v", r.Network, r)
+		}
+	}
+	// The central update must scale with network size: Interroute (110
+	// nodes) costs more than Abilene (11 nodes).
+	if rows[3].Central <= rows[0].Central {
+		t.Errorf("central cost did not grow with network size: %v vs %v",
+			rows[0].Central, rows[3].Central)
+	}
+	out := FormatTiming(rows)
+	if !strings.Contains(out, "Interroute") {
+		t.Errorf("timing table missing Interroute:\n%s", out)
+	}
+}
+
+func TestEvalPointRunsAllAlgorithms(t *testing.T) {
+	opts := tinyOptions()
+	s := Base()
+	s.Horizon = 300
+	point, err := evalPoint(s, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{AlgoCentral, AlgoGCASP, AlgoSP} {
+		if _, ok := point[name]; !ok {
+			t.Errorf("missing algorithm %s", name)
+		}
+	}
+}
+
+func TestOrderedSeries(t *testing.T) {
+	m := map[string]*Series{
+		"SP":      {Algo: "SP"},
+		"DistDRL": {Algo: "DistDRL"},
+		"Other":   {Algo: "Other"},
+	}
+	out := orderedSeries(m)
+	if out[0].Algo != "DistDRL" {
+		t.Errorf("first series = %s, want DistDRL", out[0].Algo)
+	}
+	if out[len(out)-1].Algo != "Other" {
+		t.Errorf("unknown algos must sort last, got %s", out[len(out)-1].Algo)
+	}
+}
+
+func TestFigureMarkdown(t *testing.T) {
+	f := Figure{
+		ID:     "7",
+		Title:  "demo",
+		XLabel: "deadline",
+		Series: []Series{
+			{Algo: "DistDRL", Points: []Point{
+				{X: "20", Outcome: Outcome{Succ: Summary{Mean: 0, N: 3}}},
+				{X: "30", Outcome: Outcome{Succ: Summary{Mean: 0.5, Std: 0.1, N: 3}}},
+			}},
+			{Algo: "SP", Points: []Point{
+				{X: "20", Outcome: Outcome{Succ: Summary{Mean: 0, N: 3}}},
+			}},
+		},
+	}
+	out := f.Markdown()
+	for _, want := range []string{"**Figure 7", "| deadline |", "| 30 |", "0.500±0.100", "|---|", " - |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	empty := Figure{ID: "x", XLabel: "x"}
+	if out := empty.Markdown(); !strings.Contains(out, "Figure x") {
+		t.Errorf("empty figure markdown: %q", out)
+	}
+}

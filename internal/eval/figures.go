@@ -1,0 +1,487 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"distcoord/internal/baselines"
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+// Options scales the experiment suite. Defaults run on commodity CPUs;
+// the paper's full settings (30 eval seeds, horizon 20000, 2x256
+// networks) are selected in cmd/experiments via flags.
+type Options struct {
+	// EvalSeeds is the number of evaluation seeds per data point
+	// (paper: 30).
+	EvalSeeds int
+	// Horizon is the evaluation horizon T (paper: 20000).
+	Horizon float64
+	// Budget scales DRL training.
+	Budget TrainBudget
+	// MonitorInterval is the central coordinator's rule update period.
+	MonitorInterval float64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultOptions returns commodity-hardware settings.
+func DefaultOptions() Options {
+	return Options{
+		EvalSeeds:       3,
+		Horizon:         2000,
+		Budget:          DefaultTrainBudget(),
+		MonitorInterval: 100,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.EvalSeeds <= 0 {
+		o.EvalSeeds = 3
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 2000
+	}
+	if o.Budget.Episodes == 0 {
+		o.Budget = DefaultTrainBudget()
+	}
+	if o.MonitorInterval <= 0 {
+		o.MonitorInterval = 100
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Point is one x-position of a figure: the outcome of one algorithm on
+// one scenario.
+type Point struct {
+	X       string
+	Outcome Outcome
+}
+
+// Series is one algorithm's curve.
+type Series struct {
+	Algo   string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure: one series per algorithm.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// AlgoDistDRL etc. are the algorithm labels used across all figures.
+const (
+	AlgoDistDRL = "DistDRL"
+	AlgoCentral = "Central"
+	AlgoGCASP   = "GCASP"
+	AlgoSP      = "SP"
+)
+
+// baselineFactories returns the non-DRL comparison algorithms in display
+// order.
+func baselineFactories(monitorInterval float64) []struct {
+	name string
+	mk   CoordinatorFactory
+} {
+	return []struct {
+		name string
+		mk   CoordinatorFactory
+	}{
+		{AlgoCentral, func(*Instance, int64) (simnet.Coordinator, error) {
+			return baselines.NewCentral(monitorInterval), nil
+		}},
+		{AlgoGCASP, Static(baselines.GCASP{})},
+		{AlgoSP, Static(baselines.SP{})},
+	}
+}
+
+// evalPoint evaluates every algorithm on one scenario and returns
+// label -> outcome.
+func evalPoint(s Scenario, drl CoordinatorFactory, opts Options) (map[string]Outcome, error) {
+	out := make(map[string]Outcome)
+	run := func(name string, mk CoordinatorFactory) error {
+		o, err := Evaluate(s, mk, opts.EvalSeeds, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = o
+		opts.logf("  %-10s succ=%s delay=%s", name, o.Succ, o.Delay)
+		return nil
+	}
+	if drl != nil {
+		if err := run(AlgoDistDRL, drl); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range baselineFactories(opts.MonitorInterval) {
+		if err := run(b.name, b.mk); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TrafficPatterns returns the four arrival patterns of Fig. 6 keyed by
+// sub-figure letter.
+func TrafficPatterns() map[string]traffic.Spec {
+	return map[string]traffic.Spec{
+		"a": traffic.FixedSpec(10),
+		"b": traffic.PoissonSpec(10),
+		"c": traffic.MMPPSpec(12, 8, 100, 0.05),
+		"d": traffic.SyntheticTraceSpec(10, 2, 4),
+	}
+}
+
+// Fig6 reproduces one sub-figure of Fig. 6: success ratio over an
+// increasing number of ingress nodes (1-5) for one arrival pattern
+// ("a" fixed, "b" Poisson, "c" MMPP, "d" trace-driven). The DRL agent is
+// retrained for every load level, as in the paper.
+func Fig6(variant string, opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	spec, ok := TrafficPatterns()[variant]
+	if !ok {
+		return Figure{}, fmt.Errorf("eval: unknown Fig 6 variant %q", variant)
+	}
+	fig := Figure{
+		ID:     "6" + variant,
+		Title:  fmt.Sprintf("Successful flows vs. load, %s arrival", spec.Label),
+		XLabel: "ingress nodes",
+	}
+	series := map[string]*Series{}
+	for k := 1; k <= 5; k++ {
+		s := Base()
+		s.Traffic = spec
+		s.NumIngresses = k
+		s.Horizon = opts.Horizon
+		opts.logf("Fig 6%s: %d ingress nodes: training DRL...", variant, k)
+		policy, err := TrainDRL(s, opts.Budget)
+		if err != nil {
+			return Figure{}, err
+		}
+		point, err := evalPoint(s, policy.Factory(), opts)
+		if err != nil {
+			return Figure{}, err
+		}
+		appendPoint(series, fmt.Sprint(k), point)
+	}
+	fig.Series = orderedSeries(series)
+	return fig, nil
+}
+
+// Fig7 reproduces Fig. 7: success ratio and average end-to-end delay for
+// deadlines τ ∈ {20, 30, 40, 50} with two ingresses and Poisson traffic.
+func Fig7(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     "7",
+		Title:  "Successful flows and end-to-end delay vs. flow deadline",
+		XLabel: "deadline",
+	}
+	series := map[string]*Series{}
+	for _, deadline := range []float64{20, 30, 40, 50} {
+		s := Base()
+		s.Deadline = deadline
+		s.Horizon = opts.Horizon
+		opts.logf("Fig 7: deadline %.0f: training DRL...", deadline)
+		policy, err := TrainDRL(s, opts.Budget)
+		if err != nil {
+			return Figure{}, err
+		}
+		point, err := evalPoint(s, policy.Factory(), opts)
+		if err != nil {
+			return Figure{}, err
+		}
+		appendPoint(series, fmt.Sprintf("%.0f", deadline), point)
+	}
+	fig.Series = orderedSeries(series)
+	return fig, nil
+}
+
+// Fig8a reproduces Fig. 8a: agents trained on fixed, Poisson, and MMPP
+// traffic are evaluated without retraining on trace-driven traffic
+// ("Gen."), next to an agent retrained on the traces ("Retr.") and the
+// baselines.
+func Fig8a(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	target := Base()
+	target.Traffic = TrafficPatterns()["d"]
+	target.Horizon = opts.Horizon
+
+	fig := Figure{
+		ID:     "8a",
+		Title:  "Generalization to unseen trace-driven traffic",
+		XLabel: "agent",
+	}
+	addOutcome := func(label string, o Outcome) {
+		fig.Series = append(fig.Series, Series{
+			Algo:   label,
+			Points: []Point{{X: "trace", Outcome: o}},
+		})
+	}
+
+	for _, src := range []string{"a", "b", "c"} {
+		train := Base()
+		train.Traffic = TrafficPatterns()[src]
+		train.Horizon = opts.Horizon
+		opts.logf("Fig 8a: training on %s...", train.Traffic.Label)
+		policy, err := TrainDRL(train, opts.Budget)
+		if err != nil {
+			return Figure{}, err
+		}
+		o, err := Evaluate(target, policy.Factory(), opts.EvalSeeds, 0)
+		if err != nil {
+			return Figure{}, err
+		}
+		opts.logf("  Gen(%s) on traces: succ=%s", train.Traffic.Label, o.Succ)
+		addOutcome("DRL Gen("+train.Traffic.Label+")", o)
+	}
+
+	opts.logf("Fig 8a: retraining on traces...")
+	policy, err := TrainDRL(target, opts.Budget)
+	if err != nil {
+		return Figure{}, err
+	}
+	o, err := Evaluate(target, policy.Factory(), opts.EvalSeeds, 0)
+	if err != nil {
+		return Figure{}, err
+	}
+	addOutcome("DRL Retr.", o)
+
+	for _, b := range baselineFactories(opts.MonitorInterval) {
+		ob, err := Evaluate(target, b.mk, opts.EvalSeeds, 0)
+		if err != nil {
+			return Figure{}, err
+		}
+		addOutcome(b.name, ob)
+	}
+	return fig, nil
+}
+
+// Fig8b reproduces Fig. 8b: an agent trained with two ingresses is
+// evaluated without retraining on 1-5 ingress nodes ("Gen."), against
+// retrained agents ("Retr.") and the baselines.
+func Fig8b(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	train := Base()
+	train.Horizon = opts.Horizon
+	opts.logf("Fig 8b: training on 2 ingresses...")
+	genPolicy, err := TrainDRL(train, opts.Budget)
+	if err != nil {
+		return Figure{}, err
+	}
+
+	fig := Figure{
+		ID:     "8b",
+		Title:  "Generalization to unseen network load",
+		XLabel: "ingress nodes",
+	}
+	series := map[string]*Series{}
+	for k := 1; k <= 5; k++ {
+		s := Base()
+		s.NumIngresses = k
+		s.Horizon = opts.Horizon
+		opts.logf("Fig 8b: load %d: retraining...", k)
+		retrPolicy, err := TrainDRL(s, opts.Budget)
+		if err != nil {
+			return Figure{}, err
+		}
+		point := map[string]Outcome{}
+		gen, err := Evaluate(s, genPolicy.Factory(), opts.EvalSeeds, 0)
+		if err != nil {
+			return Figure{}, err
+		}
+		point["DRL Gen."] = gen
+		retr, err := Evaluate(s, retrPolicy.Factory(), opts.EvalSeeds, 0)
+		if err != nil {
+			return Figure{}, err
+		}
+		point["DRL Retr."] = retr
+		for _, b := range baselineFactories(opts.MonitorInterval) {
+			o, err := Evaluate(s, b.mk, opts.EvalSeeds, 0)
+			if err != nil {
+				return Figure{}, err
+			}
+			point[b.name] = o
+		}
+		opts.logf("  load %d: gen=%s retr=%s", k, gen.Succ, retr.Succ)
+		appendPoint(series, fmt.Sprint(k), point)
+	}
+	fig.Series = orderedSeriesWith(series, []string{"DRL Gen.", "DRL Retr.", AlgoCentral, AlgoGCASP, AlgoSP})
+	return fig, nil
+}
+
+// Fig9a reproduces Fig. 9a: success ratio on the four real-world
+// topologies (two ingresses v1, v2; egress v8; Poisson traffic), with the
+// DRL agent trained per topology.
+func Fig9a(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     "9a",
+		Title:  "Successful flows on large real-world topologies",
+		XLabel: "network",
+	}
+	series := map[string]*Series{}
+	for _, g := range graph.Topologies() {
+		s := Base()
+		s.Topology = g.Name()
+		s.Horizon = opts.Horizon
+		opts.logf("Fig 9a: %s: training DRL...", g.Name())
+		policy, err := TrainDRL(s, opts.Budget)
+		if err != nil {
+			return Figure{}, err
+		}
+		point, err := evalPoint(s, policy.Factory(), opts)
+		if err != nil {
+			return Figure{}, err
+		}
+		appendPoint(series, g.Name(), point)
+	}
+	fig.Series = orderedSeries(series)
+	return fig, nil
+}
+
+// appendPoint adds one x-position's outcomes to the series map.
+func appendPoint(series map[string]*Series, x string, point map[string]Outcome) {
+	for name, o := range point {
+		sr := series[name]
+		if sr == nil {
+			sr = &Series{Algo: name}
+			series[name] = sr
+		}
+		sr.Points = append(sr.Points, Point{X: x, Outcome: o})
+	}
+}
+
+// orderedSeries returns the standard algorithm ordering.
+func orderedSeries(series map[string]*Series) []Series {
+	return orderedSeriesWith(series, []string{AlgoDistDRL, AlgoCentral, AlgoGCASP, AlgoSP})
+}
+
+func orderedSeriesWith(series map[string]*Series, order []string) []Series {
+	var out []Series
+	seen := map[string]bool{}
+	for _, name := range order {
+		if sr := series[name]; sr != nil {
+			out = append(out, *sr)
+			seen[name] = true
+		}
+	}
+	var rest []string
+	for name := range series {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		out = append(out, *series[name])
+	}
+	return out
+}
+
+// String renders the figure as an aligned text table: one row per
+// x-position, one column per algorithm, cells "succ (delay)".
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " | %-22s", s.Algo)
+	}
+	b.WriteString("\n")
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, p := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%-14s", p.X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				o := s.Points[i].Outcome
+				fmt.Fprintf(&b, " | %11s %8.1fms", o.Succ, o.Delay.Mean)
+			} else {
+				fmt.Fprintf(&b, " | %-22s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// PointFigure evaluates every algorithm on one scenario and returns a
+// single-column figure (used by cmd/experiments -exp point and the
+// examples).
+func PointFigure(s Scenario, policy *TrainedPolicy, opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	var drl CoordinatorFactory
+	if policy != nil {
+		drl = policy.Factory()
+	}
+	point, err := evalPoint(s, drl, opts)
+	if err != nil {
+		return Figure{}, err
+	}
+	series := map[string]*Series{}
+	appendPoint(series, s.Topology, point)
+	return Figure{
+		ID:     "point",
+		Title:  fmt.Sprintf("%s, %d ingresses, %s", s.Topology, len(s.Ingresses()), s.Traffic.Label),
+		XLabel: "scenario",
+		Series: orderedSeries(series),
+	}, nil
+}
+
+// TableI renders the paper's Table I from the topology registry.
+func TableI() string {
+	var b strings.Builder
+	b.WriteString("Table I: Real-world network topologies\n")
+	fmt.Fprintf(&b, "%-15s %6s %6s %25s\n", "Network", "Nodes", "Edges", "Degree (Min/Max/Avg)")
+	for _, r := range graph.TableIRows(graph.Topologies()) {
+		fmt.Fprintf(&b, "%-15s %6d %6d %15d / %2d / %.2f\n",
+			r.Name, r.Nodes, r.Edges, r.MinDeg, r.MaxDeg, r.AvgDeg)
+	}
+	return b.String()
+}
+
+// Markdown renders the figure as a GitHub-flavored Markdown table
+// (success mean±std per algorithm and x-position), for inclusion in
+// EXPERIMENTS.md-style reports.
+func (f Figure) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**Figure %s — %s**\n\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "| %s |", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %s |", s.Algo)
+	}
+	b.WriteString("\n|---|")
+	for range f.Series {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, p := range f.Series[0].Points {
+		fmt.Fprintf(&b, "| %s |", p.X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " %s |", s.Points[i].Outcome.Succ)
+			} else {
+				b.WriteString(" - |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

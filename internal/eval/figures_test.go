@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The figure pipelines are exercised end to end at miniature scale: a
+// few training episodes on tiny networks, one evaluation seed, short
+// horizons. These tests verify the experiment *structure* (series,
+// points, labels); coordination quality at full scale is covered by
+// cmd/experiments runs and the root benchmarks.
+
+func requireSeries(t *testing.T, fig Figure, wantAlgos []string, wantPoints int) {
+	t.Helper()
+	if len(fig.Series) != len(wantAlgos) {
+		names := make([]string, 0, len(fig.Series))
+		for _, s := range fig.Series {
+			names = append(names, s.Algo)
+		}
+		t.Fatalf("series = %v, want %v", names, wantAlgos)
+	}
+	for i, want := range wantAlgos {
+		s := fig.Series[i]
+		if s.Algo != want {
+			t.Errorf("series %d = %s, want %s", i, s.Algo, want)
+		}
+		if len(s.Points) != wantPoints {
+			t.Errorf("series %s has %d points, want %d", s.Algo, len(s.Points), wantPoints)
+		}
+		for _, p := range s.Points {
+			if p.Outcome.Succ.Mean < 0 || p.Outcome.Succ.Mean > 1 {
+				t.Errorf("series %s point %s: success %f outside [0,1]", s.Algo, p.X, p.Outcome.Succ.Mean)
+			}
+		}
+	}
+}
+
+func TestFig6MiniPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure pipeline test skipped in -short mode")
+	}
+	fig, err := Fig6("a", tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "6a" {
+		t.Errorf("ID = %s", fig.ID)
+	}
+	requireSeries(t, fig, []string{AlgoDistDRL, AlgoCentral, AlgoGCASP, AlgoSP}, 5)
+	for i, p := range fig.Series[0].Points {
+		if want := fmt.Sprint(i + 1); p.X != want {
+			t.Errorf("point %d X = %s, want %s", i, p.X, want)
+		}
+	}
+}
+
+func TestFig7MiniPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure pipeline test skipped in -short mode")
+	}
+	fig, err := Fig7(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSeries(t, fig, []string{AlgoDistDRL, AlgoCentral, AlgoGCASP, AlgoSP}, 4)
+	if fig.Series[0].Points[0].X != "20" {
+		t.Errorf("first deadline = %s, want 20", fig.Series[0].Points[0].X)
+	}
+	// τ = 20 is infeasible: everything drops (paper Fig. 7).
+	for _, s := range fig.Series {
+		if s.Points[0].Outcome.Succ.Mean != 0 {
+			t.Errorf("%s at τ=20: success %f, want 0", s.Algo, s.Points[0].Outcome.Succ.Mean)
+		}
+	}
+}
+
+func TestFig8aMiniPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure pipeline test skipped in -short mode")
+	}
+	fig, err := Fig8a(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 generalizing agents + 1 retrained + 3 baselines.
+	if len(fig.Series) != 7 {
+		t.Fatalf("series = %d, want 7", len(fig.Series))
+	}
+	foundGen, foundRetr := 0, 0
+	for _, s := range fig.Series {
+		if len(s.Points) != 1 {
+			t.Errorf("series %s has %d points, want 1", s.Algo, len(s.Points))
+		}
+		switch {
+		case len(s.Algo) > 7 && s.Algo[:7] == "DRL Gen":
+			foundGen++
+		case s.Algo == "DRL Retr.":
+			foundRetr++
+		}
+	}
+	if foundGen != 3 || foundRetr != 1 {
+		t.Errorf("gen/retr series = %d/%d, want 3/1", foundGen, foundRetr)
+	}
+}
+
+func TestFig8bMiniPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure pipeline test skipped in -short mode")
+	}
+	fig, err := Fig8b(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSeries(t, fig, []string{"DRL Gen.", "DRL Retr.", AlgoCentral, AlgoGCASP, AlgoSP}, 5)
+}
+
+func TestFig9aMiniPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure pipeline test skipped in -short mode")
+	}
+	fig, err := Fig9a(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSeries(t, fig, []string{AlgoDistDRL, AlgoCentral, AlgoGCASP, AlgoSP}, 4)
+	wantX := []string{"Abilene", "BT Europe", "China Telecom", "Interroute"}
+	for i, p := range fig.Series[0].Points {
+		if p.X != wantX[i] {
+			t.Errorf("point %d X = %s, want %s", i, p.X, wantX[i])
+		}
+	}
+}
+
+func TestPointFigurePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure pipeline test skipped in -short mode")
+	}
+	opts := tinyOptions()
+	s := Base()
+	s.Horizon = opts.Horizon
+	policy, err := TrainDRL(s, opts.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, err := PointFigure(s, policy, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSeries(t, fig, []string{AlgoDistDRL, AlgoCentral, AlgoGCASP, AlgoSP}, 1)
+	// Without a policy, only the baselines appear.
+	fig2, err := PointFigure(s, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSeries(t, fig2, []string{AlgoCentral, AlgoGCASP, AlgoSP}, 1)
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"distcoord/internal/simnet"
+)
+
+// Summary is the mean and standard deviation of a metric over seeds
+// (the paper reports mean ± std over 30 seeds).
+type Summary struct {
+	Mean, Std float64
+	N         int
+}
+
+// summarize computes mean and (population) standard deviation.
+func summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	for _, x := range xs {
+		s.Std += (x - s.Mean) * (x - s.Mean)
+	}
+	s.Std = math.Sqrt(s.Std / float64(s.N))
+	return s
+}
+
+// String formats as "mean±std".
+func (s Summary) String() string { return fmt.Sprintf("%.3f±%.3f", s.Mean, s.Std) }
+
+// CoordinatorFactory builds a coordinator for one instantiated scenario
+// (the DRL coordinator needs the instance's adapter; baselines ignore
+// it). seed lets stochastic coordinators reseed reproducibly.
+type CoordinatorFactory func(inst *Instance, seed int64) (simnet.Coordinator, error)
+
+// Static wraps a scenario-independent coordinator as a factory.
+func Static(c simnet.Coordinator) CoordinatorFactory {
+	return func(*Instance, int64) (simnet.Coordinator, error) { return c, nil }
+}
+
+// Outcome aggregates an algorithm's performance on a scenario.
+type Outcome struct {
+	Succ  Summary // success ratio o_f (Eq. 1)
+	Delay Summary // avg end-to-end delay of successful flows
+}
+
+// Evaluate runs the scenario for seeds 0..n-1 (offset by baseSeed) and
+// summarizes success ratio and average delay.
+func Evaluate(s Scenario, mk CoordinatorFactory, seeds int, baseSeed int64) (Outcome, error) {
+	var succ, delay []float64
+	for i := 0; i < seeds; i++ {
+		seed := baseSeed + int64(i)
+		inst, err := s.Instantiate(seed)
+		if err != nil {
+			return Outcome{}, err
+		}
+		c, err := mk(inst, seed)
+		if err != nil {
+			return Outcome{}, err
+		}
+		m, err := inst.Run(c)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("eval: seed %d with %s: %w", seed, c.Name(), err)
+		}
+		succ = append(succ, m.SuccessRatio())
+		if m.Succeeded > 0 {
+			delay = append(delay, m.AvgDelay())
+		}
+	}
+	return Outcome{Succ: summarize(succ), Delay: summarize(delay)}, nil
+}

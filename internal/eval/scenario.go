@@ -1,0 +1,224 @@
+// Package eval reproduces the paper's evaluation (Sec. V): it defines the
+// base scenario and its variations, runs multi-seed experiments with
+// every coordination algorithm, and regenerates each figure and table as
+// structured series with mean and standard deviation.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+// VideoService returns the base scenario's service (Sec. V-A1): a video
+// streaming chain ⟨firewall, IDS, video optimizer⟩. All components have a
+// processing delay of 5 ms and require resources linear in their load.
+// The paper does not state the linear coefficient; 0.6 calibrates the
+// base scenario so that one ingress is easy, three ingresses are
+// comfortably feasible for good coordination, and five ingresses push
+// the network towards saturation — the load regime Fig. 6 reports (see
+// EXPERIMENTS.md, calibration note).
+func VideoService() *simnet.Service {
+	comp := func(name string) *simnet.Component {
+		return &simnet.Component{
+			Name:            name,
+			ProcDelay:       5,
+			StartupDelay:    1,
+			IdleTimeout:     50,
+			ResourcePerRate: 0.6,
+		}
+	}
+	return &simnet.Service{
+		Name:  "video",
+		Chain: []*simnet.Component{comp("FW"), comp("IDS"), comp("video")},
+	}
+}
+
+// Scenario is one evaluation configuration: a topology, ingress/egress
+// roles, an arrival pattern, flow parameters, and a fixed random
+// capacity draw (uniform 0–2 for nodes, 1–5 for links, Sec. V-A1).
+type Scenario struct {
+	// Topology names a graph from the registry ("Abilene", ...).
+	Topology string
+	// Graph, when set, overrides Topology with a custom prebuilt
+	// network (e.g. loaded from a topology file via graph.Parse). Its
+	// capacities are used as-is; no random draw is applied.
+	Graph *graph.Graph
+	// NumIngresses selects ingress nodes v1..vK (node IDs 0..K-1).
+	// Ignored when IngressNodes is set.
+	NumIngresses int
+	// IngressNodes overrides the default ingress selection.
+	IngressNodes []graph.NodeID
+	// Egress is the single egress node; the paper uses v8 (node ID 7).
+	Egress graph.NodeID
+	// Traffic is the arrival pattern at every ingress.
+	Traffic traffic.Spec
+	// Deadline τ_f (default 100).
+	Deadline float64
+	// Horizon T of flow generation (paper: 20000).
+	Horizon float64
+
+	// NodeCapMin/Max and LinkCapMin/Max bound the uniform capacity
+	// draws; zero values select the paper's 0–2 and 1–5.
+	NodeCapMin, NodeCapMax float64
+	LinkCapMin, LinkCapMax float64
+
+	// CapacitySeed pins the random capacity draw. Capacities are part of
+	// the scenario, as in the authors' published configurations: the DRL
+	// agent trains and evaluates on the same draw, and evaluation seeds
+	// vary the traffic and policy randomness (the paper's mean±std over
+	// 30 seeds). Zero selects DefaultCapacitySeed.
+	CapacitySeed int64
+}
+
+// Base returns the paper's base scenario: Abilene, Poisson(10) arrivals
+// at two ingresses, egress v8, deadline 100, horizon 20000.
+func Base() Scenario {
+	return Scenario{
+		Topology:     "Abilene",
+		NumIngresses: 2,
+		Egress:       graph.AbileneEgress,
+		Traffic:      traffic.PoissonSpec(10),
+		Deadline:     100,
+		Horizon:      20000,
+	}
+}
+
+// withDefaults fills zero-valued fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.Topology == "" && s.Graph == nil {
+		s.Topology = "Abilene"
+	}
+	if s.Graph != nil {
+		s.Topology = s.Graph.Name()
+	}
+	if s.NumIngresses == 0 && len(s.IngressNodes) == 0 {
+		s.NumIngresses = 2
+	}
+	if s.Traffic.New == nil {
+		s.Traffic = traffic.PoissonSpec(10)
+	}
+	if s.Deadline == 0 {
+		s.Deadline = 100
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 20000
+	}
+	if s.NodeCapMax == 0 {
+		s.NodeCapMin, s.NodeCapMax = 0, 2
+	}
+	if s.LinkCapMax == 0 {
+		s.LinkCapMin, s.LinkCapMax = 1, 5
+	}
+	return s
+}
+
+// Ingresses returns the effective ingress node list.
+func (s Scenario) Ingresses() []graph.NodeID {
+	if len(s.IngressNodes) > 0 {
+		return s.IngressNodes
+	}
+	nodes := make([]graph.NodeID, s.NumIngresses)
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+	}
+	return nodes
+}
+
+// Instance is a fully instantiated scenario: a capacity-assigned graph
+// and seeded arrival processes, ready to simulate.
+type Instance struct {
+	Scenario Scenario
+	Graph    *graph.Graph
+	APSP     *graph.APSP
+	Service  *simnet.Service
+	Template simnet.FlowTemplate
+	seed     int64
+}
+
+// DefaultCapacitySeed is the scenario capacity draw used throughout the
+// evaluation: chosen (once) so that the base scenario reproduces the
+// paper's load regime — the shortest path alone serves one ingress at
+// ~100% success, degrades visibly at two or more, and the network
+// approaches saturation at five (see EXPERIMENTS.md, calibration note).
+const DefaultCapacitySeed = 2
+
+// Instantiate returns a runnable instance: capacities are drawn from the
+// scenario's CapacitySeed, while seed drives the traffic randomness of
+// Run. Identical scenarios and seeds produce identical instances.
+func (s Scenario) Instantiate(seed int64) (*Instance, error) {
+	s = s.withDefaults()
+	var g *graph.Graph
+	if s.Graph != nil {
+		g = s.Graph.Clone()
+	} else {
+		var err error
+		g, err = graph.ByName(s.Topology)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if int(s.Egress) >= g.NumNodes() {
+		return nil, fmt.Errorf("eval: egress %d out of range for %s", s.Egress, s.Topology)
+	}
+	for _, in := range s.Ingresses() {
+		if int(in) >= g.NumNodes() {
+			return nil, fmt.Errorf("eval: ingress %d out of range for %s", in, s.Topology)
+		}
+	}
+	if s.Graph == nil {
+		capSeed := s.CapacitySeed
+		if capSeed == 0 {
+			capSeed = DefaultCapacitySeed
+		}
+		rng := rand.New(rand.NewSource(capSeed))
+		for v := 0; v < g.NumNodes(); v++ {
+			g.SetNodeCapacity(graph.NodeID(v), s.NodeCapMin+rng.Float64()*(s.NodeCapMax-s.NodeCapMin))
+		}
+		for l := 0; l < g.NumLinks(); l++ {
+			g.SetLinkCapacity(l, s.LinkCapMin+rng.Float64()*(s.LinkCapMax-s.LinkCapMin))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("eval: instantiating %s: %w", s.Topology, err)
+	}
+	return &Instance{
+		Scenario: s,
+		Graph:    g,
+		APSP:     graph.NewAPSP(g),
+		Service:  VideoService(),
+		Template: simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: s.Deadline},
+		seed:     seed,
+	}, nil
+}
+
+// Run simulates the instance under the given coordinator and returns the
+// resulting metrics. Arrival processes are re-seeded deterministically
+// from the instance seed on every call.
+func (inst *Instance) Run(c simnet.Coordinator) (*simnet.Metrics, error) {
+	rng := rand.New(rand.NewSource(inst.seed + 0x5EED))
+	ingresses := make([]simnet.Ingress, 0, len(inst.Scenario.Ingresses()))
+	for _, v := range inst.Scenario.Ingresses() {
+		ingresses = append(ingresses, simnet.Ingress{
+			Node:     v,
+			Arrivals: inst.Scenario.Traffic.New(rand.New(rand.NewSource(rng.Int63()))),
+		})
+	}
+	sim, err := simnet.New(simnet.Config{
+		Graph:       inst.Graph,
+		APSP:        inst.APSP,
+		Service:     inst.Service,
+		Ingresses:   ingresses,
+		Egress:      inst.Scenario.Egress,
+		Template:    inst.Template,
+		Horizon:     inst.Scenario.Horizon,
+		Coordinator: c,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}

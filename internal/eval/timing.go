@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"distcoord/internal/baselines"
+	"distcoord/internal/coord"
+	"distcoord/internal/graph"
+	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
+)
+
+// TimingRow is one topology's per-decision coordination cost (Fig. 9b).
+// DistDRL is the cost of one local decision (observation build + actor
+// forward pass), which depends only on the network degree Δ_G. Central
+// is the cost of one global rule update over monitored state, which
+// grows with the network size — in the paper this is the centralized
+// DRL's inference over its global observation/action space; in our
+// emulation it is the rule optimizer over the same inputs (DESIGN.md,
+// substitution 5). SP and GCASP per-decision costs are included for
+// reference.
+type TimingRow struct {
+	Network string
+	Nodes   int
+	DistDRL time.Duration
+	Central time.Duration
+	GCASP   time.Duration
+	SP      time.Duration
+}
+
+// Fig9b measures per-decision coordination time on every topology using
+// the given network architecture for the DRL actor (weights are
+// irrelevant for timing, so an untrained actor of the right shape is
+// used).
+func Fig9b(opts Options) ([]TimingRow, error) {
+	opts = opts.withDefaults()
+	var rows []TimingRow
+	for _, name := range []string{"Abilene", "BT Europe", "China Telecom", "Interroute"} {
+		s := Base()
+		s.Topology = name
+		inst, err := s.Instantiate(1)
+		if err != nil {
+			return nil, err
+		}
+		row, err := timeInstance(inst, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		opts.logf("Fig 9b: %-14s DistDRL=%v Central=%v GCASP=%v SP=%v",
+			name, row.DistDRL, row.Central, row.GCASP, row.SP)
+	}
+	return rows, nil
+}
+
+func timeInstance(inst *Instance, opts Options) (TimingRow, error) {
+	row := TimingRow{Network: inst.Graph.Name(), Nodes: inst.Graph.NumNodes()}
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	agent, err := rl.NewAgent(rl.AgentConfig{
+		ObsSize:    adapter.ObsSize(),
+		NumActions: adapter.NumActions(),
+		Hidden:     opts.Budget.Hidden,
+	})
+	if err != nil {
+		return row, err
+	}
+	dist, err := coord.NewDistributed(adapter, agent.Actor)
+	if err != nil {
+		return row, err
+	}
+
+	st := simnet.NewState(inst.Graph, inst.APSP)
+	flow := &simnet.Flow{
+		ID:       1,
+		Service:  inst.Service,
+		Ingress:  0,
+		Egress:   inst.Scenario.Egress,
+		Rate:     1,
+		Duration: 1,
+		Deadline: inst.Scenario.Deadline,
+	}
+
+	central := baselines.NewCentral(opts.MonitorInterval)
+	central.Reset(nil)
+	// Feed the central coordinator traffic knowledge so its Tick does
+	// real planning work for both configured ingresses.
+	for _, in := range inst.Scenario.Ingresses() {
+		f := *flow
+		f.Ingress = in
+		central.Decide(st, &f, in, 0)
+	}
+
+	measure := func(iters int, f func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return time.Since(start) / time.Duration(iters)
+	}
+
+	const iters = 200
+	v := graph.NodeID(0)
+	row.DistDRL = measure(iters, func() { dist.Decide(st, flow, v, 1) })
+	row.Central = measure(iters, func() { central.Tick(st, 1) })
+	gcasp := baselines.GCASP{}
+	row.GCASP = measure(iters, func() { gcasp.Decide(st, flow, v, 1) })
+	sp := baselines.SP{}
+	row.SP = measure(iters, func() { sp.Decide(st, flow, v, 1) })
+	return row, nil
+}
+
+// FormatTiming renders Fig. 9b rows as a text table.
+func FormatTiming(rows []TimingRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 9b: per-decision coordination time\n")
+	fmt.Fprintf(&b, "%-15s %6s %12s %12s %12s %12s\n",
+		"Network", "Nodes", "DistDRL", "Central", "GCASP", "SP")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %6d %12v %12v %12v %12v\n",
+			r.Network, r.Nodes, r.DistDRL, r.Central, r.GCASP, r.SP)
+	}
+	return b.String()
+}

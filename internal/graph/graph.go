@@ -1,0 +1,280 @@
+// Package graph provides the substrate network model used throughout the
+// reproduction: an undirected multigraph with node compute capacities,
+// link delays and link data-rate capacities, all-pairs shortest paths,
+// and the real-world topologies from the paper's evaluation (Table I).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense: 0..NumNodes-1.
+type NodeID int
+
+// None is the sentinel for "no node", e.g. an unreachable next hop.
+const None NodeID = -1
+
+// Node is a substrate network node with a generic compute capacity.
+type Node struct {
+	ID       NodeID
+	Name     string
+	Lat, Lon float64 // geographic position, used to derive link delays
+	Capacity float64 // generic compute capacity cap_v >= 0
+}
+
+// Link is a bidirectional substrate link. Delay is the propagation delay
+// d_l and Capacity the maximum data rate cap_l shared by both directions.
+type Link struct {
+	A, B     NodeID
+	Delay    float64
+	Capacity float64
+}
+
+// Other returns the endpoint of l that is not v.
+func (l Link) Other(v NodeID) NodeID {
+	if l.A == v {
+		return l.B
+	}
+	return l.A
+}
+
+// Adjacency is one outgoing edge of a node: the neighbor reached and the
+// index of the shared Link in Graph.Links(). The order of a node's
+// adjacencies is stable (insertion order); coordination actions address
+// neighbors by this index.
+type Adjacency struct {
+	Neighbor NodeID
+	Link     int
+}
+
+// Graph is an undirected substrate network. The zero value is an empty
+// graph ready for use.
+type Graph struct {
+	name  string
+	nodes []Node
+	links []Link
+	adj   [][]Adjacency
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{name: name}
+}
+
+// Name returns the topology name (e.g. "Abilene").
+func (g *Graph) Name() string { return g.name }
+
+// NumNodes returns the number of nodes |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of links |L|.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(name string, lat, lon float64) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Lat: lat, Lon: lon})
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// ErrInvalidLink reports an attempt to add a malformed link.
+var ErrInvalidLink = errors.New("graph: invalid link")
+
+// AddLink connects a and b bidirectionally with the given propagation
+// delay. Parallel links and self-loops are rejected.
+func (g *Graph) AddLink(a, b NodeID, delay float64) error {
+	if a == b {
+		return fmt.Errorf("%w: self-loop at node %d", ErrInvalidLink, a)
+	}
+	if !g.valid(a) || !g.valid(b) {
+		return fmt.Errorf("%w: unknown endpoint (%d,%d)", ErrInvalidLink, a, b)
+	}
+	if delay < 0 || math.IsNaN(delay) {
+		return fmt.Errorf("%w: negative delay %f", ErrInvalidLink, delay)
+	}
+	for _, ad := range g.adj[a] {
+		if ad.Neighbor == b {
+			return fmt.Errorf("%w: duplicate link (%d,%d)", ErrInvalidLink, a, b)
+		}
+	}
+	idx := len(g.links)
+	g.links = append(g.links, Link{A: a, B: b, Delay: delay})
+	g.adj[a] = append(g.adj[a], Adjacency{Neighbor: b, Link: idx})
+	g.adj[b] = append(g.adj[b], Adjacency{Neighbor: a, Link: idx})
+	return nil
+}
+
+func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodes) }
+
+// Node returns the node with the given ID. It panics on out-of-range IDs,
+// which indicate a programming error (IDs only come from this graph).
+func (g *Graph) Node(v NodeID) Node { return g.nodes[v] }
+
+// Link returns the link with the given index.
+func (g *Graph) Link(i int) Link { return g.links[i] }
+
+// Links returns all links. The caller must not modify the result.
+func (g *Graph) Links() []Link { return g.links }
+
+// Nodes returns all nodes. The caller must not modify the result.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Neighbors returns v's adjacency list in stable order. The caller must
+// not modify the result.
+func (g *Graph) Neighbors(v NodeID) []Adjacency { return g.adj[v] }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// MaxDegree returns the network degree Δ_G, i.e. the maximum number of
+// neighbors over all nodes. Observation and action spaces are sized by it.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum node degree (0 for an empty graph).
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for _, a := range g.adj[1:] {
+		if len(a) < min {
+			min = len(a)
+		}
+	}
+	return min
+}
+
+// AvgDegree returns the mean node degree 2|L|/|V|.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.nodes) == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.links)) / float64(len(g.nodes))
+}
+
+// SetNodeCapacity sets cap_v.
+func (g *Graph) SetNodeCapacity(v NodeID, c float64) { g.nodes[v].Capacity = c }
+
+// SetLinkCapacity sets cap_l for link index i.
+func (g *Graph) SetLinkCapacity(i int, c float64) { g.links[i].Capacity = c }
+
+// SetLinkDelay sets d_l for link index i.
+func (g *Graph) SetLinkDelay(i int, d float64) { g.links[i].Delay = d }
+
+// MaxNodeCapacity returns max_v cap_v, the normalizer for node
+// utilization observations.
+func (g *Graph) MaxNodeCapacity() float64 {
+	max := 0.0
+	for _, n := range g.nodes {
+		if n.Capacity > max {
+			max = n.Capacity
+		}
+	}
+	return max
+}
+
+// MaxLinkCapacityAt returns max_{l in L_v} cap_l over v's outgoing links,
+// the normalizer for v's link utilization observations. It returns 0 for
+// isolated nodes.
+func (g *Graph) MaxLinkCapacityAt(v NodeID) float64 {
+	max := 0.0
+	for _, ad := range g.adj[v] {
+		if c := g.links[ad.Link].Capacity; c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Connected reports whether the graph is a single connected component.
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ad := range g.adj[v] {
+			if !seen[ad.Neighbor] {
+				seen[ad.Neighbor] = true
+				count++
+				stack = append(stack, ad.Neighbor)
+			}
+		}
+	}
+	return count == len(g.nodes)
+}
+
+// Validate checks structural invariants: connectivity and positive
+// capacities on every node and link. Scenario setup calls it after
+// assigning capacities.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return errors.New("graph: no nodes")
+	}
+	if !g.Connected() {
+		return errors.New("graph: not connected")
+	}
+	for _, l := range g.links {
+		if l.Capacity <= 0 {
+			return fmt.Errorf("graph: link (%d,%d) has non-positive capacity %f", l.A, l.B, l.Capacity)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g. Scenarios clone the registry topology
+// before assigning per-seed random capacities.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{name: g.name}
+	c.nodes = append([]Node(nil), g.nodes...)
+	c.links = append([]Link(nil), g.links...)
+	c.adj = make([][]Adjacency, len(g.adj))
+	for i, a := range g.adj {
+		c.adj[i] = append([]Adjacency(nil), a...)
+	}
+	return c
+}
+
+// HaversineKm returns the great-circle distance in kilometers between
+// two latitude/longitude positions.
+func HaversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371.0
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// DeriveDelaysFromCoordinates sets every link's delay to the great-circle
+// distance between its endpoints multiplied by msPerKm.
+func (g *Graph) DeriveDelaysFromCoordinates(msPerKm float64) {
+	for i := range g.links {
+		a, b := g.nodes[g.links[i].A], g.nodes[g.links[i].B]
+		g.links[i].Delay = HaversineKm(a.Lat, a.Lon, b.Lat, b.Lon) * msPerKm
+	}
+}
+
+// ScaleDelays multiplies every link delay by f.
+func (g *Graph) ScaleDelays(f float64) {
+	for i := range g.links {
+		g.links[i].Delay *= f
+	}
+}

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func line(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New("line")
+	for i := 0; i < n; i++ {
+		g.AddNode("", 0, float64(i))
+	}
+	for i := 0; i < n-1; i++ {
+		if err := g.AddLink(NodeID(i), NodeID(i+1), 1); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+	}
+	return g
+}
+
+func TestAddLinkRejectsMalformed(t *testing.T) {
+	g := line(t, 3)
+	tests := []struct {
+		name  string
+		a, b  NodeID
+		delay float64
+	}{
+		{"self-loop", 1, 1, 1},
+		{"unknown node", 0, 99, 1},
+		{"negative node", -1, 0, 1},
+		{"duplicate", 0, 1, 1},
+		{"negative delay", 0, 2, -1},
+		{"nan delay", 0, 2, math.NaN()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddLink(tt.a, tt.b, tt.delay); err == nil {
+				t.Errorf("AddLink(%d,%d,%f) succeeded, want error", tt.a, tt.b, tt.delay)
+			}
+		})
+	}
+}
+
+func TestDuplicateLinkRejectedBothDirections(t *testing.T) {
+	g := line(t, 2)
+	if err := g.AddLink(1, 0, 1); err == nil {
+		t.Error("reversed duplicate link accepted")
+	}
+}
+
+func TestDegreeAccounting(t *testing.T) {
+	g := line(t, 4)
+	if got := g.Degree(0); got != 1 {
+		t.Errorf("Degree(0) = %d, want 1", got)
+	}
+	if got := g.Degree(1); got != 2 {
+		t.Errorf("Degree(1) = %d, want 2", got)
+	}
+	if got := g.MaxDegree(); got != 2 {
+		t.Errorf("MaxDegree = %d, want 2", got)
+	}
+	if got := g.MinDegree(); got != 1 {
+		t.Errorf("MinDegree = %d, want 1", got)
+	}
+	if got, want := g.AvgDegree(), 1.5; got != want {
+		t.Errorf("AvgDegree = %f, want %f", got, want)
+	}
+}
+
+func TestNeighborOrderStable(t *testing.T) {
+	g := New("star")
+	c := g.AddNode("center", 0, 0)
+	var want []NodeID
+	for i := 0; i < 5; i++ {
+		v := g.AddNode("", 0, 0)
+		want = append(want, v)
+		if err := g.AddLink(c, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, ad := range g.Neighbors(c) {
+		if ad.Neighbor != want[i] {
+			t.Fatalf("neighbor %d = %d, want %d (insertion order must be stable)", i, ad.Neighbor, want[i])
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := line(t, 3)
+	if !g.Connected() {
+		t.Error("line graph reported disconnected")
+	}
+	g.AddNode("island", 0, 0)
+	if g.Connected() {
+		t.Error("graph with isolated node reported connected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := line(t, 3)
+	if err := g.Validate(); err == nil {
+		t.Error("Validate passed with zero link capacities")
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		g.SetLinkCapacity(i, 1)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := New("empty").Validate(); err == nil {
+		t.Error("Validate passed on empty graph")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := line(t, 3)
+	g.SetNodeCapacity(0, 7)
+	c := g.Clone()
+	c.SetNodeCapacity(0, 99)
+	c.SetLinkCapacity(0, 5)
+	if g.Node(0).Capacity != 7 {
+		t.Error("Clone shares node storage with original")
+	}
+	if g.Link(0).Capacity != 0 {
+		t.Error("Clone shares link storage with original")
+	}
+	c.AddNode("extra", 0, 0)
+	if g.NumNodes() != 3 {
+		t.Error("Clone shares node slice with original")
+	}
+}
+
+func TestLinkOther(t *testing.T) {
+	l := Link{A: 2, B: 5}
+	if got := l.Other(2); got != 5 {
+		t.Errorf("Other(2) = %d, want 5", got)
+	}
+	if got := l.Other(5); got != 2 {
+		t.Errorf("Other(5) = %d, want 2", got)
+	}
+}
+
+func TestHaversine(t *testing.T) {
+	// New York to Los Angeles is roughly 3940 km.
+	d := HaversineKm(40.71, -74.01, 34.05, -118.24)
+	if d < 3900 || d > 4000 {
+		t.Errorf("HaversineKm(NY, LA) = %f, want ~3940", d)
+	}
+	if d := HaversineKm(10, 20, 10, 20); d != 0 {
+		t.Errorf("zero distance = %f", d)
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		lat1, lat2 = math.Mod(lat1, 90), math.Mod(lat2, 90)
+		lon1, lon2 = math.Mod(lon1, 180), math.Mod(lon2, 180)
+		a := HaversineKm(lat1, lon1, lat2, lon2)
+		b := HaversineKm(lat2, lon2, lat1, lon1)
+		return math.Abs(a-b) < 1e-9 && a >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxCapacityHelpers(t *testing.T) {
+	g := line(t, 3)
+	g.SetNodeCapacity(0, 1)
+	g.SetNodeCapacity(1, 3)
+	g.SetNodeCapacity(2, 2)
+	if got := g.MaxNodeCapacity(); got != 3 {
+		t.Errorf("MaxNodeCapacity = %f, want 3", got)
+	}
+	g.SetLinkCapacity(0, 4)
+	g.SetLinkCapacity(1, 9)
+	if got := g.MaxLinkCapacityAt(1); got != 9 {
+		t.Errorf("MaxLinkCapacityAt(1) = %f, want 9", got)
+	}
+	if got := g.MaxLinkCapacityAt(0); got != 4 {
+		t.Errorf("MaxLinkCapacityAt(0) = %f, want 4", got)
+	}
+}
+
+// randomConnectedGraph builds a random connected graph for property tests.
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *Graph {
+	g := New("random")
+	for i := 0; i < n; i++ {
+		g.AddNode("", rng.Float64()*50, rng.Float64()*50)
+	}
+	for i := 1; i < n; i++ {
+		_ = g.AddLink(NodeID(i), NodeID(rng.Intn(i)), rng.Float64()*10)
+	}
+	for e := 0; e < extra; e++ {
+		_ = g.AddLink(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Float64()*10)
+	}
+	return g
+}
+
+func TestDegreeSumTwiceLinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		g := randomConnectedGraph(rng, 2+rng.Intn(30), rng.Intn(20))
+		sum := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			sum += g.Degree(NodeID(v))
+		}
+		if sum != 2*g.NumLinks() {
+			t.Fatalf("degree sum %d != 2*|L| = %d", sum, 2*g.NumLinks())
+		}
+	}
+}

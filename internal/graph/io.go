@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a small line-oriented topology file format so
+// users can coordinate services on their own networks, plus a Graphviz
+// DOT export for inspection. The format:
+//
+//	# comment
+//	topology <name>
+//	node <name> <lat> <lon> [capacity]
+//	link <nodeA> <nodeB> <delay> [capacity]
+//
+// Nodes are referenced by name; names must be unique and contain no
+// whitespace. Fields are whitespace-separated. Capacity defaults to 0
+// for nodes and 1 for links when omitted.
+
+// Parse reads a topology from the line format above.
+func Parse(r io.Reader) (*Graph, error) {
+	g := New("")
+	byName := make(map[string]NodeID)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "topology":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: topology takes a name", lineNo)
+			}
+			// Topology names may contain spaces (e.g. "BT Europe").
+			g.name = strings.Join(fields[1:], " ")
+		case "node":
+			if len(fields) < 4 || len(fields) > 5 {
+				return nil, fmt.Errorf("graph: line %d: node takes name, lat, lon [, capacity]", lineNo)
+			}
+			if _, dup := byName[fields[1]]; dup {
+				return nil, fmt.Errorf("graph: line %d: duplicate node %q", lineNo, fields[1])
+			}
+			lat, err := parseFloat(fields[2], lineNo, "latitude")
+			if err != nil {
+				return nil, err
+			}
+			lon, err := parseFloat(fields[3], lineNo, "longitude")
+			if err != nil {
+				return nil, err
+			}
+			id := g.AddNode(fields[1], lat, lon)
+			if len(fields) == 5 {
+				c, err := parseFloat(fields[4], lineNo, "capacity")
+				if err != nil {
+					return nil, err
+				}
+				if c < 0 {
+					return nil, fmt.Errorf("graph: line %d: negative node capacity", lineNo)
+				}
+				g.SetNodeCapacity(id, c)
+			}
+			byName[fields[1]] = id
+		case "link":
+			if len(fields) < 4 || len(fields) > 5 {
+				return nil, fmt.Errorf("graph: line %d: link takes nodeA, nodeB, delay [, capacity]", lineNo)
+			}
+			a, ok := byName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: unknown node %q", lineNo, fields[1])
+			}
+			b, ok := byName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("graph: line %d: unknown node %q", lineNo, fields[2])
+			}
+			delay, err := parseFloat(fields[3], lineNo, "delay")
+			if err != nil {
+				return nil, err
+			}
+			if err := g.AddLink(a, b, delay); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			capacity := 1.0
+			if len(fields) == 5 {
+				capacity, err = parseFloat(fields[4], lineNo, "capacity")
+				if err != nil {
+					return nil, err
+				}
+			}
+			g.SetLinkCapacity(g.NumLinks()-1, capacity)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading topology: %w", err)
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("graph: topology file contains no nodes")
+	}
+	return g, nil
+}
+
+func parseFloat(s string, line int, what string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("graph: line %d: invalid %s %q", line, what, s)
+	}
+	return v, nil
+}
+
+// Write serializes the graph in the format read by Parse. Names are
+// whitespace-delimited in the format, so whitespace inside node names is
+// replaced by underscores; unnamed nodes are written as n<ID>.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "topology %s\n", nonEmpty(g.name, "unnamed"))
+	for _, n := range g.nodes {
+		fmt.Fprintf(bw, "node %s %g %g %g\n", g.fileName(n.ID), n.Lat, n.Lon, n.Capacity)
+	}
+	for _, l := range g.links {
+		fmt.Fprintf(bw, "link %s %s %g %g\n", g.fileName(l.A), g.fileName(l.B), l.Delay, l.Capacity)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: writing topology: %w", err)
+	}
+	return nil
+}
+
+// fileName returns the node's file-format-safe name.
+func (g *Graph) fileName(v NodeID) string {
+	name := nonEmpty(g.nodes[v].Name, fmt.Sprintf("n%d", v))
+	return strings.Join(strings.Fields(name), "_")
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// WriteDOT exports the graph as a Graphviz DOT document with link delays
+// as edge labels, for visual inspection (dot -Tsvg).
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", nonEmpty(g.name, "topology"))
+	for _, n := range g.nodes {
+		fmt.Fprintf(bw, "  %d [label=%q];\n", n.ID, nonEmpty(n.Name, fmt.Sprintf("n%d", n.ID)))
+	}
+	for _, l := range g.links {
+		fmt.Fprintf(bw, "  %d -- %d [label=\"%.1f\"];\n", l.A, l.B, l.Delay)
+	}
+	fmt.Fprintln(bw, "}")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: writing DOT: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTopology = `
+# three-node triangle
+topology demo
+node a 1.0 2.0 1.5
+node b 3.0 4.0
+node c 5.0 6.0 0.5
+link a b 2.5 4
+link b c 1.0
+link a c 3.0 2
+`
+
+func TestParse(t *testing.T) {
+	g, err := Parse(strings.NewReader(sampleTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "demo" {
+		t.Errorf("name = %q, want demo", g.Name())
+	}
+	if g.NumNodes() != 3 || g.NumLinks() != 3 {
+		t.Fatalf("nodes/links = %d/%d, want 3/3", g.NumNodes(), g.NumLinks())
+	}
+	if g.Node(0).Name != "a" || g.Node(0).Capacity != 1.5 {
+		t.Errorf("node a = %+v", g.Node(0))
+	}
+	if g.Node(1).Capacity != 0 {
+		t.Errorf("node b capacity = %f, want 0 (default)", g.Node(1).Capacity)
+	}
+	if g.Link(0).Delay != 2.5 || g.Link(0).Capacity != 4 {
+		t.Errorf("link a-b = %+v", g.Link(0))
+	}
+	if g.Link(1).Capacity != 1 {
+		t.Errorf("link b-c capacity = %f, want 1 (default)", g.Link(1).Capacity)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frob a b",
+		"bad node arity":    "node a 1",
+		"bad lat":           "node a x 2",
+		"duplicate node":    "node a 1 2\nnode a 3 4",
+		"negative node cap": "node a 1 2 -3",
+		"unknown endpoint":  "node a 1 2\nlink a b 1",
+		"bad delay":         "node a 1 2\nnode b 3 4\nlink a b x",
+		"self loop":         "node a 1 2\nlink a a 1",
+		"empty":             "# nothing",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(in)); err == nil {
+				t.Errorf("Parse accepted %q", in)
+			}
+		})
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig := BTEurope() // synthetic names n0..n23 are format-safe
+	for v := 0; v < orig.NumNodes(); v++ {
+		orig.SetNodeCapacity(NodeID(v), float64(v)+0.5)
+	}
+	for l := 0; l < orig.NumLinks(); l++ {
+		orig.SetLinkCapacity(l, float64(l)+1)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse(Write(g)): %v\noutput:\n%s", err, buf.String())
+	}
+	if got.NumNodes() != orig.NumNodes() || got.NumLinks() != orig.NumLinks() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			got.NumNodes(), got.NumLinks(), orig.NumNodes(), orig.NumLinks())
+	}
+	for v := 0; v < orig.NumNodes(); v++ {
+		a, b := orig.Node(NodeID(v)), got.Node(NodeID(v))
+		if a.Capacity != b.Capacity || a.Lat != b.Lat || a.Lon != b.Lon {
+			t.Errorf("node %d changed: %+v vs %+v", v, a, b)
+		}
+	}
+	for l := 0; l < orig.NumLinks(); l++ {
+		a, b := orig.Link(l), got.Link(l)
+		if a.A != b.A || a.B != b.B || a.Delay != b.Delay || a.Capacity != b.Capacity {
+			t.Errorf("link %d changed: %+v vs %+v", l, a, b)
+		}
+	}
+}
+
+func TestWriteSanitizesWhitespaceNames(t *testing.T) {
+	g := New("spacey")
+	g.AddNode("has space", 0, 0)
+	g.AddNode("plain", 0, 1)
+	if err := g.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "node has_space") {
+		t.Errorf("name not sanitized:\n%s", buf.String())
+	}
+	if _, err := Parse(&buf); err != nil {
+		t.Errorf("sanitized output does not re-parse: %v", err)
+	}
+}
+
+// TestWriteParseRoundTripAbileneNames: names with no whitespace survive.
+func TestWriteUsesFallbackNames(t *testing.T) {
+	g := New("")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 1)
+	if err := g.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "node n0") || !strings.Contains(buf.String(), "link n0 n1") {
+		t.Errorf("fallback names missing:\n%s", buf.String())
+	}
+	if _, err := Parse(&buf); err != nil {
+		t.Errorf("fallback output does not re-parse: %v", err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Abilene()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph \"Abilene\"", "Sunnyvale", "--", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

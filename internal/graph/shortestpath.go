@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// APSP holds all-pairs shortest path delays and next hops, precomputed
+// once per topology (the paper assumes fixed topology and link delays, so
+// shortest path delays d_{v,v',v_eg} are available in constant time at
+// runtime, Sec. IV-B1d).
+type APSP struct {
+	g       *Graph
+	dist    [][]float64 // dist[u][v]: shortest path delay u -> v
+	nextHop [][]NodeID  // nextHop[u][v]: first hop on a shortest path u -> v
+}
+
+// Infinite reports whether d represents "unreachable".
+func Infinite(d float64) bool { return math.IsInf(d, 1) }
+
+// NewAPSP computes all-pairs shortest paths over link delays using
+// Dijkstra's algorithm from every source. Complexity O(|V| |L| log |V|).
+func NewAPSP(g *Graph) *APSP {
+	n := g.NumNodes()
+	a := &APSP{
+		g:       g,
+		dist:    make([][]float64, n),
+		nextHop: make([][]NodeID, n),
+	}
+	for src := 0; src < n; src++ {
+		a.dist[src], a.nextHop[src] = dijkstra(g, NodeID(src))
+	}
+	return a
+}
+
+// Dist returns the shortest path delay from u to v (+Inf if unreachable).
+func (a *APSP) Dist(u, v NodeID) float64 { return a.dist[u][v] }
+
+// NextHop returns the first hop on a shortest path from u to v, or None
+// if v is unreachable or u == v.
+func (a *APSP) NextHop(u, v NodeID) NodeID { return a.nextHop[u][v] }
+
+// DistVia returns the delay of the path u -> v' -> ... -> dst where the
+// first hop is forced to neighbor v' (reached over link l) and the rest
+// follows a shortest path: d_l + dist(v', dst). This is the quantity
+// d_{v,v',v_eg} in the paper's "delays to egress" observation.
+func (a *APSP) DistVia(u NodeID, ad Adjacency, dst NodeID) float64 {
+	return a.g.Link(ad.Link).Delay + a.dist[ad.Neighbor][dst]
+}
+
+// Diameter returns the network diameter D_G in terms of path delay, i.e.
+// the maximum finite shortest path delay over all node pairs. Shaped link
+// penalties are normalized by it.
+func (a *APSP) Diameter() float64 {
+	max := 0.0
+	for u := range a.dist {
+		for v, d := range a.dist[u] {
+			if u != v && !Infinite(d) && d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Path returns the node sequence of a shortest path from u to v,
+// including both endpoints, or nil if unreachable.
+func (a *APSP) Path(u, v NodeID) []NodeID {
+	if u == v {
+		return []NodeID{u}
+	}
+	if a.nextHop[u][v] == None {
+		return nil
+	}
+	path := []NodeID{u}
+	for cur := u; cur != v; {
+		cur = a.nextHop[cur][v]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// dijkstra returns shortest path delays from src and the first hop toward
+// every destination.
+func dijkstra(g *Graph, src NodeID) (dist []float64, next []NodeID) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	next = make([]NodeID, n)
+	prev := make([]NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		next[i] = None
+		prev[i] = None
+	}
+	dist[src] = 0
+
+	pq := &nodeQueue{items: []nodeDist{{src, 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeDist)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, ad := range g.Neighbors(it.node) {
+			nd := it.dist + g.Link(ad.Link).Delay
+			if nd < dist[ad.Neighbor] {
+				dist[ad.Neighbor] = nd
+				prev[ad.Neighbor] = it.node
+				heap.Push(pq, nodeDist{ad.Neighbor, nd})
+			}
+		}
+	}
+	// Derive first hops by walking predecessors back to src.
+	for v := NodeID(0); int(v) < n; v++ {
+		if v == src || prev[v] == None {
+			continue
+		}
+		hop := v
+		for prev[hop] != src {
+			hop = prev[hop]
+		}
+		next[v] = hop
+	}
+	return dist, next
+}
+
+type nodeDist struct {
+	node NodeID
+	dist float64
+}
+
+type nodeQueue struct{ items []nodeDist }
+
+func (q *nodeQueue) Len() int           { return len(q.items) }
+func (q *nodeQueue) Less(i, j int) bool { return q.items[i].dist < q.items[j].dist }
+func (q *nodeQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *nodeQueue) Push(x any)         { q.items = append(q.items, x.(nodeDist)) }
+func (q *nodeQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}

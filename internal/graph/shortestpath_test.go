@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAPSPLine(t *testing.T) {
+	g := line(t, 4) // 0-1-2-3 with unit delays
+	a := NewAPSP(g)
+	if got := a.Dist(0, 3); got != 3 {
+		t.Errorf("Dist(0,3) = %f, want 3", got)
+	}
+	if got := a.Dist(2, 2); got != 0 {
+		t.Errorf("Dist(2,2) = %f, want 0", got)
+	}
+	if got := a.NextHop(0, 3); got != 1 {
+		t.Errorf("NextHop(0,3) = %d, want 1", got)
+	}
+	if got := a.NextHop(3, 0); got != 2 {
+		t.Errorf("NextHop(3,0) = %d, want 2", got)
+	}
+	if got := a.NextHop(1, 1); got != None {
+		t.Errorf("NextHop(1,1) = %d, want None", got)
+	}
+	if got := a.Diameter(); got != 3 {
+		t.Errorf("Diameter = %f, want 3", got)
+	}
+}
+
+func TestAPSPPrefersShorterDetour(t *testing.T) {
+	// Triangle where the direct edge is slower than the two-hop detour.
+	g := New("tri")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, 0)
+	}
+	mustLink(t, g, 0, 1, 10)
+	mustLink(t, g, 0, 2, 1)
+	mustLink(t, g, 2, 1, 1)
+	a := NewAPSP(g)
+	if got := a.Dist(0, 1); got != 2 {
+		t.Errorf("Dist(0,1) = %f, want 2 (via detour)", got)
+	}
+	if got := a.NextHop(0, 1); got != 2 {
+		t.Errorf("NextHop(0,1) = %d, want 2", got)
+	}
+}
+
+func mustLink(t *testing.T, g *Graph, a, b NodeID, d float64) {
+	t.Helper()
+	if err := g.AddLink(a, b, d); err != nil {
+		t.Fatalf("AddLink(%d,%d): %v", a, b, err)
+	}
+}
+
+func TestAPSPUnreachable(t *testing.T) {
+	g := New("split")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 0)
+	a := NewAPSP(g)
+	if !Infinite(a.Dist(0, 1)) {
+		t.Errorf("Dist between components = %f, want +Inf", a.Dist(0, 1))
+	}
+	if a.NextHop(0, 1) != None {
+		t.Error("NextHop between components should be None")
+	}
+	if a.Path(0, 1) != nil {
+		t.Error("Path between components should be nil")
+	}
+}
+
+func TestAPSPPath(t *testing.T) {
+	g := line(t, 5)
+	a := NewAPSP(g)
+	p := a.Path(0, 4)
+	want := []NodeID{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("Path = %v, want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("Path = %v, want %v", p, want)
+		}
+	}
+	if p := a.Path(2, 2); len(p) != 1 || p[0] != 2 {
+		t.Errorf("Path(2,2) = %v, want [2]", p)
+	}
+}
+
+func TestDistVia(t *testing.T) {
+	g := line(t, 4)
+	a := NewAPSP(g)
+	// From node 1, via neighbor 0, to destination 3: 1 + dist(0,3)=3 -> 4.
+	var via0, via2 Adjacency
+	for _, ad := range g.Neighbors(1) {
+		switch ad.Neighbor {
+		case 0:
+			via0 = ad
+		case 2:
+			via2 = ad
+		}
+	}
+	if got := a.DistVia(1, via0, 3); got != 4 {
+		t.Errorf("DistVia(1, via 0, 3) = %f, want 4", got)
+	}
+	if got := a.DistVia(1, via2, 3); got != 2 {
+		t.Errorf("DistVia(1, via 2, 3) = %f, want 2", got)
+	}
+}
+
+// Property: APSP distances on random connected graphs are symmetric,
+// satisfy the triangle inequality, and equal the delay sum along the
+// reported path.
+func TestAPSPProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(25)
+		g := randomConnectedGraph(rng, n, rng.Intn(2*n))
+		a := NewAPSP(g)
+		for u := NodeID(0); int(u) < n; u++ {
+			for v := NodeID(0); int(v) < n; v++ {
+				duv := a.Dist(u, v)
+				if math.Abs(duv-a.Dist(v, u)) > 1e-9 {
+					t.Fatalf("asymmetric: Dist(%d,%d)=%f Dist(%d,%d)=%f", u, v, duv, v, u, a.Dist(v, u))
+				}
+				for w := NodeID(0); int(w) < n; w++ {
+					if duv > a.Dist(u, w)+a.Dist(w, v)+1e-9 {
+						t.Fatalf("triangle violated: d(%d,%d)=%f > d(%d,%d)+d(%d,%d)=%f",
+							u, v, duv, u, w, w, v, a.Dist(u, w)+a.Dist(w, v))
+					}
+				}
+				// Path delay must equal Dist.
+				p := a.Path(u, v)
+				if u == v {
+					continue
+				}
+				sum := 0.0
+				for i := 0; i+1 < len(p); i++ {
+					sum += linkDelayBetween(t, g, p[i], p[i+1])
+				}
+				if math.Abs(sum-duv) > 1e-9 {
+					t.Fatalf("path delay %f != Dist(%d,%d)=%f", sum, u, v, duv)
+				}
+			}
+		}
+	}
+}
+
+func linkDelayBetween(t *testing.T, g *Graph, a, b NodeID) float64 {
+	t.Helper()
+	for _, ad := range g.Neighbors(a) {
+		if ad.Neighbor == b {
+			return g.Link(ad.Link).Delay
+		}
+	}
+	t.Fatalf("no link between %d and %d", a, b)
+	return 0
+}
+
+func TestDiameterPositiveOnTopologies(t *testing.T) {
+	for _, g := range Topologies() {
+		a := NewAPSP(g)
+		d := a.Diameter()
+		if d <= 0 || Infinite(d) {
+			t.Errorf("%s: diameter = %f, want finite positive", g.Name(), d)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableI verifies the paper's Table I statistics exactly for all four
+// evaluation topologies.
+func TestTableI(t *testing.T) {
+	tests := []struct {
+		name           string
+		nodes, edges   int
+		minDeg, maxDeg int
+		avgDeg         float64
+	}{
+		{"Abilene", 11, 14, 2, 3, 2.55},
+		{"BT Europe", 24, 37, 1, 13, 3.08},
+		{"China Telecom", 42, 66, 1, 20, 3.14},
+		{"Interroute", 110, 158, 1, 7, 2.87},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := ByName(tt.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumNodes() != tt.nodes {
+				t.Errorf("nodes = %d, want %d", g.NumNodes(), tt.nodes)
+			}
+			if g.NumLinks() != tt.edges {
+				t.Errorf("edges = %d, want %d", g.NumLinks(), tt.edges)
+			}
+			if g.MinDegree() != tt.minDeg {
+				t.Errorf("min degree = %d, want %d", g.MinDegree(), tt.minDeg)
+			}
+			if g.MaxDegree() != tt.maxDeg {
+				t.Errorf("max degree = %d, want %d", g.MaxDegree(), tt.maxDeg)
+			}
+			if math.Abs(g.AvgDegree()-tt.avgDeg) > 0.005 {
+				t.Errorf("avg degree = %f, want %f", g.AvgDegree(), tt.avgDeg)
+			}
+			if !g.Connected() {
+				t.Error("not connected")
+			}
+		})
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("Atlantis"); err == nil {
+		t.Error("ByName accepted unknown topology")
+	}
+}
+
+func TestAbileneCalibration(t *testing.T) {
+	g := Abilene()
+	a := NewAPSP(g)
+	// Calibrated: shortest path delay from v1 (Sunnyvale) to v8 (NY) is 6 ms.
+	if d := a.Dist(0, AbileneEgress); math.Abs(d-6.0) > 1e-9 {
+		t.Errorf("SP delay v1->v8 = %f, want 6.0", d)
+	}
+	// All ingresses v1..v5 must reach the egress well within the default
+	// deadline headroom (path delay < 10 ms).
+	for v := NodeID(0); v < 5; v++ {
+		if d := a.Dist(v, AbileneEgress); d <= 0 || d >= 10 {
+			t.Errorf("SP delay v%d->v8 = %f, want (0,10)", v+1, d)
+		}
+	}
+}
+
+// TestAbileneWestCoastOverlap checks the structural property the paper's
+// Fig. 6 discussion relies on: shortest paths from v1-v3 to the egress
+// share links, while v4 and v5 use disjoint paths.
+func TestAbileneWestCoastOverlap(t *testing.T) {
+	g := Abilene()
+	a := NewAPSP(g)
+	pathLinks := func(src NodeID) map[[2]NodeID]bool {
+		p := a.Path(src, AbileneEgress)
+		set := make(map[[2]NodeID]bool)
+		for i := 0; i+1 < len(p); i++ {
+			x, y := p[i], p[i+1]
+			if x > y {
+				x, y = y, x
+			}
+			set[[2]NodeID{x, y}] = true
+		}
+		return set
+	}
+	overlap := func(a, b map[[2]NodeID]bool) int {
+		n := 0
+		for k := range a {
+			if b[k] {
+				n++
+			}
+		}
+		return n
+	}
+	p1, p2, p3 := pathLinks(0), pathLinks(1), pathLinks(2)
+	if overlap(p1, p3) == 0 {
+		t.Error("v1 and v3 shortest paths share no links; expected overlap")
+	}
+	if overlap(p1, p2)+overlap(p2, p3) == 0 {
+		t.Error("v2 shares no links with v1 or v3; expected west coast overlap")
+	}
+	p4, p5 := pathLinks(3), pathLinks(4)
+	if o := overlap(p4, p1); o > 1 {
+		t.Errorf("v4 path overlaps v1 path on %d links; expected mostly disjoint", o)
+	}
+	if o := overlap(p5, p1); o > 1 {
+		t.Errorf("v5 path overlaps v1 path on %d links; expected mostly disjoint", o)
+	}
+}
+
+func TestSynthesizedTopologiesDeterministic(t *testing.T) {
+	for _, name := range []string{"BT Europe", "China Telecom", "Interroute"} {
+		a, _ := ByName(name)
+		b, _ := ByName(name)
+		if a.NumLinks() != b.NumLinks() {
+			t.Fatalf("%s: non-deterministic link count", name)
+		}
+		for i := 0; i < a.NumLinks(); i++ {
+			la, lb := a.Link(i), b.Link(i)
+			if la.A != lb.A || la.B != lb.B || la.Delay != lb.Delay {
+				t.Fatalf("%s: link %d differs between builds: %+v vs %+v", name, i, la, lb)
+			}
+		}
+	}
+}
+
+func TestTopologiesHavePositiveDelays(t *testing.T) {
+	for _, g := range Topologies() {
+		for i, l := range g.Links() {
+			if l.Delay <= 0 {
+				t.Errorf("%s: link %d has delay %f, want > 0", g.Name(), i, l.Delay)
+			}
+		}
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := TableIRows(Topologies())
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	// Sorted by node count: Abilene, BT Europe, China Telecom, Interroute.
+	wantOrder := []string{"Abilene", "BT Europe", "China Telecom", "Interroute"}
+	for i, w := range wantOrder {
+		if rows[i].Name != w {
+			t.Errorf("row %d = %s, want %s", i, rows[i].Name, w)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba), offered as an
+// alternative to the paper's RMSprop for the optimizer ablation
+// (BenchmarkAblationOptimizer): adaptive per-parameter learning rates
+// from bias-corrected first and second moment estimates.
+type Adam struct {
+	// LR is the learning rate (default semantics as elsewhere: caller
+	// chooses; 1e-3 is a common starting point).
+	LR float64
+	// Beta1 and Beta2 are the moment decay rates (defaults 0.9/0.999).
+	Beta1, Beta2 float64
+	// Eps stabilizes the division (default 1e-8).
+	Eps float64
+
+	m, v [][]float64
+	t    int
+}
+
+// NewAdam returns an Adam optimizer with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one descent update. params and grads must stay aligned
+// and shape-stable across calls.
+func (o *Adam) Step(params, grads [][]float64) {
+	if o.m == nil {
+		o.m = make([][]float64, len(params))
+		o.v = make([][]float64, len(params))
+		for i, p := range params {
+			o.m[i] = make([]float64, len(p))
+			o.v[i] = make([]float64, len(p))
+		}
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := o.m[i], o.v[i]
+		for j := range p {
+			m[j] = o.Beta1*m[j] + (1-o.Beta1)*g[j]
+			v[j] = o.Beta2*v[j] + (1-o.Beta2)*g[j]*g[j]
+			mHat := m[j] / c1
+			vHat := v[j] / c2
+			p[j] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}
+
+// Reset clears the moment estimates.
+func (o *Adam) Reset() {
+	o.m, o.v = nil, nil
+	o.t = 0
+}

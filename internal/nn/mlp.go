@@ -1,0 +1,281 @@
+// Package nn is a small, dependency-free neural network library: dense
+// multi-layer perceptrons with tanh hidden activations, reverse-mode
+// gradients, an RMSprop optimizer, and the categorical-distribution
+// utilities needed for actor-critic reinforcement learning. It replaces
+// the paper's TensorFlow/stable-baselines stack (DESIGN.md,
+// substitution 2); the paper's networks are tanh MLPs with two hidden
+// layers of 256 units (Sec. V-A2).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// dense is one linear layer: y = W·x + b, with W stored row-major.
+type dense struct {
+	in, out int
+	w       []float64 // len out*in
+	b       []float64 // len out
+	gw      []float64
+	gb      []float64
+}
+
+func newDense(rng *rand.Rand, in, out int) *dense {
+	d := &dense{
+		in:  in,
+		out: out,
+		w:   make([]float64, out*in),
+		b:   make([]float64, out),
+		gw:  make([]float64, out*in),
+		gb:  make([]float64, out),
+	}
+	// Xavier/Glorot initialization, appropriate for tanh activations.
+	scale := math.Sqrt(2.0 / float64(in+out))
+	for i := range d.w {
+		d.w[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// forward computes y = W·x + b into out (len d.out).
+func (d *dense) forward(x, out []float64) {
+	for o := 0; o < d.out; o++ {
+		s := d.b[o]
+		row := d.w[o*d.in : (o+1)*d.in]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s
+	}
+}
+
+// backward accumulates parameter gradients for upstream gradient dy at
+// input x and writes the input gradient into dx (len d.in) unless nil.
+func (d *dense) backward(x, dy, dx []float64) {
+	for o := 0; o < d.out; o++ {
+		g := dy[o]
+		d.gb[o] += g
+		row := d.gw[o*d.in : (o+1)*d.in]
+		for i, xi := range x {
+			row[i] += g * xi
+		}
+	}
+	if dx == nil {
+		return
+	}
+	for i := range dx {
+		dx[i] = 0
+	}
+	for o := 0; o < d.out; o++ {
+		g := dy[o]
+		row := d.w[o*d.in : (o+1)*d.in]
+		for i := range dx {
+			dx[i] += row[i] * g
+		}
+	}
+}
+
+// MLP is a dense feed-forward network with tanh hidden activations and a
+// linear output layer.
+type MLP struct {
+	sizes  []int
+	layers []*dense
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g.
+// NewMLP(rng, 16, 256, 256, 4) for the paper's actor on a Δ_G=3 network.
+// It panics if fewer than two sizes are given (a programming error).
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: NewMLP needs at least input and output sizes, got %v", sizes))
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, newDense(rng, sizes[i], sizes[i+1]))
+	}
+	return m
+}
+
+// InputSize returns the expected input dimension.
+func (m *MLP) InputSize() int { return m.sizes[0] }
+
+// OutputSize returns the output dimension.
+func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
+
+// Forward runs inference, returning a freshly allocated output vector.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.InputSize()))
+	}
+	cur := x
+	for li, l := range m.layers {
+		next := make([]float64, l.out)
+		l.forward(cur, next)
+		if li+1 < len(m.layers) {
+			for i := range next {
+				next[i] = math.Tanh(next[i])
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Tape records the activations of one forward pass for backpropagation.
+type Tape struct {
+	// acts[0] is the input; acts[i] the post-activation output of layer
+	// i-1 (tanh applied on hidden layers, linear on the last).
+	acts [][]float64
+}
+
+// Output returns the network output recorded on the tape.
+func (t *Tape) Output() []float64 { return t.acts[len(t.acts)-1] }
+
+// ForwardTape runs a forward pass and records activations for a later
+// Backward call.
+func (m *MLP) ForwardTape(x []float64) *Tape {
+	if len(x) != m.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.InputSize()))
+	}
+	t := &Tape{acts: make([][]float64, 0, len(m.layers)+1)}
+	t.acts = append(t.acts, append([]float64(nil), x...))
+	cur := t.acts[0]
+	for li, l := range m.layers {
+		next := make([]float64, l.out)
+		l.forward(cur, next)
+		if li+1 < len(m.layers) {
+			for i := range next {
+				next[i] = math.Tanh(next[i])
+			}
+		}
+		t.acts = append(t.acts, next)
+		cur = next
+	}
+	return t
+}
+
+// Backward accumulates parameter gradients for the loss gradient dOut
+// with respect to the tape's output. Gradients add up until ZeroGrad.
+func (m *MLP) Backward(t *Tape, dOut []float64) {
+	if len(dOut) != m.OutputSize() {
+		panic(fmt.Sprintf("nn: gradient size %d, want %d", len(dOut), m.OutputSize()))
+	}
+	dy := append([]float64(nil), dOut...)
+	for li := len(m.layers) - 1; li >= 0; li-- {
+		l := m.layers[li]
+		x := t.acts[li]
+		var dx []float64
+		if li > 0 {
+			dx = make([]float64, l.in)
+		}
+		l.backward(x, dy, dx)
+		if li > 0 {
+			// Undo the tanh of the previous hidden layer:
+			// d/dpre = d/dpost · (1 − post²).
+			post := t.acts[li]
+			for i := range dx {
+				dx[i] *= 1 - post[i]*post[i]
+			}
+			dy = dx
+		}
+	}
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.layers {
+		for i := range l.gw {
+			l.gw[i] = 0
+		}
+		for i := range l.gb {
+			l.gb[i] = 0
+		}
+	}
+}
+
+// Params returns the parameter slices (weights and biases per layer).
+// Mutating the returned slices mutates the network; the optimizer relies
+// on this.
+func (m *MLP) Params() [][]float64 {
+	out := make([][]float64, 0, 2*len(m.layers))
+	for _, l := range m.layers {
+		out = append(out, l.w, l.b)
+	}
+	return out
+}
+
+// Grads returns the gradient slices aligned with Params.
+func (m *MLP) Grads() [][]float64 {
+	out := make([][]float64, 0, 2*len(m.layers))
+	for _, l := range m.layers {
+		out = append(out, l.gw, l.gb)
+	}
+	return out
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.layers {
+		n += len(l.w) + len(l.b)
+	}
+	return n
+}
+
+// Clone returns a deep copy (weights only; gradients zeroed).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{sizes: append([]int(nil), m.sizes...)}
+	for _, l := range m.layers {
+		nl := &dense{
+			in:  l.in,
+			out: l.out,
+			w:   append([]float64(nil), l.w...),
+			b:   append([]float64(nil), l.b...),
+			gw:  make([]float64, len(l.gw)),
+			gb:  make([]float64, len(l.gb)),
+		}
+		c.layers = append(c.layers, nl)
+	}
+	return c
+}
+
+// CopyWeightsFrom overwrites m's weights with src's. The architectures
+// must match.
+func (m *MLP) CopyWeightsFrom(src *MLP) error {
+	if len(m.layers) != len(src.layers) {
+		return fmt.Errorf("nn: architecture mismatch: %v vs %v", m.sizes, src.sizes)
+	}
+	for i, l := range m.layers {
+		s := src.layers[i]
+		if l.in != s.in || l.out != s.out {
+			return fmt.Errorf("nn: layer %d mismatch: %dx%d vs %dx%d", i, l.in, l.out, s.in, s.out)
+		}
+		copy(l.w, s.w)
+		copy(l.b, s.b)
+	}
+	return nil
+}
+
+// ClipGradients scales all gradients down so their global L2 norm is at
+// most maxNorm (the paper trains with max gradient 0.5). It returns the
+// pre-clip norm.
+func ClipGradients(grads [][]float64, maxNorm float64) float64 {
+	sq := 0.0
+	for _, g := range grads {
+		for _, v := range g {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, g := range grads {
+			for i := range g {
+				g[i] *= scale
+			}
+		}
+	}
+	return norm
+}

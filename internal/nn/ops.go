@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Softmax returns the softmax distribution over logits, computed with the
+// max-subtraction trick for numerical stability.
+func Softmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, l := range logits {
+		if l > max {
+			max = l
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, l := range logits {
+		e := math.Exp(l - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LogSoftmax returns log(Softmax(logits)) computed stably.
+func LogSoftmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, l := range logits {
+		if l > max {
+			max = l
+		}
+	}
+	sum := 0.0
+	for _, l := range logits {
+		sum += math.Exp(l - max)
+	}
+	lse := max + math.Log(sum)
+	out := make([]float64, len(logits))
+	for i, l := range logits {
+		out[i] = l - lse
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the given probability
+// distribution. Probabilities must be non-negative; they are normalized
+// by their sum.
+func SampleCategorical(rng *rand.Rand, probs []float64) int {
+	total := 0.0
+	for _, p := range probs {
+		total += p
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(probs) - 1 // guard against float round-off
+}
+
+// Argmax returns the index of the largest value (first on ties).
+func Argmax(xs []float64) int {
+	best, bv := 0, math.Inf(-1)
+	for i, v := range xs {
+		if v > bv {
+			best, bv = i, v
+		}
+	}
+	return best
+}
+
+// Entropy returns the Shannon entropy −Σ p·log p of a distribution.
+func Entropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// KL returns the Kullback-Leibler divergence KL(p‖q) = Σ p·log(p/q).
+// Entries where p is zero contribute nothing; q is floored to avoid
+// division by zero.
+func KL(p, q []float64) float64 {
+	const floor = 1e-12
+	d := 0.0
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		qi := q[i]
+		if qi < floor {
+			qi = floor
+		}
+		d += pi * math.Log(pi/qi)
+	}
+	return d
+}

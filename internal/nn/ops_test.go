@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxBasics(t *testing.T) {
+	p := Softmax([]float64{1, 1, 1})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform logits: %v", p)
+		}
+	}
+	p = Softmax([]float64{1000, 0}) // stability under large logits
+	if math.IsNaN(p[0]) || p[0] < 0.999 {
+		t.Fatalf("large logits: %v", p)
+	}
+}
+
+// Property: softmax output is a valid distribution for any finite logits.
+func TestSoftmaxIsDistribution(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		sane := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 50)
+		}
+		p := Softmax([]float64{sane(a), sane(b), sane(c), sane(d)})
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSoftmaxConsistentWithSoftmax(t *testing.T) {
+	logits := []float64{0.5, -1.2, 3.3, 0}
+	p := Softmax(logits)
+	lp := LogSoftmax(logits)
+	for i := range p {
+		if math.Abs(math.Exp(lp[i])-p[i]) > 1e-12 {
+			t.Fatalf("exp(logsoftmax) != softmax at %d: %g vs %g", i, math.Exp(lp[i]), p[i])
+		}
+	}
+}
+
+func TestSampleCategoricalSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	probs := []float64{0, 0.5, 0, 0.5}
+	for i := 0; i < 1000; i++ {
+		k := SampleCategorical(rng, probs)
+		if k != 1 && k != 3 {
+			t.Fatalf("sampled index %d with zero probability", k)
+		}
+	}
+}
+
+func TestSampleCategoricalFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	probs := []float64{0.1, 0.2, 0.7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[SampleCategorical(rng, probs)]++
+	}
+	for i, p := range probs {
+		got := float64(counts[i]) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("index %d frequency %f, want ~%f", i, got, p)
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax([]float64{1, 5, 3}); got != 1 {
+		t.Errorf("Argmax = %d, want 1", got)
+	}
+	if got := Argmax([]float64{2, 2}); got != 0 {
+		t.Errorf("Argmax tie = %d, want 0 (first)", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]float64{1, 0, 0}); got != 0 {
+		t.Errorf("deterministic entropy = %f, want 0", got)
+	}
+	uniform := Entropy([]float64{0.25, 0.25, 0.25, 0.25})
+	if math.Abs(uniform-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy = %f, want ln(4)", uniform)
+	}
+	if skew := Entropy([]float64{0.9, 0.1}); skew >= math.Log(2) {
+		t.Errorf("skewed entropy %f not below uniform", skew)
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if got := KL(p, p); got != 0 {
+		t.Errorf("KL(p,p) = %f, want 0", got)
+	}
+	q := []float64{0.9, 0.1}
+	if got := KL(p, q); got <= 0 {
+		t.Errorf("KL(p,q) = %f, want > 0", got)
+	}
+	// Zero q probability is floored, not infinite.
+	if got := KL([]float64{1, 0}, []float64{0, 1}); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("KL with zero support = %f, want finite", got)
+	}
+}
+
+// Property: KL divergence is non-negative for random distributions.
+func TestKLNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []float64 {
+			v := []float64{rng.Float64() + 1e-3, rng.Float64() + 1e-3, rng.Float64() + 1e-3}
+			s := v[0] + v[1] + v[2]
+			for i := range v {
+				v[i] /= s
+			}
+			return v
+		}
+		return KL(mk(), mk()) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

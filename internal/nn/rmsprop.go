@@ -1,0 +1,47 @@
+package nn
+
+import "math"
+
+// RMSProp implements the RMSprop optimizer used to train the paper's
+// actor and critic networks (Sec. V-A2): per-parameter learning rates
+// from an exponential moving average of squared gradients.
+type RMSProp struct {
+	// LR is the learning rate α (the paper's initial rate is 0.25,
+	// decayed by the trainer).
+	LR float64
+	// Decay is the moving-average coefficient ρ (default 0.99).
+	Decay float64
+	// Eps stabilizes the division (default 1e-5).
+	Eps float64
+
+	cache [][]float64
+}
+
+// NewRMSProp returns an optimizer with the given learning rate and
+// standard RMSprop defaults.
+func NewRMSProp(lr float64) *RMSProp {
+	return &RMSProp{LR: lr, Decay: 0.99, Eps: 1e-5}
+}
+
+// Step applies one descent update: p -= lr * g / sqrt(cache + eps).
+// params and grads must come from the same network (aligned slices) and
+// keep the same shapes across calls.
+func (o *RMSProp) Step(params, grads [][]float64) {
+	if o.cache == nil {
+		o.cache = make([][]float64, len(params))
+		for i, p := range params {
+			o.cache[i] = make([]float64, len(p))
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		c := o.cache[i]
+		for j := range p {
+			c[j] = o.Decay*c[j] + (1-o.Decay)*g[j]*g[j]
+			p[j] -= o.LR * g[j] / (math.Sqrt(c[j]) + o.Eps)
+		}
+	}
+}
+
+// Reset clears the moving-average state.
+func (o *RMSProp) Reset() { o.cache = nil }

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// mlpJSON is the serialized form of an MLP.
+type mlpJSON struct {
+	Sizes   []int       `json:"sizes"`
+	Weights [][]float64 `json:"weights"` // layer-major: w0, b0, w1, b1, ...
+}
+
+// Save writes the network weights as JSON. Trained agents are persisted
+// this way so inference agents can load the selected policy (Alg. 1,
+// ln. 13-14).
+func (m *MLP) Save(w io.Writer) error {
+	j := mlpJSON{Sizes: m.sizes}
+	for _, l := range m.layers {
+		j.Weights = append(j.Weights, l.w, l.b)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(j); err != nil {
+		return fmt.Errorf("nn: saving network: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network saved with Save.
+func Load(r io.Reader) (*MLP, error) {
+	var j mlpJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("nn: loading network: %w", err)
+	}
+	if len(j.Sizes) < 2 {
+		return nil, fmt.Errorf("nn: loaded network has invalid sizes %v", j.Sizes)
+	}
+	if len(j.Weights) != 2*(len(j.Sizes)-1) {
+		return nil, fmt.Errorf("nn: loaded network has %d weight blocks, want %d",
+			len(j.Weights), 2*(len(j.Sizes)-1))
+	}
+	m := &MLP{sizes: j.Sizes}
+	for i := 0; i+1 < len(j.Sizes); i++ {
+		in, out := j.Sizes[i], j.Sizes[i+1]
+		w, b := j.Weights[2*i], j.Weights[2*i+1]
+		if len(w) != in*out || len(b) != out {
+			return nil, fmt.Errorf("nn: layer %d weight shapes %d/%d, want %d/%d",
+				i, len(w), len(b), in*out, out)
+		}
+		m.layers = append(m.layers, &dense{
+			in: in, out: out,
+			w: w, b: b,
+			gw: make([]float64, in*out),
+			gb: make([]float64, out),
+		})
+	}
+	return m, nil
+}

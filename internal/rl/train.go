@@ -1,0 +1,207 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Policy selects actions from observations; environments roll out
+// episodes against it.
+type Policy interface {
+	SelectAction(obs []float64) int
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(obs []float64) int
+
+// SelectAction implements Policy.
+func (f PolicyFunc) SelectAction(obs []float64) int { return f(obs) }
+
+// Env runs one training episode under the given policy and returns the
+// collected trajectories plus an episode score (higher is better; for
+// service coordination this is the flow success ratio). Implementations
+// need not be safe for concurrent use — each parallel environment copy
+// gets its own instance.
+type Env interface {
+	Rollout(p Policy) ([]Trajectory, float64, error)
+}
+
+// TrainConfig parameterizes the centralized training procedure of
+// Alg. 1: l parallel environment copies feeding one shared actor-critic,
+// repeated for k independent seeds, keeping the best agent.
+type TrainConfig struct {
+	Agent AgentConfig
+	// Episodes is the number of update iterations per seed.
+	Episodes int
+	// ParallelEnvs is l, the number of parallel environment copies
+	// (paper: 4).
+	ParallelEnvs int
+	// Seeds is k, the number of independently trained agents (paper: 10).
+	Seeds int
+	// NewEnv creates an environment copy. envSeed is unique per
+	// (training seed, environment index).
+	NewEnv func(envSeed int64) (Env, error)
+	// LRDecay linearly decays the learning rate to 10% of its initial
+	// value across episodes (cf. stable-baselines schedules).
+	LRDecay bool
+	// Progress, when non-nil, receives per-episode updates.
+	Progress func(seed, episode int, stats UpdateStats, score float64)
+}
+
+func (c *TrainConfig) validate() error {
+	if c.Episodes <= 0 {
+		return errors.New("rl: Episodes must be positive")
+	}
+	if c.ParallelEnvs <= 0 {
+		c.ParallelEnvs = 1
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 1
+	}
+	if c.NewEnv == nil {
+		return errors.New("rl: NewEnv is nil")
+	}
+	return nil
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	BestSeed   int
+	BestScore  float64
+	SeedScores []float64
+}
+
+// Train runs the full procedure: for each of k seeds, train an agent over
+// the configured episodes using l parallel environment copies, then
+// return the agent whose final score is highest (Alg. 1, ln. 13). Seeds
+// train concurrently; each seed's computation is deterministic.
+func Train(cfg TrainConfig) (*Agent, TrainResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, TrainResult{}, err
+	}
+	type seedOut struct {
+		agent *Agent
+		score float64
+		err   error
+	}
+	outs := make([]seedOut, cfg.Seeds)
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			agent, score, err := trainOneSeed(cfg, s)
+			outs[s] = seedOut{agent, score, err}
+		}(s)
+	}
+	wg.Wait()
+
+	res := TrainResult{BestSeed: -1, SeedScores: make([]float64, cfg.Seeds)}
+	var best *Agent
+	for s, o := range outs {
+		if o.err != nil {
+			return nil, res, fmt.Errorf("rl: training seed %d: %w", s, o.err)
+		}
+		res.SeedScores[s] = o.score
+		if best == nil || o.score > res.BestScore {
+			best, res.BestScore, res.BestSeed = o.agent, o.score, s
+		}
+	}
+	return best, res, nil
+}
+
+// trainOneSeed trains a single agent and returns its final score (mean
+// episode score over the last 10% of episodes).
+func trainOneSeed(cfg TrainConfig, seed int) (*Agent, float64, error) {
+	agentCfg := cfg.Agent
+	agentCfg.Seed = cfg.Agent.Seed + int64(seed)*7919 // distinct streams per seed
+	agent, err := NewAgent(agentCfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	baseLR := agent.actorOpt.LR
+
+	envs := make([]Env, cfg.ParallelEnvs)
+	rngs := make([]*rand.Rand, cfg.ParallelEnvs)
+	for i := range envs {
+		envSeed := agentCfg.Seed*1000 + int64(i)
+		envs[i], err = cfg.NewEnv(envSeed)
+		if err != nil {
+			return nil, 0, err
+		}
+		rngs[i] = rand.New(rand.NewSource(envSeed + 1))
+	}
+
+	tail := cfg.Episodes / 10
+	if tail < 1 {
+		tail = 1
+	}
+	var tailSum float64
+	var tailN int
+
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		if cfg.LRDecay {
+			progress := float64(ep) / float64(cfg.Episodes)
+			lr := baseLR * (1 - 0.9*progress)
+			agent.actorOpt.LR = lr
+			agent.criticOpt.LR = lr
+		}
+
+		type rollOut struct {
+			trajs []Trajectory
+			score float64
+			err   error
+		}
+		rolls := make([]rollOut, len(envs))
+		var wg sync.WaitGroup
+		for i := range envs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p := samplingPolicy{agent: agent, rng: rngs[i]}
+				trajs, score, err := envs[i].Rollout(p)
+				rolls[i] = rollOut{trajs, score, err}
+			}(i)
+		}
+		wg.Wait()
+
+		var batch []Trajectory
+		score := 0.0
+		for i, r := range rolls {
+			if r.err != nil {
+				return nil, 0, fmt.Errorf("episode %d env %d: %w", ep, i, r.err)
+			}
+			batch = append(batch, r.trajs...)
+			score += r.score
+		}
+		score /= float64(len(rolls))
+
+		stats, err := agent.Update(batch)
+		if err != nil {
+			return nil, 0, fmt.Errorf("episode %d: %w", ep, err)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(seed, ep, stats, score)
+		}
+		if ep >= cfg.Episodes-tail {
+			tailSum += score
+			tailN++
+		}
+	}
+	return agent, tailSum / float64(tailN), nil
+}
+
+// samplingPolicy draws stochastic actions during training. The actor
+// forward pass is read-only, so one agent can serve parallel rollouts;
+// each rollout samples from its own random source.
+type samplingPolicy struct {
+	agent *Agent
+	rng   *rand.Rand
+}
+
+// SelectAction implements Policy.
+func (p samplingPolicy) SelectAction(obs []float64) int {
+	return p.agent.SampleAction(obs, p.rng)
+}

@@ -1,0 +1,74 @@
+package simnet
+
+import (
+	"container/heap"
+
+	"distcoord/internal/graph"
+)
+
+// eventKind discriminates simulator events.
+type eventKind int
+
+const (
+	evGenArrival  eventKind = iota // generate the next flow at an ingress
+	evHeadArrive                   // a flow's head reaches a node: decision point
+	evProcDone                     // a flow finishes processing at an instance
+	evReleaseNode                  // return reserved compute resources
+	evReleaseLink                  // return reserved link data rate
+	evIdleCheck                    // check an instance for idle-timeout removal
+	evTick                         // periodic coordinator tick
+)
+
+// event is one scheduled simulator event. Events at equal times are
+// ordered by insertion sequence for determinism.
+type event struct {
+	t    float64
+	seq  uint64
+	kind eventKind
+
+	flow    *Flow
+	node    graph.NodeID
+	comp    *Component
+	link    int
+	amount  float64
+	ingress int
+}
+
+// eventQueue is a binary min-heap over (time, sequence).
+type eventQueue struct {
+	items []event
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].t != q.items[j].t {
+		return q.items[i].t < q.items[j].t
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// push schedules e at time t, assigning the determinism sequence number.
+func (q *eventQueue) push(e event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(q, e)
+}
+
+// pop removes and returns the earliest event. Callers must check Len.
+func (q *eventQueue) pop() event {
+	return heap.Pop(q).(event)
+}

@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+)
+
+// Metrics accumulates the evaluation quantities of Sec. V: the success
+// ratio o_f = |F_succ| / (|F_succ| + |F_drop|) (Eq. 1), drop causes, and
+// end-to-end delays of completed flows.
+type Metrics struct {
+	Arrived   int
+	Succeeded int
+	Dropped   int
+	DropsBy   map[DropCause]int
+
+	// SumDelay and MaxDelay summarize end-to-end delays d_f of
+	// successful flows; Delays holds every individual delay for
+	// percentile analysis.
+	SumDelay float64
+	MaxDelay float64
+	Delays   []float64
+
+	// Decisions counts coordinator queries; Forwards, Processings, and
+	// Keeps count action outcomes (diagnostics and ablations).
+	Decisions   int
+	Forwards    int
+	Processings int
+	Keeps       int
+}
+
+// newMetrics returns zeroed metrics.
+func newMetrics() *Metrics {
+	return &Metrics{DropsBy: make(map[DropCause]int)}
+}
+
+// SuccessRatio returns o_f per Eq. 1. It is 0 when no flow finished.
+func (m *Metrics) SuccessRatio() float64 {
+	total := m.Succeeded + m.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Succeeded) / float64(total)
+}
+
+// AvgDelay returns the mean end-to-end delay of successful flows
+// (Fig. 7 bottom), or 0 when none succeeded.
+func (m *Metrics) AvgDelay() float64 {
+	if m.Succeeded == 0 {
+		return 0
+	}
+	return m.SumDelay / float64(m.Succeeded)
+}
+
+// DelayQuantile returns the q-quantile (0..1) of successful flows'
+// end-to-end delays using nearest-rank interpolation, or 0 when no flow
+// succeeded.
+func (m *Metrics) DelayQuantile(q float64) float64 {
+	if len(m.Delays) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), m.Delays...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Pending returns flows that arrived but neither succeeded nor dropped.
+// After Run returns this is always 0 (flow accounting invariant).
+func (m *Metrics) Pending() int { return m.Arrived - m.Succeeded - m.Dropped }
+
+// Clone returns a deep copy.
+func (m *Metrics) Clone() *Metrics {
+	c := *m
+	c.DropsBy = make(map[DropCause]int, len(m.DropsBy))
+	for k, v := range m.DropsBy {
+		c.DropsBy[k] = v
+	}
+	c.Delays = append([]float64(nil), m.Delays...)
+	return &c
+}

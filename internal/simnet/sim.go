@@ -1,0 +1,407 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"distcoord/internal/graph"
+)
+
+// ArrivalProcess yields flow inter-arrival times; the traffic package
+// provides implementations.
+type ArrivalProcess interface {
+	Next() float64
+}
+
+// Ingress attaches an arrival process to an ingress node.
+type Ingress struct {
+	Node     graph.NodeID
+	Arrivals ArrivalProcess
+}
+
+// FlowTemplate fixes the per-flow parameters of generated flows (the base
+// scenario uses unit rate, unit duration, deadline 100; Sec. V-A1).
+type FlowTemplate struct {
+	Rate     float64 // λ_f
+	Duration float64 // δ_f
+	Deadline float64 // τ_f
+}
+
+// WeightedService is one entry of a multi-service mix: flows request
+// Service with probability proportional to Weight.
+type WeightedService struct {
+	Service *Service
+	Weight  float64
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Graph *graph.Graph
+	APSP  *graph.APSP // optional; computed from Graph when nil
+
+	// Service is the single service all flows request. For multi-service
+	// scenarios set Services instead (Service is then ignored).
+	Service *Service
+	// Services, when non-empty, defines a weighted service mix: each
+	// generated flow samples its requested service from it
+	// (deterministically from ServiceSeed).
+	Services []WeightedService
+	// ServiceSeed drives the service sampling for multi-service mixes.
+	ServiceSeed int64
+
+	Ingresses []Ingress
+	Egress    graph.NodeID
+	Template  FlowTemplate
+
+	// Horizon T: flows are generated for t in [0, T).
+	Horizon float64
+
+	Coordinator Coordinator
+	Listener    Listener // optional
+
+	// KeepStep is how long a fully processed flow waits when kept at a
+	// node (action 0 on c_f = ∅) before the agent is queried again.
+	// Defaults to 1 time step.
+	KeepStep float64
+
+	// MaxTime hard-stops the event loop; it defaults to
+	// Horizon + 10·Deadline, enough for all generated flows to finish
+	// or expire.
+	MaxTime float64
+}
+
+// validate fills defaults and rejects malformed configurations.
+func (c *Config) validate() error {
+	if c.Graph == nil {
+		return errors.New("simnet: Config.Graph is nil")
+	}
+	if len(c.Services) == 0 {
+		if c.Service == nil {
+			return errors.New("simnet: Config.Service is nil")
+		}
+		c.Services = []WeightedService{{Service: c.Service, Weight: 1}}
+	}
+	total := 0.0
+	for i, ws := range c.Services {
+		if ws.Service == nil {
+			return fmt.Errorf("simnet: Services[%d].Service is nil", i)
+		}
+		if err := ws.Service.Validate(); err != nil {
+			return err
+		}
+		if ws.Weight < 0 {
+			return fmt.Errorf("simnet: Services[%d] has negative weight", i)
+		}
+		total += ws.Weight
+	}
+	if total <= 0 {
+		return errors.New("simnet: service mix has zero total weight")
+	}
+	if c.Coordinator == nil {
+		return errors.New("simnet: Config.Coordinator is nil")
+	}
+	if len(c.Ingresses) == 0 {
+		return errors.New("simnet: no ingress nodes")
+	}
+	n := c.Graph.NumNodes()
+	for _, in := range c.Ingresses {
+		if int(in.Node) < 0 || int(in.Node) >= n {
+			return fmt.Errorf("simnet: ingress node %d out of range", in.Node)
+		}
+		if in.Arrivals == nil {
+			return fmt.Errorf("simnet: ingress %d has no arrival process", in.Node)
+		}
+	}
+	if int(c.Egress) < 0 || int(c.Egress) >= n {
+		return fmt.Errorf("simnet: egress node %d out of range", c.Egress)
+	}
+	if c.Horizon <= 0 {
+		return errors.New("simnet: Horizon must be positive")
+	}
+	if c.Template.Rate <= 0 || c.Template.Duration <= 0 || c.Template.Deadline <= 0 {
+		return errors.New("simnet: flow template fields must be positive")
+	}
+	if c.KeepStep <= 0 {
+		c.KeepStep = 1
+	}
+	if c.MaxTime <= 0 {
+		c.MaxTime = c.Horizon + 10*c.Template.Deadline
+	}
+	if c.Listener == nil {
+		c.Listener = NopListener{}
+	}
+	return nil
+}
+
+// Sim runs one simulation. Create with New, drive with Run.
+type Sim struct {
+	cfg      Config
+	st       *State
+	queue    eventQueue
+	metrics  *Metrics
+	nextID   int
+	svcRng   *rand.Rand
+	svcTotal float64
+}
+
+// New prepares a simulation run. The configured graph's capacities must
+// already be assigned (Config.Graph is not modified).
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.APSP == nil {
+		cfg.APSP = graph.NewAPSP(cfg.Graph)
+	}
+	s := &Sim{
+		cfg:     cfg,
+		st:      NewState(cfg.Graph, cfg.APSP),
+		metrics: newMetrics(),
+		svcRng:  rand.New(rand.NewSource(cfg.ServiceSeed)),
+	}
+	for _, ws := range cfg.Services {
+		s.svcTotal += ws.Weight
+	}
+	return s, nil
+}
+
+// pickService samples a service from the configured mix.
+func (s *Sim) pickService() *Service {
+	if len(s.cfg.Services) == 1 {
+		return s.cfg.Services[0].Service
+	}
+	u := s.svcRng.Float64() * s.svcTotal
+	acc := 0.0
+	for _, ws := range s.cfg.Services {
+		acc += ws.Weight
+		if u < acc {
+			return ws.Service
+		}
+	}
+	return s.cfg.Services[len(s.cfg.Services)-1].Service
+}
+
+// State exposes the live network state (used by tests and adapters).
+func (s *Sim) State() *State { return s.st }
+
+// Metrics returns the accumulated metrics.
+func (s *Sim) Metrics() *Metrics { return s.metrics }
+
+// Run executes the simulation to completion: flows are generated over
+// [0, Horizon) and the event loop drains until every flow succeeded or
+// dropped (bounded by MaxTime).
+func (s *Sim) Run() (*Metrics, error) {
+	if r, ok := s.cfg.Coordinator.(Resetter); ok {
+		r.Reset(s.st)
+	}
+	// Seed arrival generation, one generator event per ingress.
+	for i, in := range s.cfg.Ingresses {
+		first := in.Arrivals.Next()
+		if first < s.cfg.Horizon {
+			s.queue.push(event{t: first, kind: evGenArrival, ingress: i})
+		}
+	}
+	// Seed coordinator ticks.
+	if tk, ok := s.cfg.Coordinator.(Ticker); ok {
+		iv := tk.Interval()
+		if iv <= 0 {
+			return nil, fmt.Errorf("simnet: coordinator %q has non-positive tick interval", s.cfg.Coordinator.Name())
+		}
+		s.queue.push(event{t: 0, kind: evTick})
+	}
+
+	for s.queue.Len() > 0 {
+		e := s.queue.pop()
+		if e.t > s.cfg.MaxTime {
+			break
+		}
+		if e.t < s.st.now-capEps {
+			return nil, fmt.Errorf("simnet: event time went backwards: %f < %f", e.t, s.st.now)
+		}
+		s.st.now = math.Max(s.st.now, e.t)
+		s.dispatch(e)
+	}
+
+	// Any flow still alive at MaxTime would be a leak; with the default
+	// MaxTime this cannot happen, but surface it rather than hide it.
+	if s.metrics.Pending() != 0 {
+		return s.metrics, fmt.Errorf("simnet: %d flows still pending at MaxTime", s.metrics.Pending())
+	}
+	return s.metrics, nil
+}
+
+func (s *Sim) dispatch(e event) {
+	switch e.kind {
+	case evGenArrival:
+		s.generateFlow(e)
+	case evHeadArrive:
+		s.handleFlowAt(e.flow, e.node, e.t)
+	case evProcDone:
+		s.finishProcessing(e)
+	case evReleaseNode:
+		s.st.releaseNode(e.node, e.amount)
+	case evReleaseLink:
+		s.st.releaseLink(e.link, e.amount)
+	case evIdleCheck:
+		s.st.removeInstanceIfIdle(e.node, e.comp, e.t)
+	case evTick:
+		tk := s.cfg.Coordinator.(Ticker)
+		tk.Tick(s.st, e.t)
+		next := e.t + tk.Interval()
+		if next <= s.cfg.Horizon {
+			s.queue.push(event{t: next, kind: evTick})
+		}
+	}
+}
+
+// generateFlow creates the next flow at ingress e.ingress and schedules
+// the subsequent arrival.
+func (s *Sim) generateFlow(e event) {
+	in := s.cfg.Ingresses[e.ingress]
+	f := &Flow{
+		ID:       s.nextID,
+		Service:  s.pickService(),
+		Ingress:  in.Node,
+		Egress:   s.cfg.Egress,
+		Rate:     s.cfg.Template.Rate,
+		Duration: s.cfg.Template.Duration,
+		Deadline: s.cfg.Template.Deadline,
+		Arrival:  e.t,
+	}
+	s.nextID++
+	s.metrics.Arrived++
+	s.handleFlowAt(f, in.Node, e.t)
+
+	next := e.t + in.Arrivals.Next()
+	if next < s.cfg.Horizon {
+		s.queue.push(event{t: next, kind: evGenArrival, ingress: e.ingress})
+	}
+}
+
+// handleFlowAt is the decision point: flow f's head is at node v at time
+// now. It checks expiry and completion, then queries the coordinator and
+// applies the chosen action.
+func (s *Sim) handleFlowAt(f *Flow, v graph.NodeID, now float64) {
+	if f.done {
+		return
+	}
+	if f.Remaining(now) <= capEps {
+		s.drop(f, DropExpired, now)
+		return
+	}
+	if f.Processed() && v == f.Egress {
+		s.complete(f, now)
+		return
+	}
+
+	action := s.cfg.Coordinator.Decide(s.st, f, v, now)
+	f.Decisions++
+	s.metrics.Decisions++
+
+	if action == 0 {
+		s.processLocally(f, v, now)
+		return
+	}
+	s.forward(f, v, action, now)
+}
+
+// processLocally applies action 0: process the requested component at v,
+// or, for a fully processed flow, keep it for one time step.
+func (s *Sim) processLocally(f *Flow, v graph.NodeID, now float64) {
+	if f.Processed() {
+		// Keeping a fully processed flow wastes deadline budget and
+		// incurs the −1/D_G penalty at the listener (Sec. IV-B3).
+		s.metrics.Keeps++
+		s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionKept})
+		s.queue.push(event{t: now + s.cfg.KeepStep, kind: evHeadArrive, flow: f, node: v})
+		return
+	}
+
+	comp := f.Current()
+	need := comp.Resource(f.Rate)
+	if !s.st.nodeFits(v, need) {
+		s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionDropped, Drop: DropNodeCapacity})
+		s.drop(f, DropNodeCapacity, now)
+		return
+	}
+
+	inst, _ := s.st.placeInstance(v, comp, now)
+	procStart := math.Max(now, inst.ReadyAt)
+	procEnd := procStart + comp.ProcDelay
+	release := procEnd + f.Duration
+
+	s.st.allocNode(v, need)
+	s.queue.push(event{t: release, kind: evReleaseNode, node: v, amount: need})
+
+	if release > inst.BusyUntil {
+		inst.BusyUntil = release
+	}
+	s.queue.push(event{t: release + comp.IdleTimeout, kind: evIdleCheck, node: v, comp: comp})
+	s.queue.push(event{t: procEnd, kind: evProcDone, flow: f, node: v})
+
+	s.metrics.Processings++
+	s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionProcessed})
+}
+
+// finishProcessing advances the flow to its next chain component and
+// re-enters the decision loop at the same node.
+func (s *Sim) finishProcessing(e event) {
+	f := e.flow
+	if f.done {
+		return
+	}
+	f.CompIdx++
+	s.cfg.Listener.OnTraversed(f, e.node, e.t)
+	s.handleFlowAt(f, e.node, e.t)
+}
+
+// forward applies action a > 0: send the flow to v's a-th neighbor.
+func (s *Sim) forward(f *Flow, v graph.NodeID, a int, now float64) {
+	neighbors := s.cfg.Graph.Neighbors(v)
+	if a < 0 || a > len(neighbors) {
+		s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropInvalidAction})
+		s.drop(f, DropInvalidAction, now)
+		return
+	}
+	ad := neighbors[a-1]
+	link := s.cfg.Graph.Link(ad.Link)
+	if !s.st.linkFits(ad.Link, f.Rate) {
+		s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropLinkCapacity})
+		s.drop(f, DropLinkCapacity, now)
+		return
+	}
+
+	s.st.allocLink(ad.Link, f.Rate)
+	// The stream consumes the link's data rate while it is being
+	// injected (its duration δ_f); propagation d_l only delays the head
+	// and does not occupy capacity.
+	s.queue.push(event{t: now + f.Duration, kind: evReleaseLink, link: ad.Link, amount: f.Rate})
+	s.queue.push(event{t: now + link.Delay, kind: evHeadArrive, flow: f, node: ad.Neighbor})
+
+	f.Hops++
+	s.metrics.Forwards++
+	s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionForwarded, Link: ad.Link})
+}
+
+// complete records a successful flow.
+func (s *Sim) complete(f *Flow, now float64) {
+	f.done = true
+	s.metrics.Succeeded++
+	d := now - f.Arrival
+	s.metrics.SumDelay += d
+	s.metrics.Delays = append(s.metrics.Delays, d)
+	if d > s.metrics.MaxDelay {
+		s.metrics.MaxDelay = d
+	}
+	s.cfg.Listener.OnFlowEnd(f, true, DropNone, now)
+}
+
+// drop records a dropped flow.
+func (s *Sim) drop(f *Flow, cause DropCause, now float64) {
+	f.done = true
+	s.metrics.Dropped++
+	s.metrics.DropsBy[cause]++
+	s.cfg.Listener.OnFlowEnd(f, false, cause, now)
+}

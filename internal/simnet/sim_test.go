@@ -1,0 +1,637 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/traffic"
+)
+
+// testService returns a 2-component chain with the given processing
+// delay, no startup delay, long idle timeout, and linear unit resources.
+func testService(procDelay float64) *Service {
+	return &Service{
+		Name: "svc",
+		Chain: []*Component{
+			{Name: "c1", ProcDelay: procDelay, IdleTimeout: 1000, ResourcePerRate: 1},
+			{Name: "c2", ProcDelay: procDelay, IdleTimeout: 1000, ResourcePerRate: 1},
+		},
+	}
+}
+
+// lineGraph returns 0-1-2-...-n-1 with unit link delays and the given
+// uniform capacities.
+func lineGraph(n int, nodeCap, linkCap float64) *graph.Graph {
+	g := graph.New("line")
+	for i := 0; i < n; i++ {
+		g.AddNode("", 0, float64(i))
+		g.SetNodeCapacity(graph.NodeID(i), nodeCap)
+	}
+	for i := 0; i < n-1; i++ {
+		if err := g.AddLink(graph.NodeID(i), graph.NodeID(i+1), 1); err != nil {
+			panic(err)
+		}
+		g.SetLinkCapacity(i, linkCap)
+	}
+	return g
+}
+
+// spCoord is a minimal test coordinator: process locally when the node
+// has capacity for the requested component, otherwise (or when fully
+// processed) forward along the shortest path to the egress.
+type spCoord struct{}
+
+func (spCoord) Name() string { return "test-sp" }
+
+func (spCoord) Decide(st *State, f *Flow, v graph.NodeID, now float64) int {
+	if !f.Processed() {
+		need := f.Current().Resource(f.Rate)
+		if st.FreeNode(v) >= need {
+			return 0
+		}
+	}
+	hop := st.APSP().NextHop(v, f.Egress)
+	for i, ad := range st.Graph().Neighbors(v) {
+		if ad.Neighbor == hop {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// fixedCoord replays a scripted decision sequence (per decision, not per
+// flow).
+type fixedCoord struct {
+	script []int
+	i      int
+}
+
+func (c *fixedCoord) Name() string { return "test-fixed" }
+
+func (c *fixedCoord) Decide(*State, *Flow, graph.NodeID, float64) int {
+	if c.i >= len(c.script) {
+		return 0
+	}
+	a := c.script[c.i]
+	c.i++
+	return a
+}
+
+// oneFlow returns a config that emits exactly one flow at t=0 from node 0.
+func oneFlow(g *graph.Graph, svc *Service, egress graph.NodeID, deadline float64, c Coordinator) Config {
+	return Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 1e9}}},
+		Egress:      egress,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: deadline},
+		Horizon:     1e9 + 1, // exactly one arrival
+		Coordinator: c,
+		MaxTime:     2e9,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config) *Metrics {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+func TestSingleFlowSucceedsWithExpectedDelay(t *testing.T) {
+	g := lineGraph(3, 10, 10)
+	svc := testService(5)
+	cfg := oneFlow(g, svc, 2, 100, spCoord{})
+	// Wait: Horizon must be > first arrival; with interval 1e9, nothing
+	// arrives. Use a short fixed interval and horizon for one flow.
+	cfg.Ingresses = []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}}
+	cfg.Horizon = 11
+	cfg.MaxTime = 0 // use default
+	m := mustRun(t, cfg)
+	if m.Arrived != 1 || m.Succeeded != 1 {
+		t.Fatalf("arrived=%d succeeded=%d, want 1/1", m.Arrived, m.Succeeded)
+	}
+	// Both components processed at node 0 (capacity 10), then two hops:
+	// 2*5 processing + 2*1 link delay = 12.
+	if m.AvgDelay() != 12 {
+		t.Errorf("end-to-end delay = %f, want 12", m.AvgDelay())
+	}
+	if m.Forwards != 2 || m.Processings != 2 {
+		t.Errorf("forwards=%d processings=%d, want 2/2", m.Forwards, m.Processings)
+	}
+}
+
+func TestStartupDelayOnlyForNewInstances(t *testing.T) {
+	g := lineGraph(2, 10, 10)
+	svc := &Service{Name: "s", Chain: []*Component{
+		{Name: "c1", ProcDelay: 5, StartupDelay: 7, IdleTimeout: 1000, ResourcePerRate: 1},
+	}}
+	cfg := Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 20}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     41, // arrivals at t=20 and t=40
+		Coordinator: spCoord{},
+	}
+	m := mustRun(t, cfg)
+	if m.Succeeded != 2 {
+		t.Fatalf("succeeded=%d, want 2", m.Succeeded)
+	}
+	// Flow 1 pays startup (7) + proc (5) + link (1) = 13.
+	// Flow 2 reuses the instance: 5 + 1 = 6. Mean = 9.5.
+	if m.AvgDelay() != 9.5 {
+		t.Errorf("avg delay = %f, want 9.5 (startup paid once)", m.AvgDelay())
+	}
+}
+
+func TestNodeCapacityDrop(t *testing.T) {
+	// Single node network: flow must be processed at node 0, capacity 0.5
+	// cannot fit unit-rate processing.
+	g := graph.New("single")
+	g.AddNode("", 0, 0)
+	g.AddNode("", 0, 1)
+	if err := g.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.SetNodeCapacity(0, 0.5)
+	g.SetNodeCapacity(1, 0.5)
+	g.SetLinkCapacity(0, 10)
+	svc := testService(5)
+	cfg := Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     11,
+		Coordinator: &fixedCoord{script: []int{0}}, // insist on local processing
+	}
+	m := mustRun(t, cfg)
+	if m.Dropped != 1 || m.DropsBy[DropNodeCapacity] != 1 {
+		t.Errorf("drops=%d byCause=%v, want 1 node-capacity drop", m.Dropped, m.DropsBy)
+	}
+}
+
+func TestLinkCapacityDrop(t *testing.T) {
+	g := lineGraph(2, 10, 0.5) // link cannot carry a unit-rate flow
+	svc := testService(5)
+	cfg := Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     11,
+		Coordinator: &fixedCoord{script: []int{1}}, // forward immediately
+	}
+	m := mustRun(t, cfg)
+	if m.DropsBy[DropLinkCapacity] != 1 {
+		t.Errorf("drops by cause = %v, want 1 link-capacity drop", m.DropsBy)
+	}
+}
+
+func TestInvalidActionDrop(t *testing.T) {
+	g := lineGraph(2, 10, 10)
+	svc := testService(5)
+	cfg := Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     11,
+		Coordinator: &fixedCoord{script: []int{5}}, // node 0 has one neighbor
+	}
+	m := mustRun(t, cfg)
+	if m.DropsBy[DropInvalidAction] != 1 {
+		t.Errorf("drops by cause = %v, want 1 invalid-action drop", m.DropsBy)
+	}
+}
+
+func TestDeadlineExpiry(t *testing.T) {
+	g := lineGraph(3, 10, 10)
+	svc := testService(5) // needs >= 12 time units end to end
+	cfg := Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      2,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 8},
+		Horizon:     11,
+		Coordinator: spCoord{},
+	}
+	m := mustRun(t, cfg)
+	if m.Succeeded != 0 || m.DropsBy[DropExpired] != 1 {
+		t.Errorf("succeeded=%d drops=%v, want 0 successes and 1 expiry", m.Succeeded, m.DropsBy)
+	}
+}
+
+func TestKeepProcessedFlowCostsTime(t *testing.T) {
+	g := lineGraph(2, 10, 10)
+	svc := &Service{Name: "s", Chain: []*Component{
+		{Name: "c1", ProcDelay: 5, IdleTimeout: 1000, ResourcePerRate: 1},
+	}}
+	// Process at 0, then keep the processed flow 3 times, then forward.
+	cfg := Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     11,
+		Coordinator: &fixedCoord{script: []int{0, 0, 0, 0, 1}},
+	}
+	m := mustRun(t, cfg)
+	if m.Succeeded != 1 {
+		t.Fatalf("succeeded=%d drops=%v, want success", m.Succeeded, m.DropsBy)
+	}
+	// 5 processing + 3 keep steps + 1 link = 9.
+	if m.AvgDelay() != 9 {
+		t.Errorf("delay = %f, want 9", m.AvgDelay())
+	}
+	if m.Keeps != 3 {
+		t.Errorf("keeps = %d, want 3", m.Keeps)
+	}
+}
+
+func TestConcurrentFlowsShareNodeCapacity(t *testing.T) {
+	// Node 0 has capacity 1: can process one unit-rate flow at a time.
+	// Two flows arrive 1 step apart; the second must be dropped when the
+	// coordinator insists on local processing.
+	g := lineGraph(2, 1, 10)
+	svc := &Service{Name: "s", Chain: []*Component{
+		{Name: "c1", ProcDelay: 5, IdleTimeout: 1000, ResourcePerRate: 1},
+	}}
+	cfg := Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 1}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 10, Deadline: 100},
+		Horizon:     2.5, // arrivals at t=1, t=2
+		Coordinator: &fixedCoord{script: []int{0, 0, 1, 1}},
+	}
+	m := mustRun(t, cfg)
+	if m.DropsBy[DropNodeCapacity] != 1 {
+		t.Errorf("drops=%v, want exactly 1 node-capacity drop", m.DropsBy)
+	}
+	if m.Succeeded != 1 {
+		t.Errorf("succeeded=%d, want 1", m.Succeeded)
+	}
+}
+
+func TestResourcesReleasedAfterFlowPasses(t *testing.T) {
+	// Same as above but the flows are far apart: both fit sequentially.
+	g := lineGraph(2, 1, 10)
+	svc := &Service{Name: "s", Chain: []*Component{
+		{Name: "c1", ProcDelay: 5, IdleTimeout: 1000, ResourcePerRate: 1},
+	}}
+	cfg := Config{
+		Graph:       g,
+		Service:     svc,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 50}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 10, Deadline: 100},
+		Horizon:     101,
+		Coordinator: spCoord{},
+	}
+	m := mustRun(t, cfg)
+	if m.Succeeded != 2 {
+		t.Errorf("succeeded=%d drops=%v, want both flows to fit sequentially", m.Succeeded, m.DropsBy)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := lineGraph(2, 1, 1)
+	svc := testService(5)
+	valid := func() Config {
+		return Config{
+			Graph:       g,
+			Service:     svc,
+			Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+			Egress:      1,
+			Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+			Horizon:     100,
+			Coordinator: spCoord{},
+		}
+	}
+	mutations := map[string]func(*Config){
+		"nil graph":        func(c *Config) { c.Graph = nil },
+		"nil service":      func(c *Config) { c.Service = nil },
+		"nil coordinator":  func(c *Config) { c.Coordinator = nil },
+		"no ingresses":     func(c *Config) { c.Ingresses = nil },
+		"bad ingress node": func(c *Config) { c.Ingresses[0].Node = 99 },
+		"nil arrivals":     func(c *Config) { c.Ingresses[0].Arrivals = nil },
+		"bad egress":       func(c *Config) { c.Egress = -2 },
+		"zero horizon":     func(c *Config) { c.Horizon = 0 },
+		"zero rate":        func(c *Config) { c.Template.Rate = 0 },
+		"zero duration":    func(c *Config) { c.Template.Duration = 0 },
+		"zero deadline":    func(c *Config) { c.Template.Deadline = 0 },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			cfg := valid()
+			mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("New accepted invalid config")
+			}
+		})
+	}
+	t.Run("empty chain", func(t *testing.T) {
+		cfg := valid()
+		cfg.Service = &Service{Name: "empty"}
+		if _, err := New(cfg); err == nil {
+			t.Error("New accepted empty service chain")
+		}
+	})
+}
+
+// randCoord takes uniformly random (frequently invalid) actions.
+type randCoord struct{ rng *rand.Rand }
+
+func (randCoord) Name() string { return "test-random" }
+
+func (c randCoord) Decide(st *State, f *Flow, v graph.NodeID, now float64) int {
+	return c.rng.Intn(st.Graph().MaxDegree() + 1)
+}
+
+// TestFlowAccountingInvariant: for arbitrary coordinators and traffic,
+// every arrived flow ends as exactly one of succeeded or dropped.
+func TestFlowAccountingInvariant(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := lineGraph(4, 2, 2)
+		cfg := Config{
+			Graph:   g,
+			Service: testService(5),
+			Ingresses: []Ingress{
+				{Node: 0, Arrivals: traffic.NewPoisson(5, rng)},
+				{Node: 1, Arrivals: traffic.NewPoisson(7, rng)},
+			},
+			Egress:      3,
+			Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 50},
+			Horizon:     500,
+			Coordinator: randCoord{rng: rng},
+		}
+		m := mustRun(t, cfg)
+		if m.Pending() != 0 {
+			t.Fatalf("seed %d: %d flows unaccounted (arrived=%d succ=%d drop=%d)",
+				seed, m.Pending(), m.Arrived, m.Succeeded, m.Dropped)
+		}
+		if m.Arrived == 0 {
+			t.Fatalf("seed %d: no flows generated", seed)
+		}
+	}
+}
+
+// TestDeterminism: identical seeds yield identical metrics.
+func TestDeterminism(t *testing.T) {
+	run := func() *Metrics {
+		rng := rand.New(rand.NewSource(99))
+		g := lineGraph(4, 2, 2)
+		cfg := Config{
+			Graph:       g,
+			Service:     testService(5),
+			Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.NewPoisson(5, rng)}},
+			Egress:      3,
+			Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 50},
+			Horizon:     1000,
+			Coordinator: randCoord{rng: rng},
+		}
+		return mustRun(t, Config(cfg))
+	}
+	a, b := run(), run()
+	if a.Arrived != b.Arrived || a.Succeeded != b.Succeeded || a.Dropped != b.Dropped ||
+		a.SumDelay != b.SumDelay || a.Decisions != b.Decisions {
+		t.Errorf("non-deterministic runs: %+v vs %+v", a, b)
+	}
+}
+
+// recordingListener captures listener callbacks for verification.
+type recordingListener struct {
+	NopListener
+	actions   int
+	traversed int
+	ends      int
+	successes int
+}
+
+func (l *recordingListener) OnAction(*Flow, graph.NodeID, float64, int, ActionResult) { l.actions++ }
+func (l *recordingListener) OnTraversed(*Flow, graph.NodeID, float64)                 { l.traversed++ }
+func (l *recordingListener) OnFlowEnd(f *Flow, success bool, cause DropCause, now float64) {
+	l.ends++
+	if success {
+		l.successes++
+	}
+}
+
+func TestListenerCallbacks(t *testing.T) {
+	g := lineGraph(3, 10, 10)
+	lis := &recordingListener{}
+	cfg := Config{
+		Graph:       g,
+		Service:     testService(5),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      2,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     31, // 3 flows
+		Coordinator: spCoord{},
+		Listener:    lis,
+	}
+	m := mustRun(t, cfg)
+	if lis.ends != 3 || lis.successes != m.Succeeded {
+		t.Errorf("listener ends=%d successes=%d, metrics succeeded=%d", lis.ends, lis.successes, m.Succeeded)
+	}
+	// Each flow traverses 2 components.
+	if lis.traversed != 2*m.Succeeded {
+		t.Errorf("traversed=%d, want %d", lis.traversed, 2*m.Succeeded)
+	}
+	if lis.actions != m.Decisions {
+		t.Errorf("listener actions=%d, metrics decisions=%d", lis.actions, m.Decisions)
+	}
+}
+
+func TestMultiServiceMix(t *testing.T) {
+	g := lineGraph(2, 100, 100)
+	short := &Service{Name: "short", Chain: []*Component{
+		{Name: "s1", ProcDelay: 1, IdleTimeout: 1000, ResourcePerRate: 0.1},
+	}}
+	long := &Service{Name: "long", Chain: []*Component{
+		{Name: "l1", ProcDelay: 1, IdleTimeout: 1000, ResourcePerRate: 0.1},
+		{Name: "l2", ProcDelay: 1, IdleTimeout: 1000, ResourcePerRate: 0.1},
+		{Name: "l3", ProcDelay: 1, IdleTimeout: 1000, ResourcePerRate: 0.1},
+	}}
+	counts := map[string]int{}
+	counter := coordFunc(func(st *State, f *Flow, v graph.NodeID, now float64) int {
+		if f.Decisions == 0 {
+			counts[f.Service.Name]++
+		}
+		return spCoord{}.Decide(st, f, v, now)
+	})
+	cfg := Config{
+		Graph: g,
+		Services: []WeightedService{
+			{Service: short, Weight: 3},
+			{Service: long, Weight: 1},
+		},
+		ServiceSeed: 7,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 2}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     2000,
+		Coordinator: counter,
+	}
+	m := mustRun(t, cfg)
+	if m.SuccessRatio() != 1 {
+		t.Fatalf("success ratio = %f, want 1 (ample capacity)", m.SuccessRatio())
+	}
+	if counts["short"] == 0 || counts["long"] == 0 {
+		t.Fatalf("service mix not sampled: %v", counts)
+	}
+	ratio := float64(counts["short"]) / float64(counts["long"])
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("short:long ratio = %.2f, want ~3 (weights 3:1); counts %v", ratio, counts)
+	}
+}
+
+// coordFunc adapts a function to the Coordinator interface for tests.
+type coordFunc func(*State, *Flow, graph.NodeID, float64) int
+
+func (coordFunc) Name() string { return "func" }
+
+func (f coordFunc) Decide(st *State, fl *Flow, v graph.NodeID, now float64) int {
+	return f(st, fl, v, now)
+}
+
+func TestMultiServiceValidation(t *testing.T) {
+	g := lineGraph(2, 1, 1)
+	base := Config{
+		Graph:       g,
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     100,
+		Coordinator: spCoord{},
+	}
+	cfg := base
+	cfg.Services = []WeightedService{{Service: nil, Weight: 1}}
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted nil service in mix")
+	}
+	cfg = base
+	cfg.Services = []WeightedService{{Service: testService(1), Weight: -1}}
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted negative weight")
+	}
+	cfg = base
+	cfg.Services = []WeightedService{{Service: testService(1), Weight: 0}}
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted zero total weight")
+	}
+}
+
+// TestCapacitiesNeverExceeded: under an arbitrary (random) coordinator,
+// the simulator itself must guarantee that committed node and link
+// resources never exceed capacities.
+func TestCapacitiesNeverExceeded(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := lineGraph(5, 1.5, 1.5)
+		checker := coordFunc(func(st *State, f *Flow, v graph.NodeID, now float64) int {
+			for n := 0; n < st.Graph().NumNodes(); n++ {
+				id := graph.NodeID(n)
+				if st.UsedNode(id) > st.Graph().Node(id).Capacity+1e-6 {
+					t.Fatalf("seed %d: node %d over capacity: %f > %f",
+						seed, n, st.UsedNode(id), st.Graph().Node(id).Capacity)
+				}
+			}
+			for l := 0; l < st.Graph().NumLinks(); l++ {
+				if st.UsedLink(l) > st.Graph().Link(l).Capacity+1e-6 {
+					t.Fatalf("seed %d: link %d over capacity: %f > %f",
+						seed, l, st.UsedLink(l), st.Graph().Link(l).Capacity)
+				}
+			}
+			return rng.Intn(3)
+		})
+		cfg := Config{
+			Graph:       g,
+			Service:     testService(4),
+			Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.NewPoisson(3, rng)}},
+			Egress:      4,
+			Template:    FlowTemplate{Rate: 1, Duration: 2, Deadline: 60},
+			Horizon:     800,
+			Coordinator: checker,
+		}
+		mustRun(t, cfg)
+	}
+}
+
+// TestTickerIntegration: a ticking coordinator receives ticks at its
+// interval until the horizon.
+func TestTickerIntegration(t *testing.T) {
+	g := lineGraph(2, 10, 10)
+	tc := &tickingCoord{interval: 100}
+	cfg := Config{
+		Graph:       g,
+		Service:     testService(1),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 50}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     1000,
+		Coordinator: tc,
+	}
+	mustRun(t, cfg)
+	// Ticks at t = 0, 100, ..., 1000 -> 11 ticks.
+	if tc.ticks != 11 {
+		t.Errorf("ticks = %d, want 11", tc.ticks)
+	}
+	if !tc.reset {
+		t.Error("Reset was not called before the run")
+	}
+}
+
+type tickingCoord struct {
+	interval float64
+	ticks    int
+	reset    bool
+}
+
+func (c *tickingCoord) Name() string      { return "ticker" }
+func (c *tickingCoord) Interval() float64 { return c.interval }
+func (c *tickingCoord) Tick(st *State, now float64) {
+	c.ticks++
+}
+func (c *tickingCoord) Reset(*State) { c.reset = true }
+func (c *tickingCoord) Decide(st *State, f *Flow, v graph.NodeID, now float64) int {
+	return spCoord{}.Decide(st, f, v, now)
+}
+
+func TestTickerRejectsNonPositiveInterval(t *testing.T) {
+	g := lineGraph(2, 10, 10)
+	tc := &tickingCoord{interval: 0}
+	cfg := Config{
+		Graph:       g,
+		Service:     testService(1),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 50}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     200,
+		Coordinator: tc,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("Run accepted zero tick interval")
+	}
+}

@@ -1,0 +1,214 @@
+// Package simnet is a flow-level discrete-event simulator for online
+// service coordination, the Go equivalent of the paper's coord-sim
+// substrate. It models the problem of Sec. III: services are chains of
+// components; flows arrive at ingress nodes, must traverse an instance of
+// every chain component in order, and then reach their egress node within
+// their deadline. Nodes have compute capacities, links have propagation
+// delays and shared data-rate capacities, and component instances are
+// placed implicitly by processing decisions (scaling and placement follow
+// from scheduling, Sec. IV-A).
+//
+// The simulator delegates every per-flow decision to a Coordinator: when
+// a flow's head is at node v, the coordinator picks action 0 (process the
+// currently requested component locally) or action a>0 (forward the flow
+// to v's a-th neighbor). Everything the paper's approaches differ in
+// lives behind that interface.
+package simnet
+
+import (
+	"fmt"
+
+	"distcoord/internal/graph"
+)
+
+// Component is one service chain component (a VNF, microservice, or ML
+// function). Resource demand is affine in the flow data rate:
+// r_c(λ) = ResourceBase + ResourcePerRate·λ (the paper's base scenario
+// uses purely linear demand).
+type Component struct {
+	Name            string
+	ProcDelay       float64 // d_c: processing delay added to a traversing flow
+	StartupDelay    float64 // d_c^up: delay before a newly placed instance is ready
+	IdleTimeout     float64 // δ_c: idle time after which an unused instance is removed
+	ResourceBase    float64
+	ResourcePerRate float64
+}
+
+// Resource returns r_c(λ), the node resources one flow of data rate λ
+// consumes while being processed by this component.
+func (c *Component) Resource(rate float64) float64 {
+	return c.ResourceBase + c.ResourcePerRate*rate
+}
+
+// Service is an ordered chain of components that flows traverse in order.
+type Service struct {
+	Name  string
+	Chain []*Component
+}
+
+// Len returns the chain length n_s.
+func (s *Service) Len() int { return len(s.Chain) }
+
+// Validate checks that the service is well formed.
+func (s *Service) Validate() error {
+	if len(s.Chain) == 0 {
+		return fmt.Errorf("simnet: service %q has an empty chain", s.Name)
+	}
+	for i, c := range s.Chain {
+		if c == nil {
+			return fmt.Errorf("simnet: service %q chain[%d] is nil", s.Name, i)
+		}
+		if c.ProcDelay < 0 || c.StartupDelay < 0 || c.IdleTimeout < 0 {
+			return fmt.Errorf("simnet: component %q has negative delay parameters", c.Name)
+		}
+	}
+	return nil
+}
+
+// Flow is one user flow (request): a continuous stream with data rate λ_f
+// and duration δ_f that must traverse all components of its service and
+// reach its egress within Deadline of its arrival (fluid approximation,
+// Sec. III-A).
+type Flow struct {
+	ID       int
+	Service  *Service
+	CompIdx  int // index of the currently requested component; == chain length means fully processed (c_f = ∅)
+	Ingress  graph.NodeID
+	Egress   graph.NodeID
+	Rate     float64 // λ_f
+	Duration float64 // δ_f
+	Deadline float64 // τ_f, relative to Arrival
+	Arrival  float64 // t_f^in
+
+	// Hops counts link traversals so far (diagnostics).
+	Hops int
+	// Decisions counts coordinator queries for this flow (diagnostics).
+	Decisions int
+
+	done bool
+}
+
+// Processed reports whether the flow has traversed its full chain
+// (c_f = ∅) and only needs routing to its egress.
+func (f *Flow) Processed() bool { return f.CompIdx >= len(f.Service.Chain) }
+
+// Current returns the currently requested component, or nil if the flow
+// is fully processed.
+func (f *Flow) Current() *Component {
+	if f.Processed() {
+		return nil
+	}
+	return f.Service.Chain[f.CompIdx]
+}
+
+// Remaining returns τ_f^t, the time left until the flow's deadline.
+func (f *Flow) Remaining(now float64) float64 {
+	return f.Deadline - (now - f.Arrival)
+}
+
+// Progress returns p̂_f ∈ [0,1], the fraction of the chain traversed.
+func (f *Flow) Progress() float64 {
+	return float64(f.CompIdx) / float64(len(f.Service.Chain))
+}
+
+// DropCause classifies why a flow was dropped.
+type DropCause int
+
+// Drop causes, mirroring the failure modes of Sec. III-B and IV-B2.
+const (
+	DropNone          DropCause = iota // flow was not dropped
+	DropInvalidAction                  // action pointed to a non-existing neighbor
+	DropNodeCapacity                   // processing would exceed cap_v
+	DropLinkCapacity                   // forwarding would exceed cap_l
+	DropExpired                        // deadline τ_f reached before completion
+)
+
+// String implements fmt.Stringer.
+func (d DropCause) String() string {
+	switch d {
+	case DropNone:
+		return "none"
+	case DropInvalidAction:
+		return "invalid-action"
+	case DropNodeCapacity:
+		return "node-capacity"
+	case DropLinkCapacity:
+		return "link-capacity"
+	case DropExpired:
+		return "expired"
+	}
+	return fmt.Sprintf("DropCause(%d)", int(d))
+}
+
+// ActionKind classifies what an action did.
+type ActionKind int
+
+// Action outcomes delivered to Listeners.
+const (
+	ActionProcessed ActionKind = iota // processing at a local instance started
+	ActionForwarded                   // flow sent over a link to a neighbor
+	ActionKept                        // fully processed flow held for one time step
+	ActionDropped                     // the action dropped the flow
+)
+
+// ActionResult describes the immediate effect of one coordinator action.
+type ActionResult struct {
+	Kind ActionKind
+	Link int       // link index when Kind == ActionForwarded
+	Drop DropCause // cause when Kind == ActionDropped
+}
+
+// Listener observes simulation events. The DRL trainer uses it to
+// assemble reward signals; metrics collection uses it for accounting.
+// All callbacks run synchronously inside the event loop.
+type Listener interface {
+	// OnAction reports a coordinator decision and its immediate effect.
+	OnAction(f *Flow, v graph.NodeID, now float64, action int, res ActionResult)
+	// OnTraversed reports that f finished processing at an instance at v
+	// (the shaped +1/n_s reward point, Sec. IV-B3).
+	OnTraversed(f *Flow, v graph.NodeID, now float64)
+	// OnFlowEnd reports flow completion (success) or any drop.
+	OnFlowEnd(f *Flow, success bool, cause DropCause, now float64)
+}
+
+// NopListener is a Listener that ignores all events. Embed it to
+// implement only a subset of callbacks.
+type NopListener struct{}
+
+// OnAction implements Listener.
+func (NopListener) OnAction(*Flow, graph.NodeID, float64, int, ActionResult) {}
+
+// OnTraversed implements Listener.
+func (NopListener) OnTraversed(*Flow, graph.NodeID, float64) {}
+
+// OnFlowEnd implements Listener.
+func (NopListener) OnFlowEnd(*Flow, bool, DropCause, float64) {}
+
+// Coordinator makes the per-flow decision y_{f,c,v}(t): action 0 means
+// "process locally at v" (placing an instance if needed, which also sets
+// x_{c,v}(t) = 1), action a ∈ 1..Δ_G means "forward to v's a-th
+// neighbor". Actions beyond v's neighbor count are invalid and drop the
+// flow (Sec. IV-B2).
+type Coordinator interface {
+	// Name identifies the coordination algorithm in experiment output.
+	Name() string
+	// Decide is called whenever flow f's head is at node v at time now
+	// and a decision is required. st offers read access to network state;
+	// distributed coordinators must restrict themselves to v-local
+	// information.
+	Decide(st *State, f *Flow, v graph.NodeID, now float64) int
+}
+
+// Ticker is an optional Coordinator extension for algorithms that update
+// internal rules periodically from (delayed) monitoring data, like the
+// centralized approach of [10]. Tick is called every Interval time steps.
+type Ticker interface {
+	Interval() float64
+	Tick(st *State, now float64)
+}
+
+// Resetter is an optional Coordinator extension for algorithms that carry
+// per-run state; Reset is called once before each simulation run.
+type Resetter interface {
+	Reset(st *State)
+}

@@ -1,0 +1,159 @@
+package simnet
+
+import (
+	"distcoord/internal/graph"
+)
+
+// capEps absorbs floating point drift in capacity ledgers.
+const capEps = 1e-9
+
+// Instance is a placed component instance at a node (x_{c,v} = 1).
+type Instance struct {
+	Comp *Component
+	// ReadyAt is when the instance finishes starting up (d_c^up).
+	ReadyAt float64
+	// BusyUntil is the latest time any accepted flow still occupies the
+	// instance; the idle timeout counts from here.
+	BusyUntil float64
+}
+
+// State is the live network state during a simulation: capacity ledgers
+// for nodes and links plus placed instances. Coordinators receive it
+// read-only via its accessor methods; distributed algorithms must only
+// inspect the current node and its direct neighbors.
+type State struct {
+	g    *graph.Graph
+	apsp *graph.APSP
+
+	usedNode  []float64
+	usedLink  []float64
+	instances []map[string]*Instance // per node, keyed by component name
+	now       float64
+}
+
+// NewState returns a fresh state for the given (capacity-assigned) graph.
+// The APSP may be shared across runs on the same topology.
+func NewState(g *graph.Graph, apsp *graph.APSP) *State {
+	st := &State{
+		g:         g,
+		apsp:      apsp,
+		usedNode:  make([]float64, g.NumNodes()),
+		usedLink:  make([]float64, g.NumLinks()),
+		instances: make([]map[string]*Instance, g.NumNodes()),
+	}
+	for i := range st.instances {
+		st.instances[i] = make(map[string]*Instance)
+	}
+	return st
+}
+
+// Graph returns the substrate network.
+func (st *State) Graph() *graph.Graph { return st.g }
+
+// APSP returns the precomputed all-pairs shortest paths.
+func (st *State) APSP() *graph.APSP { return st.apsp }
+
+// Now returns the current simulation time.
+func (st *State) Now() float64 { return st.now }
+
+// UsedNode returns r_v(t), the compute resources currently in use at v.
+func (st *State) UsedNode(v graph.NodeID) float64 { return st.usedNode[v] }
+
+// FreeNode returns cap_v − r_v(t).
+func (st *State) FreeNode(v graph.NodeID) float64 {
+	return st.g.Node(v).Capacity - st.usedNode[v]
+}
+
+// UsedLink returns r_l(t), the data rate currently allocated on link l
+// (both directions share the capacity).
+func (st *State) UsedLink(l int) float64 { return st.usedLink[l] }
+
+// FreeLink returns cap_l − r_l(t).
+func (st *State) FreeLink(l int) float64 {
+	return st.g.Link(l).Capacity - st.usedLink[l]
+}
+
+// Instance returns the instance of component comp placed at v, or nil.
+func (st *State) Instance(v graph.NodeID, comp *Component) *Instance {
+	if comp == nil {
+		return nil
+	}
+	return st.instances[v][comp.Name]
+}
+
+// HasInstance reports x_{c,v}(t) for the flow's currently requested
+// component; it is always false for fully processed flows.
+func (st *State) HasInstance(v graph.NodeID, comp *Component) bool {
+	return st.Instance(v, comp) != nil
+}
+
+// InstanceCount returns the number of distinct component instances placed
+// at v (diagnostics).
+func (st *State) InstanceCount(v graph.NodeID) int { return len(st.instances[v]) }
+
+// TotalInstances returns the number of placed instances network-wide.
+func (st *State) TotalInstances() int {
+	n := 0
+	for _, m := range st.instances {
+		n += len(m)
+	}
+	return n
+}
+
+// nodeFits reports whether processing demand fits at v.
+func (st *State) nodeFits(v graph.NodeID, demand float64) bool {
+	return st.usedNode[v]+demand <= st.g.Node(v).Capacity+capEps
+}
+
+// linkFits reports whether an additional rate fits on link l.
+func (st *State) linkFits(l int, rate float64) bool {
+	return st.usedLink[l]+rate <= st.g.Link(l).Capacity+capEps
+}
+
+// allocNode reserves compute resources at v.
+func (st *State) allocNode(v graph.NodeID, demand float64) { st.usedNode[v] += demand }
+
+// releaseNode frees compute resources at v, clamping tiny negative drift.
+func (st *State) releaseNode(v graph.NodeID, demand float64) {
+	st.usedNode[v] -= demand
+	if st.usedNode[v] < 0 {
+		st.usedNode[v] = 0
+	}
+}
+
+// allocLink reserves data rate on link l.
+func (st *State) allocLink(l int, rate float64) { st.usedLink[l] += rate }
+
+// releaseLink frees data rate on link l, clamping tiny negative drift.
+func (st *State) releaseLink(l int, rate float64) {
+	st.usedLink[l] -= rate
+	if st.usedLink[l] < 0 {
+		st.usedLink[l] = 0
+	}
+}
+
+// placeInstance ensures an instance of comp exists at v, returning it and
+// whether it was newly placed (scaling/placement derived from
+// scheduling, Sec. IV-A).
+func (st *State) placeInstance(v graph.NodeID, comp *Component, now float64) (inst *Instance, created bool) {
+	if inst := st.instances[v][comp.Name]; inst != nil {
+		return inst, false
+	}
+	inst = &Instance{Comp: comp, ReadyAt: now + comp.StartupDelay}
+	st.instances[v][comp.Name] = inst
+	return inst, true
+}
+
+// removeInstanceIfIdle removes v's instance of comp when it has been idle
+// for its full idle timeout at time now. Returns whether it was removed.
+func (st *State) removeInstanceIfIdle(v graph.NodeID, comp *Component, now float64) bool {
+	inst := st.instances[v][comp.Name]
+	if inst == nil {
+		return false
+	}
+	if now+capEps >= inst.BusyUntil+comp.IdleTimeout {
+		delete(st.instances[v], comp.Name)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+// Package traffic implements the flow arrival processes of the paper's
+// evaluation (Sec. V-B): fixed-interval arrival, Poisson arrival,
+// two-state Markov-modulated Poisson (MMPP) arrival, and trace-driven
+// arrival from piecewise-constant rate series. All processes are
+// deterministic given their random source.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Process generates successive flow inter-arrival times at one ingress
+// node. Implementations are not safe for concurrent use; each ingress
+// gets its own instance.
+type Process interface {
+	// Next returns the time until the next flow arrival (> 0).
+	Next() float64
+	// Name identifies the arrival pattern (for experiment labels).
+	Name() string
+}
+
+// Fixed emits flows at a constant interval ("fixed flow arrival with
+// flows arriving every 10 time steps", Fig. 6a).
+type Fixed struct {
+	Interval float64
+}
+
+// Next returns the constant interval.
+func (f Fixed) Next() float64 { return f.Interval }
+
+// Name implements Process.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%g)", f.Interval) }
+
+// Poisson emits flows with exponentially distributed inter-arrival times
+// (Fig. 6b, mean 10 in the base scenario).
+type Poisson struct {
+	Mean float64
+	rng  *rand.Rand
+}
+
+// NewPoisson returns a Poisson process with the given mean inter-arrival
+// time, drawing randomness from rng.
+func NewPoisson(mean float64, rng *rand.Rand) *Poisson {
+	return &Poisson{Mean: mean, rng: rng}
+}
+
+// Next draws an exponential inter-arrival time.
+func (p *Poisson) Next() float64 {
+	return expDraw(p.rng, p.Mean)
+}
+
+// Name implements Process.
+func (p *Poisson) Name() string { return fmt.Sprintf("poisson(%g)", p.Mean) }
+
+// expDraw returns an Exp(1/mean) sample, bounded away from zero so event
+// times strictly advance.
+func expDraw(rng *rand.Rand, mean float64) float64 {
+	d := rng.ExpFloat64() * mean
+	if d < 1e-9 {
+		d = 1e-9
+	}
+	return d
+}
+
+// MMPP is a two-state Markov-modulated Poisson process (Fig. 6c): flow
+// inter-arrival times are exponential with the current state's mean; at
+// every SwitchEvery time steps the state toggles with probability
+// SwitchProb. The paper uses means 12 and 8, SwitchEvery 100, and
+// SwitchProb 0.05.
+type MMPP struct {
+	MeanA, MeanB float64
+	SwitchEvery  float64
+	SwitchProb   float64
+
+	rng          *rand.Rand
+	inB          bool
+	clock        float64 // process-local time of the last arrival
+	nextBoundary float64
+}
+
+// NewMMPP returns a two-state MMPP starting in state A.
+func NewMMPP(meanA, meanB, switchEvery, switchProb float64, rng *rand.Rand) *MMPP {
+	return &MMPP{
+		MeanA:        meanA,
+		MeanB:        meanB,
+		SwitchEvery:  switchEvery,
+		SwitchProb:   switchProb,
+		rng:          rng,
+		nextBoundary: switchEvery,
+	}
+}
+
+// Next returns the time until the next arrival, toggling the modulation
+// state at every boundary crossed since the previous arrival.
+func (m *MMPP) Next() float64 {
+	for {
+		mean := m.MeanA
+		if m.inB {
+			mean = m.MeanB
+		}
+		d := expDraw(m.rng, mean)
+		if m.clock+d < m.nextBoundary {
+			m.clock += d
+			return d
+		}
+		// A state boundary lies before the tentative arrival: advance to
+		// it, roll the switch, and redraw (memorylessness makes the
+		// redraw statistically exact).
+		m.clock = m.nextBoundary
+		m.nextBoundary += m.SwitchEvery
+		if m.rng.Float64() < m.SwitchProb {
+			m.inB = !m.inB
+		}
+	}
+}
+
+// Name implements Process.
+func (m *MMPP) Name() string {
+	return fmt.Sprintf("mmpp(%g,%g)", m.MeanA, m.MeanB)
+}
+
+// InHighRateState reports whether the process is currently in state B.
+func (m *MMPP) InHighRateState() bool { return m.inB }
+
+// TraceSegment is one piecewise-constant section of a trace: flows arrive
+// as a Poisson process with the given mean inter-arrival time for
+// Duration time steps.
+type TraceSegment struct {
+	Duration float64
+	Mean     float64
+}
+
+// Trace replays a rate series as a non-homogeneous Poisson process,
+// standing in for the real-world Abilene traffic traces (Fig. 6d). The
+// trace wraps around when exhausted.
+type Trace struct {
+	segments []TraceSegment
+	rng      *rand.Rand
+	seg      int
+	clock    float64 // time within the current segment
+	label    string
+}
+
+// NewTrace returns a trace-driven process over the given segments.
+func NewTrace(label string, segments []TraceSegment, rng *rand.Rand) (*Trace, error) {
+	if len(segments) == 0 {
+		return nil, errors.New("traffic: empty trace")
+	}
+	for i, s := range segments {
+		if s.Duration <= 0 || s.Mean <= 0 {
+			return nil, fmt.Errorf("traffic: segment %d has non-positive duration or mean", i)
+		}
+	}
+	return &Trace{segments: segments, rng: rng, label: label}, nil
+}
+
+// Next returns the time until the next arrival, walking across segment
+// boundaries as needed.
+func (t *Trace) Next() float64 {
+	total := 0.0
+	for {
+		s := t.segments[t.seg]
+		d := expDraw(t.rng, s.Mean)
+		if t.clock+d < s.Duration {
+			t.clock += d
+			return total + d
+		}
+		total += s.Duration - t.clock
+		t.clock = 0
+		t.seg = (t.seg + 1) % len(t.segments)
+	}
+}
+
+// Name implements Process.
+func (t *Trace) Name() string { return "trace(" + t.label + ")" }
+
+// SyntheticDiurnalTrace generates a day-shaped rate series: the mean
+// inter-arrival time swings sinusoidally between baseMean (night, calm)
+// and baseMean/peakFactor (daytime peak), with short random bursts
+// superimposed. It substitutes for the SNDlib Abilene traces, preserving
+// the property Fig. 6d exercises: non-stationary arrival rates with
+// bursts that statically configured rules mishandle (see DESIGN.md,
+// substitution 4).
+func SyntheticDiurnalTrace(baseMean, peakFactor float64, periods int, rng *rand.Rand) []TraceSegment {
+	const segmentsPerPeriod = 24
+	const segmentLen = 100.0
+	segs := make([]TraceSegment, 0, periods*segmentsPerPeriod)
+	for p := 0; p < periods; p++ {
+		for h := 0; h < segmentsPerPeriod; h++ {
+			phase := 2 * math.Pi * float64(h) / segmentsPerPeriod
+			// Load factor in [1, peakFactor]: 1 at night, peakFactor at noon.
+			load := 1 + (peakFactor-1)*(1-math.Cos(phase))/2
+			mean := baseMean / load
+			// Occasional burst: a short segment with doubled arrival rate.
+			if rng.Float64() < 0.15 {
+				segs = append(segs,
+					TraceSegment{Duration: segmentLen * 0.8, Mean: mean},
+					TraceSegment{Duration: segmentLen * 0.2, Mean: mean / 2})
+				continue
+			}
+			segs = append(segs, TraceSegment{Duration: segmentLen, Mean: mean})
+		}
+	}
+	return segs
+}
+
+// Spec names an arrival pattern and builds fresh Process instances from a
+// random source, so scenarios can create one independent process per
+// ingress node per seed.
+type Spec struct {
+	Label string
+	New   func(rng *rand.Rand) Process
+}
+
+// FixedSpec returns a Spec for constant-interval arrivals.
+func FixedSpec(interval float64) Spec {
+	return Spec{
+		Label: Fixed{interval}.Name(),
+		New:   func(*rand.Rand) Process { return Fixed{interval} },
+	}
+}
+
+// PoissonSpec returns a Spec for Poisson arrivals with the given mean.
+func PoissonSpec(mean float64) Spec {
+	return Spec{
+		Label: fmt.Sprintf("poisson(%g)", mean),
+		New:   func(rng *rand.Rand) Process { return NewPoisson(mean, rng) },
+	}
+}
+
+// MMPPSpec returns a Spec for the paper's two-state MMPP.
+func MMPPSpec(meanA, meanB, switchEvery, switchProb float64) Spec {
+	return Spec{
+		Label: fmt.Sprintf("mmpp(%g,%g)", meanA, meanB),
+		New: func(rng *rand.Rand) Process {
+			return NewMMPP(meanA, meanB, switchEvery, switchProb, rng)
+		},
+	}
+}
+
+// SyntheticTraceSpec returns a Spec for the synthetic diurnal trace.
+func SyntheticTraceSpec(baseMean, peakFactor float64, periods int) Spec {
+	return Spec{
+		Label: "trace(diurnal)",
+		New: func(rng *rand.Rand) Process {
+			segs := SyntheticDiurnalTrace(baseMean, peakFactor, periods, rng)
+			tr, err := NewTrace("diurnal", segs, rng)
+			if err != nil {
+				// SyntheticDiurnalTrace always yields valid segments.
+				panic(fmt.Sprintf("traffic: building synthetic trace: %v", err))
+			}
+			return tr
+		},
+	}
+}

@@ -1,0 +1,212 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixed(t *testing.T) {
+	p := Fixed{Interval: 10}
+	for i := 0; i < 5; i++ {
+		if got := p.Next(); got != 10 {
+			t.Fatalf("Next() = %f, want 10", got)
+		}
+	}
+	if p.Name() != "fixed(10)" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPoisson(10, rng)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := p.Next()
+		if d <= 0 {
+			t.Fatalf("non-positive inter-arrival time %f", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Errorf("empirical mean = %f, want ~10", mean)
+	}
+}
+
+func TestPoissonVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPoisson(10, rng)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		d := p.Next()
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	// Exponential: variance = mean^2 = 100.
+	if math.Abs(variance-100) > 5 {
+		t.Errorf("empirical variance = %f, want ~100", variance)
+	}
+}
+
+func TestMMPPMeanBetweenStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMMPP(12, 8, 100, 0.05, rng)
+	const n = 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := m.Next()
+		if d <= 0 {
+			t.Fatalf("non-positive inter-arrival time %f", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	// Long-run mean must lie strictly between the two state means; with a
+	// symmetric switch it converges near the rate-weighted mean ~9.6.
+	if mean <= 8 || mean >= 12 {
+		t.Errorf("empirical mean = %f, want in (8, 12)", mean)
+	}
+}
+
+func TestMMPPActuallySwitches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMMPP(12, 8, 100, 0.05, rng)
+	sawB := false
+	for i := 0; i < 100000 && !sawB; i++ {
+		m.Next()
+		sawB = sawB || m.InHighRateState()
+	}
+	if !sawB {
+		t.Error("MMPP never entered its high-rate state")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := NewTrace("x", nil, rng); err == nil {
+		t.Error("NewTrace accepted empty trace")
+	}
+	if _, err := NewTrace("x", []TraceSegment{{Duration: 0, Mean: 1}}, rng); err == nil {
+		t.Error("NewTrace accepted zero-duration segment")
+	}
+	if _, err := NewTrace("x", []TraceSegment{{Duration: 1, Mean: -1}}, rng); err == nil {
+		t.Error("NewTrace accepted negative mean")
+	}
+}
+
+func TestTraceFollowsSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Two segments with very different rates; count arrivals per window.
+	tr, err := NewTrace("test", []TraceSegment{
+		{Duration: 10000, Mean: 2},
+		{Duration: 10000, Mean: 50},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := 0.0
+	inFirst, inSecond := 0, 0
+	for clock < 20000 {
+		clock += tr.Next()
+		if clock < 10000 {
+			inFirst++
+		} else if clock < 20000 {
+			inSecond++
+		}
+	}
+	if inFirst < 10*inSecond {
+		t.Errorf("arrivals: segment1=%d segment2=%d; want segment1 >> segment2", inFirst, inSecond)
+	}
+}
+
+func TestTraceWrapsAround(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, err := NewTrace("wrap", []TraceSegment{{Duration: 5, Mean: 1}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < 1000; i++ {
+		total += tr.Next()
+	}
+	if total < 500 {
+		t.Errorf("1000 arrivals only advanced %f time; trace did not wrap correctly", total)
+	}
+}
+
+func TestSyntheticDiurnalTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	segs := SyntheticDiurnalTrace(10, 2, 3, rng)
+	if len(segs) < 3*24 {
+		t.Fatalf("got %d segments, want >= 72", len(segs))
+	}
+	minMean, maxMean := math.Inf(1), 0.0
+	for _, s := range segs {
+		if s.Duration <= 0 || s.Mean <= 0 {
+			t.Fatalf("invalid segment %+v", s)
+		}
+		minMean = math.Min(minMean, s.Mean)
+		maxMean = math.Max(maxMean, s.Mean)
+	}
+	// Peak rate is at least peakFactor higher than the calm rate.
+	if maxMean/minMean < 2 {
+		t.Errorf("mean swing %f..%f too flat for a diurnal pattern", minMean, maxMean)
+	}
+}
+
+// Property: every process only ever emits strictly positive inter-arrival
+// times, for arbitrary seeds.
+func TestProcessesAlwaysPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := []Process{
+			Fixed{Interval: 10},
+			NewPoisson(10, rng),
+			NewMMPP(12, 8, 100, 0.05, rng),
+		}
+		tr, err := NewTrace("t", SyntheticDiurnalTrace(10, 2, 1, rng), rng)
+		if err != nil {
+			return false
+		}
+		procs = append(procs, tr)
+		for _, p := range procs {
+			for i := 0; i < 200; i++ {
+				if p.Next() <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecsProduceIndependentProcesses(t *testing.T) {
+	specs := []Spec{
+		FixedSpec(10),
+		PoissonSpec(10),
+		MMPPSpec(12, 8, 100, 0.05),
+		SyntheticTraceSpec(10, 2, 2),
+	}
+	for _, s := range specs {
+		t.Run(s.Label, func(t *testing.T) {
+			p1 := s.New(rand.New(rand.NewSource(1)))
+			p2 := s.New(rand.New(rand.NewSource(1)))
+			// Same seed, same sequence (determinism).
+			for i := 0; i < 50; i++ {
+				if a, b := p1.Next(), p2.Next(); a != b {
+					t.Fatalf("same-seed processes diverged at draw %d: %f vs %f", i, a, b)
+				}
+			}
+		})
+	}
+}
