@@ -1,0 +1,29 @@
+# Development targets. The repo is stdlib-only; everything below is
+# plain go tool invocations.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector. The race-focused
+# smoke tests (rl.TestTrainRaceSmoke, telemetry sink/registry
+# concurrency tests) are sized to keep this tier fast.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

@@ -6,10 +6,13 @@
 //
 //	coordsim -algo gcasp -topology Abilene -pattern poisson -ingresses 3
 //	coordsim -algo sp -pattern fixed -horizon 20000 -seed 7
-//	coordsim -algo drl -train-episodes 200     # trains first, then runs
+//	coordsim -algo drl -train-episodes 200      # trains first, then runs
+//	coordsim -algo sp -flow-trace flows.jsonl   # per-flow event trace
+//	coordsim -algo sp -metrics-out metrics.json # machine-readable summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,38 +21,74 @@ import (
 	"distcoord/internal/eval"
 	"distcoord/internal/graph"
 	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
 	"distcoord/internal/traffic"
 )
 
+// runConfig collects the parsed command line.
+type runConfig struct {
+	algo, topology, topoFile, pattern string
+	ingresses                         int
+	deadline, horizon                 float64
+	seed                              int64
+	episodes                          int
+	flowTrace                         string
+	metricsOut                        string
+	prof                              telemetry.Profiler
+}
+
 func main() {
-	var (
-		algo      = flag.String("algo", "gcasp", "coordination algorithm: drl, central, gcasp, sp")
-		topology  = flag.String("topology", "Abilene", "network topology (Abilene, BT Europe, China Telecom, Interroute)")
-		topoFile  = flag.String("topology-file", "", "load a custom topology file instead (see internal/graph.Parse)")
-		pattern   = flag.String("pattern", "poisson", "arrival pattern: fixed, poisson, mmpp, trace")
-		ingresses = flag.Int("ingresses", 2, "number of ingress nodes (v1..vK)")
-		deadline  = flag.Float64("deadline", 100, "flow deadline τ")
-		horizon   = flag.Float64("horizon", 2000, "simulation horizon T")
-		seed      = flag.Int64("seed", 0, "simulation seed")
-		episodes  = flag.Int("train-episodes", 300, "DRL training episodes (only -algo drl)")
-	)
+	var c runConfig
+	flag.StringVar(&c.algo, "algo", "gcasp", "coordination algorithm: drl, central, gcasp, sp")
+	flag.StringVar(&c.topology, "topology", "Abilene", "network topology (Abilene, BT Europe, China Telecom, Interroute)")
+	flag.StringVar(&c.topoFile, "topology-file", "", "load a custom topology file instead (see internal/graph.Parse)")
+	flag.StringVar(&c.pattern, "pattern", "poisson", "arrival pattern: fixed, poisson, mmpp, trace")
+	flag.IntVar(&c.ingresses, "ingresses", 2, "number of ingress nodes (v1..vK)")
+	flag.Float64Var(&c.deadline, "deadline", 100, "flow deadline τ")
+	flag.Float64Var(&c.horizon, "horizon", 2000, "simulation horizon T")
+	flag.Int64Var(&c.seed, "seed", 0, "simulation seed")
+	flag.IntVar(&c.episodes, "train-episodes", 300, "DRL training episodes (only -algo drl)")
+	flag.StringVar(&c.flowTrace, "flow-trace", "", "write per-flow trace events to this JSONL file")
+	flag.StringVar(&c.metricsOut, "metrics-out", "", "write the metrics summary as JSON to this file")
+	c.prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*algo, *topology, *topoFile, *pattern, *ingresses, *deadline, *horizon, *seed, *episodes); err != nil {
+	if err := run(&c); err != nil {
 		fmt.Fprintln(os.Stderr, "coordsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo, topology, topoFile, pattern string, ingresses int, deadline, horizon float64, seed int64, episodes int) error {
-	spec, err := patternSpec(pattern)
+// metricsSummary is the -metrics-out schema: headline metrics plus delay
+// quantiles and drops keyed by symbolic cause.
+type metricsSummary struct {
+	Algorithm   string         `json:"algorithm"`
+	Topology    string         `json:"topology"`
+	Arrived     int            `json:"arrived"`
+	Succeeded   int            `json:"succeeded"`
+	Dropped     int            `json:"dropped"`
+	SuccessRate float64        `json:"success_rate"`
+	AvgDelay    float64        `json:"avg_delay"`
+	MaxDelay    float64        `json:"max_delay"`
+	DelayP50    float64        `json:"delay_p50"`
+	DelayP95    float64        `json:"delay_p95"`
+	DelayP99    float64        `json:"delay_p99"`
+	Decisions   int            `json:"decisions"`
+	Processings int            `json:"processings"`
+	Forwards    int            `json:"forwards"`
+	Keeps       int            `json:"keeps"`
+	DropsBy     map[string]int `json:"drops_by,omitempty"`
+}
+
+func run(c *runConfig) error {
+	spec, err := patternSpec(c.pattern)
 	if err != nil {
 		return err
 	}
 	s := eval.Base()
-	s.Topology = topology
-	if topoFile != "" {
-		f, err := os.Open(topoFile)
+	s.Topology = c.topology
+	if c.topoFile != "" {
+		f, err := os.Open(c.topoFile)
 		if err != nil {
 			return err
 		}
@@ -60,57 +99,127 @@ func run(algo, topology, topoFile, pattern string, ingresses int, deadline, hori
 		}
 	}
 	s.Traffic = spec
-	s.NumIngresses = ingresses
-	s.Deadline = deadline
-	s.Horizon = horizon
+	s.NumIngresses = c.ingresses
+	s.Deadline = c.deadline
+	s.Horizon = c.horizon
 
-	inst, err := s.Instantiate(seed)
+	inst, err := s.Instantiate(c.seed)
 	if err != nil {
 		return err
 	}
 
-	var c simnet.Coordinator
-	switch algo {
+	var coordinator simnet.Coordinator
+	switch c.algo {
 	case "sp":
-		c = baselines.SP{}
+		coordinator = baselines.SP{}
 	case "gcasp":
-		c = baselines.GCASP{}
+		coordinator = baselines.GCASP{}
 	case "central":
-		c = baselines.NewCentral(100)
+		coordinator = baselines.NewCentral(100)
 	case "drl":
 		budget := eval.DefaultTrainBudget()
-		budget.Episodes = episodes
+		budget.Episodes = c.episodes
 		fmt.Fprintf(os.Stderr, "training DRL agent (%d episodes x %d seeds)...\n", budget.Episodes, budget.Seeds)
 		policy, err := eval.TrainDRL(s, budget)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "training scores per seed: %v\n", policy.Stats.SeedScores)
-		c, err = policy.Factory()(inst, seed)
+		coordinator, err = policy.Factory()(inst, c.seed)
 		if err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown algorithm %q (want drl, central, gcasp, sp)", algo)
+		return fmt.Errorf("unknown algorithm %q (want drl, central, gcasp, sp)", c.algo)
 	}
 
-	m, err := inst.Run(c)
+	if err := c.prof.Start(); err != nil {
+		return err
+	}
+	defer c.prof.Stop()
+	if addr := c.prof.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+
+	var tracer simnet.FlowTracer
+	var traceSink *telemetry.Sink
+	if c.flowTrace != "" {
+		traceSink, err = telemetry.NewSink(c.flowTrace)
+		if err != nil {
+			return err
+		}
+		defer traceSink.Close()
+		tracer = simnet.TracerFunc(func(e simnet.TraceEvent) {
+			if err := traceSink.Emit(e); err != nil {
+				fmt.Fprintln(os.Stderr, "coordsim: flow trace:", err)
+			}
+		})
+	}
+
+	m, err := inst.RunTraced(coordinator, tracer)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("algorithm:      %s\n", c.Name())
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote flow trace to %s\n", c.flowTrace)
+	}
+
+	fmt.Printf("algorithm:      %s\n", coordinator.Name())
 	fmt.Printf("topology:       %s (%d nodes, %d links)\n", inst.Graph.Name(), inst.Graph.NumNodes(), inst.Graph.NumLinks())
-	fmt.Printf("traffic:        %s at %d ingress node(s)\n", spec.Label, ingresses)
+	fmt.Printf("traffic:        %s at %d ingress node(s)\n", spec.Label, c.ingresses)
 	fmt.Printf("flows arrived:  %d\n", m.Arrived)
 	fmt.Printf("successful:     %d (%.1f%%)\n", m.Succeeded, 100*m.SuccessRatio())
 	fmt.Printf("dropped:        %d\n", m.Dropped)
 	for cause, n := range m.DropsBy {
 		fmt.Printf("  %-16s %d\n", cause.String()+":", n)
 	}
-	fmt.Printf("avg e2e delay:  %.1f ms (max %.1f ms)\n", m.AvgDelay(), m.MaxDelay)
+	fmt.Printf("avg e2e delay:  %.1f ms (max %.1f ms, p50 %.1f, p95 %.1f, p99 %.1f)\n",
+		m.AvgDelay(), m.MaxDelay, m.DelayQuantile(0.5), m.DelayQuantile(0.95), m.DelayQuantile(0.99))
 	fmt.Printf("decisions:      %d (%d processings, %d forwards, %d keeps)\n",
 		m.Decisions, m.Processings, m.Forwards, m.Keeps)
+
+	if c.metricsOut != "" {
+		if err := writeMetrics(c.metricsOut, c.algo, inst.Graph.Name(), m); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics summary to %s\n", c.metricsOut)
+	}
 	return nil
+}
+
+// writeMetrics serializes the metrics summary to path as indented JSON.
+func writeMetrics(path, algo, topo string, m *simnet.Metrics) error {
+	sum := metricsSummary{
+		Algorithm:   algo,
+		Topology:    topo,
+		Arrived:     m.Arrived,
+		Succeeded:   m.Succeeded,
+		Dropped:     m.Dropped,
+		SuccessRate: m.SuccessRatio(),
+		AvgDelay:    m.AvgDelay(),
+		MaxDelay:    m.MaxDelay,
+		DelayP50:    m.DelayQuantile(0.5),
+		DelayP95:    m.DelayQuantile(0.95),
+		DelayP99:    m.DelayQuantile(0.99),
+		Decisions:   m.Decisions,
+		Processings: m.Processings,
+		Forwards:    m.Forwards,
+		Keeps:       m.Keeps,
+	}
+	if len(m.DropsBy) > 0 {
+		sum.DropsBy = make(map[string]int, len(m.DropsBy))
+		for cause, n := range m.DropsBy {
+			sum.DropsBy[cause.String()] = n
+		}
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func patternSpec(pattern string) (traffic.Spec, error) {

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distcoord/internal/simnet"
+)
 
 func TestPatternSpec(t *testing.T) {
 	for _, name := range []string{"fixed", "poisson", "mmpp", "trace"} {
@@ -18,26 +26,108 @@ func TestPatternSpec(t *testing.T) {
 	}
 }
 
+// base returns a fast single-run configuration for tests.
+func base() runConfig {
+	return runConfig{
+		algo:      "sp",
+		topology:  "Abilene",
+		pattern:   "fixed",
+		ingresses: 1,
+		deadline:  100,
+		horizon:   300,
+		episodes:  1,
+	}
+}
+
 func TestRunRejectsUnknownAlgo(t *testing.T) {
-	if err := run("quantum", "Abilene", "", "poisson", 1, 100, 100, 0, 1); err == nil {
+	c := base()
+	c.algo = "quantum"
+	if err := run(&c); err == nil {
 		t.Error("run accepted unknown algorithm")
 	}
 }
 
 func TestRunRejectsUnknownPattern(t *testing.T) {
-	if err := run("sp", "Abilene", "", "bursty", 1, 100, 100, 0, 1); err == nil {
+	c := base()
+	c.pattern = "bursty"
+	if err := run(&c); err == nil {
 		t.Error("run accepted unknown pattern")
 	}
 }
 
 func TestRunSPQuick(t *testing.T) {
-	if err := run("sp", "Abilene", "", "fixed", 1, 100, 300, 0, 1); err != nil {
+	c := base()
+	if err := run(&c); err != nil {
 		t.Errorf("run(sp): %v", err)
 	}
 }
 
 func TestRunRejectsMissingTopologyFile(t *testing.T) {
-	if err := run("sp", "Abilene", "/nonexistent/topo.txt", "fixed", 1, 100, 300, 0, 1); err == nil {
+	c := base()
+	c.topoFile = "/nonexistent/topo.txt"
+	if err := run(&c); err == nil {
 		t.Error("run accepted missing topology file")
+	}
+}
+
+// TestRunWritesFlowTraceAndMetrics checks the telemetry outputs: the
+// JSONL flow trace parses into simnet.TraceEvents, and the metrics
+// summary JSON agrees with the trace.
+func TestRunWritesFlowTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	c := base()
+	c.flowTrace = filepath.Join(dir, "flows.jsonl")
+	c.metricsOut = filepath.Join(dir, "metrics.json")
+	if err := run(&c); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(c.flowTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	arrivals, completes := 0, 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e simnet.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("unparseable trace line: %v\n%s", err, sc.Text())
+		}
+		switch e.Kind {
+		case simnet.TraceArrival:
+			arrivals++
+		case simnet.TraceComplete:
+			completes++
+		}
+	}
+	if arrivals == 0 {
+		t.Error("flow trace contains no arrivals")
+	}
+
+	data, err := os.ReadFile(c.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum metricsSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("unparseable metrics summary: %v", err)
+	}
+	if sum.Algorithm != "sp" {
+		t.Errorf("summary algorithm = %q", sum.Algorithm)
+	}
+	if sum.Arrived != arrivals {
+		t.Errorf("summary arrived = %d, trace saw %d arrival events", sum.Arrived, arrivals)
+	}
+	if sum.Succeeded != completes {
+		t.Errorf("summary succeeded = %d, trace saw %d completions", sum.Succeeded, completes)
+	}
+	if sum.Succeeded+sum.Dropped > sum.Arrived {
+		t.Errorf("inconsistent summary: %d succeeded + %d dropped > %d arrived",
+			sum.Succeeded, sum.Dropped, sum.Arrived)
+	}
+	if sum.DelayP50 > sum.DelayP95 || sum.DelayP95 > sum.DelayP99 {
+		t.Errorf("non-monotone delay quantiles: p50=%g p95=%g p99=%g",
+			sum.DelayP50, sum.DelayP95, sum.DelayP99)
 	}
 }

@@ -10,6 +10,7 @@
 //	experiments -exp all                     # everything
 //	experiments -exp point -ingresses 4      # one scenario, all algorithms
 //	experiments -exp fig6b -paper            # paper-scale settings (slow)
+//	experiments -exp fig7 -episode-log t.jsonl -cpuprofile cpu.pprof
 //
 // Default budgets are sized for commodity CPUs; -paper selects the
 // paper's hyperparameters (10 training seeds, 4 parallel envs, 2x256
@@ -24,9 +25,12 @@ import (
 	"strings"
 
 	"distcoord/internal/eval"
+	"distcoord/internal/rl"
+	"distcoord/internal/telemetry"
 )
 
 func main() {
+	var prof telemetry.Profiler
 	var (
 		exp       = flag.String("exp", "all", "experiment: table1, fig6a-d, fig7, fig8a, fig8b, fig9a, fig9b, point, all")
 		seeds     = flag.Int("seeds", 3, "evaluation seeds per data point (paper: 30)")
@@ -39,7 +43,9 @@ func main() {
 		paper     = flag.Bool("paper", false, "use the paper's full-scale settings (slow)")
 		ingresses = flag.Int("ingresses", 2, "ingress count for -exp point")
 		verbose   = flag.Bool("v", true, "print progress")
+		epLog     = flag.String("episode-log", "", "write per-episode training records of every training run to this JSONL file")
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	opts := eval.Options{
@@ -71,10 +77,37 @@ func main() {
 		opts.Logf = func(string, ...interface{}) {}
 	}
 
-	if err := run(*exp, opts, *ingresses); err != nil {
+	if err := runInstrumented(&prof, *epLog, *exp, opts, *ingresses); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runInstrumented wraps run with the telemetry plumbing: profiling
+// hooks, and an optional JSONL episode log collecting the training
+// telemetry of every DRL training run the experiment performs.
+func runInstrumented(prof *telemetry.Profiler, epLog, exp string, opts eval.Options, ingresses int) error {
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
+	if addr := prof.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+
+	if epLog != "" {
+		sink, err := telemetry.NewSink(epLog)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		opts.Budget.OnEpisode = func(rec rl.EpisodeRecord) {
+			if err := sink.Emit(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: episode log:", err)
+			}
+		}
+	}
+	return run(exp, opts, ingresses)
 }
 
 func parseHidden(s string) ([]int, error) {

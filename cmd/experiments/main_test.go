@@ -1,10 +1,33 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"distcoord/internal/eval"
+	"distcoord/internal/telemetry"
 )
+
+// TestRunInstrumented exercises the telemetry wrapper: CPU/heap
+// profiles are written and the episode log file is created even for an
+// experiment that performs no training.
+func TestRunInstrumented(t *testing.T) {
+	dir := t.TempDir()
+	prof := telemetry.Profiler{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	epLog := filepath.Join(dir, "episodes.jsonl")
+	if err := runInstrumented(&prof, epLog, "table1", optsForTest(), 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{prof.CPUProfile, prof.MemProfile, epLog} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("missing output %s: %v", p, err)
+		}
+	}
+}
 
 func TestParseHidden(t *testing.T) {
 	cases := []struct {

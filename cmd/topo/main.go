@@ -15,20 +15,33 @@ import (
 	"os"
 
 	"distcoord/internal/graph"
+	"distcoord/internal/telemetry"
 )
 
 func main() {
+	var prof telemetry.Profiler
 	var (
 		name     = flag.String("name", "Abilene", "registry topology name")
 		format   = flag.String("format", "stats", "output format: stats, dot, file")
 		validate = flag.String("validate", "", "validate a topology file and print its statistics")
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*name, *format, *validate); err != nil {
+	if err := runProfiled(&prof, *name, *format, *validate); err != nil {
 		fmt.Fprintln(os.Stderr, "topo:", err)
 		os.Exit(1)
 	}
+}
+
+// runProfiled wraps run with the optional profiling hooks; useful for
+// profiling APSP on large validated topologies.
+func runProfiled(prof *telemetry.Profiler, name, format, validate string) error {
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
+	return run(name, format, validate)
 }
 
 func run(name, format, validate string) error {

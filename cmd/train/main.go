@@ -6,7 +6,10 @@
 // Usage:
 //
 //	train -out agent.json -ingresses 3 -episodes 400
+//	train -episode-log episodes.jsonl          # JSONL training telemetry
 //	train -eval agent.json -ingresses 3        # evaluate a saved policy
+//	train -eval agent.json -flow-trace t.jsonl # ... with per-flow traces
+//	train -cpuprofile cpu.pprof -pprof :6060   # profile the run
 package main
 
 import (
@@ -19,30 +22,57 @@ import (
 	"distcoord/internal/nn"
 	"distcoord/internal/rl"
 	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
 	"distcoord/internal/traffic"
 )
 
+// cliConfig collects the parsed command line.
+type cliConfig struct {
+	out, evalPath     string
+	topology, pattern string
+	ingresses         int
+	deadline          float64
+	episodes          int
+	seeds, envs       int
+	horizon           float64
+	evalSeeds         int
+	episodeLog        string
+	logMax            int64
+	flowTrace         string
+	prof              telemetry.Profiler
+}
+
 func main() {
-	var (
-		out       = flag.String("out", "agent.json", "output path for the trained actor network")
-		evalPath  = flag.String("eval", "", "evaluate a saved actor instead of training")
-		topology  = flag.String("topology", "Abilene", "network topology")
-		pattern   = flag.String("pattern", "poisson", "arrival pattern: fixed, poisson, mmpp, trace")
-		ingresses = flag.Int("ingresses", 2, "number of ingress nodes")
-		deadline  = flag.Float64("deadline", 100, "flow deadline τ")
-		episodes  = flag.Int("episodes", 300, "training update iterations per seed")
-		seeds     = flag.Int("train-seeds", 2, "independently trained agents k (paper: 10)")
-		envs      = flag.Int("envs", 4, "parallel training environments l (paper: 4)")
-		horizon   = flag.Float64("train-horizon", 1000, "training episode horizon")
-		evalSeeds = flag.Int("eval-seeds", 3, "evaluation seeds (with -eval)")
-	)
+	var c cliConfig
+	flag.StringVar(&c.out, "out", "agent.json", "output path for the trained actor network")
+	flag.StringVar(&c.evalPath, "eval", "", "evaluate a saved actor instead of training")
+	flag.StringVar(&c.topology, "topology", "Abilene", "network topology")
+	flag.StringVar(&c.pattern, "pattern", "poisson", "arrival pattern: fixed, poisson, mmpp, trace")
+	flag.IntVar(&c.ingresses, "ingresses", 2, "number of ingress nodes")
+	flag.Float64Var(&c.deadline, "deadline", 100, "flow deadline τ")
+	flag.IntVar(&c.episodes, "episodes", 300, "training update iterations per seed")
+	flag.IntVar(&c.seeds, "train-seeds", 2, "independently trained agents k (paper: 10)")
+	flag.IntVar(&c.envs, "envs", 4, "parallel training environments l (paper: 4)")
+	flag.Float64Var(&c.horizon, "train-horizon", 1000, "training episode horizon")
+	flag.IntVar(&c.evalSeeds, "eval-seeds", 3, "evaluation seeds (with -eval)")
+	flag.StringVar(&c.episodeLog, "episode-log", "", "write per-episode training records to this JSONL file")
+	flag.Int64Var(&c.logMax, "episode-log-max-bytes", 0, "rotate the episode log when it exceeds this size (0: never)")
+	flag.StringVar(&c.flowTrace, "flow-trace", "", "write per-flow trace events to this JSONL file (with -eval)")
+	c.prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if err := run(&c); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(c *cliConfig) error {
 	s := eval.Base()
-	s.Topology = *topology
-	s.NumIngresses = *ingresses
-	s.Deadline = *deadline
-	switch *pattern {
+	s.Topology = c.topology
+	s.NumIngresses = c.ingresses
+	s.Deadline = c.deadline
+	switch c.pattern {
 	case "fixed":
 		s.Traffic = traffic.FixedSpec(10)
 	case "poisson":
@@ -52,24 +82,27 @@ func main() {
 	case "trace":
 		s.Traffic = traffic.SyntheticTraceSpec(10, 2, 4)
 	default:
-		fmt.Fprintf(os.Stderr, "train: unknown pattern %q\n", *pattern)
-		os.Exit(2)
+		return fmt.Errorf("unknown pattern %q", c.pattern)
 	}
 	s.Horizon = 2000
 
-	if *evalPath != "" {
-		if err := evaluateSaved(s, *evalPath, *evalSeeds); err != nil {
-			fmt.Fprintln(os.Stderr, "train:", err)
-			os.Exit(1)
-		}
-		return
+	if err := c.prof.Start(); err != nil {
+		return err
+	}
+	defer c.prof.Stop()
+	if addr := c.prof.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+
+	if c.evalPath != "" {
+		return evaluateSaved(s, c.evalPath, c.evalSeeds, c.flowTrace)
 	}
 
 	budget := eval.TrainBudget{
-		Episodes:     *episodes,
-		ParallelEnvs: *envs,
-		Seeds:        *seeds,
-		Horizon:      *horizon,
+		Episodes:     c.episodes,
+		ParallelEnvs: c.envs,
+		Seeds:        c.seeds,
+		Horizon:      c.horizon,
 		Hidden:       []int{32, 32},
 		Progress: func(seed, ep int, st rl.UpdateStats, score float64) {
 			if ep%25 == 0 {
@@ -78,29 +111,68 @@ func main() {
 			}
 		},
 	}
+
+	// Telemetry: a JSONL episode log for Fig. 5-style training curves,
+	// plus a registry aggregating phase wall times for the end-of-run
+	// summary.
+	reg := telemetry.NewRegistry()
+	rollMS, updMS := reg.Histogram("rollout_ms"), reg.Histogram("update_ms")
+	var sink *telemetry.Sink
+	if c.episodeLog != "" {
+		var opts []telemetry.SinkOption
+		if c.logMax > 0 {
+			opts = append(opts, telemetry.WithMaxBytes(c.logMax))
+		}
+		var err error
+		sink, err = telemetry.NewSink(c.episodeLog, opts...)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+	}
+	budget.OnEpisode = func(rec rl.EpisodeRecord) {
+		rollMS.Observe(rec.RolloutMS)
+		updMS.Observe(rec.UpdateMS)
+		if sink != nil {
+			if err := sink.Emit(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "train: episode log:", err)
+			}
+		}
+	}
+
 	policy, err := eval.TrainDRL(s, budget)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "train:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "best seed %d (score %.3f); per-seed scores %v\n",
 		policy.Stats.BestSeed, policy.Stats.BestScore, policy.Stats.SeedScores)
+	for name, h := range map[string]*telemetry.Histogram{"rollout": rollMS, "update": updMS} {
+		s := h.Snapshot()
+		fmt.Fprintf(os.Stderr, "%s wall time per episode: p50=%.1fms p95=%.1fms p99=%.1fms (n=%d)\n",
+			name, s.P50, s.P95, s.P99, s.Count)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote episode log to %s\n", c.episodeLog)
+	}
 
-	f, err := os.Create(*out)
+	f, err := os.Create(c.out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "train:", err)
-		os.Exit(1)
+		return err
 	}
 	defer f.Close()
 	if err := policy.Agent.Actor.Save(f); err != nil {
-		fmt.Fprintln(os.Stderr, "train:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("saved trained actor to %s\n", *out)
+	fmt.Printf("saved trained actor to %s\n", c.out)
+	return nil
 }
 
-// evaluateSaved loads an actor network and evaluates it on the scenario.
-func evaluateSaved(s eval.Scenario, path string, seeds int) error {
+// evaluateSaved loads an actor network and evaluates it on the scenario,
+// optionally writing per-flow traces of the first evaluation seed.
+func evaluateSaved(s eval.Scenario, path string, seeds int, flowTrace string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -119,6 +191,35 @@ func evaluateSaved(s eval.Scenario, path string, seeds int) error {
 		d.Reseed(seed)
 		return d, nil
 	}
+
+	if flowTrace != "" {
+		sink, err := telemetry.NewSink(flowTrace)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		inst, err := s.Instantiate(0)
+		if err != nil {
+			return err
+		}
+		c, err := factory(inst, 0)
+		if err != nil {
+			return err
+		}
+		m, err := inst.RunTraced(c, simnet.TracerFunc(func(e simnet.TraceEvent) {
+			if err := sink.Emit(e); err != nil {
+				fmt.Fprintln(os.Stderr, "train: flow trace:", err)
+			}
+		}))
+		if err != nil {
+			return err
+		}
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote flow trace of seed 0 (%d flows) to %s\n", m.Arrived, flowTrace)
+	}
+
 	o, err := eval.Evaluate(s, factory, seeds, 0)
 	if err != nil {
 		return err

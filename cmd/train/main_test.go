@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,7 +10,121 @@ import (
 	"distcoord/internal/coord"
 	"distcoord/internal/eval"
 	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
 )
+
+// TestRunWritesParseableEpisodeLog pins the telemetry acceptance
+// criterion: a training run with -episode-log writes JSONL that parses
+// line by line and covers every (seed, episode) pair exactly once.
+func TestRunWritesParseableEpisodeLog(t *testing.T) {
+	dir := t.TempDir()
+	c := cliConfig{
+		out:        filepath.Join(dir, "agent.json"),
+		topology:   "Abilene",
+		pattern:    "fixed",
+		ingresses:  1,
+		deadline:   100,
+		episodes:   3,
+		seeds:      2,
+		envs:       2,
+		horizon:    60,
+		episodeLog: filepath.Join(dir, "episodes.jsonl"),
+	}
+	if err := run(&c); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(c.episodeLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	seen := make(map[[2]int]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec rl.EpisodeRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("unparseable episode log line: %v\n%s", err, sc.Text())
+		}
+		key := [2]int{rec.Seed, rec.Episode}
+		if seen[key] {
+			t.Errorf("duplicate record for %v", key)
+		}
+		seen[key] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < c.seeds; s++ {
+		for ep := 0; ep < c.episodes; ep++ {
+			if !seen[[2]int{s, ep}] {
+				t.Errorf("episode log missing (seed=%d, episode=%d)", s, ep)
+			}
+		}
+	}
+	if len(seen) != c.seeds*c.episodes {
+		t.Errorf("records = %d, want %d", len(seen), c.seeds*c.episodes)
+	}
+	if _, err := os.Stat(c.out); err != nil {
+		t.Errorf("trained actor not saved: %v", err)
+	}
+}
+
+// TestEvaluateSavedWritesFlowTrace checks the -eval -flow-trace path:
+// the JSONL trace parses back into simnet.TraceEvents and covers every
+// arrived flow.
+func TestEvaluateSavedWritesFlowTrace(t *testing.T) {
+	s := eval.Base()
+	s.Horizon = 300
+
+	inst, err := s.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	agent, err := rl.NewAgent(rl.AgentConfig{
+		ObsSize:    adapter.ObsSize(),
+		NumActions: adapter.NumActions(),
+		Hidden:     []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "agent.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Actor.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	if err := evaluateSaved(s, path, 1, tracePath); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	arrivals := 0
+	sc := bufio.NewScanner(tf)
+	for sc.Scan() {
+		var e simnet.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("unparseable trace line: %v\n%s", err, sc.Text())
+		}
+		if e.Kind == simnet.TraceArrival {
+			arrivals++
+		}
+	}
+	if arrivals == 0 {
+		t.Error("flow trace contains no arrivals")
+	}
+}
 
 func TestEvaluateSaved(t *testing.T) {
 	s := eval.Base()
@@ -38,10 +154,10 @@ func TestEvaluateSaved(t *testing.T) {
 	}
 	f.Close()
 
-	if err := evaluateSaved(s, path, 1); err != nil {
+	if err := evaluateSaved(s, path, 1, ""); err != nil {
 		t.Errorf("evaluateSaved: %v", err)
 	}
-	if err := evaluateSaved(s, filepath.Join(t.TempDir(), "missing.json"), 1); err == nil {
+	if err := evaluateSaved(s, filepath.Join(t.TempDir(), "missing.json"), 1, ""); err == nil {
 		t.Error("accepted missing agent file")
 	}
 }
@@ -62,7 +178,7 @@ func TestEvaluateSavedRejectsWrongShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := evaluateSaved(s, path, 1); err == nil {
+	if err := evaluateSaved(s, path, 1, ""); err == nil {
 		t.Error("accepted actor with mismatched observation size")
 	}
 }

@@ -21,6 +21,10 @@ type TrainBudget struct {
 	LR           float64 // RMSprop learning rate (default 3e-3)
 	Seed         int64
 	Progress     func(seed, episode int, stats rl.UpdateStats, score float64)
+	// OnEpisode receives one structured telemetry record per training
+	// episode (see rl.EpisodeRecord); wire it to a telemetry.Sink for a
+	// JSONL training log. Called concurrently across training seeds.
+	OnEpisode func(rl.EpisodeRecord)
 }
 
 // withDefaults fills unset fields of a partial budget with the tuned
@@ -107,6 +111,7 @@ func TrainDRL(s Scenario, budget TrainBudget) (*TrainedPolicy, error) {
 		Seeds:        budget.Seeds,
 		LRDecay:      true,
 		Progress:     budget.Progress,
+		OnEpisode:    budget.OnEpisode,
 		NewEnv: func(envSeed int64) (rl.Env, error) {
 			inst, err := s.Instantiate(1_000_003 + envSeed)
 			if err != nil {

@@ -199,6 +199,12 @@ func (s Scenario) Instantiate(seed int64) (*Instance, error) {
 // resulting metrics. Arrival processes are re-seeded deterministically
 // from the instance seed on every call.
 func (inst *Instance) Run(c simnet.Coordinator) (*simnet.Metrics, error) {
+	return inst.RunTraced(c, nil)
+}
+
+// RunTraced is Run with an optional per-flow tracer attached to the
+// simulation (see simnet.FlowTracer); tr may be nil.
+func (inst *Instance) RunTraced(c simnet.Coordinator, tr simnet.FlowTracer) (*simnet.Metrics, error) {
 	rng := rand.New(rand.NewSource(inst.seed + 0x5EED))
 	ingresses := make([]simnet.Ingress, 0, len(inst.Scenario.Ingresses()))
 	for _, v := range inst.Scenario.Ingresses() {
@@ -216,6 +222,7 @@ func (inst *Instance) Run(c simnet.Coordinator) (*simnet.Metrics, error) {
 		Template:    inst.Template,
 		Horizon:     inst.Scenario.Horizon,
 		Coordinator: c,
+		Tracer:      tr,
 	})
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Policy selects actions from observations; environments roll out
@@ -44,10 +45,57 @@ type TrainConfig struct {
 	// (training seed, environment index).
 	NewEnv func(envSeed int64) (Env, error)
 	// LRDecay linearly decays the learning rate to 10% of its initial
-	// value across episodes (cf. stable-baselines schedules).
+	// value across episodes (cf. stable-baselines schedules). The decay
+	// only applies during training: trainOneSeed restores the base rate
+	// afterwards, so a returned agent is not stuck at the final 10%.
 	LRDecay bool
-	// Progress, when non-nil, receives per-episode updates.
+	// OnEpisode, when non-nil, receives one structured record per
+	// training episode — the telemetry feed for Fig. 5-style training
+	// curves. Seeds train concurrently, so implementations must be safe
+	// for concurrent use (telemetry.Sink is; a bare slice append is not).
+	OnEpisode func(EpisodeRecord)
+	// Progress, when non-nil, receives per-episode updates. It is a thin
+	// compatibility adapter over OnEpisode's record and is called with
+	// the same concurrency caveats.
 	Progress func(seed, episode int, stats UpdateStats, score float64)
+}
+
+// EpisodeRecord is one structured per-episode training record: the
+// identifying (seed, episode) pair, the effective learning rate, the
+// update diagnostics, the episode score (success ratio for service
+// coordination), and wall-clock timings of the rollout and update
+// phases. JSON field names are stable — they are the schema of the
+// -episode-log JSONL output.
+type EpisodeRecord struct {
+	Seed        int     `json:"seed"`
+	Episode     int     `json:"episode"`
+	LR          float64 `json:"lr"`
+	Score       float64 `json:"score"`
+	Steps       int     `json:"steps"`
+	MeanReturn  float64 `json:"mean_return"`
+	PolicyLoss  float64 `json:"policy_loss"`
+	ValueLoss   float64 `json:"value_loss"`
+	Entropy     float64 `json:"entropy"`
+	KL          float64 `json:"kl"`
+	GradNorm    float64 `json:"grad_norm"`
+	Backtracked bool    `json:"backtracked,omitempty"`
+	RolloutMS   float64 `json:"rollout_ms"`
+	UpdateMS    float64 `json:"update_ms"`
+}
+
+// Stats returns the update diagnostics in UpdateStats form (the inverse
+// of the record's flattening, for the Progress adapter).
+func (r EpisodeRecord) Stats() UpdateStats {
+	return UpdateStats{
+		Steps:       r.Steps,
+		MeanReturn:  r.MeanReturn,
+		ValueLoss:   r.ValueLoss,
+		PolicyLoss:  r.PolicyLoss,
+		Entropy:     r.Entropy,
+		KL:          r.KL,
+		GradNorm:    r.GradNorm,
+		Backtracked: r.Backtracked,
+	}
 }
 
 func (c *TrainConfig) validate() error {
@@ -142,9 +190,10 @@ func trainOneSeed(cfg TrainConfig, seed int) (*Agent, float64, error) {
 	var tailN int
 
 	for ep := 0; ep < cfg.Episodes; ep++ {
+		lr := baseLR
 		if cfg.LRDecay {
 			progress := float64(ep) / float64(cfg.Episodes)
-			lr := baseLR * (1 - 0.9*progress)
+			lr = baseLR * (1 - 0.9*progress)
 			agent.actorOpt.LR = lr
 			agent.criticOpt.LR = lr
 		}
@@ -154,6 +203,7 @@ func trainOneSeed(cfg TrainConfig, seed int) (*Agent, float64, error) {
 			score float64
 			err   error
 		}
+		rollStart := time.Now()
 		rolls := make([]rollOut, len(envs))
 		var wg sync.WaitGroup
 		for i := range envs {
@@ -166,6 +216,7 @@ func trainOneSeed(cfg TrainConfig, seed int) (*Agent, float64, error) {
 			}(i)
 		}
 		wg.Wait()
+		rollDur := time.Since(rollStart)
 
 		var batch []Trajectory
 		score := 0.0
@@ -178,17 +229,46 @@ func trainOneSeed(cfg TrainConfig, seed int) (*Agent, float64, error) {
 		}
 		score /= float64(len(rolls))
 
+		updStart := time.Now()
 		stats, err := agent.Update(batch)
 		if err != nil {
 			return nil, 0, fmt.Errorf("episode %d: %w", ep, err)
 		}
-		if cfg.Progress != nil {
-			cfg.Progress(seed, ep, stats, score)
+		if cfg.OnEpisode != nil || cfg.Progress != nil {
+			rec := EpisodeRecord{
+				Seed:        seed,
+				Episode:     ep,
+				LR:          lr,
+				Score:       score,
+				Steps:       stats.Steps,
+				MeanReturn:  stats.MeanReturn,
+				PolicyLoss:  stats.PolicyLoss,
+				ValueLoss:   stats.ValueLoss,
+				Entropy:     stats.Entropy,
+				KL:          stats.KL,
+				GradNorm:    stats.GradNorm,
+				Backtracked: stats.Backtracked,
+				RolloutMS:   float64(rollDur) / float64(time.Millisecond),
+				UpdateMS:    float64(time.Since(updStart)) / float64(time.Millisecond),
+			}
+			if cfg.OnEpisode != nil {
+				cfg.OnEpisode(rec)
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(rec.Seed, rec.Episode, rec.Stats(), rec.Score)
+			}
 		}
 		if ep >= cfg.Episodes-tail {
 			tailSum += score
 			tailN++
 		}
+	}
+	if cfg.LRDecay {
+		// Leave the returned agent at its configured base rate rather
+		// than the decayed final one, so continued training (online
+		// adaptation) does not silently start at 10% LR.
+		agent.actorOpt.LR = baseLR
+		agent.criticOpt.LR = baseLR
 	}
 	return agent, tailSum / float64(tailN), nil
 }

@@ -2,7 +2,9 @@ package rl
 
 import (
 	"errors"
+	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -125,6 +127,163 @@ func TestTrainDeterministicPerSeed(t *testing.T) {
 		if a[i] != b[i] {
 			t.Errorf("seed %d score differs across identical runs: %f vs %f", i, a[i], b[i])
 		}
+	}
+}
+
+// TestTrainSeedScoresByteIdentical is the determinism regression for
+// parallel training: with the same TrainConfig.Agent.Seed and more than
+// one parallel environment, two full runs must produce byte-identical
+// SeedScores — parallel rollouts may interleave arbitrarily, but each
+// env owns its RNG and results are merged in index order.
+func TestTrainSeedScoresByteIdentical(t *testing.T) {
+	run := func() []float64 {
+		_, res, err := Train(TrainConfig{
+			Agent:        AgentConfig{ObsSize: 2, NumActions: 2, Hidden: []int{8}, LR: 5e-3, Seed: 1234},
+			Episodes:     25,
+			ParallelEnvs: 3,
+			Seeds:        2,
+			LRDecay:      true,
+			NewEnv: func(envSeed int64) (Env, error) {
+				return &banditEnv{rng: rand.New(rand.NewSource(envSeed))}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SeedScores
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("score counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Errorf("seed %d score not byte-identical: %x vs %x (%v vs %v)",
+				i, math.Float64bits(a[i]), math.Float64bits(b[i]), a[i], b[i])
+		}
+	}
+}
+
+// TestTrainEmitsEpisodeRecords checks the telemetry feed: every (seed,
+// episode) pair exactly once, decaying LR, and Progress receiving the
+// same numbers as the structured record.
+func TestTrainEmitsEpisodeRecords(t *testing.T) {
+	const episodes, seeds = 12, 2
+	var mu sync.Mutex
+	recs := make(map[[2]int]EpisodeRecord)
+	type progressCall struct {
+		stats UpdateStats
+		score float64
+	}
+	progress := make(map[[2]int]progressCall)
+	_, _, err := Train(TrainConfig{
+		Agent:        AgentConfig{ObsSize: 2, NumActions: 2, Hidden: []int{4}, LR: 1e-2, Seed: 5},
+		Episodes:     episodes,
+		ParallelEnvs: 2,
+		Seeds:        seeds,
+		LRDecay:      true,
+		NewEnv: func(envSeed int64) (Env, error) {
+			return &banditEnv{rng: rand.New(rand.NewSource(envSeed))}, nil
+		},
+		OnEpisode: func(r EpisodeRecord) {
+			mu.Lock()
+			defer mu.Unlock()
+			key := [2]int{r.Seed, r.Episode}
+			if _, dup := recs[key]; dup {
+				t.Errorf("duplicate record for %v", key)
+			}
+			recs[key] = r
+		},
+		Progress: func(seed, ep int, st UpdateStats, score float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			progress[[2]int{seed, ep}] = progressCall{st, score}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != episodes*seeds {
+		t.Fatalf("records = %d, want %d", len(recs), episodes*seeds)
+	}
+	for s := 0; s < seeds; s++ {
+		for ep := 0; ep < episodes; ep++ {
+			r, ok := recs[[2]int{s, ep}]
+			if !ok {
+				t.Fatalf("missing record for seed %d episode %d", s, ep)
+			}
+			wantLR := 1e-2 * (1 - 0.9*float64(ep)/episodes)
+			if math.Abs(r.LR-wantLR) > 1e-12 {
+				t.Errorf("seed %d ep %d LR = %g, want %g", s, ep, r.LR, wantLR)
+			}
+			if r.Steps <= 0 {
+				t.Errorf("seed %d ep %d has %d steps", s, ep, r.Steps)
+			}
+			if r.RolloutMS < 0 || r.UpdateMS < 0 {
+				t.Errorf("seed %d ep %d negative wall time: %+v", s, ep, r)
+			}
+			p, ok := progress[[2]int{s, ep}]
+			if !ok {
+				t.Fatalf("Progress adapter missed seed %d episode %d", s, ep)
+			}
+			if p.score != r.Score || p.stats != r.Stats() {
+				t.Errorf("Progress adapter diverges from record at seed %d ep %d", s, ep)
+			}
+		}
+	}
+}
+
+// TestLRRestoredAfterDecay pins the trainOneSeed fix: with LRDecay the
+// returned best agent's optimizers must be back at the base rate, not
+// the decayed final 10%.
+func TestLRRestoredAfterDecay(t *testing.T) {
+	const baseLR = 1e-2
+	agent, _, err := Train(TrainConfig{
+		Agent:    AgentConfig{ObsSize: 2, NumActions: 2, Hidden: []int{4}, LR: baseLR},
+		Episodes: 10,
+		Seeds:    2,
+		LRDecay:  true,
+		NewEnv: func(envSeed int64) (Env, error) {
+			return &banditEnv{rng: rand.New(rand.NewSource(envSeed))}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agent.actorOpt.LR != baseLR {
+		t.Errorf("actor LR after training = %g, want base %g", agent.actorOpt.LR, baseLR)
+	}
+	if agent.criticOpt.LR != baseLR {
+		t.Errorf("critic LR after training = %g, want base %g", agent.criticOpt.LR, baseLR)
+	}
+}
+
+// TestTrainRaceSmoke is the race-tier anchor: concurrent seeds, parallel
+// environment copies sharing one read-only actor, and concurrent
+// OnEpisode emission — the full concurrency surface of Train, sized to
+// stay fast under `go test -race ./...` (see `make race`).
+func TestTrainRaceSmoke(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	_, res, err := Train(TrainConfig{
+		Agent:        AgentConfig{ObsSize: 2, NumActions: 2, Hidden: []int{4}, LR: 5e-3},
+		Episodes:     6,
+		ParallelEnvs: 2,
+		Seeds:        2,
+		LRDecay:      true,
+		NewEnv: func(envSeed int64) (Env, error) {
+			return &banditEnv{rng: rand.New(rand.NewSource(envSeed))}, nil
+		},
+		OnEpisode: func(EpisodeRecord) { mu.Lock(); n++; mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SeedScores) != 2 {
+		t.Fatalf("SeedScores = %v", res.SeedScores)
+	}
+	if n != 12 {
+		t.Errorf("episode records = %d, want 12", n)
 	}
 }
 

@@ -1,8 +1,6 @@
 package simnet
 
 import (
-	"container/heap"
-
 	"distcoord/internal/graph"
 )
 
@@ -34,41 +32,77 @@ type event struct {
 	ingress int
 }
 
-// eventQueue is a binary min-heap over (time, sequence).
+// eventQueue is a binary min-heap over (time, sequence), hand-rolled
+// instead of container/heap so pushes stay on the simulator hot path
+// without boxing each event into an interface (one allocation per
+// scheduled event with container/heap; zero here once the backing slice
+// has grown). (t, seq) is a total order — no two events compare equal —
+// so the pop sequence is identical to the container/heap implementation
+// it replaced.
 type eventQueue struct {
 	items []event
 	seq   uint64
 }
 
+// Len returns the number of pending events.
 func (q *eventQueue) Len() int { return len(q.items) }
 
-func (q *eventQueue) Less(i, j int) bool {
+func (q *eventQueue) less(i, j int) bool {
 	if q.items[i].t != q.items[j].t {
 		return q.items[i].t < q.items[j].t
 	}
 	return q.items[i].seq < q.items[j].seq
 }
 
-func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
-
-func (q *eventQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	q.items = old[:n-1]
-	return it
-}
-
-// push schedules e at time t, assigning the determinism sequence number.
+// push schedules e, assigning the determinism sequence number.
 func (q *eventQueue) push(e event) {
 	e.seq = q.seq
 	q.seq++
-	heap.Push(q, e)
+	q.items = append(q.items, e)
+	q.up(len(q.items) - 1)
 }
 
 // pop removes and returns the earliest event. Callers must check Len.
 func (q *eventQueue) pop() event {
-	return heap.Pop(q).(event)
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = event{} // drop the Flow/Component pointers for the GC
+	q.items = q.items[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// up restores the heap invariant from leaf i toward the root.
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+// down restores the heap invariant from node i toward the leaves.
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
 }

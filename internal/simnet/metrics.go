@@ -16,10 +16,16 @@ type Metrics struct {
 
 	// SumDelay and MaxDelay summarize end-to-end delays d_f of
 	// successful flows; Delays holds every individual delay for
-	// percentile analysis.
+	// percentile analysis. Delays is append-only: DelayQuantile caches a
+	// sorted copy keyed on length, so replacing elements in place without
+	// changing the length would go unnoticed.
 	SumDelay float64
 	MaxDelay float64
 	Delays   []float64
+
+	// sorted caches Delays in ascending order for DelayQuantile; it is
+	// rebuilt (one sort) only when Delays has grown since the last call.
+	sorted []float64
 
 	// Decisions counts coordinator queries; Forwards, Processings, and
 	// Keeps count action outcomes (diagnostics and ablations).
@@ -59,8 +65,7 @@ func (m *Metrics) DelayQuantile(q float64) float64 {
 	if len(m.Delays) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), m.Delays...)
-	sort.Float64s(sorted)
+	sorted := m.sortedDelays()
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -72,6 +77,18 @@ func (m *Metrics) DelayQuantile(q float64) float64 {
 		idx = 0
 	}
 	return sorted[idx]
+}
+
+// sortedDelays returns Delays in ascending order, sorting once per batch
+// of newly completed flows instead of copying and re-sorting on every
+// quantile query (repeated p50/p95/p99 reads were quadratic-ish on long
+// runs).
+func (m *Metrics) sortedDelays() []float64 {
+	if len(m.sorted) != len(m.Delays) {
+		m.sorted = append(m.sorted[:0], m.Delays...)
+		sort.Float64s(m.sorted)
+	}
+	return m.sorted
 }
 
 // Pending returns flows that arrived but neither succeeded nor dropped.
@@ -86,5 +103,6 @@ func (m *Metrics) Clone() *Metrics {
 		c.DropsBy[k] = v
 	}
 	c.Delays = append([]float64(nil), m.Delays...)
+	c.sorted = nil // rebuilt lazily; never share the cache
 	return &c
 }

@@ -61,6 +61,12 @@ type Config struct {
 	Coordinator Coordinator
 	Listener    Listener // optional
 
+	// Tracer, when non-nil, receives per-flow trace events (arrival,
+	// decision, processing, forwarding, drop, completion) for offline
+	// analysis. The hot path nil-checks it, so leaving it unset costs
+	// nothing.
+	Tracer FlowTracer
+
 	// KeepStep is how long a fully processed flow waits when kept at a
 	// node (action 0 on c_f = ∅) before the agent is queried again.
 	// Defaults to 1 time step.
@@ -141,6 +147,7 @@ type Sim struct {
 	st       *State
 	queue    eventQueue
 	metrics  *Metrics
+	tracer   FlowTracer
 	nextID   int
 	svcRng   *rand.Rand
 	svcTotal float64
@@ -159,6 +166,7 @@ func New(cfg Config) (*Sim, error) {
 		cfg:     cfg,
 		st:      NewState(cfg.Graph, cfg.APSP),
 		metrics: newMetrics(),
+		tracer:  cfg.Tracer,
 		svcRng:  rand.New(rand.NewSource(cfg.ServiceSeed)),
 	}
 	for _, ws := range cfg.Services {
@@ -272,6 +280,7 @@ func (s *Sim) generateFlow(e event) {
 	}
 	s.nextID++
 	s.metrics.Arrived++
+	s.trace(TraceArrival, f, in.Node, e.t, -1, -1, DropNone)
 	s.handleFlowAt(f, in.Node, e.t)
 
 	next := e.t + in.Arrivals.Next()
@@ -288,7 +297,7 @@ func (s *Sim) handleFlowAt(f *Flow, v graph.NodeID, now float64) {
 		return
 	}
 	if f.Remaining(now) <= capEps {
-		s.drop(f, DropExpired, now)
+		s.drop(f, v, DropExpired, now)
 		return
 	}
 	if f.Processed() && v == f.Egress {
@@ -299,6 +308,7 @@ func (s *Sim) handleFlowAt(f *Flow, v graph.NodeID, now float64) {
 	action := s.cfg.Coordinator.Decide(s.st, f, v, now)
 	f.Decisions++
 	s.metrics.Decisions++
+	s.trace(TraceDecision, f, v, now, action, -1, DropNone)
 
 	if action == 0 {
 		s.processLocally(f, v, now)
@@ -314,6 +324,7 @@ func (s *Sim) processLocally(f *Flow, v graph.NodeID, now float64) {
 		// Keeping a fully processed flow wastes deadline budget and
 		// incurs the −1/D_G penalty at the listener (Sec. IV-B3).
 		s.metrics.Keeps++
+		s.trace(TraceKeep, f, v, now, 0, -1, DropNone)
 		s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionKept})
 		s.queue.push(event{t: now + s.cfg.KeepStep, kind: evHeadArrive, flow: f, node: v})
 		return
@@ -323,7 +334,7 @@ func (s *Sim) processLocally(f *Flow, v graph.NodeID, now float64) {
 	need := comp.Resource(f.Rate)
 	if !s.st.nodeFits(v, need) {
 		s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionDropped, Drop: DropNodeCapacity})
-		s.drop(f, DropNodeCapacity, now)
+		s.drop(f, v, DropNodeCapacity, now)
 		return
 	}
 
@@ -342,6 +353,7 @@ func (s *Sim) processLocally(f *Flow, v graph.NodeID, now float64) {
 	s.queue.push(event{t: procEnd, kind: evProcDone, flow: f, node: v})
 
 	s.metrics.Processings++
+	s.trace(TraceProcess, f, v, now, 0, -1, DropNone)
 	s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionProcessed})
 }
 
@@ -362,14 +374,14 @@ func (s *Sim) forward(f *Flow, v graph.NodeID, a int, now float64) {
 	neighbors := s.cfg.Graph.Neighbors(v)
 	if a < 0 || a > len(neighbors) {
 		s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropInvalidAction})
-		s.drop(f, DropInvalidAction, now)
+		s.drop(f, v, DropInvalidAction, now)
 		return
 	}
 	ad := neighbors[a-1]
 	link := s.cfg.Graph.Link(ad.Link)
 	if !s.st.linkFits(ad.Link, f.Rate) {
 		s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropLinkCapacity})
-		s.drop(f, DropLinkCapacity, now)
+		s.drop(f, v, DropLinkCapacity, now)
 		return
 	}
 
@@ -382,6 +394,7 @@ func (s *Sim) forward(f *Flow, v graph.NodeID, a int, now float64) {
 
 	f.Hops++
 	s.metrics.Forwards++
+	s.trace(TraceForward, f, v, now, a, ad.Link, DropNone)
 	s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionForwarded, Link: ad.Link})
 }
 
@@ -395,13 +408,15 @@ func (s *Sim) complete(f *Flow, now float64) {
 	if d > s.metrics.MaxDelay {
 		s.metrics.MaxDelay = d
 	}
+	s.trace(TraceComplete, f, f.Egress, now, -1, -1, DropNone)
 	s.cfg.Listener.OnFlowEnd(f, true, DropNone, now)
 }
 
-// drop records a dropped flow.
-func (s *Sim) drop(f *Flow, cause DropCause, now float64) {
+// drop records a flow dropped at node v.
+func (s *Sim) drop(f *Flow, v graph.NodeID, cause DropCause, now float64) {
 	f.done = true
 	s.metrics.Dropped++
 	s.metrics.DropsBy[cause]++
+	s.trace(TraceDrop, f, v, now, -1, -1, cause)
 	s.cfg.Listener.OnFlowEnd(f, false, cause, now)
 }

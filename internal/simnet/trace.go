@@ -1,0 +1,171 @@
+package simnet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"distcoord/internal/graph"
+)
+
+// TraceKind discriminates per-flow trace events.
+type TraceKind int
+
+// Trace event kinds, covering the full flow lifecycle.
+const (
+	TraceArrival  TraceKind = iota // flow generated at its ingress
+	TraceDecision                  // coordinator queried; Action holds its choice
+	TraceProcess                   // processing of the current component started
+	TraceForward                   // flow sent over Link toward a neighbor
+	TraceKeep                      // fully processed flow held for one step
+	TraceDrop                      // flow dropped; Drop holds the cause
+	TraceComplete                  // flow reached its egress fully processed
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceArrival:
+		return "arrival"
+	case TraceDecision:
+		return "decision"
+	case TraceProcess:
+		return "process"
+	case TraceForward:
+		return "forward"
+	case TraceKeep:
+		return "keep"
+	case TraceDrop:
+		return "drop"
+	case TraceComplete:
+		return "complete"
+	}
+	return fmt.Sprintf("TraceKind(%d)", int(k))
+}
+
+// TraceEvent is one per-flow simulator event. It is a plain value — the
+// simulator constructs it on the stack only when a tracer is installed,
+// so disabled tracing adds no allocations to the decision path.
+type TraceEvent struct {
+	Time    float64
+	Kind    TraceKind
+	FlowID  int
+	Node    graph.NodeID
+	CompIdx int       // index of the currently requested component
+	Action  int       // coordinator action; -1 when not applicable
+	Link    int       // traversed link for TraceForward; -1 otherwise
+	Drop    DropCause // cause for TraceDrop; DropNone otherwise
+}
+
+// traceEventJSON is the export schema: compact keys, symbolic kind and
+// drop cause, optional fields omitted.
+type traceEventJSON struct {
+	Time    float64 `json:"t"`
+	Kind    string  `json:"kind"`
+	FlowID  int     `json:"flow"`
+	Node    int     `json:"node"`
+	CompIdx int     `json:"comp"`
+	Action  *int    `json:"action,omitempty"`
+	Link    *int    `json:"link,omitempty"`
+	Drop    string  `json:"drop,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with symbolic kinds and causes,
+// so JSONL flow traces are self-describing.
+func (e TraceEvent) MarshalJSON() ([]byte, error) {
+	out := traceEventJSON{
+		Time:    e.Time,
+		Kind:    e.Kind.String(),
+		FlowID:  e.FlowID,
+		Node:    int(e.Node),
+		CompIdx: e.CompIdx,
+	}
+	if e.Action >= 0 {
+		out.Action = &e.Action
+	}
+	if e.Link >= 0 {
+		out.Link = &e.Link
+	}
+	if e.Drop != DropNone {
+		out.Drop = e.Drop.String()
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler (round-tripping traces back
+// from JSONL logs for analysis).
+func (e *TraceEvent) UnmarshalJSON(data []byte) error {
+	var in traceEventJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*e = TraceEvent{
+		Time:    in.Time,
+		FlowID:  in.FlowID,
+		Node:    graph.NodeID(in.Node),
+		CompIdx: in.CompIdx,
+		Action:  -1,
+		Link:    -1,
+	}
+	if in.Action != nil {
+		e.Action = *in.Action
+	}
+	if in.Link != nil {
+		e.Link = *in.Link
+	}
+	kinds := map[string]TraceKind{
+		"arrival": TraceArrival, "decision": TraceDecision, "process": TraceProcess,
+		"forward": TraceForward, "keep": TraceKeep, "drop": TraceDrop, "complete": TraceComplete,
+	}
+	k, ok := kinds[in.Kind]
+	if !ok {
+		return fmt.Errorf("simnet: unknown trace kind %q", in.Kind)
+	}
+	e.Kind = k
+	if in.Drop != "" {
+		causes := map[string]DropCause{
+			"invalid-action": DropInvalidAction, "node-capacity": DropNodeCapacity,
+			"link-capacity": DropLinkCapacity, "expired": DropExpired,
+		}
+		c, ok := causes[in.Drop]
+		if !ok {
+			return fmt.Errorf("simnet: unknown drop cause %q", in.Drop)
+		}
+		e.Drop = c
+	}
+	return nil
+}
+
+// FlowTracer receives per-flow trace events. Unlike Listener (which
+// feeds reward assembly and is always installed), a tracer is optional
+// observability: the simulator nil-checks it before constructing any
+// event, so the hot path costs nothing when tracing is off. Callbacks
+// run synchronously inside the event loop and must not retain the event
+// beyond the call unless copied (TraceEvent is a value, so plain
+// assignment copies).
+type FlowTracer interface {
+	Trace(TraceEvent)
+}
+
+// TracerFunc adapts a function to the FlowTracer interface.
+type TracerFunc func(TraceEvent)
+
+// Trace implements FlowTracer.
+func (f TracerFunc) Trace(e TraceEvent) { f(e) }
+
+// trace emits one event when a tracer is installed. The nil check comes
+// before the TraceEvent literal, so the disabled path does no work.
+func (s *Sim) trace(kind TraceKind, f *Flow, v graph.NodeID, now float64, action, link int, drop DropCause) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Trace(TraceEvent{
+		Time:    now,
+		Kind:    kind,
+		FlowID:  f.ID,
+		Node:    v,
+		CompIdx: f.CompIdx,
+		Action:  action,
+		Link:    link,
+		Drop:    drop,
+	})
+}

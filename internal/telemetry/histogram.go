@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// histGrowth is the geometric bucket growth factor of the streaming
+// histogram: consecutive bucket boundaries differ by 2%, so any quantile
+// estimate is within ~2% relative error of the exact sample quantile
+// while memory stays bounded by the dynamic range of the observed values
+// (a few hundred buckets for microseconds-to-hours durations) instead of
+// growing with the sample count.
+const histGrowth = 1.02
+
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+// Histogram is a streaming histogram over positive values (durations,
+// delays): observations land in geometrically spaced buckets, so
+// p50/p95/p99 are answerable without retaining every sample. Non-positive
+// values are counted in a dedicated underflow bucket and reported at the
+// exact observed minimum. Safe for concurrent use.
+type Histogram struct {
+	mu       sync.Mutex
+	buckets  map[int]uint64
+	underflo uint64 // observations <= 0
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]uint64)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if v <= 0 {
+		h.underflo++
+		return
+	}
+	h.buckets[bucketIndex(v)]++
+}
+
+// bucketIndex maps a positive value to its geometric bucket.
+func bucketIndex(v float64) int {
+	return int(math.Floor(math.Log(v) * invLogGrowth))
+}
+
+// bucketValue is the representative value of a bucket (its geometric
+// midpoint).
+func bucketValue(idx int) float64 {
+	return math.Pow(histGrowth, float64(idx)+0.5)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the mean observed value, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the exact smallest observation, or 0 with none.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the exact largest observation, or 0 with none.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0..1, nearest rank)
+// with relative error bounded by the bucket growth factor, clamped to
+// the exact observed [min, max]. It returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= h.underflo {
+		return h.min
+	}
+	rank -= h.underflo
+
+	idxs := make([]int, 0, len(h.buckets))
+	for idx := range h.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var seen uint64
+	for _, idx := range idxs {
+		seen += h.buckets[idx]
+		if seen >= rank {
+			v := bucketValue(idx)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// HistogramSnapshot is an exportable summary of a histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot returns the current summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}

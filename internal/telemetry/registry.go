@@ -1,0 +1,157 @@
+// Package telemetry is the observability substrate of the repository: a
+// small stdlib-only metrics registry (counters, gauges, streaming
+// histograms), a buffered JSONL sink for structured event logs (training
+// episodes, per-flow simulator traces), and profiling hooks (CPU/heap
+// profiles, an optional net/http/pprof listener). It exists so the hot
+// paths promised by the ROADMAP are measured rather than guessed: every
+// binary can enable sinks and profiles with flags, and every subsystem
+// can emit structured records through nil-checked hooks that cost
+// nothing when disabled.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. Safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative only to correct over-counting; counters
+// are conventionally monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float metric. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Registry is a named collection of metrics. Lookups create metrics on
+// first use, so call sites need no registration phase. Safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time export of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hists = append(hists, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+
+	s := Snapshot{}
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for _, name := range counters {
+			s.Counters[name] = r.Counter(name).Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for _, name := range gauges {
+			s.Gauges[name] = r.Gauge(name).Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for _, name := range hists {
+			s.Histograms[name] = r.Histogram(name).Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Sink writes structured records as JSON Lines: one JSON document per
+// line, buffered, with optional size-based rotation. Records are
+// marshaled before any byte reaches the writer and rotation happens on
+// line boundaries, so every emitted line is a complete JSON document in
+// exactly one file regardless of when rotation fires. Safe for
+// concurrent use (training seeds emit episode records concurrently).
+type Sink struct {
+	mu       sync.Mutex
+	w        *bufio.Writer
+	f        *os.File // nil for writer-backed sinks
+	path     string
+	maxBytes int64
+	written  int64
+	rotated  int
+	closed   bool
+}
+
+// SinkOption configures a Sink.
+type SinkOption func(*Sink)
+
+// WithMaxBytes enables size-based rotation: when a record would push the
+// current file past n bytes, the file is renamed to "<path>.<k>" (k = 1,
+// 2, ...) and a fresh file is opened at path. n <= 0 disables rotation
+// (the default).
+func WithMaxBytes(n int64) SinkOption {
+	return func(s *Sink) { s.maxBytes = n }
+}
+
+// NewSink creates (truncating) the JSONL file at path.
+func NewSink(path string, opts ...SinkOption) (*Sink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sink{w: bufio.NewWriter(f), f: f, path: path}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// NewWriterSink wraps an arbitrary writer (stdout, a test buffer).
+// Rotation is unavailable for writer-backed sinks.
+func NewWriterSink(w io.Writer) *Sink {
+	return &Sink{w: bufio.NewWriter(w)}
+}
+
+// Emit marshals v and appends it as one line.
+func (s *Sink) Emit(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("telemetry: emit on closed sink %q", s.path)
+	}
+	need := int64(len(line) + 1)
+	if s.f != nil && s.maxBytes > 0 && s.written > 0 && s.written+need > s.maxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.w.Write(line); err != nil {
+		return err
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	s.written += need
+	return nil
+}
+
+// rotateLocked renames the current file aside and starts a fresh one.
+func (s *Sink) rotateLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	s.rotated++
+	if err := os.Rename(s.path, fmt.Sprintf("%s.%d", s.path, s.rotated)); err != nil {
+		return err
+	}
+	f, err := os.Create(s.path)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.written = 0
+	return nil
+}
+
+// Flush forces buffered lines to the underlying writer.
+func (s *Sink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// Close flushes and closes the sink. Writer-backed sinks only flush.
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if s.f != nil {
+		return s.f.Close()
+	}
+	return nil
+}

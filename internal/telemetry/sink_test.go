@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+type testRecord struct {
+	Seed    int     `json:"seed"`
+	Episode int     `json:"episode"`
+	Score   float64 `json:"score"`
+}
+
+func TestSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "episodes.jsonl")
+	s, err := NewSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []testRecord{{0, 0, 0.5}, {0, 1, 0.75}, {1, 0, 0.25}}
+	for _, r := range want {
+		if err := s.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Emit(want[0]); err == nil {
+		t.Error("Emit after Close succeeded")
+	}
+
+	got := readJSONL[testRecord](t, path)
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// readJSONL decodes every line of a JSONL file through encoding/json.
+func readJSONL[T any](t *testing.T, path string) []T {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []T
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec T
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", len(out)+1, err, sc.Text())
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSinkRotationKeepsLinesWhole(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.jsonl")
+	s, err := NewSink(path, WithMaxBytes(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := s.Emit(testRecord{Seed: i, Episode: i, Score: float64(i) / n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := filepath.Glob(path + "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("expected rotation to produce multiple files, got %v", files)
+	}
+	total := 0
+	for _, fp := range files {
+		recs := readJSONL[testRecord](t, fp) // fails on any torn line
+		total += len(recs)
+		if fi, err := os.Stat(fp); err == nil && fp != path && fi.Size() > 200 {
+			t.Errorf("rotated file %s is %d bytes, exceeds the 200-byte cap", fp, fi.Size())
+		}
+	}
+	if total != n {
+		t.Errorf("records across rotated files = %d, want %d", total, n)
+	}
+}
+
+func TestSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := s.Emit(testRecord{Seed: g, Episode: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	lines := 0
+	for sc.Scan() {
+		var rec testRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("interleaved line: %v\n%s", err, sc.Text())
+		}
+		lines++
+	}
+	if lines != 800 {
+		t.Errorf("lines = %d, want 800", lines)
+	}
+}
+
+func TestProfilerWritesProfilesAndServesPprof(t *testing.T) {
+	dir := t.TempDir()
+	p := Profiler{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		PprofAddr:  "127.0.0.1:0",
+	}
+	if !p.Enabled() {
+		t.Fatal("Enabled() = false")
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to write.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	runtime.KeepAlive(x)
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", p.Addr()))
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof status = %d", resp.StatusCode)
+	}
+
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range []string{p.CPUProfile, p.MemProfile} {
+		fi, err := os.Stat(fp)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", fp, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", fp)
+		}
+	}
+}
+
+func TestProfilerFlagRegistration(t *testing.T) {
+	var p Profiler
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b", "-pprof", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUProfile != "a" || p.MemProfile != "b" || p.PprofAddr != "c" {
+		t.Errorf("parsed = %+v", p)
+	}
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the naive nearest-rank oracle over retained samples.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func TestHistogramQuantileMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		h := newHistogram()
+		n := 100 + rng.Intn(5000)
+		samples := make([]float64, n)
+		for i := range samples {
+			// Log-normal-ish spread across several orders of magnitude,
+			// the shape of wall-time and delay distributions.
+			samples[i] = math.Exp(rng.NormFloat64()*2) * 10
+			h.Observe(samples[i])
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			got := h.Quantile(q)
+			want := exactQuantile(samples, q)
+			// Bucket width bounds relative error; allow one extra width
+			// for rank straddling a bucket boundary.
+			tol := want * (histGrowth*histGrowth - 1)
+			if math.Abs(got-want) > tol {
+				t.Errorf("trial %d n=%d q=%.2f: got %g, oracle %g (tol %g)", trial, n, q, got, want, tol)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := newHistogram()
+	for i := 0; i < 2000; i++ {
+		h.Observe(rng.Float64() * 500)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%.2f) = %g < previous %g: not monotone", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("Quantile(%.2f) = %g outside [%g, %g]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := newHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(5)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d, want 3", h.Count())
+	}
+	if h.Min() != -3 || h.Max() != 5 {
+		t.Errorf("min/max = %g/%g, want -3/5", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.1); got != -3 {
+		t.Errorf("low quantile with underflow = %g, want exact min -3", got)
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 3 {
+		t.Errorf("NaN observation counted: Count = %d", h.Count())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(42)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%.2f) = %g, want clamped exact 42", q, got)
+		}
+	}
+	if s := h.Snapshot(); s.P50 != 42 || s.P95 != 42 || s.P99 != 42 || s.Count != 100 {
+		t.Errorf("Snapshot = %+v", s)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("decisions").Inc()
+				r.Gauge("lr").Set(float64(g))
+				r.Histogram("delay").Observe(float64(i % 100))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("decisions").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("delay").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestRegistrySnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flows").Add(12)
+	r.Gauge("load").Set(0.75)
+	r.Histogram("delay_ms").Observe(10)
+	r.Histogram("delay_ms").Observe(20)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["flows"] != 12 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["load"] != 0.75 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	if h := snap.Histograms["delay_ms"]; h.Count != 2 || h.Min != 10 || h.Max != 20 {
+		t.Errorf("histograms = %+v", snap.Histograms)
+	}
+}
