@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet
+.PHONY: all build test race bench bench-all fmt vet
 
 all: build test
 
@@ -19,7 +19,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench measures the inference hot path (forward pass, full decide in
+# both modes, one simulated episode) and writes machine-readable JSONL
+# to BENCH_inference.json (schema: EXPERIMENTS.md, "Inference
+# benchmarks").
 bench:
+	$(GO) run ./cmd/bench -out BENCH_inference.json
+
+# bench-all runs every go test benchmark in the repo (figures, micro,
+# ablations); this takes much longer than `make bench`.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 fmt:

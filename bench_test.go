@@ -157,40 +157,49 @@ func reportFigure(b *testing.B, fig eval.Figure) {
 }
 
 // BenchmarkInference measures the distributed DRL per-decision latency
-// (observe + forward pass) per topology with the paper's 2x256 network —
-// the paper's "~1 ms per decision, invariant to network size" claim.
+// (observe + forward pass) per topology and decision mode with the
+// paper's 2x256 network — the paper's "~1 ms per decision, invariant to
+// network size" claim. Every sub-benchmark must report 0 allocs/op: the
+// steady-state decide path reuses per-node workspaces.
 func BenchmarkInference(b *testing.B) {
 	for _, name := range []string{"Abilene", "BT Europe", "China Telecom", "Interroute"} {
-		b.Run(name, func(b *testing.B) {
-			s := eval.Base()
-			s.Topology = name
-			inst, err := s.Instantiate(1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			adapter := coord.NewAdapter(inst.Graph, inst.APSP)
-			agent, err := rl.NewAgent(rl.AgentConfig{
-				ObsSize:    adapter.ObsSize(),
-				NumActions: adapter.NumActions(),
-				Hidden:     []int{256, 256},
+		for _, mode := range []struct {
+			name       string
+			stochastic bool
+		}{{"stochastic", true}, {"argmax", false}} {
+			b.Run(name+"/"+mode.name, func(b *testing.B) {
+				s := eval.Base()
+				s.Topology = name
+				inst, err := s.Instantiate(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+				agent, err := rl.NewAgent(rl.AgentConfig{
+					ObsSize:    adapter.ObsSize(),
+					NumActions: adapter.NumActions(),
+					Hidden:     []int{256, 256},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dist, err := coord.NewDistributed(adapter, agent.Actor)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dist.Stochastic = mode.stochastic
+				st := simnet.NewState(inst.Graph, inst.APSP)
+				flow := &simnet.Flow{
+					Service: inst.Service, Egress: s.Egress,
+					Rate: 1, Duration: 1, Deadline: 100,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dist.Decide(st, flow, 0, 1)
+				}
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			dist, err := coord.NewDistributed(adapter, agent.Actor)
-			if err != nil {
-				b.Fatal(err)
-			}
-			st := simnet.NewState(inst.Graph, inst.APSP)
-			flow := &simnet.Flow{
-				Service: inst.Service, Egress: s.Egress,
-				Rate: 1, Duration: 1, Deadline: 100,
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dist.Decide(st, flow, 0, 1)
-			}
-		})
+		}
 	}
 }
 

@@ -1,0 +1,190 @@
+// Command bench measures the per-decision inference hot path and emits
+// machine-readable results as JSONL (one record per benchmark) through
+// the telemetry sink. It covers the three levels of the hot path:
+//
+//   - forward: one actor forward pass (allocating vs. workspace-reusing)
+//   - decide: a full distributed decision (observe + forward + act),
+//     in both stochastic and argmax mode
+//   - episode: one full simulated episode under the DRL coordinator
+//
+// Each benchmark is calibrated and timed by testing.Benchmark, so ns/op
+// and allocs/op match what `go test -bench` would report. The record
+// schema is documented in EXPERIMENTS.md ("Inference benchmarks").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"distcoord/internal/coord"
+	"distcoord/internal/eval"
+	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
+)
+
+// meta is the first record of every benchmark file: it pins the
+// environment so results from different machines are not compared
+// blindly.
+type meta struct {
+	Record    string `json:"record"` // always "meta"
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	UnixTime  int64  `json:"unix_time"`
+}
+
+// result is one benchmark measurement.
+type result struct {
+	Record      string  `json:"record"` // always "bench"
+	Bench       string  `json:"bench"`  // "forward" | "decide" | "episode"
+	Variant     string  `json:"variant,omitempty"`
+	Topology    string  `json:"topology,omitempty"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_inference.json", "JSONL output path")
+	topology := flag.String("topology", "Abilene", "topology for the decide and episode benchmarks")
+	flag.Parse()
+
+	sink, err := telemetry.NewSink(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sink.Close()
+	if err := sink.Emit(meta{
+		Record:    "meta",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		UnixTime:  time.Now().Unix(),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	emit := func(bench, variant, topo string, r testing.BenchmarkResult) {
+		rec := result{
+			Record:      "bench",
+			Bench:       bench,
+			Variant:     variant,
+			Topology:    topo,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if err := sink.Emit(rec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-12s %-10s %10d iters %12.0f ns/op %6d allocs/op\n",
+			bench, variant, topo, rec.Iters, rec.NsPerOp, rec.AllocsPerOp)
+	}
+
+	if err := run(emit, *topology); err != nil {
+		sink.Close()
+		log.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	os.Exit(0)
+}
+
+func run(emit func(bench, variant, topo string, r testing.BenchmarkResult), topology string) error {
+	s := eval.Base()
+	s.Topology = topology
+	inst, err := s.Instantiate(1)
+	if err != nil {
+		return err
+	}
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	agent, err := rl.NewAgent(rl.AgentConfig{
+		ObsSize:    adapter.ObsSize(),
+		NumActions: adapter.NumActions(),
+		Hidden:     []int{256, 256}, // the paper's deployed network shape
+	})
+	if err != nil {
+		return err
+	}
+
+	// Forward pass: allocating baseline vs. workspace-reusing hot path.
+	obs := make([]float64, adapter.ObsSize())
+	rng := rand.New(rand.NewSource(1))
+	for i := range obs {
+		obs[i] = rng.Float64()*2 - 1
+	}
+	actor := agent.Actor
+	emit("forward", "alloc", "", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			actor.Forward(obs)
+		}
+	}))
+	ws := actor.NewWorkspace()
+	emit("forward", "into", "", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			actor.ForwardInto(ws, obs)
+		}
+	}))
+
+	// Full decision at one node, both decision modes.
+	dist, err := coord.NewDistributed(adapter, actor)
+	if err != nil {
+		return err
+	}
+	st := simnet.NewState(inst.Graph, inst.APSP)
+	flow := &simnet.Flow{
+		Service: inst.Service, Egress: s.Egress,
+		Rate: 1, Duration: 1, Deadline: s.Deadline,
+	}
+	for _, mode := range []struct {
+		name       string
+		stochastic bool
+	}{{"stochastic", true}, {"argmax", false}} {
+		dist.Stochastic = mode.stochastic
+		emit("decide", mode.name, topology, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dist.Decide(st, flow, 0, 1)
+			}
+		}))
+	}
+
+	// One full simulated episode under the DRL coordinator (reduced
+	// horizon: the paper-scale 20000 would make one iteration minutes).
+	ep := s
+	ep.Horizon = 300
+	epInst, err := ep.Instantiate(1)
+	if err != nil {
+		return err
+	}
+	epAdapter := coord.NewAdapter(epInst.Graph, epInst.APSP)
+	epDist, err := coord.NewDistributed(epAdapter, actor)
+	if err != nil {
+		return err
+	}
+	emit("episode", "drl", topology, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			epDist.Reseed(int64(i) + 1)
+			if _, err := epInst.Run(epDist); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return nil
+}

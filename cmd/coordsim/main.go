@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"distcoord/internal/baselines"
+	"distcoord/internal/coord"
 	"distcoord/internal/eval"
 	"distcoord/internal/graph"
 	"distcoord/internal/simnet"
@@ -32,6 +33,7 @@ type runConfig struct {
 	deadline, horizon                 float64
 	seed                              int64
 	episodes                          int
+	greedy                            bool
 	flowTrace                         string
 	metricsOut                        string
 	prof                              telemetry.Profiler
@@ -48,6 +50,7 @@ func main() {
 	flag.Float64Var(&c.horizon, "horizon", 2000, "simulation horizon T")
 	flag.Int64Var(&c.seed, "seed", 0, "simulation seed")
 	flag.IntVar(&c.episodes, "train-episodes", 300, "DRL training episodes (only -algo drl)")
+	flag.BoolVar(&c.greedy, "greedy", false, "deterministic argmax DRL inference instead of sampling (only -algo drl)")
 	flag.StringVar(&c.flowTrace, "flow-trace", "", "write per-flow trace events to this JSONL file")
 	flag.StringVar(&c.metricsOut, "metrics-out", "", "write the metrics summary as JSON to this file")
 	c.prof.RegisterFlags(flag.CommandLine)
@@ -128,6 +131,9 @@ func run(c *runConfig) error {
 		coordinator, err = policy.Factory()(inst, c.seed)
 		if err != nil {
 			return err
+		}
+		if d, ok := coordinator.(*coord.Distributed); ok {
+			d.Stochastic = !c.greedy
 		}
 	default:
 		return fmt.Errorf("unknown algorithm %q (want drl, central, gcasp, sp)", c.algo)

@@ -36,6 +36,7 @@ type cliConfig struct {
 	seeds, envs       int
 	horizon           float64
 	evalSeeds         int
+	greedy            bool
 	episodeLog        string
 	logMax            int64
 	flowTrace         string
@@ -55,6 +56,7 @@ func main() {
 	flag.IntVar(&c.envs, "envs", 4, "parallel training environments l (paper: 4)")
 	flag.Float64Var(&c.horizon, "train-horizon", 1000, "training episode horizon")
 	flag.IntVar(&c.evalSeeds, "eval-seeds", 3, "evaluation seeds (with -eval)")
+	flag.BoolVar(&c.greedy, "greedy", false, "deterministic argmax inference instead of sampling (with -eval)")
 	flag.StringVar(&c.episodeLog, "episode-log", "", "write per-episode training records to this JSONL file")
 	flag.Int64Var(&c.logMax, "episode-log-max-bytes", 0, "rotate the episode log when it exceeds this size (0: never)")
 	flag.StringVar(&c.flowTrace, "flow-trace", "", "write per-flow trace events to this JSONL file (with -eval)")
@@ -95,7 +97,7 @@ func run(c *cliConfig) error {
 	}
 
 	if c.evalPath != "" {
-		return evaluateSaved(s, c.evalPath, c.evalSeeds, c.flowTrace)
+		return evaluateSaved(s, c.evalPath, c.evalSeeds, c.greedy, c.flowTrace)
 	}
 
 	budget := eval.TrainBudget{
@@ -158,12 +160,9 @@ func run(c *cliConfig) error {
 		fmt.Fprintf(os.Stderr, "wrote episode log to %s\n", c.episodeLog)
 	}
 
-	f, err := os.Create(c.out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := policy.Agent.Actor.Save(f); err != nil {
+	// Atomic write (temp file + fsync + rename): a crash mid-write must
+	// not leave a truncated, loadable-looking weights file behind.
+	if err := policy.Agent.Actor.SaveFile(c.out); err != nil {
 		return err
 	}
 	fmt.Printf("saved trained actor to %s\n", c.out)
@@ -172,13 +171,8 @@ func run(c *cliConfig) error {
 
 // evaluateSaved loads an actor network and evaluates it on the scenario,
 // optionally writing per-flow traces of the first evaluation seed.
-func evaluateSaved(s eval.Scenario, path string, seeds int, flowTrace string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	actor, err := nn.Load(f)
+func evaluateSaved(s eval.Scenario, path string, seeds int, greedy bool, flowTrace string) error {
+	actor, err := nn.LoadFile(path)
 	if err != nil {
 		return err
 	}
@@ -188,6 +182,7 @@ func evaluateSaved(s eval.Scenario, path string, seeds int, flowTrace string) er
 		if err != nil {
 			return nil, err
 		}
+		d.Stochastic = !greedy
 		d.Reseed(seed)
 		return d, nil
 	}

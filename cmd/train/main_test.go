@@ -102,7 +102,7 @@ func TestEvaluateSavedWritesFlowTrace(t *testing.T) {
 	f.Close()
 
 	tracePath := filepath.Join(dir, "trace.jsonl")
-	if err := evaluateSaved(s, path, 1, tracePath); err != nil {
+	if err := evaluateSaved(s, path, 1, false, tracePath); err != nil {
 		t.Fatal(err)
 	}
 	tf, err := os.Open(tracePath)
@@ -154,10 +154,10 @@ func TestEvaluateSaved(t *testing.T) {
 	}
 	f.Close()
 
-	if err := evaluateSaved(s, path, 1, ""); err != nil {
+	if err := evaluateSaved(s, path, 1, false, ""); err != nil {
 		t.Errorf("evaluateSaved: %v", err)
 	}
-	if err := evaluateSaved(s, filepath.Join(t.TempDir(), "missing.json"), 1, ""); err == nil {
+	if err := evaluateSaved(s, filepath.Join(t.TempDir(), "missing.json"), 1, false, ""); err == nil {
 		t.Error("accepted missing agent file")
 	}
 }
@@ -178,7 +178,7 @@ func TestEvaluateSavedRejectsWrongShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := evaluateSaved(s, path, 1, ""); err == nil {
+	if err := evaluateSaved(s, path, 1, false, ""); err == nil {
 		t.Error("accepted actor with mismatched observation size")
 	}
 }

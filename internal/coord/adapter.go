@@ -73,9 +73,18 @@ func (a *Adapter) NumActions() int { return a.maxDeg + 1 }
 // Observe builds the local observation 𝒪 = ⟨F_f, R_v^L, R_v^V, D_{v,f},
 // X_v⟩ for flow f at node v (Sec. IV-B1). All components are normalized
 // into [-1,1] and padded with −1 to Δ_G slots so every node produces
-// equally sized vectors; dummy neighbors read −1.
+// equally sized vectors; dummy neighbors read −1. It allocates the
+// returned vector; per-flow hot paths should reuse a buffer via
+// ObserveInto.
 func (a *Adapter) Observe(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) []float64 {
-	obs := make([]float64, 0, a.ObsSize())
+	return a.ObserveInto(make([]float64, 0, a.ObsSize()), st, f, v, now)
+}
+
+// ObserveInto builds the observation into buf[:0] and returns it. When
+// cap(buf) >= ObsSize() it performs zero allocations; the result aliases
+// buf and is only valid until the caller's next reuse.
+func (a *Adapter) ObserveInto(buf []float64, st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) []float64 {
+	obs := buf[:0]
 	neighbors := a.g.Neighbors(v)
 	remaining := f.Remaining(now)
 

@@ -1,0 +1,76 @@
+package coord
+
+import (
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
+)
+
+// benchDistributed deploys a paper-shaped (2x256) actor on Abilene with
+// uniform capacities.
+func benchDistributed(b *testing.B) (*Distributed, *simnet.State, *simnet.Flow) {
+	b.Helper()
+	g := graph.Abilene()
+	for v := 0; v < g.NumNodes(); v++ {
+		g.SetNodeCapacity(graph.NodeID(v), 2)
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		g.SetLinkCapacity(l, 3)
+	}
+	a := NewAdapter(g, nil)
+	agent, err := rl.NewAgent(rl.AgentConfig{
+		ObsSize:    a.ObsSize(),
+		NumActions: a.NumActions(),
+		Hidden:     []int{256, 256},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDistributed(a, agent.Actor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := simnet.NewState(g, a.APSP())
+	svc := &simnet.Service{Name: "bench", Chain: []*simnet.Component{
+		{Name: "c1", ProcDelay: 5, IdleTimeout: 100, ResourcePerRate: 0.6},
+	}}
+	f := &simnet.Flow{ID: 1, Service: svc, Egress: graph.NodeID(g.NumNodes() - 1),
+		Rate: 1, Duration: 1, Deadline: 100}
+	return d, st, f
+}
+
+// BenchmarkDistributedDecide measures the full per-decision hot path
+// (observe + forward + act) in both decision modes — the quantity behind
+// the paper's ~1 ms/decision claim (Fig. 9b). Both must report
+// 0 allocs/op.
+func BenchmarkDistributedDecide(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		stochastic bool
+	}{{"stochastic", true}, {"argmax", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			d, st, f := benchDistributed(b)
+			d.Stochastic = mode.stochastic
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Decide(st, f, 0, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkObserveInto isolates the observation-build part of a
+// decision.
+func BenchmarkObserveInto(b *testing.B) {
+	d, st, f := benchDistributed(b)
+	a := d.adapter
+	buf := make([]float64, 0, a.ObsSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = a.ObserveInto(buf, st, f, 0, 1)
+	}
+}

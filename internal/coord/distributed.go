@@ -9,6 +9,18 @@ import (
 	"distcoord/internal/simnet"
 )
 
+// nodeState is everything one deployed node owns: its actor copy, its
+// private sampling stream, and the inference scratch buffers that make
+// the steady-state decide path allocation-free. Nothing here is shared
+// across nodes, so nodes may decide concurrently.
+type nodeState struct {
+	actor *nn.MLP
+	rng   *rand.Rand
+	ws    *nn.Workspace
+	obs   []float64
+	probs []float64
+}
+
 // Distributed is the paper's fully distributed DRL coordinator (Fig. 4b):
 // after centralized training, every node v receives its own copy π_θ^v of
 // the trained actor and decides for incoming flows purely from local
@@ -16,10 +28,10 @@ import (
 // It implements simnet.Coordinator.
 type Distributed struct {
 	adapter *Adapter
-	// actors holds one network copy per node — deliberately not shared,
-	// mirroring the deployment architecture (and making per-node
-	// inference timing honest, Fig. 9b).
-	actors []*nn.MLP
+	// nodes holds one actor copy, random stream, and inference workspace
+	// per node — deliberately not shared, mirroring the deployment
+	// architecture (and making per-node inference timing honest, Fig. 9b).
+	nodes []nodeState
 
 	// Stochastic samples actions from π instead of taking the argmax.
 	// It defaults to true, matching the paper's stable-baselines
@@ -28,7 +40,6 @@ type Distributed struct {
 	// symmetry — a pure argmax policy can ping-pong flows between two
 	// nodes forever.
 	Stochastic bool
-	rng        *rand.Rand
 }
 
 // NewDistributed deploys a copy of the trained actor at each node of the
@@ -42,13 +53,19 @@ func NewDistributed(adapter *Adapter, actor *nn.MLP) (*Distributed, error) {
 	}
 	d := &Distributed{
 		adapter:    adapter,
-		actors:     make([]*nn.MLP, adapter.Graph().NumNodes()),
+		nodes:      make([]nodeState, adapter.Graph().NumNodes()),
 		Stochastic: true,
-		rng:        rand.New(rand.NewSource(1)),
 	}
-	for v := range d.actors {
-		d.actors[v] = actor.Clone()
+	for v := range d.nodes {
+		c := actor.Clone()
+		d.nodes[v] = nodeState{
+			actor: c,
+			ws:    c.NewWorkspace(),
+			obs:   make([]float64, 0, adapter.ObsSize()),
+			probs: make([]float64, adapter.NumActions()),
+		}
 	}
+	d.Reseed(1)
 	return d, nil
 }
 
@@ -56,22 +73,46 @@ func NewDistributed(adapter *Adapter, actor *nn.MLP) (*Distributed, error) {
 func (d *Distributed) Name() string { return "DistDRL" }
 
 // Decide implements simnet.Coordinator: observe locally, run the node's
-// own policy copy, act.
+// own policy copy, act. The steady-state path performs zero allocations.
 func (d *Distributed) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
-	obs := d.adapter.Observe(st, f, v, now)
-	logits := d.actors[v].Forward(obs)
-	if d.Stochastic {
-		return nn.SampleCategorical(d.rng, nn.Softmax(logits))
+	n := &d.nodes[v]
+	n.obs = d.adapter.ObserveInto(n.obs, st, f, v, now)
+	return n.decide(d.Stochastic)
+}
+
+// decide runs the node's policy on the observation currently in n.obs.
+func (n *nodeState) decide(stochastic bool) int {
+	logits := n.actor.ForwardInto(n.ws, n.obs)
+	if stochastic {
+		return nn.SampleCategorical(n.rng, nn.SoftmaxInto(logits, n.probs))
 	}
 	return nn.Argmax(logits)
 }
 
-// Reseed reinitializes the sampling source (for reproducible evaluation
-// runs).
-func (d *Distributed) Reseed(seed int64) { d.rng = rand.New(rand.NewSource(seed)) }
+// Reseed reinitializes the per-node sampling streams (for reproducible
+// evaluation runs). Each node derives its own independent source from
+// the base seed — the deployed nodes are independent decision makers,
+// so they must not consume from one shared stream.
+func (d *Distributed) Reseed(seed int64) {
+	for v := range d.nodes {
+		d.nodes[v].rng = rand.New(rand.NewSource(nodeSeed(seed, v)))
+	}
+}
+
+// nodeSeed derives node v's stream from the base seed: a golden-ratio
+// stride (splitmix-style) keeps the per-node sources decorrelated even
+// for adjacent base seeds.
+func nodeSeed(seed int64, v int) int64 {
+	const golden = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+	return seed + (int64(v)+1)*golden
+}
 
 // DecideAt runs inference for a specific node's policy copy on a
 // prebuilt observation (used by the inference-latency bench, Fig. 9b).
+// It routes through the same decide logic as Decide — honoring
+// Stochastic — so benchmarks measure the deployed code path.
 func (d *Distributed) DecideAt(v graph.NodeID, obs []float64) int {
-	return nn.Argmax(d.actors[v].Forward(obs))
+	n := &d.nodes[v]
+	n.obs = append(n.obs[:0], obs...)
+	return n.decide(d.Stochastic)
 }

@@ -28,10 +28,11 @@ type Online struct {
 	cfg     OnlineConfig
 
 	agents  []*rl.Agent       // one per node
+	scratch []*rl.Scratch     // per node: reusable inference buffers
+	rngs    []*rand.Rand      // per node: private sampling stream
 	buffers [][]rl.Trajectory // per node: single-step trajectories with precomputed returns
 	open    map[int]*onlineTrace
 	shaper  *shaper
-	rng     *rand.Rand
 
 	// Updates counts local update rounds performed (diagnostics).
 	Updates int
@@ -94,10 +95,11 @@ func NewOnline(adapter *Adapter, trained *rl.Agent, cfg OnlineConfig) (*Online, 
 		adapter: adapter,
 		cfg:     cfg,
 		agents:  make([]*rl.Agent, n),
+		scratch: make([]*rl.Scratch, n),
+		rngs:    make([]*rand.Rand, n),
 		buffers: make([][]rl.Trajectory, n),
 		open:    make(map[int]*onlineTrace),
 		shaper:  newShaper(cfg.Rewards, adapter.Diameter()),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	base := trained.Config()
 	for v := 0; v < n; v++ {
@@ -123,6 +125,10 @@ func NewOnline(adapter *Adapter, trained *rl.Agent, cfg OnlineConfig) (*Online, 
 			return nil, err
 		}
 		o.agents[v] = agent
+		o.scratch[v] = agent.NewScratch()
+		// Per-node sampling streams, matching the independent-deployment
+		// model (cf. Distributed.Reseed).
+		o.rngs[v] = rand.New(rand.NewSource(nodeSeed(cfg.Seed, v)))
 	}
 	return o, nil
 }
@@ -133,8 +139,10 @@ func (o *Online) Name() string { return "DistDRL-online" }
 // Decide implements simnet.Coordinator: sample from the node's own
 // current policy and record the decision for its local buffer.
 func (o *Online) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
+	// The observation is retained in the node's experience buffer, so it
+	// must be freshly allocated here (unlike Distributed's reused buffer).
 	obs := o.adapter.Observe(st, f, v, now)
-	action := o.agents[v].SampleAction(obs, o.rng)
+	action := o.agents[v].SampleActionWith(o.scratch[v], obs, o.rngs[v])
 
 	ft := o.open[f.ID]
 	if ft == nil {

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchNet builds the paper's 2x256 actor shape on a Δ_G=6 observation
+// (Interroute-sized: obs 4Δ+4 = 28, actions Δ+1 = 7).
+func benchNet() (*MLP, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, 28, 256, 256, 7)
+	x := make([]float64, 28)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	return m, x
+}
+
+// BenchmarkForward is the allocating forward pass (baseline for
+// BenchmarkForwardInto).
+func BenchmarkForward(b *testing.B) {
+	m, x := benchNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+// BenchmarkForwardInto is the workspace-reusing forward pass of the
+// inference hot path; it must report 0 allocs/op.
+func BenchmarkForwardInto(b *testing.B) {
+	m, x := benchNet()
+	ws := m.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardInto(ws, x)
+	}
+}
+
+// BenchmarkSoftmaxSample covers the post-forward part of a stochastic
+// decision: softmax into a reused buffer plus one categorical draw.
+func BenchmarkSoftmaxSample(b *testing.B) {
+	m, x := benchNet()
+	ws := m.NewWorkspace()
+	logits := m.ForwardInto(ws, x)
+	probs := make([]float64, len(logits))
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleCategorical(rng, SoftmaxInto(logits, probs))
+	}
+}

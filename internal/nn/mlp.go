@@ -105,6 +105,8 @@ func (m *MLP) InputSize() int { return m.sizes[0] }
 func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
 
 // Forward runs inference, returning a freshly allocated output vector.
+// Hot paths that decide per flow should allocate a Workspace once and
+// call ForwardInto instead.
 func (m *MLP) Forward(x []float64) []float64 {
 	if len(x) != m.InputSize() {
 		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.InputSize()))
@@ -112,6 +114,54 @@ func (m *MLP) Forward(x []float64) []float64 {
 	cur := x
 	for li, l := range m.layers {
 		next := make([]float64, l.out)
+		l.forward(cur, next)
+		if li+1 < len(m.layers) {
+			for i := range next {
+				next[i] = math.Tanh(next[i])
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Workspace holds the per-layer activation buffers of one forward pass,
+// so steady-state inference performs no allocations. A workspace belongs
+// to one caller (it is not safe for concurrent use) and fits any network
+// with the same layer sizes as the one that created it.
+type Workspace struct {
+	sizes []int
+	acts  [][]float64 // one buffer per layer output
+}
+
+// NewWorkspace allocates forward-pass scratch buffers sized for m.
+func (m *MLP) NewWorkspace() *Workspace {
+	ws := &Workspace{
+		sizes: append([]int(nil), m.sizes...),
+		acts:  make([][]float64, len(m.layers)),
+	}
+	for i, l := range m.layers {
+		ws.acts[i] = make([]float64, l.out)
+	}
+	return ws
+}
+
+// ForwardInto runs inference using the workspace's buffers and returns
+// the output slice, which aliases the workspace and stays valid until
+// its next use. It performs zero allocations.
+func (m *MLP) ForwardInto(ws *Workspace, x []float64) []float64 {
+	if len(x) != m.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.InputSize()))
+	}
+	if len(ws.acts) != len(m.layers) {
+		panic(fmt.Sprintf("nn: workspace has %d layers, network %d", len(ws.acts), len(m.layers)))
+	}
+	cur := x
+	for li, l := range m.layers {
+		next := ws.acts[li]
+		if len(next) != l.out {
+			panic(fmt.Sprintf("nn: workspace layer %d sized %d, want %d", li, len(next), l.out))
+		}
 		l.forward(cur, next)
 		if li+1 < len(m.layers) {
 			for i := range next {

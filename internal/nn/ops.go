@@ -6,20 +6,38 @@ import (
 )
 
 // Softmax returns the softmax distribution over logits, computed with the
-// max-subtraction trick for numerical stability.
+// max-subtraction trick for numerical stability. Hot paths should reuse a
+// buffer via SoftmaxInto.
 func Softmax(logits []float64) []float64 {
+	return SoftmaxInto(logits, make([]float64, len(logits)))
+}
+
+// SoftmaxInto writes the softmax distribution over logits into out
+// (len(out) must equal len(logits)) and returns out. It performs zero
+// allocations. Degenerate logits — all -Inf, or any NaN — have no
+// well-defined distribution; rather than emit NaN probabilities the
+// result falls back to uniform.
+func SoftmaxInto(logits, out []float64) []float64 {
+	if len(out) != len(logits) {
+		panic("nn: SoftmaxInto output length mismatch")
+	}
 	max := math.Inf(-1)
 	for _, l := range logits {
 		if l > max {
 			max = l
 		}
 	}
-	out := make([]float64, len(logits))
 	sum := 0.0
 	for i, l := range logits {
 		e := math.Exp(l - max)
 		out[i] = e
 		sum += e
+	}
+	// max = -Inf (all logits -Inf) makes every exp NaN; a NaN logit
+	// poisons the sum. Both leave no usable distribution.
+	if math.IsNaN(sum) || sum <= 0 {
+		uniformInto(out)
+		return out
 	}
 	for i := range out {
 		out[i] /= sum
@@ -29,6 +47,16 @@ func Softmax(logits []float64) []float64 {
 
 // LogSoftmax returns log(Softmax(logits)) computed stably.
 func LogSoftmax(logits []float64) []float64 {
+	return LogSoftmaxInto(logits, make([]float64, len(logits)))
+}
+
+// LogSoftmaxInto writes log(Softmax(logits)) into out (len(out) must
+// equal len(logits)) and returns out, with the same degenerate-input
+// fallback as SoftmaxInto (uniform, i.e. -log n everywhere).
+func LogSoftmaxInto(logits, out []float64) []float64 {
+	if len(out) != len(logits) {
+		panic("nn: LogSoftmaxInto output length mismatch")
+	}
 	max := math.Inf(-1)
 	for _, l := range logits {
 		if l > max {
@@ -40,20 +68,42 @@ func LogSoftmax(logits []float64) []float64 {
 		sum += math.Exp(l - max)
 	}
 	lse := max + math.Log(sum)
-	out := make([]float64, len(logits))
+	if math.IsNaN(lse) || math.IsInf(lse, 0) {
+		logUniform := -math.Log(float64(len(out)))
+		for i := range out {
+			out[i] = logUniform
+		}
+		return out
+	}
 	for i, l := range logits {
 		out[i] = l - lse
 	}
 	return out
 }
 
+// uniformInto overwrites out with the uniform distribution.
+func uniformInto(out []float64) {
+	if len(out) == 0 {
+		return
+	}
+	p := 1 / float64(len(out))
+	for i := range out {
+		out[i] = p
+	}
+}
+
 // SampleCategorical draws an index from the given probability
 // distribution. Probabilities must be non-negative; they are normalized
-// by their sum.
+// by their sum. A degenerate vector (zero, NaN, or infinite total) has
+// no usable distribution, so sampling falls back to uniform rather than
+// silently returning the last index.
 func SampleCategorical(rng *rand.Rand, probs []float64) int {
 	total := 0.0
 	for _, p := range probs {
 		total += p
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) || total <= 0 {
+		return rng.Intn(len(probs))
 	}
 	u := rng.Float64() * total
 	acc := 0.0

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"os"
+	"path/filepath"
 )
 
 // mlpJSON is the serialized form of an MLP.
@@ -27,12 +30,50 @@ func (m *MLP) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a network saved with Save.
+// SaveFile atomically writes the network to path: the JSON is written to
+// a temporary file in the same directory, fsynced, and renamed into
+// place, so a crash mid-write can never leave a truncated (yet
+// loadable-looking) weights file behind.
+func (m *MLP) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("nn: saving network: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = m.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("nn: saving network: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("nn: saving network: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("nn: saving network: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network saved with Save. It rejects malformed shapes and
+// non-finite weights: a NaN or Inf parameter silently poisons every
+// subsequent forward pass, so it must fail loudly at load time.
 func Load(r io.Reader) (*MLP, error) {
 	var j mlpJSON
 	if err := json.NewDecoder(r).Decode(&j); err != nil {
 		return nil, fmt.Errorf("nn: loading network: %w", err)
 	}
+	return fromJSON(j)
+}
+
+// fromJSON validates a decoded network and builds the MLP.
+func fromJSON(j mlpJSON) (*MLP, error) {
 	if len(j.Sizes) < 2 {
 		return nil, fmt.Errorf("nn: loaded network has invalid sizes %v", j.Sizes)
 	}
@@ -48,6 +89,13 @@ func Load(r io.Reader) (*MLP, error) {
 			return nil, fmt.Errorf("nn: layer %d weight shapes %d/%d, want %d/%d",
 				i, len(w), len(b), in*out, out)
 		}
+		for _, block := range [][]float64{w, b} {
+			for _, v := range block {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("nn: layer %d contains non-finite weight %v", i, v)
+				}
+			}
+		}
 		m.layers = append(m.layers, &dense{
 			in: in, out: out,
 			w: w, b: b,
@@ -56,4 +104,14 @@ func Load(r io.Reader) (*MLP, error) {
 		})
 	}
 	return m, nil
+}
+
+// LoadFile reads a network from a file written with SaveFile (or Save).
+func LoadFile(path string) (*MLP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: loading network: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
 }

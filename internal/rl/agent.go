@@ -139,11 +139,35 @@ func (a *Agent) Probs(obs []float64) []float64 {
 	return nn.Softmax(a.Actor.Forward(obs))
 }
 
+// Scratch holds one caller's reusable inference buffers (actor forward
+// workspace plus a probability vector), so per-decision sampling in the
+// rollout hot path performs zero allocations. Not safe for concurrent
+// use; each rollout goroutine owns its own.
+type Scratch struct {
+	ws    *nn.Workspace
+	probs []float64
+}
+
+// NewScratch allocates inference buffers sized for the agent's actor.
+func (a *Agent) NewScratch() *Scratch {
+	return &Scratch{
+		ws:    a.Actor.NewWorkspace(),
+		probs: make([]float64, a.cfg.NumActions),
+	}
+}
+
 // SampleAction draws an action from π_θ(·|obs) using the given random
 // source (callers running parallel rollouts pass per-goroutine sources;
 // the actor forward pass is read-only and safe to share).
 func (a *Agent) SampleAction(obs []float64, rng *rand.Rand) int {
 	return nn.SampleCategorical(rng, a.Probs(obs))
+}
+
+// SampleActionWith is SampleAction with caller-owned scratch buffers: the
+// allocation-free variant for rollout and online-inference hot paths.
+func (a *Agent) SampleActionWith(sc *Scratch, obs []float64, rng *rand.Rand) int {
+	logits := a.Actor.ForwardInto(sc.ws, obs)
+	return nn.SampleCategorical(rng, nn.SoftmaxInto(logits, sc.probs))
 }
 
 // GreedyAction returns argmax_a π_θ(a|obs), used for deterministic

@@ -1,0 +1,51 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testAgent(t testing.TB) *Agent {
+	t.Helper()
+	a, err := NewAgent(AgentConfig{ObsSize: 6, NumActions: 3, Hidden: []int{16}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestSampleActionWithMatchesSampleAction: the scratch-based variant must
+// consume the random stream identically and produce the same action
+// sequence as the allocating one.
+func TestSampleActionWithMatchesSampleAction(t *testing.T) {
+	a := testAgent(t)
+	sc := a.NewScratch()
+	obs := make([]float64, 6)
+	src := rand.New(rand.NewSource(1))
+	for i := range obs {
+		obs[i] = src.NormFloat64()
+	}
+	r1 := rand.New(rand.NewSource(5))
+	r2 := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		want := a.SampleAction(obs, r1)
+		got := a.SampleActionWith(sc, obs, r2)
+		if got != want {
+			t.Fatalf("step %d: SampleActionWith = %d, SampleAction = %d", i, got, want)
+		}
+	}
+}
+
+func TestSampleActionWithZeroAllocs(t *testing.T) {
+	a := testAgent(t)
+	sc := a.NewScratch()
+	rng := rand.New(rand.NewSource(2))
+	obs := make([]float64, 6)
+	a.SampleActionWith(sc, obs, rng) // warm up
+	allocs := testing.AllocsPerRun(200, func() {
+		a.SampleActionWith(sc, obs, rng)
+	})
+	if allocs != 0 {
+		t.Errorf("SampleActionWith allocates %v times per run, want 0", allocs)
+	}
+}

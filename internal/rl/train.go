@@ -172,14 +172,20 @@ func trainOneSeed(cfg TrainConfig, seed int) (*Agent, float64, error) {
 	baseLR := agent.actorOpt.LR
 
 	envs := make([]Env, cfg.ParallelEnvs)
-	rngs := make([]*rand.Rand, cfg.ParallelEnvs)
+	policies := make([]*samplingPolicy, cfg.ParallelEnvs)
 	for i := range envs {
 		envSeed := agentCfg.Seed*1000 + int64(i)
 		envs[i], err = cfg.NewEnv(envSeed)
 		if err != nil {
 			return nil, 0, err
 		}
-		rngs[i] = rand.New(rand.NewSource(envSeed + 1))
+		// One policy per environment, each with its own random stream and
+		// inference scratch, reused across all episodes of this seed.
+		policies[i] = &samplingPolicy{
+			agent: agent,
+			rng:   rand.New(rand.NewSource(envSeed + 1)),
+			sc:    agent.NewScratch(),
+		}
 	}
 
 	tail := cfg.Episodes / 10
@@ -210,8 +216,7 @@ func trainOneSeed(cfg TrainConfig, seed int) (*Agent, float64, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				p := samplingPolicy{agent: agent, rng: rngs[i]}
-				trajs, score, err := envs[i].Rollout(p)
+				trajs, score, err := envs[i].Rollout(policies[i])
 				rolls[i] = rollOut{trajs, score, err}
 			}(i)
 		}
@@ -275,13 +280,15 @@ func trainOneSeed(cfg TrainConfig, seed int) (*Agent, float64, error) {
 
 // samplingPolicy draws stochastic actions during training. The actor
 // forward pass is read-only, so one agent can serve parallel rollouts;
-// each rollout samples from its own random source.
+// each rollout samples from its own random source and reuses its own
+// inference scratch, keeping the per-decision path allocation-free.
 type samplingPolicy struct {
 	agent *Agent
 	rng   *rand.Rand
+	sc    *Scratch
 }
 
 // SelectAction implements Policy.
-func (p samplingPolicy) SelectAction(obs []float64) int {
-	return p.agent.SampleAction(obs, p.rng)
+func (p *samplingPolicy) SelectAction(obs []float64) int {
+	return p.agent.SampleActionWith(p.sc, obs, p.rng)
 }

@@ -1,0 +1,41 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/traffic"
+)
+
+// benchEpisodeConfig is one short but non-trivial episode: Poisson
+// arrivals on a 6-node line with moderate capacities, shortest-path
+// coordination (no NN — the simulator itself is under test here).
+func benchEpisodeConfig(seed int64) Config {
+	g := lineGraph(6, 4, 6)
+	return Config{
+		Graph:       g,
+		Service:     testService(2),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.NewPoisson(4, rand.New(rand.NewSource(seed)))}},
+		Egress:      graph.NodeID(g.NumNodes() - 1),
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 60},
+		Horizon:     200,
+		Coordinator: spCoord{},
+	}
+}
+
+// BenchmarkEpisode measures one full simulated episode end to end —
+// flow generation, event loop, coordination callbacks, and metrics
+// accounting — the inner loop of both training rollouts and evaluation.
+func BenchmarkEpisode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := New(benchEpisodeConfig(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -94,8 +94,13 @@ func NewMMPP(meanA, meanB, switchEvery, switchProb float64, rng *rand.Rand) *MMP
 }
 
 // Next returns the time until the next arrival, toggling the modulation
-// state at every boundary crossed since the previous arrival.
+// state at every boundary crossed since the previous arrival. The
+// returned inter-arrival time is the full elapsed time since the
+// previous arrival, including the spans spent advancing to modulation
+// boundaries — so the caller's simulation clock and the process-local
+// clock stay in lockstep.
 func (m *MMPP) Next() float64 {
+	start := m.clock
 	for {
 		mean := m.MeanA
 		if m.inB {
@@ -104,7 +109,7 @@ func (m *MMPP) Next() float64 {
 		d := expDraw(m.rng, mean)
 		if m.clock+d < m.nextBoundary {
 			m.clock += d
-			return d
+			return m.clock - start
 		}
 		// A state boundary lies before the tentative arrival: advance to
 		// it, roll the switch, and redraw (memorylessness makes the
@@ -116,6 +121,10 @@ func (m *MMPP) Next() float64 {
 		}
 	}
 }
+
+// Clock returns the process-local time of the last arrival (the sum of
+// all inter-arrival times returned so far).
+func (m *MMPP) Clock() float64 { return m.clock }
 
 // Name implements Process.
 func (m *MMPP) Name() string {

@@ -75,6 +75,48 @@ func TestMMPPMeanBetweenStates(t *testing.T) {
 	}
 }
 
+// TestMMPPClockMatchesReturnedTimes is the regression test for the
+// boundary-crossing clock drift: the sum of returned inter-arrival
+// times (the caller's simulation clock) must exactly equal the process's
+// own clock across many modulation-boundary crossings. Before the fix,
+// Next dropped the time spent advancing to each boundary, so the two
+// clocks desynchronized permanently and inter-arrival times were
+// systematically shortened.
+func TestMMPPClockMatchesReturnedTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Short switch interval relative to the means forces frequent
+	// boundary crossings: with means ~10 and boundaries every 5, almost
+	// every draw crosses at least one boundary.
+	m := NewMMPP(12, 8, 5, 0.05, rng)
+	simClock := 0.0
+	boundaries := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		before := m.Clock()
+		d := m.Next()
+		if d <= 0 {
+			t.Fatalf("non-positive inter-arrival time %f", d)
+		}
+		simClock += d
+		// Count boundary crossings via the process clock: each Next
+		// advances it by the returned amount, crossing
+		// floor(after/5)-floor(before/5) boundaries.
+		boundaries += int(m.Clock()/m.SwitchEvery) - int(before/m.SwitchEvery)
+		if math.Abs(simClock-m.Clock()) > 1e-6*math.Max(1, simClock) {
+			t.Fatalf("after %d arrivals: sim clock %f != process clock %f", i+1, simClock, m.Clock())
+		}
+	}
+	if boundaries < 100 {
+		t.Fatalf("only %d boundary crossings exercised, want >= 100", boundaries)
+	}
+	// Cross-check the long-run mean: elapsed/arrivals must lie between
+	// the two state means (the pre-fix bug pushed it below both).
+	mean := simClock / n
+	if mean <= 8 || mean >= 12 {
+		t.Errorf("empirical mean inter-arrival %f, want in (8, 12)", mean)
+	}
+}
+
 func TestMMPPActuallySwitches(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	m := NewMMPP(12, 8, 100, 0.05, rng)
