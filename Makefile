@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all fmt vet
+.PHONY: all build test race bench bench-all fmt lint vet verify
 
 all: build test
 
@@ -34,5 +34,16 @@ bench-all:
 fmt:
 	gofmt -l -w .
 
+# lint fails on unformatted files (without rewriting them) and runs vet.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
 vet:
 	$(GO) vet ./...
+
+# verify is the pre-merge gate: build, full suite, lint, race detector.
+verify: build test lint race

@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"distcoord/internal/clicfg"
 	"distcoord/internal/coord"
 	"distcoord/internal/eval"
 	"distcoord/internal/rl"
@@ -56,7 +57,16 @@ type result struct {
 func main() {
 	out := flag.String("out", "BENCH_inference.json", "JSONL output path")
 	topology := flag.String("topology", "Abilene", "topology for the decide and episode benchmarks")
+	shared := clicfg.Register(flag.CommandLine)
 	flag.Parse()
+
+	// The shared surface matters here for the profiling flags: profiling
+	// a benchmark run is the natural way to inspect the hot path.
+	rt, err := shared.Apply()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
 
 	sink, err := telemetry.NewSink(*out)
 	if err != nil {
@@ -97,6 +107,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)

@@ -9,6 +9,7 @@
 //	coordsim -algo drl -train-episodes 200      # trains first, then runs
 //	coordsim -algo sp -flow-trace flows.jsonl   # per-flow event trace
 //	coordsim -algo sp -metrics-out metrics.json # machine-readable summary
+//	coordsim -algo drl -faults node-outage      # resilience run + recovery metrics
 package main
 
 import (
@@ -18,11 +19,13 @@ import (
 	"os"
 
 	"distcoord/internal/baselines"
+	"distcoord/internal/chaos"
+	"distcoord/internal/clicfg"
 	"distcoord/internal/coord"
 	"distcoord/internal/eval"
 	"distcoord/internal/graph"
+	"distcoord/internal/rl"
 	"distcoord/internal/simnet"
-	"distcoord/internal/telemetry"
 	"distcoord/internal/traffic"
 )
 
@@ -34,9 +37,7 @@ type runConfig struct {
 	seed                              int64
 	episodes                          int
 	greedy                            bool
-	flowTrace                         string
-	metricsOut                        string
-	prof                              telemetry.Profiler
+	shared                            *clicfg.Flags
 }
 
 func main() {
@@ -51,9 +52,7 @@ func main() {
 	flag.Int64Var(&c.seed, "seed", 0, "simulation seed")
 	flag.IntVar(&c.episodes, "train-episodes", 300, "DRL training episodes (only -algo drl)")
 	flag.BoolVar(&c.greedy, "greedy", false, "deterministic argmax DRL inference instead of sampling (only -algo drl)")
-	flag.StringVar(&c.flowTrace, "flow-trace", "", "write per-flow trace events to this JSONL file")
-	flag.StringVar(&c.metricsOut, "metrics-out", "", "write the metrics summary as JSON to this file")
-	c.prof.RegisterFlags(flag.CommandLine)
+	c.shared = clicfg.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(&c); err != nil {
@@ -63,24 +62,27 @@ func main() {
 }
 
 // metricsSummary is the -metrics-out schema: headline metrics plus delay
-// quantiles and drops keyed by symbolic cause.
+// quantiles, drops keyed by symbolic cause, and per-fault recovery
+// reports for fault-injection runs.
 type metricsSummary struct {
-	Algorithm   string         `json:"algorithm"`
-	Topology    string         `json:"topology"`
-	Arrived     int            `json:"arrived"`
-	Succeeded   int            `json:"succeeded"`
-	Dropped     int            `json:"dropped"`
-	SuccessRate float64        `json:"success_rate"`
-	AvgDelay    float64        `json:"avg_delay"`
-	MaxDelay    float64        `json:"max_delay"`
-	DelayP50    float64        `json:"delay_p50"`
-	DelayP95    float64        `json:"delay_p95"`
-	DelayP99    float64        `json:"delay_p99"`
-	Decisions   int            `json:"decisions"`
-	Processings int            `json:"processings"`
-	Forwards    int            `json:"forwards"`
-	Keeps       int            `json:"keeps"`
-	DropsBy     map[string]int `json:"drops_by,omitempty"`
+	Algorithm   string              `json:"algorithm"`
+	Topology    string              `json:"topology"`
+	Arrived     int                 `json:"arrived"`
+	Succeeded   int                 `json:"succeeded"`
+	Dropped     int                 `json:"dropped"`
+	SuccessRate float64             `json:"success_rate"`
+	AvgDelay    float64             `json:"avg_delay"`
+	MaxDelay    float64             `json:"max_delay"`
+	DelayP50    float64             `json:"delay_p50"`
+	DelayP95    float64             `json:"delay_p95"`
+	DelayP99    float64             `json:"delay_p99"`
+	Decisions   int                 `json:"decisions"`
+	Processings int                 `json:"processings"`
+	Forwards    int                 `json:"forwards"`
+	Keeps       int                 `json:"keeps"`
+	DropsBy     map[string]int      `json:"drops_by,omitempty"`
+	Faults      int                 `json:"faults,omitempty"`
+	Recovery    []chaos.FaultReport `json:"recovery,omitempty"`
 }
 
 func run(c *runConfig) error {
@@ -88,6 +90,12 @@ func run(c *runConfig) error {
 	if err != nil {
 		return err
 	}
+	rt, err := c.shared.Apply()
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
 	s := eval.Base()
 	s.Topology = c.topology
 	if c.topoFile != "" {
@@ -105,6 +113,7 @@ func run(c *runConfig) error {
 	s.NumIngresses = c.ingresses
 	s.Deadline = c.deadline
 	s.Horizon = c.horizon
+	s.Faults = rt.FaultSpec()
 
 	inst, err := s.Instantiate(c.seed)
 	if err != nil {
@@ -122,6 +131,9 @@ func run(c *runConfig) error {
 	case "drl":
 		budget := eval.DefaultTrainBudget()
 		budget.Episodes = c.episodes
+		if rt.EpisodeLogEnabled() {
+			budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.EmitEpisode(rec) }
+		}
 		fmt.Fprintf(os.Stderr, "training DRL agent (%d episodes x %d seeds)...\n", budget.Episodes, budget.Seeds)
 		policy, err := eval.TrainDRL(s, budget)
 		if err != nil {
@@ -139,38 +151,16 @@ func run(c *runConfig) error {
 		return fmt.Errorf("unknown algorithm %q (want drl, central, gcasp, sp)", c.algo)
 	}
 
-	if err := c.prof.Start(); err != nil {
-		return err
-	}
-	defer c.prof.Stop()
-	if addr := c.prof.Addr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
-	}
-
-	var tracer simnet.FlowTracer
-	var traceSink *telemetry.Sink
-	if c.flowTrace != "" {
-		traceSink, err = telemetry.NewSink(c.flowTrace)
-		if err != nil {
-			return err
-		}
-		defer traceSink.Close()
-		tracer = simnet.TracerFunc(func(e simnet.TraceEvent) {
-			if err := traceSink.Emit(e); err != nil {
-				fmt.Fprintln(os.Stderr, "coordsim: flow trace:", err)
-			}
-		})
+	opts := eval.RunOptions{Tracer: rt.Tracer()}
+	var monitor *chaos.Monitor
+	if s.Faults.Enabled() {
+		monitor = chaos.NewMonitor(inst.Chaos, 0)
+		opts.Listener = monitor
 	}
 
-	m, err := inst.RunTraced(coordinator, tracer)
+	m, err := inst.RunWith(coordinator, opts)
 	if err != nil {
 		return err
-	}
-	if traceSink != nil {
-		if err := traceSink.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote flow trace to %s\n", c.flowTrace)
 	}
 
 	fmt.Printf("algorithm:      %s\n", coordinator.Name())
@@ -187,17 +177,31 @@ func run(c *runConfig) error {
 	fmt.Printf("decisions:      %d (%d processings, %d forwards, %d keeps)\n",
 		m.Decisions, m.Processings, m.Forwards, m.Keeps)
 
-	if c.metricsOut != "" {
-		if err := writeMetrics(c.metricsOut, c.algo, inst.Graph.Name(), m); err != nil {
+	var recovery []chaos.FaultReport
+	if monitor != nil {
+		recovery = monitor.Report()
+		fmt.Printf("faults applied: %d (%s)\n", m.Faults, inst.Chaos.Spec.String())
+		for _, r := range recovery {
+			rec := "never recovered"
+			if r.RecoveryTime >= 0 {
+				rec = fmt.Sprintf("recovered in %.0f", r.RecoveryTime)
+			}
+			fmt.Printf("  t=%-7.0f %-13s dip %.3f (%.3f -> %.3f), %s, %d drops\n",
+				r.Time, r.Kind, r.DipDepth, r.PreSuccess, r.MinSuccess, rec, r.Drops)
+		}
+	}
+
+	if path := rt.MetricsOut(); path != "" {
+		if err := writeMetrics(path, c.algo, inst.Graph.Name(), m, recovery); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote metrics summary to %s\n", c.metricsOut)
+		fmt.Fprintf(os.Stderr, "wrote metrics summary to %s\n", path)
 	}
-	return nil
+	return rt.Close()
 }
 
 // writeMetrics serializes the metrics summary to path as indented JSON.
-func writeMetrics(path, algo, topo string, m *simnet.Metrics) error {
+func writeMetrics(path, algo, topo string, m *simnet.Metrics, recovery []chaos.FaultReport) error {
 	sum := metricsSummary{
 		Algorithm:   algo,
 		Topology:    topo,
@@ -214,6 +218,8 @@ func writeMetrics(path, algo, topo string, m *simnet.Metrics) error {
 		Processings: m.Processings,
 		Forwards:    m.Forwards,
 		Keeps:       m.Keeps,
+		Faults:      m.Faults,
+		Recovery:    recovery,
 	}
 	if len(m.DropsBy) > 0 {
 		sum.DropsBy = make(map[string]int, len(m.DropsBy))

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"distcoord/internal/clicfg"
 	"distcoord/internal/simnet"
 )
 
@@ -36,6 +37,7 @@ func base() runConfig {
 		deadline:  100,
 		horizon:   300,
 		episodes:  1,
+		shared:    &clicfg.Flags{},
 	}
 }
 
@@ -76,13 +78,13 @@ func TestRunRejectsMissingTopologyFile(t *testing.T) {
 func TestRunWritesFlowTraceAndMetrics(t *testing.T) {
 	dir := t.TempDir()
 	c := base()
-	c.flowTrace = filepath.Join(dir, "flows.jsonl")
-	c.metricsOut = filepath.Join(dir, "metrics.json")
+	c.shared.FlowTrace = filepath.Join(dir, "flows.jsonl")
+	c.shared.MetricsOut = filepath.Join(dir, "metrics.json")
 	if err := run(&c); err != nil {
 		t.Fatal(err)
 	}
 
-	f, err := os.Open(c.flowTrace)
+	f, err := os.Open(c.shared.FlowTrace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestRunWritesFlowTraceAndMetrics(t *testing.T) {
 		t.Error("flow trace contains no arrivals")
 	}
 
-	data, err := os.ReadFile(c.metricsOut)
+	data, err := os.ReadFile(c.shared.MetricsOut)
 	if err != nil {
 		t.Fatal(err)
 	}

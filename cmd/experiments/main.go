@@ -11,6 +11,7 @@
 //	experiments -exp point -ingresses 4      # one scenario, all algorithms
 //	experiments -exp fig6b -paper            # paper-scale settings (slow)
 //	experiments -exp fig7 -episode-log t.jsonl -cpuprofile cpu.pprof
+//	experiments -exp point -faults node-outage  # resilience point run
 //
 // Default budgets are sized for commodity CPUs; -paper selects the
 // paper's hyperparameters (10 training seeds, 4 parallel envs, 2x256
@@ -24,13 +25,13 @@ import (
 	"strconv"
 	"strings"
 
+	"distcoord/internal/chaos"
+	"distcoord/internal/clicfg"
 	"distcoord/internal/eval"
 	"distcoord/internal/rl"
-	"distcoord/internal/telemetry"
 )
 
 func main() {
-	var prof telemetry.Profiler
 	var (
 		exp       = flag.String("exp", "all", "experiment: table1, fig6a-d, fig7, fig8a, fig8b, fig9a, fig9b, point, all")
 		seeds     = flag.Int("seeds", 3, "evaluation seeds per data point (paper: 30)")
@@ -43,9 +44,8 @@ func main() {
 		paper     = flag.Bool("paper", false, "use the paper's full-scale settings (slow)")
 		ingresses = flag.Int("ingresses", 2, "ingress count for -exp point")
 		verbose   = flag.Bool("v", true, "print progress")
-		epLog     = flag.String("episode-log", "", "write per-episode training records of every training run to this JSONL file")
 	)
-	prof.RegisterFlags(flag.CommandLine)
+	shared := clicfg.Register(flag.CommandLine)
 	flag.Parse()
 
 	opts := eval.Options{
@@ -77,37 +77,31 @@ func main() {
 		opts.Logf = func(string, ...interface{}) {}
 	}
 
-	if err := runInstrumented(&prof, *epLog, *exp, opts, *ingresses); err != nil {
+	if err := runShared(shared, *exp, opts, *ingresses); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-// runInstrumented wraps run with the telemetry plumbing: profiling
-// hooks, and an optional JSONL episode log collecting the training
-// telemetry of every DRL training run the experiment performs.
-func runInstrumented(prof *telemetry.Profiler, epLog, exp string, opts eval.Options, ingresses int) error {
-	if err := prof.Start(); err != nil {
+// runShared resolves the shared flag surface (profiling, episode log,
+// fault injection) around the experiment run. The episode log collects
+// the training telemetry of every DRL training run the experiment
+// performs; the fault spec applies to the -exp point scenario only —
+// figure sweeps always run fault-free so they stay comparable with the
+// paper.
+func runShared(shared *clicfg.Flags, exp string, opts eval.Options, ingresses int) error {
+	rt, err := shared.Apply()
+	if err != nil {
 		return err
 	}
-	defer prof.Stop()
-	if addr := prof.Addr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	defer rt.Close()
+	if rt.EpisodeLogEnabled() {
+		opts.Budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.EmitEpisode(rec) }
 	}
-
-	if epLog != "" {
-		sink, err := telemetry.NewSink(epLog)
-		if err != nil {
-			return err
-		}
-		defer sink.Close()
-		opts.Budget.OnEpisode = func(rec rl.EpisodeRecord) {
-			if err := sink.Emit(rec); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: episode log:", err)
-			}
-		}
+	if err := run(exp, opts, ingresses, rt.FaultSpec()); err != nil {
+		return err
 	}
-	return run(exp, opts, ingresses)
+	return rt.Close()
 }
 
 func parseHidden(s string) ([]int, error) {
@@ -122,7 +116,7 @@ func parseHidden(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, opts eval.Options, ingresses int) error {
+func run(exp string, opts eval.Options, ingresses int, faults chaos.Spec) error {
 	printFigure := func(f eval.Figure, err error) error {
 		if err != nil {
 			return err
@@ -150,7 +144,7 @@ func run(exp string, opts eval.Options, ingresses int) error {
 		}
 		fmt.Println(eval.FormatTiming(rows))
 	case "point":
-		return runPoint(opts, ingresses)
+		return runPoint(opts, ingresses, faults)
 	case "all":
 		fmt.Println(eval.TableI())
 		for _, v := range []string{"a", "b", "c", "d"} {
@@ -183,7 +177,9 @@ func run(exp string, opts eval.Options, ingresses int) error {
 
 // runPoint evaluates a single scenario point with every algorithm — a
 // quick way to inspect one configuration without a full figure sweep.
-func runPoint(opts eval.Options, ingresses int) error {
+// Under -faults the evaluation runs are perturbed by the chaos schedule
+// while training stays fault-free.
+func runPoint(opts eval.Options, ingresses int, faults chaos.Spec) error {
 	s := eval.Base()
 	s.NumIngresses = ingresses
 	s.Horizon = opts.Horizon
@@ -194,6 +190,10 @@ func runPoint(opts eval.Options, ingresses int) error {
 		return err
 	}
 	opts.Logf("point: training seed scores: %v", policy.Stats.SeedScores)
+	s.Faults = faults
+	if faults.Enabled() {
+		opts.Logf("point: evaluating under faults: %s", faults.String())
+	}
 	fig, err := eval.PointFigure(s, policy, opts)
 	if err != nil {
 		return err

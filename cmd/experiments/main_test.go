@@ -5,27 +5,40 @@ import (
 	"path/filepath"
 	"testing"
 
+	"distcoord/internal/chaos"
+	"distcoord/internal/clicfg"
 	"distcoord/internal/eval"
 	"distcoord/internal/telemetry"
 )
 
-// TestRunInstrumented exercises the telemetry wrapper: CPU/heap
-// profiles are written and the episode log file is created even for an
+// TestRunShared exercises the shared flag surface: CPU/heap profiles
+// are written and the episode log file is created even for an
 // experiment that performs no training.
-func TestRunInstrumented(t *testing.T) {
+func TestRunShared(t *testing.T) {
 	dir := t.TempDir()
-	prof := telemetry.Profiler{
-		CPUProfile: filepath.Join(dir, "cpu.pprof"),
-		MemProfile: filepath.Join(dir, "mem.pprof"),
+	shared := &clicfg.Flags{
+		EpisodeLog: filepath.Join(dir, "episodes.jsonl"),
+		Prof: telemetry.Profiler{
+			CPUProfile: filepath.Join(dir, "cpu.pprof"),
+			MemProfile: filepath.Join(dir, "mem.pprof"),
+		},
 	}
-	epLog := filepath.Join(dir, "episodes.jsonl")
-	if err := runInstrumented(&prof, epLog, "table1", optsForTest(), 2); err != nil {
+	if err := runShared(shared, "table1", optsForTest(), 2); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []string{prof.CPUProfile, prof.MemProfile, epLog} {
+	for _, p := range []string{shared.Prof.CPUProfile, shared.Prof.MemProfile, shared.EpisodeLog} {
 		if _, err := os.Stat(p); err != nil {
 			t.Errorf("missing output %s: %v", p, err)
 		}
+	}
+}
+
+// TestRunSharedRejectsBadFaultSpec pins fail-fast validation of the
+// -faults flag: a bogus profile must error before any experiment runs.
+func TestRunSharedRejectsBadFaultSpec(t *testing.T) {
+	shared := &clicfg.Flags{Faults: "meteor-strike"}
+	if err := runShared(shared, "table1", optsForTest(), 2); err == nil {
+		t.Error("runShared accepted unknown fault profile")
 	}
 }
 
@@ -65,13 +78,13 @@ func TestParseHidden(t *testing.T) {
 }
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	if err := run("figZZ", optsForTest(), 2); err == nil {
+	if err := run("figZZ", optsForTest(), 2, chaos.Spec{}); err == nil {
 		t.Error("run accepted unknown experiment")
 	}
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", optsForTest(), 2); err != nil {
+	if err := run("table1", optsForTest(), 2, chaos.Spec{}); err != nil {
 		t.Errorf("table1: %v", err)
 	}
 }

@@ -14,34 +14,39 @@ import (
 	"fmt"
 	"os"
 
+	"distcoord/internal/clicfg"
 	"distcoord/internal/graph"
-	"distcoord/internal/telemetry"
 )
 
 func main() {
-	var prof telemetry.Profiler
 	var (
 		name     = flag.String("name", "Abilene", "registry topology name")
 		format   = flag.String("format", "stats", "output format: stats, dot, file")
 		validate = flag.String("validate", "", "validate a topology file and print its statistics")
 	)
-	prof.RegisterFlags(flag.CommandLine)
+	shared := clicfg.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := runProfiled(&prof, *name, *format, *validate); err != nil {
+	if err := runShared(shared, *name, *format, *validate); err != nil {
 		fmt.Fprintln(os.Stderr, "topo:", err)
 		os.Exit(1)
 	}
 }
 
-// runProfiled wraps run with the optional profiling hooks; useful for
-// profiling APSP on large validated topologies.
-func runProfiled(prof *telemetry.Profiler, name, format, validate string) error {
-	if err := prof.Start(); err != nil {
+// runShared wraps run with the shared flag surface; the profiling hooks
+// are useful when validating large topologies (APSP dominates). The
+// simulation-only outputs (-flow-trace, -faults, ...) are accepted for
+// surface uniformity but never produce output here.
+func runShared(shared *clicfg.Flags, name, format, validate string) error {
+	rt, err := shared.Apply()
+	if err != nil {
 		return err
 	}
-	defer prof.Stop()
-	return run(name, format, validate)
+	defer rt.Close()
+	if err := run(name, format, validate); err != nil {
+		return err
+	}
+	return rt.Close()
 }
 
 func run(name, format, validate string) error {

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 
+	"distcoord/internal/chaos"
+	"distcoord/internal/clicfg"
 	"distcoord/internal/coord"
 	"distcoord/internal/eval"
 	"distcoord/internal/nn"
@@ -37,10 +39,7 @@ type cliConfig struct {
 	horizon           float64
 	evalSeeds         int
 	greedy            bool
-	episodeLog        string
-	logMax            int64
-	flowTrace         string
-	prof              telemetry.Profiler
+	shared            *clicfg.Flags
 }
 
 func main() {
@@ -57,10 +56,7 @@ func main() {
 	flag.Float64Var(&c.horizon, "train-horizon", 1000, "training episode horizon")
 	flag.IntVar(&c.evalSeeds, "eval-seeds", 3, "evaluation seeds (with -eval)")
 	flag.BoolVar(&c.greedy, "greedy", false, "deterministic argmax inference instead of sampling (with -eval)")
-	flag.StringVar(&c.episodeLog, "episode-log", "", "write per-episode training records to this JSONL file")
-	flag.Int64Var(&c.logMax, "episode-log-max-bytes", 0, "rotate the episode log when it exceeds this size (0: never)")
-	flag.StringVar(&c.flowTrace, "flow-trace", "", "write per-flow trace events to this JSONL file (with -eval)")
-	c.prof.RegisterFlags(flag.CommandLine)
+	c.shared = clicfg.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := run(&c); err != nil {
@@ -88,16 +84,20 @@ func run(c *cliConfig) error {
 	}
 	s.Horizon = 2000
 
-	if err := c.prof.Start(); err != nil {
+	rt, err := c.shared.Apply()
+	if err != nil {
 		return err
 	}
-	defer c.prof.Stop()
-	if addr := c.prof.Addr(); addr != "" {
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
-	}
-
+	defer rt.Close()
+	// Fault injection perturbs the evaluation scenario only; training
+	// stays fault-free, matching the paper's train-clean / deploy-messy
+	// robustness question.
 	if c.evalPath != "" {
-		return evaluateSaved(s, c.evalPath, c.evalSeeds, c.greedy, c.flowTrace)
+		s.Faults = rt.FaultSpec()
+		if err := evaluateSaved(s, c.evalPath, c.evalSeeds, c.greedy, rt); err != nil {
+			return err
+		}
+		return rt.Close()
 	}
 
 	budget := eval.TrainBudget{
@@ -119,27 +119,10 @@ func run(c *cliConfig) error {
 	// summary.
 	reg := telemetry.NewRegistry()
 	rollMS, updMS := reg.Histogram("rollout_ms"), reg.Histogram("update_ms")
-	var sink *telemetry.Sink
-	if c.episodeLog != "" {
-		var opts []telemetry.SinkOption
-		if c.logMax > 0 {
-			opts = append(opts, telemetry.WithMaxBytes(c.logMax))
-		}
-		var err error
-		sink, err = telemetry.NewSink(c.episodeLog, opts...)
-		if err != nil {
-			return err
-		}
-		defer sink.Close()
-	}
 	budget.OnEpisode = func(rec rl.EpisodeRecord) {
 		rollMS.Observe(rec.RolloutMS)
 		updMS.Observe(rec.UpdateMS)
-		if sink != nil {
-			if err := sink.Emit(rec); err != nil {
-				fmt.Fprintln(os.Stderr, "train: episode log:", err)
-			}
-		}
+		rt.EmitEpisode(rec)
 	}
 
 	policy, err := eval.TrainDRL(s, budget)
@@ -153,12 +136,6 @@ func run(c *cliConfig) error {
 		fmt.Fprintf(os.Stderr, "%s wall time per episode: p50=%.1fms p95=%.1fms p99=%.1fms (n=%d)\n",
 			name, s.P50, s.P95, s.P99, s.Count)
 	}
-	if sink != nil {
-		if err := sink.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote episode log to %s\n", c.episodeLog)
-	}
 
 	// Atomic write (temp file + fsync + rename): a crash mid-write must
 	// not leave a truncated, loadable-looking weights file behind.
@@ -166,12 +143,13 @@ func run(c *cliConfig) error {
 		return err
 	}
 	fmt.Printf("saved trained actor to %s\n", c.out)
-	return nil
+	return rt.Close()
 }
 
 // evaluateSaved loads an actor network and evaluates it on the scenario,
-// optionally writing per-flow traces of the first evaluation seed.
-func evaluateSaved(s eval.Scenario, path string, seeds int, greedy bool, flowTrace string) error {
+// optionally writing per-flow traces of the first evaluation seed and —
+// under -faults — the recovery metrics of a monitored fault run.
+func evaluateSaved(s eval.Scenario, path string, seeds int, greedy bool, rt *clicfg.Runtime) error {
 	actor, err := nn.LoadFile(path)
 	if err != nil {
 		return err
@@ -187,12 +165,8 @@ func evaluateSaved(s eval.Scenario, path string, seeds int, greedy bool, flowTra
 		return d, nil
 	}
 
-	if flowTrace != "" {
-		sink, err := telemetry.NewSink(flowTrace)
-		if err != nil {
-			return err
-		}
-		defer sink.Close()
+	tracer := rt.Tracer()
+	if tracer != nil || rt.FaultSpec().Enabled() {
 		inst, err := s.Instantiate(0)
 		if err != nil {
 			return err
@@ -201,18 +175,27 @@ func evaluateSaved(s eval.Scenario, path string, seeds int, greedy bool, flowTra
 		if err != nil {
 			return err
 		}
-		m, err := inst.RunTraced(c, simnet.TracerFunc(func(e simnet.TraceEvent) {
-			if err := sink.Emit(e); err != nil {
-				fmt.Fprintln(os.Stderr, "train: flow trace:", err)
-			}
-		}))
+		opts := eval.RunOptions{Tracer: tracer}
+		var monitor *chaos.Monitor
+		if rt.FaultSpec().Enabled() {
+			monitor = chaos.NewMonitor(inst.Chaos, 0)
+			opts.Listener = monitor
+		}
+		m, err := inst.RunWith(c, opts)
 		if err != nil {
 			return err
 		}
-		if err := sink.Close(); err != nil {
-			return err
+		fmt.Fprintf(os.Stderr, "seed 0: %d flows, success %.3f\n", m.Arrived, m.SuccessRatio())
+		if monitor != nil {
+			fmt.Printf("faults applied (seed 0): %d (%s)\n", m.Faults, inst.Chaos.Spec.String())
+			for _, r := range monitor.Report() {
+				rec := "never recovered"
+				if r.RecoveryTime >= 0 {
+					rec = fmt.Sprintf("recovered in %.0f", r.RecoveryTime)
+				}
+				fmt.Printf("  t=%-7.0f %-13s dip %.3f, %s, %d drops\n", r.Time, r.Kind, r.DipDepth, rec, r.Drops)
+			}
 		}
-		fmt.Fprintf(os.Stderr, "wrote flow trace of seed 0 (%d flows) to %s\n", m.Arrived, flowTrace)
 	}
 
 	o, err := eval.Evaluate(s, factory, seeds, 0)

@@ -7,11 +7,24 @@ import (
 	"path/filepath"
 	"testing"
 
+	"distcoord/internal/clicfg"
 	"distcoord/internal/coord"
 	"distcoord/internal/eval"
 	"distcoord/internal/rl"
 	"distcoord/internal/simnet"
 )
+
+// plainRuntime resolves an empty shared-flag set (no sinks, no
+// profiling) for tests that drive evaluateSaved directly.
+func plainRuntime(t *testing.T) *clicfg.Runtime {
+	t.Helper()
+	rt, err := (&clicfg.Flags{}).Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
 
 // TestRunWritesParseableEpisodeLog pins the telemetry acceptance
 // criterion: a training run with -episode-log writes JSONL that parses
@@ -19,22 +32,22 @@ import (
 func TestRunWritesParseableEpisodeLog(t *testing.T) {
 	dir := t.TempDir()
 	c := cliConfig{
-		out:        filepath.Join(dir, "agent.json"),
-		topology:   "Abilene",
-		pattern:    "fixed",
-		ingresses:  1,
-		deadline:   100,
-		episodes:   3,
-		seeds:      2,
-		envs:       2,
-		horizon:    60,
-		episodeLog: filepath.Join(dir, "episodes.jsonl"),
+		out:       filepath.Join(dir, "agent.json"),
+		topology:  "Abilene",
+		pattern:   "fixed",
+		ingresses: 1,
+		deadline:  100,
+		episodes:  3,
+		seeds:     2,
+		envs:      2,
+		horizon:   60,
+		shared:    &clicfg.Flags{EpisodeLog: filepath.Join(dir, "episodes.jsonl")},
 	}
 	if err := run(&c); err != nil {
 		t.Fatal(err)
 	}
 
-	f, err := os.Open(c.episodeLog)
+	f, err := os.Open(c.shared.EpisodeLog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +115,14 @@ func TestEvaluateSavedWritesFlowTrace(t *testing.T) {
 	f.Close()
 
 	tracePath := filepath.Join(dir, "trace.jsonl")
-	if err := evaluateSaved(s, path, 1, false, tracePath); err != nil {
+	rt, err := (&clicfg.Flags{FlowTrace: tracePath}).Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evaluateSaved(s, path, 1, false, rt); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
 		t.Fatal(err)
 	}
 	tf, err := os.Open(tracePath)
@@ -154,10 +174,11 @@ func TestEvaluateSaved(t *testing.T) {
 	}
 	f.Close()
 
-	if err := evaluateSaved(s, path, 1, false, ""); err != nil {
+	rt := plainRuntime(t)
+	if err := evaluateSaved(s, path, 1, false, rt); err != nil {
 		t.Errorf("evaluateSaved: %v", err)
 	}
-	if err := evaluateSaved(s, filepath.Join(t.TempDir(), "missing.json"), 1, false, ""); err == nil {
+	if err := evaluateSaved(s, filepath.Join(t.TempDir(), "missing.json"), 1, false, rt); err == nil {
 		t.Error("accepted missing agent file")
 	}
 }
@@ -178,7 +199,7 @@ func TestEvaluateSavedRejectsWrongShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := evaluateSaved(s, path, 1, false, ""); err == nil {
+	if err := evaluateSaved(s, path, 1, false, plainRuntime(t)); err == nil {
 		t.Error("accepted actor with mismatched observation size")
 	}
 }

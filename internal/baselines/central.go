@@ -110,6 +110,23 @@ func (c *Central) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now f
 	return forwardTowards(st, v, target)
 }
 
+// OnTopologyChange implements simnet.TopologyObserver: the controller
+// learns about node and link failures out-of-band (its monitoring stack
+// alerts faster than the periodic rule optimization) and immediately
+// withdraws every rule that routes through a dead node. Affected classes
+// fall back to shortest-path behavior until the next Tick replans them
+// over the surviving topology.
+func (c *Central) OnTopologyChange(st *simnet.State, now float64) {
+	for key, nodes := range c.assign {
+		for _, v := range nodes {
+			if !st.NodeAlive(v) {
+				delete(c.assign, key)
+				break
+			}
+		}
+	}
+}
+
 // Tick implements simnet.Ticker: take a global monitoring snapshot and
 // recompute all rules. The snapshot immediately starts aging; flows that
 // arrive later in the interval are coordinated with stale information.
@@ -179,7 +196,7 @@ func (c *Central) planPath(st *simnet.State, key ruleKey, rate float64, planned 
 		bestFits := false
 		bestScore := 0.0
 		for _, n := range g.Nodes() {
-			if n.Capacity <= 0 {
+			if n.Capacity <= 0 || !st.NodeAlive(n.ID) {
 				continue
 			}
 			toCand := apsp.Dist(prev, n.ID)

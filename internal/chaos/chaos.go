@@ -1,0 +1,500 @@
+// Package chaos builds deterministic fault-injection schedules for the
+// simnet simulator: given a profile, a seed, and a topology, it derives a
+// byte-identically reproducible sequence of perturbations (node outages,
+// link failures and degradations, instance kills, traffic surges) that
+// the simulator applies through its event loop. Victim selection is
+// seed-derived and connectivity-preserving, so a fault scenario stresses
+// coordination without partitioning the network outright.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+)
+
+// Profile names accepted by Spec.Profile and ParseSpec.
+const (
+	ProfileNone         = "none"
+	ProfileNodeOutage   = "node-outage"
+	ProfileLinkOutage   = "link-outage"
+	ProfileLinkCascade  = "link-cascade"
+	ProfileSurge        = "surge"
+	ProfileInstanceKill = "instance-kill"
+)
+
+// Spec declares a fault scenario independent of any concrete topology.
+// Zero-valued fields take profile defaults at Build time, scaled to the
+// scenario horizon, so the same spec ports across experiment sizes.
+type Spec struct {
+	// Profile selects the perturbation pattern; empty or "none" disables
+	// fault injection entirely.
+	Profile string
+	// Seed drives victim selection and surge arrival times. Schedules are
+	// a pure function of (Spec, topology, horizon, protected set).
+	Seed int64
+	// Start is the onset of the first perturbation. <=0: 0.3·horizon.
+	Start float64
+	// Duration is how long perturbations last (outage length, cascade
+	// span, surge span). <=0: 0.25·horizon.
+	Duration float64
+	// Count is the number of victims (outages, cascade links) or bursts
+	// (surge). <=0: 1.
+	Count int
+	// Factor is the link-cascade capacity scaling in [0,1]. <=0: 0.5.
+	Factor float64
+	// Node pins the victim node (node-outage, instance-kill, surge);
+	// negative selects victims from the seed.
+	Node int
+	// Link pins the victim link (link-outage, link-cascade); negative
+	// selects victims from the seed.
+	Link int
+	// Burst is the number of extra arrivals per surge burst. <=0: 20.
+	Burst int
+	// Component restricts instance-kill to one component name; empty
+	// kills every instance at the victim node.
+	Component string
+}
+
+// Enabled reports whether the spec describes any fault injection.
+func (sp Spec) Enabled() bool { return sp.Profile != "" && sp.Profile != ProfileNone }
+
+// String renders the spec in ParseSpec syntax.
+func (sp Spec) String() string {
+	if !sp.Enabled() {
+		return ProfileNone
+	}
+	parts := []string{}
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if sp.Seed != 0 {
+		add("seed", strconv.FormatInt(sp.Seed, 10))
+	}
+	if sp.Start > 0 {
+		add("start", strconv.FormatFloat(sp.Start, 'g', -1, 64))
+	}
+	if sp.Duration > 0 {
+		add("duration", strconv.FormatFloat(sp.Duration, 'g', -1, 64))
+	}
+	if sp.Count > 0 {
+		add("count", strconv.Itoa(sp.Count))
+	}
+	if sp.Factor > 0 {
+		add("factor", strconv.FormatFloat(sp.Factor, 'g', -1, 64))
+	}
+	if sp.Node >= 0 {
+		add("node", strconv.Itoa(sp.Node))
+	}
+	if sp.Link >= 0 {
+		add("link", strconv.Itoa(sp.Link))
+	}
+	if sp.Burst > 0 {
+		add("burst", strconv.Itoa(sp.Burst))
+	}
+	if sp.Component != "" {
+		add("comp", sp.Component)
+	}
+	if len(parts) == 0 {
+		return sp.Profile
+	}
+	return sp.Profile + ":" + strings.Join(parts, ",")
+}
+
+// ParseSpec parses the CLI syntax "profile[:key=val,...]", e.g.
+// "node-outage", "link-cascade:count=3,factor=0.3,seed=7", or
+// "surge:burst=50,start=200". Unset keys take profile defaults at Build.
+func ParseSpec(s string) (Spec, error) {
+	sp := Spec{Node: -1, Link: -1}
+	s = strings.TrimSpace(s)
+	if s == "" || s == ProfileNone {
+		sp.Profile = ProfileNone
+		return sp, nil
+	}
+	head, rest, _ := strings.Cut(s, ":")
+	switch head {
+	case ProfileNodeOutage, ProfileLinkOutage, ProfileLinkCascade, ProfileSurge, ProfileInstanceKill:
+		sp.Profile = head
+	default:
+		return sp, fmt.Errorf("chaos: unknown profile %q (want %s)", head,
+			strings.Join([]string{ProfileNodeOutage, ProfileLinkOutage, ProfileLinkCascade, ProfileSurge, ProfileInstanceKill, ProfileNone}, "|"))
+	}
+	if rest == "" {
+		return sp, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return sp, fmt.Errorf("chaos: malformed option %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			sp.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "start":
+			sp.Start, err = strconv.ParseFloat(val, 64)
+		case "duration":
+			sp.Duration, err = strconv.ParseFloat(val, 64)
+		case "count":
+			sp.Count, err = strconv.Atoi(val)
+		case "factor":
+			sp.Factor, err = strconv.ParseFloat(val, 64)
+		case "node":
+			sp.Node, err = strconv.Atoi(val)
+		case "link":
+			sp.Link, err = strconv.Atoi(val)
+		case "burst":
+			sp.Burst, err = strconv.Atoi(val)
+		case "comp":
+			sp.Component = val
+		default:
+			return sp, fmt.Errorf("chaos: unknown option %q", key)
+		}
+		if err != nil {
+			return sp, fmt.Errorf("chaos: option %s: %v", key, err)
+		}
+	}
+	return sp, nil
+}
+
+// Schedule is a concrete, fully resolved fault scenario for one topology.
+type Schedule struct {
+	Spec   Spec
+	Faults []simnet.Fault
+}
+
+// DisruptiveTimes returns the injection times of disruptive faults in
+// ascending order, collapsing same-time events (a cascade step degrading
+// several links at once is one disruption). These are the reference
+// points for recovery analysis.
+func (s *Schedule) DisruptiveTimes() []float64 {
+	var ts []float64
+	for _, ft := range s.Faults {
+		if !ft.Kind.Disruptive() {
+			continue
+		}
+		if len(ts) == 0 || ft.Time != ts[len(ts)-1] {
+			ts = append(ts, ft.Time)
+		}
+	}
+	sort.Float64s(ts)
+	return ts
+}
+
+// Build resolves the spec against a topology: it picks victims (from the
+// seed, avoiding the protected ingress/egress nodes and never
+// disconnecting the surviving network), scales unset times to the
+// horizon, and expands surges into individual arrival events. The result
+// is a pure function of the inputs — two Builds with identical inputs
+// yield identical schedules.
+func (sp Spec) Build(g *graph.Graph, horizon float64, ingresses []graph.NodeID, egress graph.NodeID) (*Schedule, error) {
+	if !sp.Enabled() {
+		return &Schedule{Spec: sp}, nil
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("chaos: non-positive horizon %f", horizon)
+	}
+	if sp.Start <= 0 {
+		sp.Start = 0.3 * horizon
+	}
+	if sp.Duration <= 0 {
+		sp.Duration = 0.25 * horizon
+	}
+	if sp.Count <= 0 {
+		sp.Count = 1
+	}
+	if sp.Factor <= 0 {
+		sp.Factor = 0.5
+	}
+	if sp.Factor > 1 {
+		return nil, fmt.Errorf("chaos: factor %f outside (0,1]", sp.Factor)
+	}
+	if sp.Burst <= 0 {
+		sp.Burst = 20
+	}
+
+	protected := map[graph.NodeID]bool{egress: true}
+	for _, v := range ingresses {
+		protected[v] = true
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+
+	b := &builder{g: g, protected: protected, rng: rng}
+	var err error
+	var faults []simnet.Fault
+	switch sp.Profile {
+	case ProfileNodeOutage:
+		faults, err = b.nodeOutage(sp)
+	case ProfileLinkOutage:
+		faults, err = b.linkOutage(sp)
+	case ProfileLinkCascade:
+		faults, err = b.linkCascade(sp)
+	case ProfileSurge:
+		faults, err = b.surge(sp, ingresses)
+	case ProfileInstanceKill:
+		faults, err = b.instanceKill(sp)
+	default:
+		err = fmt.Errorf("chaos: unknown profile %q", sp.Profile)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].Time < faults[j].Time })
+	return &Schedule{Spec: sp, Faults: faults}, nil
+}
+
+// builder carries victim-selection state while expanding one spec.
+type builder struct {
+	g         *graph.Graph
+	protected map[graph.NodeID]bool
+	rng       *rand.Rand
+
+	deadNodes map[graph.NodeID]bool
+	deadLinks map[int]bool
+}
+
+// nodeOutage crashes Count nodes at Start and recovers them after
+// Duration. Victims are distinct, unprotected, and removal-safe.
+func (b *builder) nodeOutage(sp Spec) ([]simnet.Fault, error) {
+	var faults []simnet.Fault
+	for i := 0; i < sp.Count; i++ {
+		var victim graph.NodeID
+		if i == 0 && sp.Node >= 0 {
+			if sp.Node >= b.g.NumNodes() {
+				return nil, fmt.Errorf("chaos: node %d out of range", sp.Node)
+			}
+			victim = graph.NodeID(sp.Node)
+			b.markNodeDead(victim)
+		} else {
+			v, ok := b.pickNode()
+			if !ok {
+				break // fewer safe victims than requested
+			}
+			victim = v
+		}
+		faults = append(faults,
+			simnet.Fault{Time: sp.Start, Kind: simnet.FaultNodeDown, Node: victim},
+			simnet.Fault{Time: sp.Start + sp.Duration, Kind: simnet.FaultNodeUp, Node: victim},
+		)
+	}
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("chaos: no node can fail without disconnecting %s", b.g.Name())
+	}
+	return faults, nil
+}
+
+// linkOutage fails Count links at Start and restores them after Duration.
+func (b *builder) linkOutage(sp Spec) ([]simnet.Fault, error) {
+	links, err := b.victimLinks(sp)
+	if err != nil {
+		return nil, err
+	}
+	var faults []simnet.Fault
+	for _, l := range links {
+		faults = append(faults,
+			simnet.Fault{Time: sp.Start, Kind: simnet.FaultLinkDown, Link: l},
+			simnet.Fault{Time: sp.Start + sp.Duration, Kind: simnet.FaultLinkUp, Link: l},
+		)
+	}
+	return faults, nil
+}
+
+// linkCascade degrades Count links to Factor capacity one after another,
+// staggered over the first half of Duration, and restores them all at
+// Start+Duration — a progressive brown-out rather than a clean cut.
+func (b *builder) linkCascade(sp Spec) ([]simnet.Fault, error) {
+	links, err := b.victimLinks(sp)
+	if err != nil {
+		return nil, err
+	}
+	stagger := sp.Duration / float64(2*len(links))
+	var faults []simnet.Fault
+	for i, l := range links {
+		faults = append(faults,
+			simnet.Fault{Time: sp.Start + float64(i)*stagger, Kind: simnet.FaultLinkDegrade, Link: l, Factor: sp.Factor},
+			simnet.Fault{Time: sp.Start + sp.Duration, Kind: simnet.FaultLinkUp, Link: l},
+		)
+	}
+	return faults, nil
+}
+
+// victimLinks picks Count distinct links (honoring a pinned first link)
+// whose collective removal keeps the network connected — degradation
+// shares the outage victim logic so cascade scenarios can turn into
+// outage scenarios by switching profile only.
+func (b *builder) victimLinks(sp Spec) ([]int, error) {
+	var links []int
+	if sp.Link >= 0 {
+		if sp.Link >= b.g.NumLinks() {
+			return nil, fmt.Errorf("chaos: link %d out of range", sp.Link)
+		}
+		links = append(links, sp.Link)
+		b.markLinkDead(sp.Link)
+	}
+	for len(links) < sp.Count {
+		l, ok := b.pickLink()
+		if !ok {
+			break
+		}
+		links = append(links, l)
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("chaos: no link can fail without disconnecting %s", b.g.Name())
+	}
+	return links, nil
+}
+
+// surge schedules Count bursts of Burst extra arrivals each, spread over
+// Duration, every arrival individually pregenerated from the seed so the
+// schedule replays identically.
+func (b *builder) surge(sp Spec, ingresses []graph.NodeID) ([]simnet.Fault, error) {
+	at := func(i int) graph.NodeID {
+		if sp.Node >= 0 {
+			return graph.NodeID(sp.Node)
+		}
+		if len(ingresses) > 0 {
+			return ingresses[b.rng.Intn(len(ingresses))]
+		}
+		return graph.NodeID(b.rng.Intn(b.g.NumNodes()))
+	}
+	if sp.Node >= b.g.NumNodes() {
+		return nil, fmt.Errorf("chaos: node %d out of range", sp.Node)
+	}
+	burstSpan := sp.Duration / float64(sp.Count)
+	var faults []simnet.Fault
+	for burst := 0; burst < sp.Count; burst++ {
+		burstStart := sp.Start + float64(burst)*burstSpan
+		// Arrivals cluster in the first fifth of the burst window: an
+		// abrupt spike, then room to observe the recovery.
+		for i := 0; i < sp.Burst; i++ {
+			t := burstStart + b.rng.Float64()*burstSpan/5
+			faults = append(faults, simnet.Fault{Time: t, Kind: simnet.FaultExtraArrival, Node: at(i)})
+		}
+	}
+	return faults, nil
+}
+
+// instanceKill crashes the victim node's instances (scoped to Component
+// when set) Count times, spread evenly over Duration — a crash-looping
+// deployment rather than a hardware outage.
+func (b *builder) instanceKill(sp Spec) ([]simnet.Fault, error) {
+	var victim graph.NodeID
+	if sp.Node >= 0 {
+		if sp.Node >= b.g.NumNodes() {
+			return nil, fmt.Errorf("chaos: node %d out of range", sp.Node)
+		}
+		victim = graph.NodeID(sp.Node)
+	} else {
+		v, ok := b.pickNode()
+		if !ok {
+			return nil, fmt.Errorf("chaos: no unprotected node in %s", b.g.Name())
+		}
+		victim = v
+	}
+	gap := sp.Duration / float64(sp.Count)
+	var faults []simnet.Fault
+	for i := 0; i < sp.Count; i++ {
+		faults = append(faults, simnet.Fault{
+			Time: sp.Start + float64(i)*gap, Kind: simnet.FaultInstanceKill,
+			Node: victim, Component: sp.Component,
+		})
+	}
+	return faults, nil
+}
+
+// pickNode draws a random unprotected node whose removal (together with
+// previously chosen victims) keeps the surviving network connected.
+func (b *builder) pickNode() (graph.NodeID, bool) {
+	var candidates []graph.NodeID
+	for _, n := range b.g.Nodes() {
+		if b.protected[n.ID] || b.deadNodes[n.ID] {
+			continue
+		}
+		if b.survivesWithout(n.ID, -1) {
+			candidates = append(candidates, n.ID)
+		}
+	}
+	if len(candidates) == 0 {
+		return graph.None, false
+	}
+	v := candidates[b.rng.Intn(len(candidates))]
+	b.markNodeDead(v)
+	return v, true
+}
+
+// pickLink draws a random link whose removal (together with previously
+// chosen victims) keeps the surviving network connected.
+func (b *builder) pickLink() (int, bool) {
+	var candidates []int
+	for l := range b.g.Links() {
+		if b.deadLinks[l] {
+			continue
+		}
+		if b.survivesWithout(graph.None, l) {
+			candidates = append(candidates, l)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1, false
+	}
+	l := candidates[b.rng.Intn(len(candidates))]
+	b.markLinkDead(l)
+	return l, true
+}
+
+func (b *builder) markNodeDead(v graph.NodeID) {
+	if b.deadNodes == nil {
+		b.deadNodes = map[graph.NodeID]bool{}
+	}
+	b.deadNodes[v] = true
+}
+
+func (b *builder) markLinkDead(l int) {
+	if b.deadLinks == nil {
+		b.deadLinks = map[int]bool{}
+	}
+	b.deadLinks[l] = true
+}
+
+// survivesWithout reports whether the network stays connected over its
+// surviving nodes after additionally removing extraNode (graph.None:
+// none) and extraLink (-1: none). BFS over live adjacencies.
+func (b *builder) survivesWithout(extraNode graph.NodeID, extraLink int) bool {
+	nodeDead := func(v graph.NodeID) bool { return v == extraNode || b.deadNodes[v] }
+	linkDead := func(l int) bool { return l == extraLink || b.deadLinks[l] }
+
+	start := graph.None
+	alive := 0
+	for _, n := range b.g.Nodes() {
+		if nodeDead(n.ID) {
+			continue
+		}
+		alive++
+		if start == graph.None {
+			start = n.ID
+		}
+	}
+	if alive == 0 {
+		return false
+	}
+	visited := make([]bool, b.g.NumNodes())
+	queue := []graph.NodeID{start}
+	visited[start] = true
+	reached := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ad := range b.g.Neighbors(v) {
+			if linkDead(ad.Link) || nodeDead(ad.Neighbor) || visited[ad.Neighbor] {
+				continue
+			}
+			visited[ad.Neighbor] = true
+			reached++
+			queue = append(queue, ad.Neighbor)
+		}
+	}
+	return reached == alive
+}

@@ -1,0 +1,314 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+)
+
+func abilene(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.ByName("Abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"none",
+		"node-outage",
+		"node-outage:seed=7,start=300,duration=200,count=2",
+		"link-outage:link=3",
+		"link-cascade:count=3,factor=0.3,seed=42",
+		"surge:start=200,duration=400,burst=50,node=1",
+		"instance-kill:node=3,comp=FW,count=4",
+	} {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", in, err)
+			continue
+		}
+		again, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Errorf("ParseSpec(%q.String() = %q): %v", in, sp.String(), err)
+			continue
+		}
+		if !reflect.DeepEqual(sp, again) {
+			t.Errorf("round trip of %q: %+v != %+v", in, sp, again)
+		}
+	}
+}
+
+func TestParseSpecEmptyDisables(t *testing.T) {
+	for _, in := range []string{"", "none", "  none  "} {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if sp.Enabled() {
+			t.Errorf("ParseSpec(%q) is enabled", in)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"meteor-strike",
+		"node-outage:count",
+		"node-outage:count=x",
+		"node-outage:zap=1",
+		"surge:burst=1.5",
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded", in)
+		}
+	}
+}
+
+// TestBuildIsDeterministic pins the reproducibility acceptance
+// criterion at the schedule level: identical inputs yield identical
+// schedules, and a different seed yields a different one (for the
+// rng-heavy surge profile).
+func TestBuildIsDeterministic(t *testing.T) {
+	g := abilene(t)
+	ingresses := []graph.NodeID{0, 1}
+	for _, profile := range []string{
+		ProfileNodeOutage, ProfileLinkOutage, ProfileLinkCascade, ProfileSurge, ProfileInstanceKill,
+	} {
+		sp := Spec{Profile: profile, Seed: 42, Count: 2, Node: -1, Link: -1}
+		a, err := sp.Build(g, 1000, ingresses, graph.AbileneEgress)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", profile, err)
+		}
+		b, err := sp.Build(g, 1000, ingresses, graph.AbileneEgress)
+		if err != nil {
+			t.Fatalf("Build(%s) again: %v", profile, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two Builds with identical inputs differ", profile)
+		}
+	}
+
+	sp := Spec{Profile: ProfileSurge, Seed: 1, Node: -1, Link: -1}
+	a, _ := sp.Build(g, 1000, ingresses, graph.AbileneEgress)
+	sp.Seed = 2
+	b, _ := sp.Build(g, 1000, ingresses, graph.AbileneEgress)
+	if reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Error("surge schedules for different seeds are identical")
+	}
+}
+
+// TestBuildNeverPicksProtectedNodes asks for far more victims than the
+// topology can safely lose; whatever Build settles on must exclude the
+// ingresses and the egress.
+func TestBuildNeverPicksProtectedNodes(t *testing.T) {
+	g := abilene(t)
+	ingresses := []graph.NodeID{0, 1}
+	protected := map[graph.NodeID]bool{0: true, 1: true, graph.AbileneEgress: true}
+	for seed := int64(0); seed < 20; seed++ {
+		sp := Spec{Profile: ProfileNodeOutage, Seed: seed, Count: 100, Node: -1, Link: -1}
+		sched, err := sp.Build(g, 1000, ingresses, graph.AbileneEgress)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, ft := range sched.Faults {
+			if ft.Kind == simnet.FaultNodeDown && protected[ft.Node] {
+				t.Errorf("seed %d: protected node %d chosen as outage victim", seed, ft.Node)
+			}
+		}
+	}
+}
+
+// TestBuildPreservesConnectivity removes every downed victim from the
+// graph and checks the survivors still form one connected component.
+func TestBuildPreservesConnectivity(t *testing.T) {
+	g := abilene(t)
+	for seed := int64(0); seed < 20; seed++ {
+		sp := Spec{Profile: ProfileNodeOutage, Seed: seed, Count: 100, Node: -1, Link: -1}
+		sched, err := sp.Build(g, 1000, []graph.NodeID{0}, graph.AbileneEgress)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dead := map[graph.NodeID]bool{}
+		for _, ft := range sched.Faults {
+			if ft.Kind == simnet.FaultNodeDown {
+				dead[ft.Node] = true
+			}
+		}
+		if len(dead) == 0 {
+			t.Fatalf("seed %d: no victims chosen", seed)
+		}
+		if !connectedWithout(g, dead) {
+			t.Errorf("seed %d: victims %v disconnect the survivors", seed, dead)
+		}
+	}
+}
+
+// connectedWithout reports whether g minus the dead nodes is connected.
+func connectedWithout(g *graph.Graph, dead map[graph.NodeID]bool) bool {
+	start := graph.None
+	alive := 0
+	for _, n := range g.Nodes() {
+		if dead[n.ID] {
+			continue
+		}
+		alive++
+		if start == graph.None {
+			start = n.ID
+		}
+	}
+	visited := make([]bool, g.NumNodes())
+	visited[start] = true
+	queue := []graph.NodeID{start}
+	reached := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ad := range g.Neighbors(v) {
+			if dead[ad.Neighbor] || visited[ad.Neighbor] {
+				continue
+			}
+			visited[ad.Neighbor] = true
+			reached++
+			queue = append(queue, ad.Neighbor)
+		}
+	}
+	return reached == alive
+}
+
+// TestBuildScalesDefaultsToHorizon checks the zero-value scaling: onset
+// at 0.3·horizon, recovery after another 0.25·horizon.
+func TestBuildScalesDefaultsToHorizon(t *testing.T) {
+	sp := Spec{Profile: ProfileNodeOutage, Node: -1, Link: -1}
+	sched, err := sp.Build(abilene(t), 1000, []graph.NodeID{0}, graph.AbileneEgress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Faults) != 2 {
+		t.Fatalf("faults = %d, want down+up", len(sched.Faults))
+	}
+	if sched.Faults[0].Time != 300 || sched.Faults[0].Kind != simnet.FaultNodeDown {
+		t.Errorf("first fault = %+v, want node-down at 300", sched.Faults[0])
+	}
+	if sched.Faults[1].Time != 550 || sched.Faults[1].Kind != simnet.FaultNodeUp {
+		t.Errorf("second fault = %+v, want node-up at 550", sched.Faults[1])
+	}
+}
+
+// TestBuildPinnedVictim checks that node= pins the first victim.
+func TestBuildPinnedVictim(t *testing.T) {
+	sp := Spec{Profile: ProfileNodeOutage, Node: 5, Link: -1}
+	sched, err := sp.Build(abilene(t), 1000, []graph.NodeID{0}, graph.AbileneEgress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Faults[0].Node != 5 {
+		t.Errorf("victim = %d, want pinned node 5", sched.Faults[0].Node)
+	}
+	if _, err := (Spec{Profile: ProfileNodeOutage, Node: 99, Link: -1}).Build(abilene(t), 1000, nil, 0); err == nil {
+		t.Error("Build accepted out-of-range pinned node")
+	}
+}
+
+// TestSurgeExpandsToIndividualArrivals checks the surge expansion:
+// count bursts of burst arrivals each, inside the surge window, at
+// ingress nodes.
+func TestSurgeExpandsToIndividualArrivals(t *testing.T) {
+	ingresses := []graph.NodeID{0, 1}
+	sp := Spec{Profile: ProfileSurge, Seed: 3, Count: 2, Burst: 5, Start: 200, Duration: 400, Node: -1, Link: -1}
+	sched, err := sp.Build(abilene(t), 1000, ingresses, graph.AbileneEgress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Faults) != 10 {
+		t.Fatalf("faults = %d, want 2 bursts x 5 arrivals", len(sched.Faults))
+	}
+	for _, ft := range sched.Faults {
+		if ft.Kind != simnet.FaultExtraArrival {
+			t.Errorf("unexpected kind %s", ft.Kind)
+		}
+		if ft.Time < 200 || ft.Time > 600 {
+			t.Errorf("arrival at %g outside surge window [200,600]", ft.Time)
+		}
+		if ft.Node != 0 && ft.Node != 1 {
+			t.Errorf("surge arrival at non-ingress node %d", ft.Node)
+		}
+	}
+}
+
+// TestDisruptiveTimes checks dedup of same-time disruptions and that
+// recoveries are excluded.
+func TestDisruptiveTimes(t *testing.T) {
+	sched := &Schedule{Faults: []simnet.Fault{
+		{Time: 5, Kind: simnet.FaultLinkDegrade, Link: 0, Factor: 0.5},
+		{Time: 5, Kind: simnet.FaultLinkDegrade, Link: 1, Factor: 0.5},
+		{Time: 7, Kind: simnet.FaultNodeDown, Node: 2},
+		{Time: 9, Kind: simnet.FaultLinkUp, Link: 0},
+		{Time: 12, Kind: simnet.FaultExtraArrival, Node: 0},
+	}}
+	got := sched.DisruptiveTimes()
+	want := []float64{5, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DisruptiveTimes = %v, want %v", got, want)
+	}
+}
+
+// TestBuildDisabledSpec checks that a disabled spec builds an empty
+// schedule without touching the topology.
+func TestBuildDisabledSpec(t *testing.T) {
+	sched, err := (Spec{}).Build(abilene(t), 1000, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Faults) != 0 {
+		t.Errorf("disabled spec built %d faults", len(sched.Faults))
+	}
+	if _, err := (Spec{Profile: ProfileNodeOutage}).Build(abilene(t), 0, nil, 0); err == nil {
+		t.Error("Build accepted non-positive horizon")
+	}
+}
+
+// TestScheduleValidatesAgainstSimnet builds every profile and feeds the
+// schedule through simnet's validation, so chaos cannot emit faults the
+// simulator rejects.
+func TestScheduleValidatesAgainstSimnet(t *testing.T) {
+	g := abilene(t)
+	for _, profile := range []string{
+		ProfileNodeOutage, ProfileLinkOutage, ProfileLinkCascade, ProfileSurge, ProfileInstanceKill,
+	} {
+		sp := Spec{Profile: profile, Seed: 9, Count: 3, Node: -1, Link: -1}
+		sched, err := sp.Build(g, 1000, []graph.NodeID{0, 1}, graph.AbileneEgress)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", profile, err)
+		}
+		cfg := simnet.Config{
+			Graph:   g,
+			Service: &simnet.Service{Name: "s", Chain: []*simnet.Component{{Name: "c", ProcDelay: 1, IdleTimeout: 10, ResourcePerRate: 1}}},
+			Ingresses: []simnet.Ingress{
+				{Node: 0, Arrivals: constArrivals{}},
+			},
+			Egress:      graph.AbileneEgress,
+			Template:    simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+			Horizon:     1000,
+			Coordinator: nopCoord{},
+			Faults:      sched.Faults,
+		}
+		if _, err := simnet.New(cfg); err != nil {
+			t.Errorf("simnet rejects %s schedule: %v", profile, err)
+		}
+	}
+}
+
+type nopCoord struct{}
+
+func (nopCoord) Name() string                                                  { return "nop" }
+func (nopCoord) Decide(*simnet.State, *simnet.Flow, graph.NodeID, float64) int { return 0 }
+
+type constArrivals struct{}
+
+func (constArrivals) Next() float64 { return 100 }
+func (constArrivals) Name() string  { return "const" }

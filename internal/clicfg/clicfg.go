@@ -1,0 +1,160 @@
+// Package clicfg centralizes the command-line surface shared by every
+// binary in cmd/: telemetry outputs (-episode-log, -flow-trace,
+// -metrics-out), profiling flags, and fault injection (-faults). Each
+// binary calls Register once on its FlagSet and Apply once after
+// flag.Parse; binary-specific flags stay in the binaries.
+//
+// Every shared flag is registered on every binary so the surface is
+// uniform across tools; a binary that has no use for one of the outputs
+// (e.g. -episode-log on topo, which never trains) accepts the flag and
+// simply never writes to the sink.
+package clicfg
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distcoord/internal/chaos"
+	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
+)
+
+// Flags holds the parsed shared command line. Construct with Register,
+// resolve with Apply.
+type Flags struct {
+	// EpisodeLog is the JSONL path for per-episode training records.
+	EpisodeLog string
+	// EpisodeLogMaxBytes rotates the episode log at this size (0: never).
+	EpisodeLogMaxBytes int64
+	// FlowTrace is the JSONL path for per-flow simulator trace events.
+	FlowTrace string
+	// MetricsOut is the path for the machine-readable metrics summary.
+	MetricsOut string
+	// Faults is the chaos spec string ("node-outage:count=2,seed=7", see
+	// chaos.ParseSpec); empty or "none" disables fault injection.
+	Faults string
+	// Prof bundles the profiling flags (-cpuprofile, -memprofile, -pprof).
+	Prof telemetry.Profiler
+
+	name string
+}
+
+// Register installs the shared flags on fs and returns the backing
+// struct. Call before fs.Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{name: fs.Name()}
+	fs.StringVar(&f.EpisodeLog, "episode-log", "", "write per-episode training records to this JSONL file")
+	fs.Int64Var(&f.EpisodeLogMaxBytes, "episode-log-max-bytes", 0, "rotate the episode log when it exceeds this size (0: never)")
+	fs.StringVar(&f.FlowTrace, "flow-trace", "", "write per-flow trace events to this JSONL file")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the metrics summary as JSON to this file")
+	fs.StringVar(&f.Faults, "faults", "", "fault-injection spec: profile[:key=val,...] (node-outage, link-outage, link-cascade, surge, instance-kill; see EXPERIMENTS.md)")
+	f.Prof.RegisterFlags(fs)
+	return f
+}
+
+// Runtime is the resolved shared configuration: opened sinks, a started
+// profiler, and the parsed fault spec. Always Close it (defer is fine;
+// Close is idempotent).
+type Runtime struct {
+	flags       *Flags
+	faults      chaos.Spec
+	episodeSink *telemetry.Sink
+	traceSink   *telemetry.Sink
+	closed      bool
+}
+
+// Apply validates and resolves the parsed flags: the fault spec is
+// parsed, sinks are opened, and the profiler is started (announcing the
+// pprof endpoint on stderr when one was requested). On error nothing is
+// left running.
+func (f *Flags) Apply() (*Runtime, error) {
+	faults, err := chaos.ParseSpec(f.Faults)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{flags: f, faults: faults}
+	if f.EpisodeLog != "" {
+		var opts []telemetry.SinkOption
+		if f.EpisodeLogMaxBytes > 0 {
+			opts = append(opts, telemetry.WithMaxBytes(f.EpisodeLogMaxBytes))
+		}
+		if rt.episodeSink, err = telemetry.NewSink(f.EpisodeLog, opts...); err != nil {
+			return nil, err
+		}
+	}
+	if f.FlowTrace != "" {
+		if rt.traceSink, err = telemetry.NewSink(f.FlowTrace); err != nil {
+			rt.Close()
+			return nil, err
+		}
+	}
+	if err := f.Prof.Start(); err != nil {
+		rt.Close()
+		return nil, err
+	}
+	if addr := f.Prof.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	return rt, nil
+}
+
+// FaultSpec returns the parsed -faults spec (zero value when disabled).
+func (rt *Runtime) FaultSpec() chaos.Spec { return rt.faults }
+
+// MetricsOut returns the -metrics-out path ("" when unset).
+func (rt *Runtime) MetricsOut() string { return rt.flags.MetricsOut }
+
+// Tracer returns a simnet tracer writing to the -flow-trace sink, or nil
+// when tracing is off — safe to assign to Config.Tracer directly.
+func (rt *Runtime) Tracer() simnet.FlowTracer {
+	if rt.traceSink == nil {
+		return nil
+	}
+	return simnet.TracerFunc(func(e simnet.TraceEvent) {
+		if err := rt.traceSink.Emit(e); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: flow trace: %v\n", rt.flags.name, err)
+		}
+	})
+}
+
+// EmitEpisode writes one record to the -episode-log sink; it is a no-op
+// when the log is off, so callers can install it unconditionally.
+func (rt *Runtime) EmitEpisode(rec interface{}) {
+	if rt.episodeSink == nil {
+		return
+	}
+	if err := rt.episodeSink.Emit(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: episode log: %v\n", rt.flags.name, err)
+	}
+}
+
+// EpisodeLogEnabled reports whether -episode-log was set.
+func (rt *Runtime) EpisodeLogEnabled() bool { return rt.episodeSink != nil }
+
+// Close flushes the sinks, stops the profiler, and reports the written
+// files on stderr. Safe to call twice (e.g. explicitly after checking
+// the error, with a defer as backstop).
+func (rt *Runtime) Close() error {
+	if rt.closed {
+		return nil
+	}
+	rt.closed = true
+	var first error
+	closeSink := func(s *telemetry.Sink, path, what string) {
+		if s == nil {
+			return
+		}
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s to %s\n", what, path)
+	}
+	closeSink(rt.episodeSink, rt.flags.EpisodeLog, "episode log")
+	closeSink(rt.traceSink, rt.flags.FlowTrace, "flow trace")
+	if err := rt.flags.Prof.Stop(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -83,6 +83,14 @@ func (a *Adapter) Observe(st *simnet.State, f *simnet.Flow, v graph.NodeID, now 
 // ObserveInto builds the observation into buf[:0] and returns it. When
 // cap(buf) >= ObsSize() it performs zero allocations; the result aliases
 // buf and is only valid until the caller's next reuse.
+//
+// Under fault injection, dead neighbors — ones whose connecting link or
+// whose node is down — read exactly like dummy padding slots (−1 in every
+// block): the agent cannot distinguish a crashed neighbor from a
+// non-existing one, which is precisely the local view a distributed node
+// has after losing contact. Slack distances follow st.APSP(), the routing
+// view recomputed on every topology change, not the adapter's
+// construction-time snapshot.
 func (a *Adapter) ObserveInto(buf []float64, st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) []float64 {
 	obs := buf[:0]
 	neighbors := a.g.Neighbors(v)
@@ -97,7 +105,7 @@ func (a *Adapter) ObserveInto(buf []float64, st *simnet.State, f *simnet.Flow, v
 	// can carry the flow.
 	linkNorm := a.maxLinkCap[v]
 	for i := 0; i < a.maxDeg; i++ {
-		if i >= len(neighbors) {
+		if i >= len(neighbors) || !st.LinkAlive(neighbors[i].Link) {
 			obs = append(obs, -1)
 			continue
 		}
@@ -115,7 +123,7 @@ func (a *Adapter) ObserveInto(buf []float64, st *simnet.State, f *simnet.Flow, v
 	}
 	obs = append(obs, a.norm(st.FreeNode(v)-demand, a.maxNodeCap))
 	for i := 0; i < a.maxDeg; i++ {
-		if i >= len(neighbors) {
+		if i >= len(neighbors) || !st.LinkAlive(neighbors[i].Link) {
 			obs = append(obs, -1)
 			continue
 		}
@@ -125,12 +133,13 @@ func (a *Adapter) ObserveInto(buf []float64, st *simnet.State, f *simnet.Flow, v
 	// D_{v,f}: per neighbor, the slack of reaching the egress via that
 	// neighbor on a shortest path, relative to the remaining deadline.
 	// Negative means forwarding that way cannot succeed anymore.
+	apsp := st.APSP()
 	for i := 0; i < a.maxDeg; i++ {
-		if i >= len(neighbors) {
+		if i >= len(neighbors) || !st.LinkAlive(neighbors[i].Link) {
 			obs = append(obs, -1)
 			continue
 		}
-		d := a.apsp.DistVia(v, neighbors[i], f.Egress)
+		d := apsp.DistVia(v, neighbors[i], f.Egress)
 		val := -1.0
 		if remaining > 0 && !graph.Infinite(d) {
 			val = math.Max(-1, (remaining-d)/remaining)
@@ -143,7 +152,7 @@ func (a *Adapter) ObserveInto(buf []float64, st *simnet.State, f *simnet.Flow, v
 	comp := f.Current()
 	obs = append(obs, boolObs(st.HasInstance(v, comp)))
 	for i := 0; i < a.maxDeg; i++ {
-		if i >= len(neighbors) {
+		if i >= len(neighbors) || !st.LinkAlive(neighbors[i].Link) {
 			obs = append(obs, -1)
 			continue
 		}

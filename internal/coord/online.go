@@ -19,10 +19,12 @@ import (
 // nodes act purely locally, so online inference is never blocked by
 // training.
 //
-// Online implements simnet.Coordinator, simnet.Ticker (for the periodic
-// update/sync), simnet.Listener (to observe rewards), and
-// simnet.Resetter. Wire it as both Coordinator and Listener of a
-// simulation.
+// Online implements simnet.Coordinator plus the Ticker (periodic
+// update/sync), FlowObserver (reward observation), and Resetter
+// capabilities. Setting it as a simulation's Coordinator is enough: the
+// simulator discovers the capabilities at construction and attaches the
+// listener automatically (configuring it additionally as Listener is
+// deduplicated).
 type Online struct {
 	adapter *Adapter
 	cfg     OnlineConfig

@@ -50,7 +50,8 @@ func runOnline(t *testing.T, cfg EnvConfig, online *Online, seed int64) *simnet.
 		Template:    cfg.Template,
 		Horizon:     cfg.Horizon,
 		Coordinator: online,
-		Listener:    online,
+		// No explicit Listener: the simulator auto-attaches Online's
+		// FlowObserver capability.
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,144 @@
+package eval
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"distcoord/internal/baselines"
+	"distcoord/internal/chaos"
+)
+
+// faultedScenario is a small node-outage scenario on Abilene.
+func faultedScenario() Scenario {
+	s := Base()
+	s.Horizon = 1000
+	s.Faults = chaos.Spec{Profile: chaos.ProfileNodeOutage, Seed: 7, Node: -1, Link: -1}
+	return s
+}
+
+// TestFaultedRunReplaysByteIdentically is the reproducibility acceptance
+// criterion: instantiating and running the same faulted scenario twice
+// must produce byte-identical metrics and recovery reports.
+func TestFaultedRunReplaysByteIdentically(t *testing.T) {
+	once := func() []byte {
+		inst, err := faultedScenario().Instantiate(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		monitor := chaos.NewMonitor(inst.Chaos, 0)
+		m, err := inst.RunWith(baselines.SP{}, RunOptions{Listener: monitor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(struct {
+			Metrics  interface{}
+			Recovery []chaos.FaultReport
+		}{m, monitor.Report()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b := once(), once()
+	if string(a) != string(b) {
+		t.Errorf("faulted runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestInstantiateResolvesFaultSchedule checks that the schedule is fixed
+// at Instantiate (same schedule for every coordinator) and actually
+// perturbs the run.
+func TestInstantiateResolvesFaultSchedule(t *testing.T) {
+	inst, err := faultedScenario().Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Chaos == nil || len(inst.Chaos.Faults) == 0 {
+		t.Fatal("faulted scenario instantiated without a fault schedule")
+	}
+	if got := inst.Chaos.DisruptiveTimes(); len(got) != 1 {
+		t.Errorf("disruptive times = %v, want one node outage", got)
+	}
+	m, err := inst.Run(baselines.SP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Faults != 1 {
+		t.Errorf("metrics.Faults = %d, want 1", m.Faults)
+	}
+
+	plain := faultedScenario()
+	plain.Faults = chaos.Spec{}
+	pinst, err := plain.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinst.Chaos != nil && len(pinst.Chaos.Faults) != 0 {
+		t.Errorf("fault-free scenario built %d faults", len(pinst.Chaos.Faults))
+	}
+}
+
+// TestMonitorReportsPerDisruption runs a two-node outage and expects the
+// monitor to attribute one report per disruption time, tagged with the
+// victim.
+func TestMonitorReportsPerDisruption(t *testing.T) {
+	s := faultedScenario()
+	s.Faults.Count = 2
+	inst, err := s.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := chaos.NewMonitor(inst.Chaos, 0)
+	if _, err := inst.RunWith(baselines.SP{}, RunOptions{Listener: monitor}); err != nil {
+		t.Fatal(err)
+	}
+	reports := monitor.Report()
+	if len(reports) != len(inst.Chaos.DisruptiveTimes()) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(inst.Chaos.DisruptiveTimes()))
+	}
+	for _, r := range reports {
+		if r.Kind != "node-down" {
+			t.Errorf("report kind = %q, want node-down", r.Kind)
+		}
+		if r.Time <= 0 || r.Time != r.FaultTime {
+			t.Errorf("report time = %g (fault_time %g), want the injection time", r.Time, r.FaultTime)
+		}
+		if r.Node < 0 {
+			t.Errorf("report at t=%g has no victim node", r.Time)
+		}
+		if r.PreSuccess <= 0 {
+			t.Errorf("report at t=%g has no pre-fault baseline", r.Time)
+		}
+	}
+}
+
+// TestNormalizationIsConsistent is the regression for the old
+// withDefaults value-receiver bug: every derived view of an
+// underspecified scenario must agree on the normalized values.
+func TestNormalizationIsConsistent(t *testing.T) {
+	var s Scenario // fully zero
+	inst, err := s.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Ingresses(), inst.Scenario.Ingresses()) {
+		t.Errorf("Ingresses before/after Instantiate disagree: %v vs %v",
+			s.Ingresses(), inst.Scenario.Ingresses())
+	}
+	if inst.Scenario.CapacitySeed != DefaultCapacitySeed {
+		t.Errorf("CapacitySeed = %d, want default %d", inst.Scenario.CapacitySeed, DefaultCapacitySeed)
+	}
+	if inst.Scenario.Horizon != 20000 || inst.Scenario.Deadline != 100 {
+		t.Errorf("normalized horizon/deadline = %g/%g, want 20000/100",
+			inst.Scenario.Horizon, inst.Scenario.Deadline)
+	}
+	n := s.normalized()
+	n2 := n.normalized()
+	// Non-nil func values never compare deep-equal; the label carries the
+	// traffic identity.
+	n.Traffic.New, n2.Traffic.New = nil, nil
+	if !reflect.DeepEqual(n, n2) {
+		t.Errorf("normalized is not idempotent: %+v vs %+v", n, n2)
+	}
+}

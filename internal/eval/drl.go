@@ -90,7 +90,7 @@ type TrainedPolicy struct {
 // draw — capacities are part of the scenario) with its own traffic
 // seed.
 func TrainDRL(s Scenario, budget TrainBudget) (*TrainedPolicy, error) {
-	s = s.withDefaults()
+	s = s.normalized()
 	budget = budget.withDefaults()
 	probe, err := s.Instantiate(0)
 	if err != nil {

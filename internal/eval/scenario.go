@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"distcoord/internal/chaos"
 	"distcoord/internal/graph"
 	"distcoord/internal/simnet"
 	"distcoord/internal/traffic"
@@ -72,6 +73,11 @@ type Scenario struct {
 	// vary the traffic and policy randomness (the paper's mean±std over
 	// 30 seeds). Zero selects DefaultCapacitySeed.
 	CapacitySeed int64
+
+	// Faults declares a fault-injection scenario (chaos profile); the zero
+	// value runs fault-free. The schedule is resolved at Instantiate, so
+	// it is identical for every coordinator evaluated on the instance.
+	Faults chaos.Spec
 }
 
 // Base returns the paper's base scenario: Abilene, Poisson(10) arrivals
@@ -87,8 +93,11 @@ func Base() Scenario {
 	}
 }
 
-// withDefaults fills zero-valued fields.
-func (s Scenario) withDefaults() Scenario {
+// normalized is the single normalization path: it fills every zero-valued
+// field with the base-scenario default and is idempotent. All derived
+// views (Ingresses, Instantiate, training) go through it, so no two call
+// sites can disagree about what an underspecified scenario means.
+func (s Scenario) normalized() Scenario {
 	if s.Topology == "" && s.Graph == nil {
 		s.Topology = "Abilene"
 	}
@@ -113,11 +122,17 @@ func (s Scenario) withDefaults() Scenario {
 	if s.LinkCapMax == 0 {
 		s.LinkCapMin, s.LinkCapMax = 1, 5
 	}
+	if s.CapacitySeed == 0 {
+		s.CapacitySeed = DefaultCapacitySeed
+	}
 	return s
 }
 
-// Ingresses returns the effective ingress node list.
+// Ingresses returns the effective ingress node list (after
+// normalization, so an underspecified scenario reports the same
+// ingresses Instantiate will use).
 func (s Scenario) Ingresses() []graph.NodeID {
+	s = s.normalized()
 	if len(s.IngressNodes) > 0 {
 		return s.IngressNodes
 	}
@@ -136,7 +151,11 @@ type Instance struct {
 	APSP     *graph.APSP
 	Service  *simnet.Service
 	Template simnet.FlowTemplate
-	seed     int64
+	// Chaos is the resolved fault schedule (empty Faults when the
+	// scenario is fault-free); fixed at Instantiate so every coordinator
+	// faces the identical perturbation sequence.
+	Chaos *chaos.Schedule
+	seed  int64
 }
 
 // DefaultCapacitySeed is the scenario capacity draw used throughout the
@@ -150,7 +169,7 @@ const DefaultCapacitySeed = 2
 // scenario's CapacitySeed, while seed drives the traffic randomness of
 // Run. Identical scenarios and seeds produce identical instances.
 func (s Scenario) Instantiate(seed int64) (*Instance, error) {
-	s = s.withDefaults()
+	s = s.normalized()
 	var g *graph.Graph
 	if s.Graph != nil {
 		g = s.Graph.Clone()
@@ -170,11 +189,7 @@ func (s Scenario) Instantiate(seed int64) (*Instance, error) {
 		}
 	}
 	if s.Graph == nil {
-		capSeed := s.CapacitySeed
-		if capSeed == 0 {
-			capSeed = DefaultCapacitySeed
-		}
-		rng := rand.New(rand.NewSource(capSeed))
+		rng := rand.New(rand.NewSource(s.CapacitySeed))
 		for v := 0; v < g.NumNodes(); v++ {
 			g.SetNodeCapacity(graph.NodeID(v), s.NodeCapMin+rng.Float64()*(s.NodeCapMax-s.NodeCapMin))
 		}
@@ -185,26 +200,47 @@ func (s Scenario) Instantiate(seed int64) (*Instance, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("eval: instantiating %s: %w", s.Topology, err)
 	}
+	sched, err := s.Faults.Build(g, s.Horizon, s.Ingresses(), s.Egress)
+	if err != nil {
+		return nil, fmt.Errorf("eval: instantiating %s: %w", s.Topology, err)
+	}
 	return &Instance{
 		Scenario: s,
 		Graph:    g,
 		APSP:     graph.NewAPSP(g),
 		Service:  VideoService(),
 		Template: simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: s.Deadline},
+		Chaos:    sched,
 		seed:     seed,
 	}, nil
+}
+
+// RunOptions attaches optional observers to a simulation run; the zero
+// value runs plain.
+type RunOptions struct {
+	// Tracer receives per-flow trace events (simnet.FlowTracer).
+	Tracer simnet.FlowTracer
+	// Listener observes simulation events alongside any coordinator
+	// capability (e.g. a chaos.Monitor collecting recovery metrics).
+	Listener simnet.Listener
 }
 
 // Run simulates the instance under the given coordinator and returns the
 // resulting metrics. Arrival processes are re-seeded deterministically
 // from the instance seed on every call.
 func (inst *Instance) Run(c simnet.Coordinator) (*simnet.Metrics, error) {
-	return inst.RunTraced(c, nil)
+	return inst.RunWith(c, RunOptions{})
 }
 
 // RunTraced is Run with an optional per-flow tracer attached to the
 // simulation (see simnet.FlowTracer); tr may be nil.
 func (inst *Instance) RunTraced(c simnet.Coordinator, tr simnet.FlowTracer) (*simnet.Metrics, error) {
+	return inst.RunWith(c, RunOptions{Tracer: tr})
+}
+
+// RunWith is Run with observers attached. The instance's fault schedule
+// (if any) is always applied.
+func (inst *Instance) RunWith(c simnet.Coordinator, opts RunOptions) (*simnet.Metrics, error) {
 	rng := rand.New(rand.NewSource(inst.seed + 0x5EED))
 	ingresses := make([]simnet.Ingress, 0, len(inst.Scenario.Ingresses()))
 	for _, v := range inst.Scenario.Ingresses() {
@@ -212,6 +248,10 @@ func (inst *Instance) RunTraced(c simnet.Coordinator, tr simnet.FlowTracer) (*si
 			Node:     v,
 			Arrivals: inst.Scenario.Traffic.New(rand.New(rand.NewSource(rng.Int63()))),
 		})
+	}
+	var faults []simnet.Fault
+	if inst.Chaos != nil {
+		faults = inst.Chaos.Faults
 	}
 	sim, err := simnet.New(simnet.Config{
 		Graph:       inst.Graph,
@@ -222,7 +262,9 @@ func (inst *Instance) RunTraced(c simnet.Coordinator, tr simnet.FlowTracer) (*si
 		Template:    inst.Template,
 		Horizon:     inst.Scenario.Horizon,
 		Coordinator: c,
-		Tracer:      tr,
+		Listener:    opts.Listener,
+		Faults:      faults,
+		Tracer:      opts.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -21,6 +21,15 @@ func Infinite(d float64) bool { return math.IsInf(d, 1) }
 // NewAPSP computes all-pairs shortest paths over link delays using
 // Dijkstra's algorithm from every source. Complexity O(|V| |L| log |V|).
 func NewAPSP(g *Graph) *APSP {
+	return NewAPSPMasked(g, nil)
+}
+
+// NewAPSPMasked computes all-pairs shortest paths over the subgraph of
+// links for which live returns true (nil means all links are live).
+// Fault injection uses it to re-derive routing after a topology change:
+// dead links and all links of dead nodes are excluded, so next hops and
+// delays reflect the surviving network.
+func NewAPSPMasked(g *Graph, live func(link int) bool) *APSP {
 	n := g.NumNodes()
 	a := &APSP{
 		g:       g,
@@ -28,7 +37,7 @@ func NewAPSP(g *Graph) *APSP {
 		nextHop: make([][]NodeID, n),
 	}
 	for src := 0; src < n; src++ {
-		a.dist[src], a.nextHop[src] = dijkstra(g, NodeID(src))
+		a.dist[src], a.nextHop[src] = dijkstra(g, NodeID(src), live)
 	}
 	return a
 }
@@ -81,8 +90,9 @@ func (a *APSP) Path(u, v NodeID) []NodeID {
 }
 
 // dijkstra returns shortest path delays from src and the first hop toward
-// every destination.
-func dijkstra(g *Graph, src NodeID) (dist []float64, next []NodeID) {
+// every destination, considering only links for which live returns true
+// (nil: all links).
+func dijkstra(g *Graph, src NodeID, live func(link int) bool) (dist []float64, next []NodeID) {
 	n := g.NumNodes()
 	dist = make([]float64, n)
 	next = make([]NodeID, n)
@@ -103,6 +113,9 @@ func dijkstra(g *Graph, src NodeID) (dist []float64, next []NodeID) {
 		}
 		done[it.node] = true
 		for _, ad := range g.Neighbors(it.node) {
+			if live != nil && !live(ad.Link) {
+				continue
+			}
 			nd := it.dist + g.Link(ad.Link).Delay
 			if nd < dist[ad.Neighbor] {
 				dist[ad.Neighbor] = nd

@@ -15,6 +15,7 @@ const (
 	evReleaseLink                  // return reserved link data rate
 	evIdleCheck                    // check an instance for idle-timeout removal
 	evTick                         // periodic coordinator tick
+	evFault                        // apply a scheduled fault (index in ingress)
 )
 
 // event is one scheduled simulator event. Events at equal times are
@@ -24,12 +25,15 @@ type event struct {
 	seq  uint64
 	kind eventKind
 
-	flow    *Flow
-	node    graph.NodeID
-	comp    *Component
+	flow *Flow
+	node graph.NodeID
+	comp *Component
+	// link tags evHeadArrive events with the link the head is in transit
+	// on (-1 when the flow is at a node rather than on a wire), and
+	// carries the link index for evReleaseLink.
 	link    int
 	amount  float64
-	ingress int
+	ingress int // arrival-generator index, or fault index for evFault
 }
 
 // eventQueue is a binary min-heap over (time, sequence), hand-rolled

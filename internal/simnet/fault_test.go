@@ -1,0 +1,378 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/traffic"
+)
+
+// endCounter counts OnFlowEnd deliveries per flow ID.
+type endCounter struct {
+	NopListener
+	ends map[int]int
+}
+
+func newEndCounter() *endCounter { return &endCounter{ends: map[int]int{}} }
+
+func (c *endCounter) OnFlowEnd(f *Flow, success bool, cause DropCause, now float64) {
+	c.ends[f.ID]++
+}
+
+// TestNodeDownDropsResidentAndRecovers crashes the node a flow is being
+// processed at: the flow drops as a node failure, arrivals at the dead
+// node drop on the spot, and after recovery flows succeed again.
+func TestNodeDownDropsResidentAndRecovers(t *testing.T) {
+	g := lineGraph(3, 10, 10)
+	cfg := Config{
+		Graph:       g,
+		Service:     testService(5),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      2,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     41, // arrivals at t=10, 20, 30, 40
+		Coordinator: spCoord{},
+		Faults: []Fault{
+			{Time: 12, Kind: FaultNodeDown, Node: 0},
+			{Time: 25, Kind: FaultNodeUp, Node: 0},
+		},
+	}
+	m := mustRun(t, cfg)
+	if m.Arrived != 4 {
+		t.Fatalf("arrived = %d, want 4", m.Arrived)
+	}
+	// t=10 is processing at node 0 when it crashes at t=12; t=20 arrives
+	// at the dead node; t=30 and t=40 run on the recovered node.
+	if m.Succeeded != 2 || m.Dropped != 2 {
+		t.Errorf("succeeded=%d dropped=%d, want 2/2", m.Succeeded, m.Dropped)
+	}
+	if m.DropsBy[DropNodeFailure] != 2 {
+		t.Errorf("DropsBy[node-failure] = %d, want 2", m.DropsBy[DropNodeFailure])
+	}
+	if m.Faults != 1 {
+		t.Errorf("Faults = %d, want 1 (recovery is not disruptive)", m.Faults)
+	}
+}
+
+// TestLinkDownDropsExactlyInFlight is the in-flight drop property: every
+// flow whose head is in transit over the failed link at fault time is
+// accounted for as exactly one link-failure drop — no misses, no double
+// drops — across several fault times.
+func TestLinkDownDropsExactlyInFlight(t *testing.T) {
+	for _, faultAt := range []float64{5.5, 12.5, 17.5} {
+		t.Run(fmt.Sprintf("t=%g", faultAt), func(t *testing.T) {
+			// Node 0 cannot process, so every flow is forwarded over the
+			// single link (delay 10) and processed at the egress. With one
+			// arrival per time unit, the flows in transit at time τ are
+			// exactly those that arrived in (τ-10, τ].
+			g := lineGraph(2, 0, 100)
+			g.SetNodeCapacity(1, 100)
+			counter := newEndCounter()
+			cfg := Config{
+				Graph:       g,
+				Service:     testService(5),
+				Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 1}}},
+				Egress:      1,
+				Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+				Horizon:     30,
+				Coordinator: spCoord{},
+				Listener:    counter,
+				Faults: []Fault{
+					{Time: faultAt, Kind: FaultLinkDown, Link: 0},
+					// Restore before the next integer arrival so no flow is
+					// dropped trying to forward onto the dead link.
+					{Time: faultAt + 0.2, Kind: FaultLinkUp, Link: 0},
+				},
+			}
+			g.SetLinkDelay(0, 10)
+			m := mustRun(t, cfg)
+
+			inFlight := int(math.Floor(faultAt)) - int(math.Max(0, math.Floor(faultAt-10)))
+			if got := m.DropsBy[DropLinkFailure]; got != inFlight {
+				t.Errorf("DropsBy[link-failure] = %d, want %d in-flight flows", got, inFlight)
+			}
+			if m.Succeeded != m.Arrived-inFlight {
+				t.Errorf("succeeded = %d, want %d (arrived %d minus %d in-flight)",
+					m.Succeeded, m.Arrived-inFlight, m.Arrived, inFlight)
+			}
+			// Exactly one termination per flow: a drop must not end a flow
+			// twice (or resurrect one the release events later touch).
+			if len(counter.ends) != m.Arrived {
+				t.Errorf("flows with an end event = %d, want %d", len(counter.ends), m.Arrived)
+			}
+			for id, n := range counter.ends {
+				if n != 1 {
+					t.Errorf("flow %d ended %d times", id, n)
+				}
+			}
+		})
+	}
+}
+
+// diamondGraph returns 0-1-2 (delay 1 each) plus the detour 0-3-2
+// (delay 5 each), all capacities 10.
+func diamondGraph() *graph.Graph {
+	g := graph.New("diamond")
+	for i := 0; i < 4; i++ {
+		g.AddNode("", 0, float64(i))
+		g.SetNodeCapacity(graph.NodeID(i), 10)
+	}
+	for _, l := range []struct {
+		a, b  graph.NodeID
+		delay float64
+	}{{0, 1, 1}, {1, 2, 1}, {0, 3, 5}, {3, 2, 5}} {
+		if err := g.AddLink(l.a, l.b, l.delay); err != nil {
+			panic(err)
+		}
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		g.SetLinkCapacity(l, 10)
+	}
+	return g
+}
+
+// TestLinkDownReroutesViaRecomputedPaths fails the short path's first
+// link mid-run: the shortest-path coordinator must pick up the
+// recomputed routing view and deliver later flows over the detour.
+func TestLinkDownReroutesViaRecomputedPaths(t *testing.T) {
+	cfg := Config{
+		Graph:       diamondGraph(),
+		Service:     testService(5),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      2,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     21, // arrivals at t=10 and t=20
+		Coordinator: spCoord{},
+		// Link 0 (0-1) dies at t=22: the first flow has already traversed
+		// it (processed 10-20, transit 20-22), the second is still being
+		// processed and must detour via node 3.
+		Faults: []Fault{{Time: 22, Kind: FaultLinkDown, Link: 0}},
+	}
+	m := mustRun(t, cfg)
+	if m.Succeeded != 2 {
+		t.Fatalf("succeeded = %d, want 2 (drops: %v)", m.Succeeded, m.DropsBy)
+	}
+	// Flow 1: 10 processing + 2 transit = 12. Flow 2: 10 + 10 detour = 20.
+	if m.MaxDelay != 20 {
+		t.Errorf("max delay = %g, want 20 (detour)", m.MaxDelay)
+	}
+	if avg := m.AvgDelay(); avg != 16 {
+		t.Errorf("avg delay = %g, want 16 (one short-path, one detour)", avg)
+	}
+}
+
+// capProbe is spCoord plus a capacity probe: it records the effective
+// capacity of link 0 at every decision.
+type capProbe struct {
+	spCoord
+	caps []float64
+}
+
+func (c *capProbe) Decide(st *State, f *Flow, v graph.NodeID, now float64) int {
+	c.caps = append(c.caps, st.LinkCapacity(0))
+	return c.spCoord.Decide(st, f, v, now)
+}
+
+// TestLinkDegradeScalesEffectiveCapacity checks that degradation scales
+// the capacity coordinators observe and that recovery restores it.
+func TestLinkDegradeScalesEffectiveCapacity(t *testing.T) {
+	probe := &capProbe{}
+	cfg := Config{
+		Graph:       lineGraph(2, 10, 8),
+		Service:     testService(5),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      1,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     31, // decisions around t=10, 20, 30
+		Coordinator: probe,
+		Faults: []Fault{
+			{Time: 12, Kind: FaultLinkDegrade, Link: 0, Factor: 0.5},
+			{Time: 25, Kind: FaultLinkUp, Link: 0},
+		},
+	}
+	m := mustRun(t, cfg)
+	if m.Faults != 1 {
+		t.Errorf("Faults = %d, want 1", m.Faults)
+	}
+	if len(probe.caps) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	if probe.caps[0] != 8 {
+		t.Errorf("pre-fault capacity = %g, want 8", probe.caps[0])
+	}
+	if probe.caps[len(probe.caps)-1] != 8 {
+		t.Errorf("post-recovery capacity = %g, want 8", probe.caps[len(probe.caps)-1])
+	}
+	degraded := false
+	for _, c := range probe.caps {
+		degraded = degraded || c == 4
+	}
+	if !degraded {
+		t.Errorf("no decision observed the degraded capacity 4: %v", probe.caps)
+	}
+}
+
+// TestExtraArrivalInjectsSurgeFlows checks surge injection: extra
+// arrivals enter the normal flow lifecycle and are not counted as
+// disruptive faults.
+func TestExtraArrivalInjectsSurgeFlows(t *testing.T) {
+	g := lineGraph(3, 10, 10)
+	cfg := Config{
+		Graph:       g,
+		Service:     testService(5),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 50}}},
+		Egress:      2,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     51, // one regular arrival at t=50
+		Coordinator: spCoord{},
+		Faults: []Fault{
+			{Time: 20, Kind: FaultExtraArrival, Node: 0},
+			{Time: 21, Kind: FaultExtraArrival, Node: 0},
+			{Time: 22, Kind: FaultExtraArrival, Node: 0},
+		},
+	}
+	m := mustRun(t, cfg)
+	if m.Arrived != 4 {
+		t.Errorf("arrived = %d, want 4 (1 regular + 3 surge)", m.Arrived)
+	}
+	if m.Succeeded != 4 {
+		t.Errorf("succeeded = %d, want 4 (drops: %v)", m.Succeeded, m.DropsBy)
+	}
+	if m.Faults != 0 {
+		t.Errorf("Faults = %d, want 0 (extra arrivals are load, not damage)", m.Faults)
+	}
+}
+
+// TestInstanceKillDropsProcessingFlows crashes the instances at a node:
+// the flow being processed there drops, and the next flow re-places the
+// instance and succeeds.
+func TestInstanceKillDropsProcessingFlows(t *testing.T) {
+	cfg := Config{
+		Graph:       lineGraph(3, 10, 10),
+		Service:     testService(5),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      2,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     21, // arrivals at t=10 and t=20
+		Coordinator: spCoord{},
+		Faults:      []Fault{{Time: 12, Kind: FaultInstanceKill, Node: 0}},
+	}
+	m := mustRun(t, cfg)
+	if m.Succeeded != 1 || m.Dropped != 1 {
+		t.Errorf("succeeded=%d dropped=%d, want 1/1", m.Succeeded, m.Dropped)
+	}
+	if m.DropsBy[DropNodeFailure] != 1 {
+		t.Errorf("DropsBy[node-failure] = %d, want 1", m.DropsBy[DropNodeFailure])
+	}
+	if m.Faults != 1 {
+		t.Errorf("Faults = %d, want 1", m.Faults)
+	}
+}
+
+// TestInstanceKillScopedToComponentSparesOthers kills only a component
+// the flow is not currently being processed by: the flow survives.
+func TestInstanceKillScopedToComponentSparesOthers(t *testing.T) {
+	cfg := Config{
+		Graph:       lineGraph(3, 10, 10),
+		Service:     testService(5),
+		Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      2,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     11,
+		Coordinator: spCoord{},
+		// At t=12 the flow is in c1 (10-15); killing c2 must not touch it.
+		Faults: []Fault{{Time: 12, Kind: FaultInstanceKill, Node: 0, Component: "c2"}},
+	}
+	m := mustRun(t, cfg)
+	if m.Succeeded != 1 {
+		t.Errorf("succeeded = %d, want 1 (drops: %v)", m.Succeeded, m.DropsBy)
+	}
+}
+
+// obsCoord is a coordinator that is also a Listener (the FlowObserver
+// capability) and counts its OnFlowEnd deliveries.
+type obsCoord struct {
+	spCoord
+	NopListener
+	ends int
+}
+
+func (c *obsCoord) OnFlowEnd(*Flow, bool, DropCause, float64) { c.ends++ }
+
+// TestFlowObserverAutoWiredAndDeduplicated checks the capability
+// discovery: a coordinator implementing Listener is attached
+// automatically, and configuring it additionally as Config.Listener
+// must not deliver events twice.
+func TestFlowObserverAutoWiredAndDeduplicated(t *testing.T) {
+	run := func(alsoListener bool) int {
+		c := &obsCoord{}
+		cfg := Config{
+			Graph:       lineGraph(3, 10, 10),
+			Service:     testService(5),
+			Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+			Egress:      2,
+			Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+			Horizon:     11,
+			Coordinator: c,
+		}
+		if alsoListener {
+			cfg.Listener = c
+		}
+		mustRun(t, cfg)
+		return c.ends
+	}
+	if got := run(false); got != 1 {
+		t.Errorf("auto-wired observer saw %d flow ends, want 1", got)
+	}
+	if got := run(true); got != 1 {
+		t.Errorf("observer doubling as Config.Listener saw %d flow ends, want 1 (deduplicated)", got)
+	}
+}
+
+// TestFaultScheduleReplaysByteIdentically runs the same faulted
+// configuration twice and requires identical metrics.
+func TestFaultScheduleReplaysByteIdentically(t *testing.T) {
+	build := func() Config {
+		return Config{
+			Graph:       lineGraph(3, 10, 10),
+			Service:     testService(5),
+			Ingresses:   []Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 3}}},
+			Egress:      2,
+			Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+			Horizon:     100,
+			Coordinator: spCoord{},
+			Faults: []Fault{
+				{Time: 20, Kind: FaultNodeDown, Node: 1},
+				{Time: 30, Kind: FaultNodeUp, Node: 1},
+				{Time: 40, Kind: FaultLinkDown, Link: 0},
+				{Time: 50, Kind: FaultLinkUp, Link: 0},
+				{Time: 60, Kind: FaultExtraArrival, Node: 0},
+			},
+		}
+	}
+	a, b := mustRun(t, build()), mustRun(t, build())
+	if a.Arrived != b.Arrived || a.Succeeded != b.Succeeded || a.Dropped != b.Dropped ||
+		a.SumDelay != b.SumDelay || a.Faults != b.Faults {
+		t.Errorf("fault runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestNewRejectsInvalidFaults pins schedule validation at construction.
+func TestNewRejectsInvalidFaults(t *testing.T) {
+	cases := map[string]Fault{
+		"negative time":      {Time: -1, Kind: FaultNodeDown, Node: 0},
+		"node out of range":  {Time: 1, Kind: FaultNodeDown, Node: 99},
+		"link out of range":  {Time: 1, Kind: FaultLinkDown, Link: 99},
+		"degrade factor > 1": {Time: 1, Kind: FaultLinkDegrade, Link: 0, Factor: 2},
+		"unknown kind":       {Time: 1, Kind: FaultKind(42)},
+	}
+	for name, ft := range cases {
+		cfg := oneFlow(lineGraph(3, 10, 10), testService(5), 2, 100, spCoord{})
+		cfg.Faults = []Fault{ft}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted fault with %s", name)
+		}
+	}
+}

@@ -33,6 +33,10 @@ type Metrics struct {
 	Forwards    int
 	Processings int
 	Keeps       int
+
+	// Faults counts disruptive fault injections applied during the run
+	// (recoveries and idempotent no-op repeats are not counted).
+	Faults int
 }
 
 // newMetrics returns zeroed metrics.

@@ -59,7 +59,17 @@ type Config struct {
 	Horizon float64
 
 	Coordinator Coordinator
-	Listener    Listener // optional
+	// Listener optionally observes simulation events in addition to any
+	// FlowObserver capability of the coordinator (metrics collection,
+	// chaos monitoring). Setting it to the coordinator itself is
+	// deduplicated.
+	Listener Listener
+
+	// Faults is an optional schedule of perturbation events (node/link
+	// outages, degradation, instance kills, surge arrivals), applied by
+	// the event loop at their scheduled times. Build schedules with
+	// internal/chaos for seed-derived, reproducible fault scenarios.
+	Faults []Fault
 
 	// Tracer, when non-nil, receives per-flow trace events (arrival,
 	// decision, processing, forwarding, drop, completion) for offline
@@ -135,26 +145,32 @@ func (c *Config) validate() error {
 	if c.MaxTime <= 0 {
 		c.MaxTime = c.Horizon + 10*c.Template.Deadline
 	}
-	if c.Listener == nil {
-		c.Listener = NopListener{}
-	}
-	return nil
+	return validateFaults(c.Graph, c.Faults)
 }
 
 // Sim runs one simulation. Create with New, drive with Run.
 type Sim struct {
-	cfg      Config
-	st       *State
-	queue    eventQueue
-	metrics  *Metrics
-	tracer   FlowTracer
+	cfg     Config
+	st      *State
+	queue   eventQueue
+	metrics *Metrics
+	tracer  FlowTracer
+
+	// Coordinator capabilities, discovered once at New by type assertion.
+	ticker    Ticker
+	resetter  Resetter
+	topoObs   TopologyObserver
+	listeners []Listener // Config.Listener plus the coordinator's FlowObserver capability, deduplicated
+
 	nextID   int
 	svcRng   *rand.Rand
 	svcTotal float64
 }
 
 // New prepares a simulation run. The configured graph's capacities must
-// already be assigned (Config.Graph is not modified).
+// already be assigned (Config.Graph is not modified). Optional coordinator
+// capabilities (FlowObserver, Ticker, Resetter, TopologyObserver) are
+// discovered here, once, by type assertion.
 func New(cfg Config) (*Sim, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -172,7 +188,49 @@ func New(cfg Config) (*Sim, error) {
 	for _, ws := range cfg.Services {
 		s.svcTotal += ws.Weight
 	}
+	if tk, ok := cfg.Coordinator.(Ticker); ok {
+		if tk.Interval() <= 0 {
+			return nil, fmt.Errorf("simnet: coordinator %q has non-positive tick interval", cfg.Coordinator.Name())
+		}
+		s.ticker = tk
+	}
+	if r, ok := cfg.Coordinator.(Resetter); ok {
+		s.resetter = r
+	}
+	if to, ok := cfg.Coordinator.(TopologyObserver); ok {
+		s.topoObs = to
+	}
+	if cfg.Listener != nil {
+		s.listeners = append(s.listeners, cfg.Listener)
+	}
+	// A learning coordinator (FlowObserver capability) is auto-attached;
+	// when the same value is also configured as Config.Listener it is
+	// already in the slice and must not be delivered events twice.
+	if l, ok := cfg.Coordinator.(Listener); ok && l != cfg.Listener {
+		s.listeners = append(s.listeners, l)
+	}
 	return s, nil
+}
+
+// onAction delivers a coordinator decision outcome to all listeners.
+func (s *Sim) onAction(f *Flow, v graph.NodeID, now float64, action int, res ActionResult) {
+	for _, l := range s.listeners {
+		l.OnAction(f, v, now, action, res)
+	}
+}
+
+// onTraversed delivers a chain-progress event to all listeners.
+func (s *Sim) onTraversed(f *Flow, v graph.NodeID, now float64) {
+	for _, l := range s.listeners {
+		l.OnTraversed(f, v, now)
+	}
+}
+
+// onFlowEnd delivers a flow termination to all listeners.
+func (s *Sim) onFlowEnd(f *Flow, success bool, cause DropCause, now float64) {
+	for _, l := range s.listeners {
+		l.OnFlowEnd(f, success, cause, now)
+	}
 }
 
 // pickService samples a service from the configured mix.
@@ -201,8 +259,8 @@ func (s *Sim) Metrics() *Metrics { return s.metrics }
 // [0, Horizon) and the event loop drains until every flow succeeded or
 // dropped (bounded by MaxTime).
 func (s *Sim) Run() (*Metrics, error) {
-	if r, ok := s.cfg.Coordinator.(Resetter); ok {
-		r.Reset(s.st)
+	if s.resetter != nil {
+		s.resetter.Reset(s.st)
 	}
 	// Seed arrival generation, one generator event per ingress.
 	for i, in := range s.cfg.Ingresses {
@@ -212,12 +270,13 @@ func (s *Sim) Run() (*Metrics, error) {
 		}
 	}
 	// Seed coordinator ticks.
-	if tk, ok := s.cfg.Coordinator.(Ticker); ok {
-		iv := tk.Interval()
-		if iv <= 0 {
-			return nil, fmt.Errorf("simnet: coordinator %q has non-positive tick interval", s.cfg.Coordinator.Name())
-		}
+	if s.ticker != nil {
 		s.queue.push(event{t: 0, kind: evTick})
+	}
+	// Schedule the fault injections. Pushing them in schedule order keeps
+	// equal-time faults deterministically ordered via event sequencing.
+	for i, ft := range s.cfg.Faults {
+		s.queue.push(event{t: ft.Time, kind: evFault, ingress: i, link: -1})
 	}
 
 	for s.queue.Len() > 0 {
@@ -255,12 +314,13 @@ func (s *Sim) dispatch(e event) {
 	case evIdleCheck:
 		s.st.removeInstanceIfIdle(e.node, e.comp, e.t)
 	case evTick:
-		tk := s.cfg.Coordinator.(Ticker)
-		tk.Tick(s.st, e.t)
-		next := e.t + tk.Interval()
+		s.ticker.Tick(s.st, e.t)
+		next := e.t + s.ticker.Interval()
 		if next <= s.cfg.Horizon {
 			s.queue.push(event{t: next, kind: evTick})
 		}
+	case evFault:
+		s.applyFault(s.cfg.Faults[e.ingress], e.t)
 	}
 }
 
@@ -296,6 +356,12 @@ func (s *Sim) handleFlowAt(f *Flow, v graph.NodeID, now float64) {
 	if f.done {
 		return
 	}
+	if !s.st.NodeAlive(v) {
+		// The head reached a crashed node: flows in transit when the node
+		// went down fail on arrival (unless the node recovered first).
+		s.drop(f, v, DropNodeFailure, now)
+		return
+	}
 	if f.Remaining(now) <= capEps {
 		s.drop(f, v, DropExpired, now)
 		return
@@ -325,15 +391,15 @@ func (s *Sim) processLocally(f *Flow, v graph.NodeID, now float64) {
 		// incurs the −1/D_G penalty at the listener (Sec. IV-B3).
 		s.metrics.Keeps++
 		s.trace(TraceKeep, f, v, now, 0, -1, DropNone)
-		s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionKept})
-		s.queue.push(event{t: now + s.cfg.KeepStep, kind: evHeadArrive, flow: f, node: v})
+		s.onAction(f, v, now, 0, ActionResult{Kind: ActionKept})
+		s.queue.push(event{t: now + s.cfg.KeepStep, kind: evHeadArrive, flow: f, node: v, link: -1})
 		return
 	}
 
 	comp := f.Current()
 	need := comp.Resource(f.Rate)
 	if !s.st.nodeFits(v, need) {
-		s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionDropped, Drop: DropNodeCapacity})
+		s.onAction(f, v, now, 0, ActionResult{Kind: ActionDropped, Drop: DropNodeCapacity})
 		s.drop(f, v, DropNodeCapacity, now)
 		return
 	}
@@ -354,7 +420,7 @@ func (s *Sim) processLocally(f *Flow, v graph.NodeID, now float64) {
 
 	s.metrics.Processings++
 	s.trace(TraceProcess, f, v, now, 0, -1, DropNone)
-	s.cfg.Listener.OnAction(f, v, now, 0, ActionResult{Kind: ActionProcessed})
+	s.onAction(f, v, now, 0, ActionResult{Kind: ActionProcessed})
 }
 
 // finishProcessing advances the flow to its next chain component and
@@ -365,7 +431,7 @@ func (s *Sim) finishProcessing(e event) {
 		return
 	}
 	f.CompIdx++
-	s.cfg.Listener.OnTraversed(f, e.node, e.t)
+	s.onTraversed(f, e.node, e.t)
 	s.handleFlowAt(f, e.node, e.t)
 }
 
@@ -373,14 +439,19 @@ func (s *Sim) finishProcessing(e event) {
 func (s *Sim) forward(f *Flow, v graph.NodeID, a int, now float64) {
 	neighbors := s.cfg.Graph.Neighbors(v)
 	if a < 0 || a > len(neighbors) {
-		s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropInvalidAction})
+		s.onAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropInvalidAction})
 		s.drop(f, v, DropInvalidAction, now)
 		return
 	}
 	ad := neighbors[a-1]
 	link := s.cfg.Graph.Link(ad.Link)
+	if !s.st.LinkAlive(ad.Link) {
+		s.onAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropLinkFailure})
+		s.drop(f, v, DropLinkFailure, now)
+		return
+	}
 	if !s.st.linkFits(ad.Link, f.Rate) {
-		s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropLinkCapacity})
+		s.onAction(f, v, now, a, ActionResult{Kind: ActionDropped, Drop: DropLinkCapacity})
 		s.drop(f, v, DropLinkCapacity, now)
 		return
 	}
@@ -388,14 +459,15 @@ func (s *Sim) forward(f *Flow, v graph.NodeID, a int, now float64) {
 	s.st.allocLink(ad.Link, f.Rate)
 	// The stream consumes the link's data rate while it is being
 	// injected (its duration δ_f); propagation d_l only delays the head
-	// and does not occupy capacity.
+	// and does not occupy capacity. The head-arrival event is tagged with
+	// the transit link so a link failure can drop it mid-flight.
 	s.queue.push(event{t: now + f.Duration, kind: evReleaseLink, link: ad.Link, amount: f.Rate})
-	s.queue.push(event{t: now + link.Delay, kind: evHeadArrive, flow: f, node: ad.Neighbor})
+	s.queue.push(event{t: now + link.Delay, kind: evHeadArrive, flow: f, node: ad.Neighbor, link: ad.Link})
 
 	f.Hops++
 	s.metrics.Forwards++
 	s.trace(TraceForward, f, v, now, a, ad.Link, DropNone)
-	s.cfg.Listener.OnAction(f, v, now, a, ActionResult{Kind: ActionForwarded, Link: ad.Link})
+	s.onAction(f, v, now, a, ActionResult{Kind: ActionForwarded, Link: ad.Link})
 }
 
 // complete records a successful flow.
@@ -409,7 +481,7 @@ func (s *Sim) complete(f *Flow, now float64) {
 		s.metrics.MaxDelay = d
 	}
 	s.trace(TraceComplete, f, f.Egress, now, -1, -1, DropNone)
-	s.cfg.Listener.OnFlowEnd(f, true, DropNone, now)
+	s.onFlowEnd(f, true, DropNone, now)
 }
 
 // drop records a flow dropped at node v.
@@ -418,5 +490,5 @@ func (s *Sim) drop(f *Flow, v graph.NodeID, cause DropCause, now float64) {
 	s.metrics.Dropped++
 	s.metrics.DropsBy[cause]++
 	s.trace(TraceDrop, f, v, now, -1, -1, cause)
-	s.cfg.Listener.OnFlowEnd(f, false, cause, now)
+	s.onFlowEnd(f, false, cause, now)
 }

@@ -627,11 +627,7 @@ func TestTickerRejectsNonPositiveInterval(t *testing.T) {
 		Horizon:     200,
 		Coordinator: tc,
 	}
-	s, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.Run(); err == nil {
-		t.Error("Run accepted zero tick interval")
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted zero tick interval")
 	}
 }

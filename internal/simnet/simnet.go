@@ -114,13 +114,16 @@ func (f *Flow) Progress() float64 {
 // DropCause classifies why a flow was dropped.
 type DropCause int
 
-// Drop causes, mirroring the failure modes of Sec. III-B and IV-B2.
+// Drop causes, mirroring the failure modes of Sec. III-B and IV-B2 plus
+// the fault-injection failures of the chaos layer.
 const (
 	DropNone          DropCause = iota // flow was not dropped
 	DropInvalidAction                  // action pointed to a non-existing neighbor
 	DropNodeCapacity                   // processing would exceed cap_v
 	DropLinkCapacity                   // forwarding would exceed cap_l
 	DropExpired                        // deadline τ_f reached before completion
+	DropNodeFailure                    // the node hosting or processing the flow crashed
+	DropLinkFailure                    // the link carrying the flow's head went down
 )
 
 // String implements fmt.Stringer.
@@ -136,6 +139,10 @@ func (d DropCause) String() string {
 		return "link-capacity"
 	case DropExpired:
 		return "expired"
+	case DropNodeFailure:
+		return "node-failure"
+	case DropLinkFailure:
+		return "link-failure"
 	}
 	return fmt.Sprintf("DropCause(%d)", int(d))
 }
@@ -189,6 +196,18 @@ func (NopListener) OnFlowEnd(*Flow, bool, DropCause, float64) {}
 // x_{c,v}(t) = 1), action a ∈ 1..Δ_G means "forward to v's a-th
 // neighbor". Actions beyond v's neighbor count are invalid and drop the
 // flow (Sec. IV-B2).
+//
+// Coordinator is deliberately minimal: everything beyond Name/Decide is
+// an optional capability, discovered once by type assertion when the
+// simulation is constructed (New). A coordinator implements only the
+// capabilities it actually needs:
+//
+//   - FlowObserver: learn from action outcomes and flow terminations
+//     (wired as a listener automatically — no manual Listener plumbing)
+//   - Ticker: periodic rule updates from (delayed) monitoring data
+//   - Resetter: per-run state that must clear between runs
+//   - TopologyObserver: notifications when fault injection changes
+//     node/link liveness
 type Coordinator interface {
 	// Name identifies the coordination algorithm in experiment output.
 	Name() string
@@ -199,7 +218,18 @@ type Coordinator interface {
 	Decide(st *State, f *Flow, v graph.NodeID, now float64) int
 }
 
-// Ticker is an optional Coordinator extension for algorithms that update
+// FlowObserver is an optional Coordinator capability for algorithms that
+// learn from simulation events (like the online DRL coordinator, which
+// assembles rewards from them). A coordinator implementing it is
+// attached as a Listener automatically at Sim construction; configuring
+// it additionally as Config.Listener is harmless — it is deduplicated,
+// never called twice per event.
+type FlowObserver interface {
+	Coordinator
+	Listener
+}
+
+// Ticker is an optional Coordinator capability for algorithms that update
 // internal rules periodically from (delayed) monitoring data, like the
 // centralized approach of [10]. Tick is called every Interval time steps.
 type Ticker interface {
@@ -207,8 +237,17 @@ type Ticker interface {
 	Tick(st *State, now float64)
 }
 
-// Resetter is an optional Coordinator extension for algorithms that carry
+// Resetter is an optional Coordinator capability for algorithms that carry
 // per-run state; Reset is called once before each simulation run.
 type Resetter interface {
 	Reset(st *State)
+}
+
+// TopologyObserver is an optional Coordinator capability for algorithms
+// that cache topology-derived data (routes, placement rules): it is
+// notified after fault injection changes node or link liveness, with the
+// state's routing view already recomputed. Capacity degradation does not
+// notify — it changes no routes.
+type TopologyObserver interface {
+	OnTopologyChange(st *State, now float64)
 }

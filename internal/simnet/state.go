@@ -18,28 +18,41 @@ type Instance struct {
 }
 
 // State is the live network state during a simulation: capacity ledgers
-// for nodes and links plus placed instances. Coordinators receive it
+// for nodes and links, node/link liveness under fault injection, the
+// current routing view, and placed instances. Coordinators receive it
 // read-only via its accessor methods; distributed algorithms must only
 // inspect the current node and its direct neighbors.
 type State struct {
 	g    *graph.Graph
-	apsp *graph.APSP
+	apsp *graph.APSP // current routing view; re-derived on topology change
 
 	usedNode  []float64
 	usedLink  []float64
+	nodeDown  []bool
+	linkDown  []bool
+	linkScale []float64              // capacity scaling under degradation; 1 = nominal
+	topoEpoch int                    // bumped on every liveness change
 	instances []map[string]*Instance // per node, keyed by component name
 	now       float64
 }
 
 // NewState returns a fresh state for the given (capacity-assigned) graph.
-// The APSP may be shared across runs on the same topology.
+// The APSP may be shared across runs on the same topology; it is the
+// fault-free routing view, replaced by a masked recomputation whenever a
+// node or link changes liveness.
 func NewState(g *graph.Graph, apsp *graph.APSP) *State {
 	st := &State{
 		g:         g,
 		apsp:      apsp,
 		usedNode:  make([]float64, g.NumNodes()),
 		usedLink:  make([]float64, g.NumLinks()),
+		nodeDown:  make([]bool, g.NumNodes()),
+		linkDown:  make([]bool, g.NumLinks()),
+		linkScale: make([]float64, g.NumLinks()),
 		instances: make([]map[string]*Instance, g.NumNodes()),
+	}
+	for i := range st.linkScale {
+		st.linkScale[i] = 1
 	}
 	for i := range st.instances {
 		st.instances[i] = make(map[string]*Instance)
@@ -50,8 +63,86 @@ func NewState(g *graph.Graph, apsp *graph.APSP) *State {
 // Graph returns the substrate network.
 func (st *State) Graph() *graph.Graph { return st.g }
 
-// APSP returns the precomputed all-pairs shortest paths.
+// APSP returns the current routing view: the fault-free all-pairs
+// shortest paths until the first topology change, then a recomputation
+// over the surviving network. Coordinators reading distances through it
+// automatically follow topology changes.
 func (st *State) APSP() *graph.APSP { return st.apsp }
+
+// NodeAlive reports whether node v is up.
+func (st *State) NodeAlive(v graph.NodeID) bool { return !st.nodeDown[v] }
+
+// LinkAlive reports whether link l and both its endpoints are up.
+func (st *State) LinkAlive(l int) bool {
+	if st.linkDown[l] {
+		return false
+	}
+	lk := st.g.Link(l)
+	return !st.nodeDown[lk.A] && !st.nodeDown[lk.B]
+}
+
+// TopoEpoch counts liveness changes; observers can use it to detect that
+// cached topology-derived data is stale. It is 0 until the first fault.
+func (st *State) TopoEpoch() int { return st.topoEpoch }
+
+// NodeCapacity returns the effective compute capacity of v: cap_v, or 0
+// while the node is down.
+func (st *State) NodeCapacity(v graph.NodeID) float64 {
+	if st.nodeDown[v] {
+		return 0
+	}
+	return st.g.Node(v).Capacity
+}
+
+// LinkCapacity returns the effective data rate capacity of link l:
+// cap_l scaled by any active degradation, or 0 while the link (or an
+// endpoint) is down.
+func (st *State) LinkCapacity(l int) float64 {
+	if !st.LinkAlive(l) {
+		return 0
+	}
+	return st.g.Link(l).Capacity * st.linkScale[l]
+}
+
+// setNodeAlive flips node liveness and re-derives routing.
+func (st *State) setNodeAlive(v graph.NodeID, alive bool) {
+	st.nodeDown[v] = !alive
+	st.refreshRouting()
+}
+
+// setLinkAlive flips link liveness and re-derives routing.
+func (st *State) setLinkAlive(l int, alive bool) {
+	st.linkDown[l] = !alive
+	st.refreshRouting()
+}
+
+// scaleLink sets the degradation factor of link l (1 restores nominal
+// capacity). Flows already on the link keep flowing; admission uses the
+// scaled capacity.
+func (st *State) scaleLink(l int, factor float64) { st.linkScale[l] = factor }
+
+// refreshRouting recomputes shortest paths over the currently live
+// topology (one Dijkstra per node, only on liveness changes — fault
+// events are rare next to flow events).
+func (st *State) refreshRouting() {
+	st.topoEpoch++
+	st.apsp = graph.NewAPSPMasked(st.g, st.LinkAlive)
+}
+
+// clearInstances kills every placed instance at v (node crash).
+func (st *State) clearInstances(v graph.NodeID) {
+	st.instances[v] = make(map[string]*Instance)
+}
+
+// removeInstances kills v's instance of the named component, or all of
+// v's instances when comp is empty.
+func (st *State) removeInstances(v graph.NodeID, comp string) {
+	if comp == "" {
+		st.clearInstances(v)
+		return
+	}
+	delete(st.instances[v], comp)
+}
 
 // Now returns the current simulation time.
 func (st *State) Now() float64 { return st.now }
@@ -59,18 +150,20 @@ func (st *State) Now() float64 { return st.now }
 // UsedNode returns r_v(t), the compute resources currently in use at v.
 func (st *State) UsedNode(v graph.NodeID) float64 { return st.usedNode[v] }
 
-// FreeNode returns cap_v − r_v(t).
+// FreeNode returns cap_v − r_v(t) over the effective capacity (0 while
+// the node is down, so a dead node never reads as having headroom).
 func (st *State) FreeNode(v graph.NodeID) float64 {
-	return st.g.Node(v).Capacity - st.usedNode[v]
+	return st.NodeCapacity(v) - st.usedNode[v]
 }
 
 // UsedLink returns r_l(t), the data rate currently allocated on link l
 // (both directions share the capacity).
 func (st *State) UsedLink(l int) float64 { return st.usedLink[l] }
 
-// FreeLink returns cap_l − r_l(t).
+// FreeLink returns cap_l − r_l(t) over the effective (possibly degraded)
+// capacity.
 func (st *State) FreeLink(l int) float64 {
-	return st.g.Link(l).Capacity - st.usedLink[l]
+	return st.LinkCapacity(l) - st.usedLink[l]
 }
 
 // Instance returns the instance of component comp placed at v, or nil.
@@ -102,12 +195,12 @@ func (st *State) TotalInstances() int {
 
 // nodeFits reports whether processing demand fits at v.
 func (st *State) nodeFits(v graph.NodeID, demand float64) bool {
-	return st.usedNode[v]+demand <= st.g.Node(v).Capacity+capEps
+	return st.usedNode[v]+demand <= st.NodeCapacity(v)+capEps
 }
 
 // linkFits reports whether an additional rate fits on link l.
 func (st *State) linkFits(l int, rate float64) bool {
-	return st.usedLink[l]+rate <= st.g.Link(l).Capacity+capEps
+	return st.usedLink[l]+rate <= st.LinkCapacity(l)+capEps
 }
 
 // allocNode reserves compute resources at v.

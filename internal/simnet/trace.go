@@ -125,6 +125,7 @@ func (e *TraceEvent) UnmarshalJSON(data []byte) error {
 		causes := map[string]DropCause{
 			"invalid-action": DropInvalidAction, "node-capacity": DropNodeCapacity,
 			"link-capacity": DropLinkCapacity, "expired": DropExpired,
+			"node-failure": DropNodeFailure, "link-failure": DropLinkFailure,
 		}
 		c, ok := causes[in.Drop]
 		if !ok {

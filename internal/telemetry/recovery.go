@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// RecoveryTracker accumulates a bucketed time series of flow outcomes so
+// that resilience experiments can quantify, per injected fault, how deep
+// the success-rate dip was and how long the system took to return to its
+// pre-fault service level. It is deliberately simulator-agnostic: feed it
+// (time, success, delay) observations and analyze against fault times.
+type RecoveryTracker struct {
+	width   float64
+	buckets []recoveryBucket
+}
+
+// recoveryBucket aggregates outcomes of one time window.
+type recoveryBucket struct {
+	ok     int
+	fail   int
+	delays []float64 // end-to-end delays of successful flows
+}
+
+// NewRecoveryTracker returns a tracker with the given bucket width
+// (simulation time units). Width trades resolution against noise; widths
+// around the flow deadline work well. Non-positive widths default to 50.
+func NewRecoveryTracker(width float64) *RecoveryTracker {
+	if width <= 0 {
+		width = 50
+	}
+	return &RecoveryTracker{width: width}
+}
+
+// Width returns the bucket width.
+func (rt *RecoveryTracker) Width() float64 { return rt.width }
+
+// Observe records one finished flow: success or drop at time t; delay is
+// the end-to-end delay and only meaningful for successes.
+func (rt *RecoveryTracker) Observe(t float64, success bool, delay float64) {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / rt.width)
+	for len(rt.buckets) <= idx {
+		rt.buckets = append(rt.buckets, recoveryBucket{})
+	}
+	b := &rt.buckets[idx]
+	if success {
+		b.ok++
+		b.delays = append(b.delays, delay)
+	} else {
+		b.fail++
+	}
+}
+
+// RecoveryStat quantifies the impact of one fault: the service level
+// before it, the worst bucket after it, and the time until the pre-fault
+// level was restored.
+type RecoveryStat struct {
+	// FaultTime is the injection time this stat refers to.
+	FaultTime float64 `json:"fault_time"`
+	// PreSuccess is the success rate over the pre-fault lookback window.
+	PreSuccess float64 `json:"pre_success_rate"`
+	// MinSuccess is the worst per-bucket success rate between the fault
+	// and the next fault (or the end of the run).
+	MinSuccess float64 `json:"min_success_rate"`
+	// DipDepth is PreSuccess − MinSuccess: how far service quality fell.
+	DipDepth float64 `json:"dip_depth"`
+	// PreP95Delay is the p95 end-to-end delay before the fault.
+	PreP95Delay float64 `json:"pre_p95_delay"`
+	// RecoveryTime is how long after the fault the per-bucket success rate
+	// and p95 delay both returned to (near) pre-fault levels; −1 when the
+	// system never recovered within the observed window.
+	RecoveryTime float64 `json:"recovery_time"`
+	// Drops counts failed flows between the fault and recovery (or the
+	// scan end when the system did not recover).
+	Drops int `json:"drops"`
+}
+
+// Recovery thresholds: recovered means success rate within successSlack
+// of pre-fault and p95 delay within delaySlack of pre-fault.
+const (
+	successSlack = 0.02
+	delaySlack   = 1.1
+)
+
+// lookbackBuckets bounds the pre-fault window so slow early-run warmup
+// does not dilute the baseline.
+const lookbackBuckets = 10
+
+// Analyze computes one RecoveryStat per fault time. Fault times must be
+// ascending; each fault's post window extends to the next fault (or the
+// end of the observations), so cascades attribute each dip to its own
+// event.
+func (rt *RecoveryTracker) Analyze(faultTimes []float64) []RecoveryStat {
+	stats := make([]RecoveryStat, 0, len(faultTimes))
+	for i, ft := range faultTimes {
+		end := len(rt.buckets)
+		if i+1 < len(faultTimes) {
+			if nb := int(faultTimes[i+1] / rt.width); nb < end {
+				end = nb
+			}
+		}
+		stats = append(stats, rt.analyzeOne(ft, end))
+	}
+	return stats
+}
+
+// analyzeOne scans buckets [fault, end) against the pre-fault baseline.
+func (rt *RecoveryTracker) analyzeOne(faultTime float64, end int) RecoveryStat {
+	fb := int(faultTime / rt.width)
+	preStart := fb - lookbackBuckets
+	if preStart < 0 {
+		preStart = 0
+	}
+
+	preOK, preFail := 0, 0
+	var preDelays []float64
+	for i := preStart; i < fb && i < len(rt.buckets); i++ {
+		b := rt.buckets[i]
+		preOK += b.ok
+		preFail += b.fail
+		preDelays = append(preDelays, b.delays...)
+	}
+	stat := RecoveryStat{FaultTime: faultTime, RecoveryTime: -1, MinSuccess: 1}
+	if preOK+preFail > 0 {
+		stat.PreSuccess = float64(preOK) / float64(preOK+preFail)
+	}
+	stat.PreP95Delay = quantile(preDelays, 0.95)
+
+	recovered := false
+	for i := fb; i < end && i < len(rt.buckets); i++ {
+		b := rt.buckets[i]
+		if b.ok+b.fail == 0 {
+			continue
+		}
+		rate := float64(b.ok) / float64(b.ok+b.fail)
+		if rate < stat.MinSuccess {
+			stat.MinSuccess = rate
+		}
+		if !recovered {
+			stat.Drops += b.fail
+			p95 := quantile(b.delays, 0.95)
+			rateOK := rate >= stat.PreSuccess-successSlack
+			delayOK := stat.PreP95Delay <= 0 || p95 <= stat.PreP95Delay*delaySlack
+			if rateOK && delayOK {
+				recovered = true
+				stat.RecoveryTime = float64(i+1)*rt.width - faultTime
+			}
+		}
+	}
+	if stat.MinSuccess > stat.PreSuccess {
+		stat.MinSuccess = stat.PreSuccess // no post-fault data: no dip
+	}
+	stat.DipDepth = stat.PreSuccess - stat.MinSuccess
+	return stat
+}
+
+// quantile returns the q-quantile of xs by nearest rank (0 when empty).
+// It copies before sorting, so callers may pass aliased slices.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

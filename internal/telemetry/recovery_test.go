@@ -1,0 +1,169 @@
+package telemetry
+
+import "testing"
+
+// feed records one observation per time unit over [from, to): success
+// with constant delay, or a drop.
+func feed(rt *RecoveryTracker, from, to float64, success bool, delay float64) {
+	for t := from; t < to; t++ {
+		rt.Observe(t, success, delay)
+	}
+}
+
+// TestRecoveryDipAndRecoveryTime is the canonical outage shape: healthy,
+// a 50-unit total outage, healthy again. The stat must report the full
+// dip, the drops during it, and the time until the first healthy bucket
+// closes.
+func TestRecoveryDipAndRecoveryTime(t *testing.T) {
+	rt := NewRecoveryTracker(10)
+	feed(rt, 0, 100, true, 10)
+	feed(rt, 100, 150, false, 0)
+	feed(rt, 150, 300, true, 10)
+
+	stats := rt.Analyze([]float64{100})
+	if len(stats) != 1 {
+		t.Fatalf("stats = %d, want 1", len(stats))
+	}
+	s := stats[0]
+	if s.PreSuccess != 1 {
+		t.Errorf("PreSuccess = %g, want 1", s.PreSuccess)
+	}
+	if s.MinSuccess != 0 {
+		t.Errorf("MinSuccess = %g, want 0", s.MinSuccess)
+	}
+	if s.DipDepth != 1 {
+		t.Errorf("DipDepth = %g, want 1", s.DipDepth)
+	}
+	if s.Drops != 50 {
+		t.Errorf("Drops = %d, want 50", s.Drops)
+	}
+	// First fully healthy bucket is [150,160); it closes at 160.
+	if s.RecoveryTime != 60 {
+		t.Errorf("RecoveryTime = %g, want 60", s.RecoveryTime)
+	}
+	if s.PreP95Delay != 10 {
+		t.Errorf("PreP95Delay = %g, want 10", s.PreP95Delay)
+	}
+}
+
+// TestRecoveryNeverRecovered: failures until the end of the window must
+// yield RecoveryTime −1 and count every post-fault drop.
+func TestRecoveryNeverRecovered(t *testing.T) {
+	rt := NewRecoveryTracker(10)
+	feed(rt, 0, 100, true, 10)
+	feed(rt, 100, 200, false, 0)
+
+	s := rt.Analyze([]float64{100})[0]
+	if s.RecoveryTime != -1 {
+		t.Errorf("RecoveryTime = %g, want -1", s.RecoveryTime)
+	}
+	if s.Drops != 100 {
+		t.Errorf("Drops = %d, want 100", s.Drops)
+	}
+	if s.DipDepth != 1 {
+		t.Errorf("DipDepth = %g, want 1", s.DipDepth)
+	}
+}
+
+// TestRecoveryDelayGatesRecovery: the success rate returns immediately
+// but delays stay elevated beyond the 1.1x slack, so the system does
+// not count as recovered until they settle.
+func TestRecoveryDelayGatesRecovery(t *testing.T) {
+	rt := NewRecoveryTracker(10)
+	feed(rt, 0, 100, true, 10)
+	feed(rt, 100, 150, true, 100) // successes, but 10x delay
+	feed(rt, 150, 200, true, 10)
+
+	s := rt.Analyze([]float64{100})[0]
+	if s.DipDepth != 0 {
+		t.Errorf("DipDepth = %g, want 0 (success rate never fell)", s.DipDepth)
+	}
+	// Buckets [100,150) fail the delay gate; [150,160) passes, closing at 160.
+	if s.RecoveryTime != 60 {
+		t.Errorf("RecoveryTime = %g, want 60", s.RecoveryTime)
+	}
+}
+
+// TestAnalyzeWindowsEachFaultToTheNext: with two faults, the first
+// stat's window must stop at the second fault so each dip is attributed
+// to its own event.
+func TestAnalyzeWindowsEachFaultToTheNext(t *testing.T) {
+	rt := NewRecoveryTracker(10)
+	feed(rt, 0, 100, true, 10)
+	feed(rt, 100, 120, false, 0) // first outage, recovers
+	feed(rt, 120, 200, true, 10)
+	feed(rt, 200, 300, false, 0) // second outage, never recovers
+
+	stats := rt.Analyze([]float64{100, 200})
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d, want 2", len(stats))
+	}
+	if stats[0].RecoveryTime != 30 {
+		t.Errorf("first RecoveryTime = %g, want 30", stats[0].RecoveryTime)
+	}
+	if stats[0].Drops != 20 {
+		t.Errorf("first Drops = %d, want 20 (second outage must not leak in)", stats[0].Drops)
+	}
+	if stats[1].RecoveryTime != -1 {
+		t.Errorf("second RecoveryTime = %g, want -1", stats[1].RecoveryTime)
+	}
+}
+
+// TestPreFaultLookbackIsBounded: a messy warmup outside the 10-bucket
+// lookback must not dilute the pre-fault baseline.
+func TestPreFaultLookbackIsBounded(t *testing.T) {
+	rt := NewRecoveryTracker(10)
+	feed(rt, 0, 50, false, 0) // warmup failures, buckets 0-4
+	feed(rt, 50, 200, true, 10)
+	feed(rt, 200, 250, false, 0)
+
+	s := rt.Analyze([]float64{200})[0]
+	if s.PreSuccess != 1 {
+		t.Errorf("PreSuccess = %g, want 1 (lookback must exclude warmup)", s.PreSuccess)
+	}
+}
+
+// TestNoPostFaultDataMeansNoDip: observations ending before the fault
+// must clamp MinSuccess to the baseline instead of reporting a phantom
+// full dip.
+func TestNoPostFaultDataMeansNoDip(t *testing.T) {
+	rt := NewRecoveryTracker(10)
+	feed(rt, 0, 100, true, 10)
+
+	s := rt.Analyze([]float64{100})[0]
+	if s.DipDepth != 0 {
+		t.Errorf("DipDepth = %g, want 0", s.DipDepth)
+	}
+	if s.MinSuccess != s.PreSuccess {
+		t.Errorf("MinSuccess = %g, want clamped to PreSuccess %g", s.MinSuccess, s.PreSuccess)
+	}
+	if s.RecoveryTime != -1 {
+		t.Errorf("RecoveryTime = %g, want -1", s.RecoveryTime)
+	}
+}
+
+func TestRecoveryTrackerDefaultsWidth(t *testing.T) {
+	if w := NewRecoveryTracker(0).Width(); w != 50 {
+		t.Errorf("default width = %g, want 50", w)
+	}
+	if w := NewRecoveryTracker(25).Width(); w != 25 {
+		t.Errorf("width = %g, want 25", w)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := quantile(xs, 0.5); q != 3 {
+		t.Errorf("p50 = %g, want 3", q)
+	}
+	if q := quantile(xs, 1); q != 5 {
+		t.Errorf("p100 = %g, want 5", q)
+	}
+	if q := quantile(nil, 0.95); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+	// quantile must not mutate its argument.
+	if xs[0] != 5 {
+		t.Error("quantile sorted the caller's slice")
+	}
+}
