@@ -10,6 +10,7 @@
 //	coordsim -algo sp -flow-trace flows.jsonl   # per-flow event trace
 //	coordsim -algo sp -metrics-out metrics.json # machine-readable summary
 //	coordsim -algo drl -faults node-outage      # resilience run + recovery metrics
+//	coordsim -algo drl -jobs 2                  # cap CPU use (GOMAXPROCS)
 package main
 
 import (

@@ -12,10 +12,17 @@
 //	experiments -exp fig6b -paper            # paper-scale settings (slow)
 //	experiments -exp fig7 -episode-log t.jsonl -cpuprofile cpu.pprof
 //	experiments -exp point -faults node-outage  # resilience point run
+//	experiments -exp fig6b -jobs 4           # bound the worker pool
+//	experiments -exp fig6b -grid-log grid.jsonl  # per-cell progress log
 //
 // Default budgets are sized for commodity CPUs; -paper selects the
 // paper's hyperparameters (10 training seeds, 4 parallel envs, 2x256
 // networks, horizon 20000, 30 evaluation seeds).
+//
+// Each experiment is decomposed into a grid of training jobs and
+// (point, algorithm, seed) evaluation cells executed on a bounded
+// worker pool (-jobs, default all CPUs). Figure output is byte-identical
+// for any -jobs value.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"distcoord/internal/clicfg"
 	"distcoord/internal/eval"
 	"distcoord/internal/rl"
+	"distcoord/internal/telemetry"
 )
 
 func main() {
@@ -84,11 +92,12 @@ func main() {
 }
 
 // runShared resolves the shared flag surface (profiling, episode log,
-// fault injection) around the experiment run. The episode log collects
-// the training telemetry of every DRL training run the experiment
-// performs; the fault spec applies to the -exp point scenario only —
-// figure sweeps always run fault-free so they stay comparable with the
-// paper.
+// grid log, worker pool bound, fault injection) around the experiment
+// run. The episode log collects the training telemetry of every DRL
+// training run the experiment performs; -metrics-out dumps the grid
+// progress gauges (grid.cells.*, grid.eta_seconds) at exit; the fault
+// spec applies to the -exp point scenario only — figure sweeps always
+// run fault-free so they stay comparable with the paper.
 func runShared(shared *clicfg.Flags, exp string, opts eval.Options, ingresses int) error {
 	rt, err := shared.Apply()
 	if err != nil {
@@ -98,8 +107,27 @@ func runShared(shared *clicfg.Flags, exp string, opts eval.Options, ingresses in
 	if rt.EpisodeLogEnabled() {
 		opts.Budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.EmitEpisode(rec) }
 	}
+	opts.Jobs = rt.Jobs()
+	if rt.GridLogEnabled() {
+		opts.OnCell = func(rec eval.GridRecord) { rt.EmitGridCell(rec) }
+	}
+	reg := telemetry.NewRegistry()
+	opts.Registry = reg
 	if err := run(exp, opts, ingresses, rt.FaultSpec()); err != nil {
 		return err
+	}
+	if path := rt.MetricsOut(); path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return rt.Close()
 }
@@ -126,7 +154,7 @@ func run(exp string, opts eval.Options, ingresses int, faults chaos.Spec) error 
 	}
 	switch exp {
 	case "table1":
-		fmt.Println(eval.TableI())
+		fmt.Println(eval.TableI(opts))
 	case "fig6a", "fig6b", "fig6c", "fig6d":
 		return printFigure(eval.Fig6(strings.TrimPrefix(exp, "fig6"), opts))
 	case "fig7":
@@ -146,7 +174,7 @@ func run(exp string, opts eval.Options, ingresses int, faults chaos.Spec) error 
 	case "point":
 		return runPoint(opts, ingresses, faults)
 	case "all":
-		fmt.Println(eval.TableI())
+		fmt.Println(eval.TableI(opts))
 		for _, v := range []string{"a", "b", "c", "d"} {
 			if err := printFigure(eval.Fig6(v, opts)); err != nil {
 				return err

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"distcoord/internal/chaos"
@@ -18,6 +19,9 @@ func TestRunShared(t *testing.T) {
 	dir := t.TempDir()
 	shared := &clicfg.Flags{
 		EpisodeLog: filepath.Join(dir, "episodes.jsonl"),
+		GridLog:    filepath.Join(dir, "grid.jsonl"),
+		MetricsOut: filepath.Join(dir, "metrics.json"),
+		Jobs:       2,
 		Prof: telemetry.Profiler{
 			CPUProfile: filepath.Join(dir, "cpu.pprof"),
 			MemProfile: filepath.Join(dir, "mem.pprof"),
@@ -26,10 +30,37 @@ func TestRunShared(t *testing.T) {
 	if err := runShared(shared, "table1", optsForTest(), 2); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []string{shared.Prof.CPUProfile, shared.Prof.MemProfile, shared.EpisodeLog} {
+	for _, p := range []string{shared.Prof.CPUProfile, shared.Prof.MemProfile, shared.EpisodeLog, shared.GridLog, shared.MetricsOut} {
 		if _, err := os.Stat(p); err != nil {
 			t.Errorf("missing output %s: %v", p, err)
 		}
+	}
+	// table1's four topology rows run through the engine, so the grid
+	// log must contain records.
+	data, err := os.ReadFile(shared.GridLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("grid log is empty; table1 rows should be recorded")
+	}
+	// The metrics summary must carry the engine's progress gauges.
+	metrics, err := os.ReadFile(shared.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"grid.cells.total", "grid.cells.done"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics summary missing gauge %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestRunSharedRejectsNegativeJobs pins -jobs validation.
+func TestRunSharedRejectsNegativeJobs(t *testing.T) {
+	shared := &clicfg.Flags{Jobs: -1}
+	if err := runShared(shared, "table1", optsForTest(), 2); err == nil {
+		t.Error("runShared accepted negative -jobs")
 	}
 }
 

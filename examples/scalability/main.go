@@ -28,8 +28,8 @@ func main() {
 		fmt.Printf("%-15s", name)
 		algos := []eval.CoordinatorFactory{
 			func(*eval.Instance, int64) (simnet.Coordinator, error) { return baselines.NewCentral(100), nil },
-			eval.Static(baselines.GCASP{}),
-			eval.Static(baselines.SP{}),
+			eval.Fresh(func() simnet.Coordinator { return baselines.GCASP{} }),
+			eval.Fresh(func() simnet.Coordinator { return baselines.SP{} }),
 		}
 		for _, mk := range algos {
 			o, err := eval.Evaluate(s, mk, 3, 0)

@@ -16,6 +16,7 @@ import (
 	"distcoord/internal/baselines"
 	"distcoord/internal/eval"
 	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
 )
 
 func main() {
@@ -48,11 +49,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gcasp, err := eval.Evaluate(scenario, eval.Static(baselines.GCASP{}), 3, 0)
+	gcasp, err := eval.Evaluate(scenario, eval.Fresh(func() simnet.Coordinator { return baselines.GCASP{} }), 3, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sp, err := eval.Evaluate(scenario, eval.Static(baselines.SP{}), 3, 0)
+	sp, err := eval.Evaluate(scenario, eval.Fresh(func() simnet.Coordinator { return baselines.SP{} }), 3, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,8 +23,8 @@ func main() {
 	patterns := eval.TrafficPatterns()
 	algos := []eval.CoordinatorFactory{
 		func(*eval.Instance, int64) (simnet.Coordinator, error) { return baselines.NewCentral(100), nil },
-		eval.Static(baselines.GCASP{}),
-		eval.Static(baselines.SP{}),
+		eval.Fresh(func() simnet.Coordinator { return baselines.GCASP{} }),
+		eval.Fresh(func() simnet.Coordinator { return baselines.SP{} }),
 	}
 	names := []string{"Central", "GCASP", "SP"}
 

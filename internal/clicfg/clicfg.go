@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"distcoord/internal/chaos"
 	"distcoord/internal/simnet"
@@ -34,6 +35,14 @@ type Flags struct {
 	// Faults is the chaos spec string ("node-outage:count=2,seed=7", see
 	// chaos.ParseSpec); empty or "none" disables fault injection.
 	Faults string
+	// Jobs bounds how many CPUs the binary uses: Apply sets GOMAXPROCS
+	// to it, and binaries with an experiment grid (cmd/experiments)
+	// additionally use it as the engine's worker pool size. 0 keeps the
+	// default (all CPUs). Results never depend on it.
+	Jobs int
+	// GridLog is the JSONL path for per-cell experiment grid records
+	// (eval.GridRecord).
+	GridLog string
 	// Prof bundles the profiling flags (-cpuprofile, -memprofile, -pprof).
 	Prof telemetry.Profiler
 
@@ -49,6 +58,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.FlowTrace, "flow-trace", "", "write per-flow trace events to this JSONL file")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the metrics summary as JSON to this file")
 	fs.StringVar(&f.Faults, "faults", "", "fault-injection spec: profile[:key=val,...] (node-outage, link-outage, link-cascade, surge, instance-kill; see EXPERIMENTS.md)")
+	fs.IntVar(&f.Jobs, "jobs", 0, "bound parallelism: GOMAXPROCS and the experiment worker pool (0: all CPUs); output is identical for any value")
+	fs.StringVar(&f.GridLog, "grid-log", "", "write per-cell experiment grid records to this JSONL file")
 	f.Prof.RegisterFlags(fs)
 	return f
 }
@@ -61,6 +72,7 @@ type Runtime struct {
 	faults      chaos.Spec
 	episodeSink *telemetry.Sink
 	traceSink   *telemetry.Sink
+	gridSink    *telemetry.Sink
 	closed      bool
 }
 
@@ -72,6 +84,12 @@ func (f *Flags) Apply() (*Runtime, error) {
 	faults, err := chaos.ParseSpec(f.Faults)
 	if err != nil {
 		return nil, err
+	}
+	if f.Jobs < 0 {
+		return nil, fmt.Errorf("clicfg: -jobs must be >= 0, got %d", f.Jobs)
+	}
+	if f.Jobs > 0 {
+		runtime.GOMAXPROCS(f.Jobs)
 	}
 	rt := &Runtime{flags: f, faults: faults}
 	if f.EpisodeLog != "" {
@@ -85,6 +103,12 @@ func (f *Flags) Apply() (*Runtime, error) {
 	}
 	if f.FlowTrace != "" {
 		if rt.traceSink, err = telemetry.NewSink(f.FlowTrace); err != nil {
+			rt.Close()
+			return nil, err
+		}
+	}
+	if f.GridLog != "" {
+		if rt.gridSink, err = telemetry.NewSink(f.GridLog); err != nil {
 			rt.Close()
 			return nil, err
 		}
@@ -132,6 +156,23 @@ func (rt *Runtime) EmitEpisode(rec interface{}) {
 // EpisodeLogEnabled reports whether -episode-log was set.
 func (rt *Runtime) EpisodeLogEnabled() bool { return rt.episodeSink != nil }
 
+// Jobs returns the -jobs value (0: all CPUs).
+func (rt *Runtime) Jobs() int { return rt.flags.Jobs }
+
+// GridLogEnabled reports whether -grid-log was set.
+func (rt *Runtime) GridLogEnabled() bool { return rt.gridSink != nil }
+
+// EmitGridCell writes one record to the -grid-log sink; it is a no-op
+// when the log is off, so callers can install it unconditionally.
+func (rt *Runtime) EmitGridCell(rec interface{}) {
+	if rt.gridSink == nil {
+		return
+	}
+	if err := rt.gridSink.Emit(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: grid log: %v\n", rt.flags.name, err)
+	}
+}
+
 // Close flushes the sinks, stops the profiler, and reports the written
 // files on stderr. Safe to call twice (e.g. explicitly after checking
 // the error, with a defer as backstop).
@@ -153,6 +194,7 @@ func (rt *Runtime) Close() error {
 	}
 	closeSink(rt.episodeSink, rt.flags.EpisodeLog, "episode log")
 	closeSink(rt.traceSink, rt.flags.FlowTrace, "flow trace")
+	closeSink(rt.gridSink, rt.flags.GridLog, "grid log")
 	if err := rt.flags.Prof.Stop(); err != nil && first == nil {
 		first = err
 	}

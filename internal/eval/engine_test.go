@@ -1,0 +1,358 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"distcoord/internal/baselines"
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
+)
+
+// TestFig6bByteIdenticalAcrossJobs is the determinism bar for the
+// parallel experiment engine: the rendered figure must be byte-identical
+// for any worker pool size, including 1.
+func TestFig6bByteIdenticalAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure determinism test skipped in -short mode")
+	}
+	render := func(jobs int) string {
+		opts := tinyOptions()
+		opts.Jobs = jobs
+		fig, err := Fig6("b", opts)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return fig.String()
+	}
+	ref := render(1)
+	for _, jobs := range []int{4, 16} {
+		if got := render(jobs); got != ref {
+			t.Errorf("Fig6b output differs between -jobs 1 and -jobs %d:\n--- jobs=1\n%s\n--- jobs=%d\n%s", jobs, ref, jobs, got)
+		}
+	}
+}
+
+// TestEvaluateJobsMatchesSerial pins that the pooled evaluation path
+// aggregates identically to the serial one.
+func TestEvaluateJobsMatchesSerial(t *testing.T) {
+	s := Base()
+	s.Horizon = 500
+	mk := Fresh(func() simnet.Coordinator { return baselines.GCASP{} })
+	serial, err := Evaluate(s, mk, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := EvaluateJobs(s, mk, 4, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != pooled {
+		t.Errorf("pooled outcome %+v != serial %+v", pooled, serial)
+	}
+}
+
+// TestEngineRaceSmoke exercises the full grid shape — a training job
+// with dependent DRL cells plus independent baseline cells — on a
+// multi-worker pool. Sized for the fast `make race` tier.
+func TestEngineRaceSmoke(t *testing.T) {
+	opts := Options{
+		EvalSeeds:       2,
+		Horizon:         200,
+		MonitorInterval: 100,
+		Jobs:            4,
+		Registry:        telemetry.NewRegistry(),
+		Budget: TrainBudget{
+			Episodes:     2,
+			ParallelEnvs: 1,
+			Seeds:        1,
+			Horizon:      80,
+			Hidden:       []int{4},
+		},
+	}
+	s := Base()
+	s.Horizon = opts.Horizon
+	e := NewEngine(opts)
+	pol := e.Train("race", "1", s, opts.Budget)
+	evals := e.evalAlgos("race", "1", s, pol.Factory(), pol)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pol.Policy() == nil {
+		t.Fatal("policy not trained")
+	}
+	for _, ev := range evals {
+		o := ev.Outcome()
+		if o.Succ.N != opts.EvalSeeds {
+			t.Errorf("%s: Succ.N = %d, want %d", ev.Algo(), o.Succ.N, opts.EvalSeeds)
+		}
+		if o.Succ.Mean < 0 || o.Succ.Mean > 1 {
+			t.Errorf("%s: success ratio %f outside [0,1]", ev.Algo(), o.Succ.Mean)
+		}
+	}
+	if got := opts.Registry.Gauge("grid.cells.done").Value(); got != float64(len(e.jobs)) {
+		t.Errorf("grid.cells.done = %v, want %d", got, len(e.jobs))
+	}
+	if got := opts.Registry.Gauge("grid.cells.total").Value(); got != float64(len(e.jobs)) {
+		t.Errorf("grid.cells.total = %v, want %d", got, len(e.jobs))
+	}
+}
+
+// TestEngineDependencyOrder asserts a dependent job never starts before
+// its dependency completed.
+func TestEngineDependencyOrder(t *testing.T) {
+	e := NewEngine(Options{Jobs: 4})
+	var mu sync.Mutex
+	var order []string
+	mark := func(name string) {
+		mu.Lock()
+		order = append(order, name)
+		mu.Unlock()
+	}
+	dep := e.add(CellKey{Figure: "t", X: "dep", Kind: "row"}, nil, func(*gridJob) error {
+		mark("dep")
+		return nil
+	})
+	e.add(CellKey{Figure: "t", X: "child", Kind: "row"}, []*gridJob{dep}, func(*gridJob) error {
+		mark("child")
+		return nil
+	})
+	// Independent filler jobs to keep the pool busy.
+	for i := 0; i < 6; i++ {
+		e.Do("t", "filler", func() error { return nil })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	di, ci := -1, -1
+	for i, n := range order {
+		switch n {
+		case "dep":
+			di = i
+		case "child":
+			ci = i
+		}
+	}
+	if di < 0 || ci < 0 || ci < di {
+		t.Errorf("dependency order violated: %v", order)
+	}
+}
+
+// TestEngineErrorPropagation pins fail-fast semantics: a failed job
+// aborts the grid, its dependents are skipped (and recorded as such),
+// and Run returns the failure.
+func TestEngineErrorPropagation(t *testing.T) {
+	var recs []GridRecord
+	e := NewEngine(Options{
+		Jobs:   1,
+		OnCell: func(r GridRecord) { recs = append(recs, r) },
+	})
+	boom := e.add(CellKey{Figure: "t", X: "boom", Kind: "row"}, nil, func(*gridJob) error {
+		return errBoom
+	})
+	e.add(CellKey{Figure: "t", X: "child", Kind: "row"}, []*gridJob{boom}, func(*gridJob) error {
+		t.Error("dependent of failed job ran")
+		return nil
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Run error = %v, want boom", err)
+	}
+	statuses := map[string]int{}
+	for _, r := range recs {
+		statuses[r.Status]++
+	}
+	if statuses["error"] != 1 || statuses["skipped"] != 1 {
+		t.Errorf("record statuses = %v, want 1 error + 1 skipped", statuses)
+	}
+	if err := e.Run(); err == nil {
+		t.Error("second Run did not error")
+	}
+}
+
+var errBoom = &boomError{}
+
+type boomError struct{}
+
+func (*boomError) Error() string { return "boom" }
+
+// TestEngineGridRecords checks the grid log feed: one record per cell,
+// monotone Done counter, constant Total.
+func TestEngineGridRecords(t *testing.T) {
+	var recs []GridRecord
+	opts := Options{
+		EvalSeeds: 3,
+		Jobs:      4,
+		OnCell:    func(r GridRecord) { recs = append(recs, r) },
+	}
+	s := Base()
+	s.Horizon = 300
+	e := NewEngine(opts)
+	e.Eval("t", "1", AlgoSP, s, Fresh(func() simnet.Coordinator { return baselines.SP{} }), nil, 0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Done != i+1 || r.Total != 3 {
+			t.Errorf("record %d: Done/Total = %d/%d, want %d/3", i, r.Done, r.Total, i+1)
+		}
+		if r.Status != "ok" || r.Kind != "eval" || r.Algo != AlgoSP {
+			t.Errorf("record %d: unexpected fields %+v", i, r)
+		}
+	}
+}
+
+// probeCoord counts how many flows one coordinator instance decided, to
+// detect instance sharing across evaluation cells.
+type probeCoord struct {
+	baselines.SP
+	flows map[int]bool
+}
+
+func (p *probeCoord) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
+	if p.flows == nil {
+		p.flows = map[int]bool{}
+	}
+	p.flows[int(f.ID)] = true
+	return p.SP.Decide(st, f, v, now)
+}
+
+// TestFreshCoordinatorPerCell asserts evaluation never shares a
+// coordinator instance between cells: each seed's run gets its own.
+func TestFreshCoordinatorPerCell(t *testing.T) {
+	var mu sync.Mutex
+	var made []*probeCoord
+	mk := Fresh(func() simnet.Coordinator {
+		p := &probeCoord{}
+		mu.Lock()
+		made = append(made, p)
+		mu.Unlock()
+		return p
+	})
+	s := Base()
+	s.Horizon = 300
+	if _, err := EvaluateJobs(s, mk, 3, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(made) != 3 {
+		t.Fatalf("factory built %d coordinators for 3 cells, want 3", len(made))
+	}
+	for i, p := range made {
+		if len(p.flows) == 0 {
+			t.Errorf("coordinator %d decided no flows", i)
+		}
+	}
+}
+
+// TestBaselineFactoriesFresh asserts every baseline factory constructs
+// a new coordinator per call — no instance leaks between cells (Central
+// is stateful; the check covers all of them by pointer or by type).
+func TestBaselineFactoriesFresh(t *testing.T) {
+	for _, b := range baselineFactories(100) {
+		a, err := b.mk(nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := b.mk(nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca, ok := a.(*baselines.Central); ok {
+			if ca == c.(*baselines.Central) {
+				t.Errorf("%s: factory returned the same instance twice", b.name)
+			}
+		}
+	}
+}
+
+// TestFigureRaggedSeriesAlignment is the regression for the positional
+// row-alignment bug: a series missing one x-position must show "-" at
+// that row instead of shifting its later points onto wrong rows.
+func TestFigureRaggedSeriesAlignment(t *testing.T) {
+	f := Figure{
+		ID:     "r",
+		Title:  "ragged",
+		XLabel: "x",
+		Series: []Series{
+			{Algo: "A", Points: []Point{
+				{X: "1", Outcome: Outcome{Succ: Summary{Mean: 0.1, N: 1}}},
+				{X: "2", Outcome: Outcome{Succ: Summary{Mean: 0.2, N: 1}}},
+				{X: "3", Outcome: Outcome{Succ: Summary{Mean: 0.3, N: 1}}},
+			}},
+			// B is missing x=2: its x=3 point must stay on row 3.
+			{Algo: "B", Points: []Point{
+				{X: "1", Outcome: Outcome{Succ: Summary{Mean: 0.5, N: 1}}},
+				{X: "3", Outcome: Outcome{Succ: Summary{Mean: 0.7, N: 1}}},
+			}},
+		},
+	}
+	for name, out := range map[string]string{"String": f.String(), "Markdown": f.Markdown()} {
+		lines := strings.Split(out, "\n")
+		var row2, row3 string
+		for _, l := range lines {
+			if strings.HasPrefix(l, "2 ") || strings.HasPrefix(l, "| 2 ") {
+				row2 = l
+			}
+			if strings.HasPrefix(l, "3 ") || strings.HasPrefix(l, "| 3 ") {
+				row3 = l
+			}
+		}
+		if row2 == "" || row3 == "" {
+			t.Fatalf("%s: missing rows in output:\n%s", name, out)
+		}
+		if !strings.Contains(row2, "-") || strings.Contains(row2, "0.700") {
+			t.Errorf("%s: row x=2 must show '-' for B, not B's x=3 value:\n%s", name, row2)
+		}
+		if !strings.Contains(row3, "0.700") {
+			t.Errorf("%s: row x=3 must show B's 0.700:\n%s", name, row3)
+		}
+	}
+}
+
+// TestSummaryVersus pins the sample-count annotation: a summary over
+// fewer samples than the reference count says so.
+func TestSummaryVersus(t *testing.T) {
+	s := Summary{Mean: 0.5, Std: 0.1, N: 2}
+	if got := s.Versus(3); got != "0.500±0.100 (n=2)" {
+		t.Errorf("Versus(3) = %q", got)
+	}
+	if got := s.Versus(2); got != "0.500±0.100" {
+		t.Errorf("Versus(2) = %q", got)
+	}
+}
+
+// TestEvaluateDelaySampleCount is the regression for silently dropping
+// zero-success seeds from the delay summary: with an infeasible
+// deadline no flow succeeds, so Delay must report N=0 while Succ still
+// covers every seed — and the annotated rendering must say so.
+func TestEvaluateDelaySampleCount(t *testing.T) {
+	s := Base()
+	s.Horizon = 300
+	s.Deadline = 1 // infeasible: shortest-path delay alone exceeds it
+	o, err := Evaluate(s, Fresh(func() simnet.Coordinator { return baselines.SP{} }), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Succ.N != 2 {
+		t.Errorf("Succ.N = %d, want 2", o.Succ.N)
+	}
+	if o.Succ.Mean != 0 {
+		t.Errorf("Succ.Mean = %f, want 0 under infeasible deadline", o.Succ.Mean)
+	}
+	if o.Delay.N != 0 {
+		t.Errorf("Delay.N = %d, want 0", o.Delay.N)
+	}
+	if got := o.Delay.Versus(o.Succ.N); !strings.Contains(got, "(n=0)") {
+		t.Errorf("Delay.Versus = %q, want (n=0) annotation", got)
+	}
+	// The figure table must carry the same annotation.
+	f := Figure{ID: "d", XLabel: "x", Series: []Series{{Algo: "SP", Points: []Point{{X: "1", Outcome: o}}}}}
+	if out := f.String(); !strings.Contains(out, "(n=0)") {
+		t.Errorf("figure table missing delay sample annotation:\n%s", out)
+	}
+}

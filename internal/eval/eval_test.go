@@ -7,6 +7,7 @@ import (
 
 	"distcoord/internal/baselines"
 	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
 	"distcoord/internal/traffic"
 )
 
@@ -155,8 +156,8 @@ func TestEvaluateBaselines(t *testing.T) {
 	s.Horizon = 500
 	s.Traffic = traffic.FixedSpec(10)
 	for _, mk := range []CoordinatorFactory{
-		Static(baselines.SP{}),
-		Static(baselines.GCASP{}),
+		Fresh(func() simnet.Coordinator { return baselines.SP{} }),
+		Fresh(func() simnet.Coordinator { return baselines.GCASP{} }),
 	} {
 		o, err := Evaluate(s, mk, 2, 0)
 		if err != nil {
@@ -174,11 +175,12 @@ func TestEvaluateBaselines(t *testing.T) {
 func TestEvaluateDeterministic(t *testing.T) {
 	s := Base()
 	s.Horizon = 500
-	a, err := Evaluate(s, Static(baselines.GCASP{}), 2, 0)
+	gcasp := Fresh(func() simnet.Coordinator { return baselines.GCASP{} })
+	a, err := Evaluate(s, gcasp, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Evaluate(s, Static(baselines.GCASP{}), 2, 0)
+	b, err := Evaluate(s, gcasp, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"distcoord/internal/baselines"
 	"distcoord/internal/graph"
 	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
 	"distcoord/internal/traffic"
 )
 
@@ -26,6 +27,18 @@ type Options struct {
 	MonitorInterval float64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
+	// Jobs bounds the experiment engine's worker pool — how many
+	// training jobs and evaluation cells run concurrently; 0 selects
+	// runtime.NumCPU(). Figure output is byte-identical for any value.
+	Jobs int
+	// OnCell, when non-nil, receives one GridRecord per completed grid
+	// cell (the -grid-log JSONL feed). Called from the engine's
+	// scheduler goroutine, never concurrently.
+	OnCell func(GridRecord)
+	// Registry, when non-nil, receives engine progress metrics:
+	// grid.cells.total/grid.cells.done, grid.cells_per_sec, and
+	// grid.eta_seconds gauges.
+	Registry *telemetry.Registry
 }
 
 // DefaultOptions returns commodity-hardware settings.
@@ -73,12 +86,41 @@ type Series struct {
 	Points []Point
 }
 
+// point returns the series point at x-position x, if any.
+func (s Series) point(x string) (Point, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
 // Figure is a regenerated paper figure: one series per algorithm.
 type Figure struct {
 	ID     string
 	Title  string
 	XLabel string
 	Series []Series
+}
+
+// xPositions returns the union of x-positions across every series, in
+// first-appearance order (scanning series in display order). Rendering
+// iterates this union and matches cells by Point.X, so a series missing
+// one x-position shows "-" there instead of silently shifting its later
+// points onto the wrong rows.
+func (f Figure) xPositions() []string {
+	var xs []string
+	seen := map[string]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	return xs
 }
 
 // AlgoDistDRL etc. are the algorithm labels used across all figures.
@@ -90,7 +132,8 @@ const (
 )
 
 // baselineFactories returns the non-DRL comparison algorithms in display
-// order.
+// order. Every factory constructs a fresh coordinator per evaluation
+// cell, so no state leaks between seeds and cells can run concurrently.
 func baselineFactories(monitorInterval float64) []struct {
 	name string
 	mk   CoordinatorFactory
@@ -99,38 +142,22 @@ func baselineFactories(monitorInterval float64) []struct {
 		name string
 		mk   CoordinatorFactory
 	}{
-		{AlgoCentral, func(*Instance, int64) (simnet.Coordinator, error) {
-			return baselines.NewCentral(monitorInterval), nil
-		}},
-		{AlgoGCASP, Static(baselines.GCASP{})},
-		{AlgoSP, Static(baselines.SP{})},
+		{AlgoCentral, Fresh(func() simnet.Coordinator { return baselines.NewCentral(monitorInterval) })},
+		{AlgoGCASP, Fresh(func() simnet.Coordinator { return baselines.GCASP{} })},
+		{AlgoSP, Fresh(func() simnet.Coordinator { return baselines.SP{} })},
 	}
 }
 
 // evalPoint evaluates every algorithm on one scenario and returns
-// label -> outcome.
+// label -> outcome. The per-algorithm cells run on the engine's worker
+// pool.
 func evalPoint(s Scenario, drl CoordinatorFactory, opts Options) (map[string]Outcome, error) {
-	out := make(map[string]Outcome)
-	run := func(name string, mk CoordinatorFactory) error {
-		o, err := Evaluate(s, mk, opts.EvalSeeds, 0)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		out[name] = o
-		opts.logf("  %-10s succ=%s delay=%s", name, o.Succ, o.Delay)
-		return nil
+	e := NewEngine(opts)
+	evals := e.evalAlgos("point", s.Topology, s, drl, nil)
+	if err := e.Run(); err != nil {
+		return nil, err
 	}
-	if drl != nil {
-		if err := run(AlgoDistDRL, drl); err != nil {
-			return nil, err
-		}
-	}
-	for _, b := range baselineFactories(opts.MonitorInterval) {
-		if err := run(b.name, b.mk); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return collectPoint(evals, opts), nil
 }
 
 // TrafficPatterns returns the four arrival patterns of Fig. 6 keyed by
@@ -147,7 +174,8 @@ func TrafficPatterns() map[string]traffic.Spec {
 // Fig6 reproduces one sub-figure of Fig. 6: success ratio over an
 // increasing number of ingress nodes (1-5) for one arrival pattern
 // ("a" fixed, "b" Poisson, "c" MMPP, "d" trace-driven). The DRL agent is
-// retrained for every load level, as in the paper.
+// retrained for every load level, as in the paper. Training jobs and
+// evaluation cells execute on the experiment engine's worker pool.
 func Fig6(variant string, opts Options) (Figure, error) {
 	opts = opts.withDefaults()
 	spec, ok := TrafficPatterns()[variant]
@@ -159,22 +187,28 @@ func Fig6(variant string, opts Options) (Figure, error) {
 		Title:  fmt.Sprintf("Successful flows vs. load, %s arrival", spec.Label),
 		XLabel: "ingress nodes",
 	}
-	series := map[string]*Series{}
+	e := NewEngine(opts)
+	type point struct {
+		x     string
+		evals []*EvalJob
+	}
+	var points []point
 	for k := 1; k <= 5; k++ {
 		s := Base()
 		s.Traffic = spec
 		s.NumIngresses = k
 		s.Horizon = opts.Horizon
-		opts.logf("Fig 6%s: %d ingress nodes: training DRL...", variant, k)
-		policy, err := TrainDRL(s, opts.Budget)
-		if err != nil {
-			return Figure{}, err
-		}
-		point, err := evalPoint(s, policy.Factory(), opts)
-		if err != nil {
-			return Figure{}, err
-		}
-		appendPoint(series, fmt.Sprint(k), point)
+		x := fmt.Sprint(k)
+		pol := e.Train(fig.ID, x, s, opts.Budget)
+		points = append(points, point{x, e.evalAlgos(fig.ID, x, s, pol.Factory(), pol)})
+	}
+	if err := e.Run(); err != nil {
+		return Figure{}, err
+	}
+	series := map[string]*Series{}
+	for _, p := range points {
+		opts.logf("Fig %s: %s ingress nodes:", fig.ID, p.x)
+		appendPoint(series, p.x, collectPoint(p.evals, opts))
 	}
 	fig.Series = orderedSeries(series)
 	return fig, nil
@@ -189,21 +223,27 @@ func Fig7(opts Options) (Figure, error) {
 		Title:  "Successful flows and end-to-end delay vs. flow deadline",
 		XLabel: "deadline",
 	}
-	series := map[string]*Series{}
+	e := NewEngine(opts)
+	type point struct {
+		x     string
+		evals []*EvalJob
+	}
+	var points []point
 	for _, deadline := range []float64{20, 30, 40, 50} {
 		s := Base()
 		s.Deadline = deadline
 		s.Horizon = opts.Horizon
-		opts.logf("Fig 7: deadline %.0f: training DRL...", deadline)
-		policy, err := TrainDRL(s, opts.Budget)
-		if err != nil {
-			return Figure{}, err
-		}
-		point, err := evalPoint(s, policy.Factory(), opts)
-		if err != nil {
-			return Figure{}, err
-		}
-		appendPoint(series, fmt.Sprintf("%.0f", deadline), point)
+		x := fmt.Sprintf("%.0f", deadline)
+		pol := e.Train(fig.ID, x, s, opts.Budget)
+		points = append(points, point{x, e.evalAlgos(fig.ID, x, s, pol.Factory(), pol)})
+	}
+	if err := e.Run(); err != nil {
+		return Figure{}, err
+	}
+	series := map[string]*Series{}
+	for _, p := range points {
+		opts.logf("Fig 7: deadline %s:", p.x)
+		appendPoint(series, p.x, collectPoint(p.evals, opts))
 	}
 	fig.Series = orderedSeries(series)
 	return fig, nil
@@ -212,7 +252,8 @@ func Fig7(opts Options) (Figure, error) {
 // Fig8a reproduces Fig. 8a: agents trained on fixed, Poisson, and MMPP
 // traffic are evaluated without retraining on trace-driven traffic
 // ("Gen."), next to an agent retrained on the traces ("Retr.") and the
-// baselines.
+// baselines. All four training jobs are independent and run
+// concurrently on the engine.
 func Fig8a(opts Options) (Figure, error) {
 	opts = opts.withDefaults()
 	target := Base()
@@ -224,99 +265,79 @@ func Fig8a(opts Options) (Figure, error) {
 		Title:  "Generalization to unseen trace-driven traffic",
 		XLabel: "agent",
 	}
-	addOutcome := func(label string, o Outcome) {
-		fig.Series = append(fig.Series, Series{
-			Algo:   label,
-			Points: []Point{{X: "trace", Outcome: o}},
-		})
-	}
-
+	e := NewEngine(opts)
+	var evals []*EvalJob
 	for _, src := range []string{"a", "b", "c"} {
 		train := Base()
 		train.Traffic = TrafficPatterns()[src]
 		train.Horizon = opts.Horizon
-		opts.logf("Fig 8a: training on %s...", train.Traffic.Label)
-		policy, err := TrainDRL(train, opts.Budget)
-		if err != nil {
-			return Figure{}, err
-		}
-		o, err := Evaluate(target, policy.Factory(), opts.EvalSeeds, 0)
-		if err != nil {
-			return Figure{}, err
-		}
-		opts.logf("  Gen(%s) on traces: succ=%s", train.Traffic.Label, o.Succ)
-		addOutcome("DRL Gen("+train.Traffic.Label+")", o)
+		label := "DRL Gen(" + train.Traffic.Label + ")"
+		pol := e.Train(fig.ID, label, train, opts.Budget)
+		evals = append(evals, e.Eval(fig.ID, "trace", label, target, pol.Factory(), pol, 0))
 	}
-
-	opts.logf("Fig 8a: retraining on traces...")
-	policy, err := TrainDRL(target, opts.Budget)
-	if err != nil {
-		return Figure{}, err
-	}
-	o, err := Evaluate(target, policy.Factory(), opts.EvalSeeds, 0)
-	if err != nil {
-		return Figure{}, err
-	}
-	addOutcome("DRL Retr.", o)
-
+	retr := e.Train(fig.ID, "DRL Retr.", target, opts.Budget)
+	evals = append(evals, e.Eval(fig.ID, "trace", "DRL Retr.", target, retr.Factory(), retr, 0))
 	for _, b := range baselineFactories(opts.MonitorInterval) {
-		ob, err := Evaluate(target, b.mk, opts.EvalSeeds, 0)
-		if err != nil {
-			return Figure{}, err
-		}
-		addOutcome(b.name, ob)
+		evals = append(evals, e.Eval(fig.ID, "trace", b.name, target, b.mk, nil, 0))
+	}
+	if err := e.Run(); err != nil {
+		return Figure{}, err
+	}
+	for _, ev := range evals {
+		o := ev.Outcome()
+		opts.logf("  %-22s succ=%s delay=%s", ev.Algo(), o.Succ, o.Delay.Versus(o.Succ.N))
+		fig.Series = append(fig.Series, Series{
+			Algo:   ev.Algo(),
+			Points: []Point{{X: "trace", Outcome: o}},
+		})
 	}
 	return fig, nil
 }
 
 // Fig8b reproduces Fig. 8b: an agent trained with two ingresses is
 // evaluated without retraining on 1-5 ingress nodes ("Gen."), against
-// retrained agents ("Retr.") and the baselines.
+// retrained agents ("Retr.") and the baselines. The generalizing
+// agent's cells at every load level depend on the single shared
+// training job; retraining jobs are per level.
 func Fig8b(opts Options) (Figure, error) {
 	opts = opts.withDefaults()
 	train := Base()
 	train.Horizon = opts.Horizon
-	opts.logf("Fig 8b: training on 2 ingresses...")
-	genPolicy, err := TrainDRL(train, opts.Budget)
-	if err != nil {
-		return Figure{}, err
-	}
 
 	fig := Figure{
 		ID:     "8b",
 		Title:  "Generalization to unseen network load",
 		XLabel: "ingress nodes",
 	}
-	series := map[string]*Series{}
+	e := NewEngine(opts)
+	genPol := e.Train(fig.ID, "gen", train, opts.Budget)
+	type point struct {
+		x     string
+		evals []*EvalJob
+	}
+	var points []point
 	for k := 1; k <= 5; k++ {
 		s := Base()
 		s.NumIngresses = k
 		s.Horizon = opts.Horizon
-		opts.logf("Fig 8b: load %d: retraining...", k)
-		retrPolicy, err := TrainDRL(s, opts.Budget)
-		if err != nil {
-			return Figure{}, err
+		x := fmt.Sprint(k)
+		retrPol := e.Train(fig.ID, x, s, opts.Budget)
+		evals := []*EvalJob{
+			e.Eval(fig.ID, x, "DRL Gen.", s, genPol.Factory(), genPol, 0),
+			e.Eval(fig.ID, x, "DRL Retr.", s, retrPol.Factory(), retrPol, 0),
 		}
-		point := map[string]Outcome{}
-		gen, err := Evaluate(s, genPolicy.Factory(), opts.EvalSeeds, 0)
-		if err != nil {
-			return Figure{}, err
-		}
-		point["DRL Gen."] = gen
-		retr, err := Evaluate(s, retrPolicy.Factory(), opts.EvalSeeds, 0)
-		if err != nil {
-			return Figure{}, err
-		}
-		point["DRL Retr."] = retr
 		for _, b := range baselineFactories(opts.MonitorInterval) {
-			o, err := Evaluate(s, b.mk, opts.EvalSeeds, 0)
-			if err != nil {
-				return Figure{}, err
-			}
-			point[b.name] = o
+			evals = append(evals, e.Eval(fig.ID, x, b.name, s, b.mk, nil, 0))
 		}
-		opts.logf("  load %d: gen=%s retr=%s", k, gen.Succ, retr.Succ)
-		appendPoint(series, fmt.Sprint(k), point)
+		points = append(points, point{x, evals})
+	}
+	if err := e.Run(); err != nil {
+		return Figure{}, err
+	}
+	series := map[string]*Series{}
+	for _, p := range points {
+		opts.logf("Fig 8b: load %s:", p.x)
+		appendPoint(series, p.x, collectPoint(p.evals, opts))
 	}
 	fig.Series = orderedSeriesWith(series, []string{"DRL Gen.", "DRL Retr.", AlgoCentral, AlgoGCASP, AlgoSP})
 	return fig, nil
@@ -332,21 +353,26 @@ func Fig9a(opts Options) (Figure, error) {
 		Title:  "Successful flows on large real-world topologies",
 		XLabel: "network",
 	}
-	series := map[string]*Series{}
+	e := NewEngine(opts)
+	type point struct {
+		x     string
+		evals []*EvalJob
+	}
+	var points []point
 	for _, g := range graph.Topologies() {
 		s := Base()
 		s.Topology = g.Name()
 		s.Horizon = opts.Horizon
-		opts.logf("Fig 9a: %s: training DRL...", g.Name())
-		policy, err := TrainDRL(s, opts.Budget)
-		if err != nil {
-			return Figure{}, err
-		}
-		point, err := evalPoint(s, policy.Factory(), opts)
-		if err != nil {
-			return Figure{}, err
-		}
-		appendPoint(series, g.Name(), point)
+		pol := e.Train(fig.ID, g.Name(), s, opts.Budget)
+		points = append(points, point{g.Name(), e.evalAlgos(fig.ID, g.Name(), s, pol.Factory(), pol)})
+	}
+	if err := e.Run(); err != nil {
+		return Figure{}, err
+	}
+	series := map[string]*Series{}
+	for _, p := range points {
+		opts.logf("Fig 9a: %s:", p.x)
+		appendPoint(series, p.x, collectPoint(p.evals, opts))
 	}
 	fig.Series = orderedSeries(series)
 	return fig, nil
@@ -392,7 +418,11 @@ func orderedSeriesWith(series map[string]*Series, order []string) []Series {
 }
 
 // String renders the figure as an aligned text table: one row per
-// x-position, one column per algorithm, cells "succ (delay)".
+// x-position, one column per algorithm, cells "succ (delay)". Rows are
+// matched by Point.X across series; a series without a point at some
+// x-position shows "-" there. A delay computed from fewer seeds than
+// the success summary (seeds with zero successful flows have no delay)
+// is annotated with its sample count.
 func (f Figure) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
@@ -401,15 +431,15 @@ func (f Figure) String() string {
 		fmt.Fprintf(&b, " | %-22s", s.Algo)
 	}
 	b.WriteString("\n")
-	if len(f.Series) == 0 {
-		return b.String()
-	}
-	for i, p := range f.Series[0].Points {
-		fmt.Fprintf(&b, "%-14s", p.X)
+	for _, x := range f.xPositions() {
+		fmt.Fprintf(&b, "%-14s", x)
 		for _, s := range f.Series {
-			if i < len(s.Points) {
-				o := s.Points[i].Outcome
+			if p, ok := s.point(x); ok {
+				o := p.Outcome
 				fmt.Fprintf(&b, " | %11s %8.1fms", o.Succ, o.Delay.Mean)
+				if o.Delay.N < o.Succ.N {
+					fmt.Fprintf(&b, " (n=%d)", o.Delay.N)
+				}
 			} else {
 				fmt.Fprintf(&b, " | %-22s", "-")
 			}
@@ -442,12 +472,32 @@ func PointFigure(s Scenario, policy *TrainedPolicy, opts Options) (Figure, error
 	}, nil
 }
 
-// TableI renders the paper's Table I from the topology registry.
-func TableI() string {
+// TableI renders the paper's Table I from the topology registry. The
+// optional Options wire the row computations into the experiment
+// engine's progress reporting (TableI() alone uses engine defaults).
+func TableI(opt ...Options) string {
+	var opts Options
+	if len(opt) > 0 {
+		opts = opt[0]
+	}
+	e := NewEngine(opts)
+	tops := graph.Topologies()
+	rows := make([]graph.TableIRow, len(tops))
+	for i, g := range tops {
+		i, g := i, g
+		e.Do("table1", g.Name(), func() error {
+			rows[i] = graph.TableIRows([]*graph.Graph{g})[0]
+			return nil
+		})
+	}
+	if err := e.Run(); err != nil {
+		// Row computations cannot fail; keep the signature string-only.
+		return "Table I: error: " + err.Error()
+	}
 	var b strings.Builder
 	b.WriteString("Table I: Real-world network topologies\n")
 	fmt.Fprintf(&b, "%-15s %6s %6s %25s\n", "Network", "Nodes", "Edges", "Degree (Min/Max/Avg)")
-	for _, r := range graph.TableIRows(graph.Topologies()) {
+	for _, r := range rows {
 		fmt.Fprintf(&b, "%-15s %6d %6d %15d / %2d / %.2f\n",
 			r.Name, r.Nodes, r.Edges, r.MinDeg, r.MaxDeg, r.AvgDeg)
 	}
@@ -456,7 +506,8 @@ func TableI() string {
 
 // Markdown renders the figure as a GitHub-flavored Markdown table
 // (success mean±std per algorithm and x-position), for inclusion in
-// EXPERIMENTS.md-style reports.
+// EXPERIMENTS.md-style reports. Like String, rows are matched by
+// Point.X across series.
 func (f Figure) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "**Figure %s — %s**\n\n", f.ID, f.Title)
@@ -469,14 +520,11 @@ func (f Figure) Markdown() string {
 		b.WriteString("---|")
 	}
 	b.WriteString("\n")
-	if len(f.Series) == 0 {
-		return b.String()
-	}
-	for i, p := range f.Series[0].Points {
-		fmt.Fprintf(&b, "| %s |", p.X)
+	for _, x := range f.xPositions() {
+		fmt.Fprintf(&b, "| %s |", x)
 		for _, s := range f.Series {
-			if i < len(s.Points) {
-				fmt.Fprintf(&b, " %s |", s.Points[i].Outcome.Succ)
+			if p, ok := s.point(x); ok {
+				fmt.Fprintf(&b, " %s |", p.Outcome.Succ)
 			} else {
 				b.WriteString(" - |")
 			}
