@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all fmt lint vet verify
+.PHONY: all build test race bench bench-all obs-smoke fmt lint vet verify
 
 all: build test
 
@@ -30,6 +30,12 @@ bench:
 # ablations); this takes much longer than `make bench`.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# obs-smoke end-to-end checks the live observability endpoint: it runs a
+# short coordsim with -obs-addr on a free port and curls /metrics,
+# /snapshot, and /run during the -obs-wait hold.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 fmt:
 	gofmt -l -w .

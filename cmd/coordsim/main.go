@@ -120,6 +120,9 @@ func run(c *runConfig) error {
 	if err != nil {
 		return err
 	}
+	rt.SetObsInfo("algo", c.algo)
+	rt.SetObsInfo("topology", inst.Graph.Name())
+	rt.SetObsInfo("pattern", c.pattern)
 
 	var coordinator simnet.Coordinator
 	switch c.algo {
@@ -132,9 +135,7 @@ func run(c *runConfig) error {
 	case "drl":
 		budget := eval.DefaultTrainBudget()
 		budget.Episodes = c.episodes
-		if rt.EpisodeLogEnabled() {
-			budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.EmitEpisode(rec) }
-		}
+		budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.OnEpisode(rec) }
 		fmt.Fprintf(os.Stderr, "training DRL agent (%d episodes x %d seeds)...\n", budget.Episodes, budget.Seeds)
 		policy, err := eval.TrainDRL(s, budget)
 		if err != nil {

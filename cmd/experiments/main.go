@@ -36,7 +36,6 @@ import (
 	"distcoord/internal/clicfg"
 	"distcoord/internal/eval"
 	"distcoord/internal/rl"
-	"distcoord/internal/telemetry"
 )
 
 func main() {
@@ -104,14 +103,15 @@ func runShared(shared *clicfg.Flags, exp string, opts eval.Options, ingresses in
 		return err
 	}
 	defer rt.Close()
-	if rt.EpisodeLogEnabled() {
-		opts.Budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.EmitEpisode(rec) }
-	}
+	rt.SetObsInfo("experiment", exp)
+	opts.Budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.OnEpisode(rec) }
 	opts.Jobs = rt.Jobs()
 	if rt.GridLogEnabled() {
 		opts.OnCell = func(rec eval.GridRecord) { rt.EmitGridCell(rec) }
 	}
-	reg := telemetry.NewRegistry()
+	// The runtime's registry backs the live observability endpoint, so
+	// the engine's grid.cells.* progress gauges are scrapeable mid-run.
+	reg := rt.Registry()
 	opts.Registry = reg
 	if err := run(exp, opts, ingresses, rt.FaultSpec()); err != nil {
 		return err

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+// writeTrace simulates a small fault run (incl. an instance kill) and
+// writes its trace as the JSONL file the CLI consumes.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	g := graph.New("line")
+	for i := 0; i < 3; i++ {
+		g.AddNode("", 0, float64(i))
+		g.SetNodeCapacity(graph.NodeID(i), 10)
+	}
+	for i := 0; i < 2; i++ {
+		if err := g.AddLink(graph.NodeID(i), graph.NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+		g.SetLinkCapacity(i, 10)
+	}
+	var lines []string
+	cfg := simnet.Config{
+		Graph:   g,
+		Service: &simnet.Service{Name: "svc", Chain: []*simnet.Component{{Name: "c1", ProcDelay: 5, StartupDelay: 2, IdleTimeout: 1000, ResourcePerRate: 1}}},
+		Ingresses: []simnet.Ingress{
+			{Node: 0, Arrivals: traffic.Fixed{Interval: 4}},
+		},
+		Egress:      2,
+		Template:    simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     41,
+		Coordinator: localCoord{},
+		Faults:      []simnet.Fault{{Time: 13, Kind: simnet.FaultInstanceKill, Node: 0}},
+		Tracer: simnet.TracerFunc(func(e simnet.TraceEvent) {
+			b, err := json.Marshal(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines = append(lines, string(b))
+		}),
+	}
+	s, err := simnet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DropsBy[simnet.DropInstanceKill] == 0 {
+		t.Fatal("scenario produced no instance-kill drop")
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// localCoord processes locally when capacity allows, else forwards
+// toward the egress.
+type localCoord struct{}
+
+func (localCoord) Name() string { return "test-local" }
+
+func (localCoord) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, _ float64) int {
+	if !f.Processed() && st.FreeNode(v) >= f.Current().Resource(f.Rate) {
+		return 0
+	}
+	hop := st.APSP().NextHop(v, f.Egress)
+	for i, ad := range st.Graph().Neighbors(v) {
+		if ad.Neighbor == hop {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func TestRunTextReport(t *testing.T) {
+	path := writeTrace(t)
+	for _, by := range []string{"node", "cause", "phase"} {
+		var sb strings.Builder
+		if err := run(&sb, path, 3, by, false, true); err != nil {
+			t.Fatalf("-by %s: %v", by, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "delay decomposition") || !strings.Contains(out, "slowest") {
+			t.Errorf("-by %s output missing sections:\n%s", by, out)
+		}
+		switch by {
+		case "node":
+			if !strings.Contains(out, "per-node attribution") {
+				t.Errorf("node table missing:\n%s", out)
+			}
+		case "cause":
+			if !strings.Contains(out, "instance-kill") {
+				t.Errorf("instance-kill missing from cause table:\n%s", out)
+			}
+		}
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	path := writeTrace(t)
+	var sb strings.Builder
+	if err := run(&sb, path, 3, "node", true, true); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Flows     int `json:"flows"`
+		Completed int `json:"completed"`
+		Dropped   int `json:"dropped"`
+		Causes    []struct {
+			Cause string `json:"cause"`
+			Count int    `json:"count"`
+		} `json:"causes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, sb.String())
+	}
+	if rep.Flows == 0 || rep.Flows != rep.Completed+rep.Dropped {
+		t.Errorf("inconsistent totals: %+v", rep)
+	}
+	found := false
+	for _, c := range rep.Causes {
+		if c.Cause == "instance-kill" && c.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("instance-kill cause missing: %+v", rep.Causes)
+	}
+}
+
+func TestRunInputErrors(t *testing.T) {
+	if err := run(&strings.Builder{}, "", 3, "node", false, false); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(&strings.Builder{}, "/nonexistent/trace.jsonl", 3, "node", false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(&strings.Builder{}, "x.jsonl", 3, "bogus", false, false); err == nil {
+		t.Error("bad -by accepted")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&strings.Builder{}, bad, 3, "node", false, false); err == nil {
+		t.Error("malformed JSONL accepted")
+	}
+
+	// A truncated but parseable trace: loose mode skips, strict fails.
+	trunc := filepath.Join(t.TempDir(), "trunc.jsonl")
+	events := []simnet.TraceEvent{
+		{Time: 0, Kind: simnet.TraceArrival, FlowID: 1, Node: 0, Action: -1, Link: -1},
+		{Time: 2, Kind: simnet.TraceComplete, FlowID: 1, Node: 0, Action: -1, Link: -1},
+		{Time: 1, Kind: simnet.TraceArrival, FlowID: 2, Node: 0, Action: -1, Link: -1},
+	}
+	var lines []string
+	for _, e := range events {
+		b, _ := json.Marshal(e)
+		lines = append(lines, string(b))
+	}
+	if err := os.WriteFile(trunc, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, trunc, 3, "node", false, false); err != nil {
+		t.Errorf("loose mode rejected truncated trace: %v", err)
+	}
+	if !strings.Contains(sb.String(), "malformed skipped") {
+		t.Errorf("skip note missing:\n%s", sb.String())
+	}
+	if err := run(&strings.Builder{}, trunc, 3, "node", false, true); err == nil {
+		t.Error("strict mode accepted truncated trace")
+	}
+}

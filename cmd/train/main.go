@@ -93,6 +93,8 @@ func run(c *cliConfig) error {
 	// stays fault-free, matching the paper's train-clean / deploy-messy
 	// robustness question.
 	if c.evalPath != "" {
+		rt.SetObsInfo("mode", "eval")
+		rt.SetObsInfo("topology", c.topology)
 		s.Faults = rt.FaultSpec()
 		if err := evaluateSaved(s, c.evalPath, c.evalSeeds, c.greedy, rt); err != nil {
 			return err
@@ -114,16 +116,13 @@ func run(c *cliConfig) error {
 		},
 	}
 
-	// Telemetry: a JSONL episode log for Fig. 5-style training curves,
-	// plus a registry aggregating phase wall times for the end-of-run
-	// summary.
-	reg := telemetry.NewRegistry()
-	rollMS, updMS := reg.Histogram("rollout_ms"), reg.Histogram("update_ms")
-	budget.OnEpisode = func(rec rl.EpisodeRecord) {
-		rollMS.Observe(rec.RolloutMS)
-		updMS.Observe(rec.UpdateMS)
-		rt.EmitEpisode(rec)
-	}
+	// Telemetry: the shared per-episode hook feeds the JSONL episode log
+	// (Fig. 5-style training curves), the runtime registry's phase wall
+	// times, and the live /run training section when -obs-addr is on.
+	rt.SetObsInfo("mode", "train")
+	rt.SetObsInfo("topology", c.topology)
+	reg := rt.Registry()
+	budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.OnEpisode(rec) }
 
 	policy, err := eval.TrainDRL(s, budget)
 	if err != nil {
@@ -131,7 +130,10 @@ func run(c *cliConfig) error {
 	}
 	fmt.Fprintf(os.Stderr, "best seed %d (score %.3f); per-seed scores %v\n",
 		policy.Stats.BestSeed, policy.Stats.BestScore, policy.Stats.SeedScores)
-	for name, h := range map[string]*telemetry.Histogram{"rollout": rollMS, "update": updMS} {
+	for name, h := range map[string]*telemetry.Histogram{
+		"rollout": reg.Histogram("train.rollout_ms"),
+		"update":  reg.Histogram("train.update_ms"),
+	} {
 		s := h.Snapshot()
 		fmt.Fprintf(os.Stderr, "%s wall time per episode: p50=%.1fms p95=%.1fms p99=%.1fms (n=%d)\n",
 			name, s.P50, s.P95, s.P99, s.Count)

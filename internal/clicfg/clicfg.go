@@ -14,9 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"time"
 
 	"distcoord/internal/chaos"
+	"distcoord/internal/flowtrace"
+	"distcoord/internal/rl"
 	"distcoord/internal/simnet"
 	"distcoord/internal/telemetry"
 )
@@ -45,6 +49,12 @@ type Flags struct {
 	GridLog string
 	// Prof bundles the profiling flags (-cpuprofile, -memprofile, -pprof).
 	Prof telemetry.Profiler
+	// ObsAddr serves the live observability endpoint (/metrics, /snapshot,
+	// /run) on this address; empty disables it.
+	ObsAddr string
+	// ObsWait keeps the observability endpoint serving this long after the
+	// run completes, so final state can still be scraped.
+	ObsWait time.Duration
 
 	name string
 }
@@ -60,6 +70,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Faults, "faults", "", "fault-injection spec: profile[:key=val,...] (node-outage, link-outage, link-cascade, surge, instance-kill; see EXPERIMENTS.md)")
 	fs.IntVar(&f.Jobs, "jobs", 0, "bound parallelism: GOMAXPROCS and the experiment worker pool (0: all CPUs); output is identical for any value")
 	fs.StringVar(&f.GridLog, "grid-log", "", "write per-cell experiment grid records to this JSONL file")
+	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve the live observability endpoint (/metrics, /snapshot, /run) on this address (e.g. localhost:9090, or :0 for a free port)")
+	fs.DurationVar(&f.ObsWait, "obs-wait", 0, "keep the observability endpoint serving this long after the run completes (requires -obs-addr)")
 	f.Prof.RegisterFlags(fs)
 	return f
 }
@@ -73,6 +85,9 @@ type Runtime struct {
 	episodeSink *telemetry.Sink
 	traceSink   *telemetry.Sink
 	gridSink    *telemetry.Sink
+	reg         *telemetry.Registry
+	obs         *telemetry.ObsServer
+	collector   *flowtrace.Collector
 	closed      bool
 }
 
@@ -88,10 +103,16 @@ func (f *Flags) Apply() (*Runtime, error) {
 	if f.Jobs < 0 {
 		return nil, fmt.Errorf("clicfg: -jobs must be >= 0, got %d", f.Jobs)
 	}
+	if f.ObsWait != 0 && f.ObsAddr == "" {
+		return nil, fmt.Errorf("clicfg: -obs-wait requires -obs-addr")
+	}
+	if f.ObsWait < 0 {
+		return nil, fmt.Errorf("clicfg: -obs-wait must be >= 0, got %s", f.ObsWait)
+	}
 	if f.Jobs > 0 {
 		runtime.GOMAXPROCS(f.Jobs)
 	}
-	rt := &Runtime{flags: f, faults: faults}
+	rt := &Runtime{flags: f, faults: faults, reg: telemetry.NewRegistry()}
 	if f.EpisodeLog != "" {
 		var opts []telemetry.SinkOption
 		if f.EpisodeLogMaxBytes > 0 {
@@ -120,6 +141,21 @@ func (f *Flags) Apply() (*Runtime, error) {
 	if addr := f.Prof.Addr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
 	}
+	if f.ObsAddr != "" {
+		// f.name is the FlagSet name — os.Args[0] for flag.CommandLine —
+		// so strip the path for the /run binary field.
+		rt.obs = telemetry.NewObsServer(filepath.Base(f.name), rt.reg)
+		if err := rt.obs.Start(f.ObsAddr); err != nil {
+			rt.obs = nil
+			rt.Close()
+			return nil, err
+		}
+		// The live endpoint also gets per-flow phase histograms: with a
+		// collector installed, Tracer() is non-nil even without -flow-trace,
+		// so simulations emit trace events for it to fold into the registry.
+		rt.collector = flowtrace.NewCollector(rt.reg)
+		fmt.Fprintf(os.Stderr, "observability listening on http://%s/ (/metrics /snapshot /run)\n", rt.obs.Addr())
+	}
 	return rt, nil
 }
 
@@ -129,17 +165,72 @@ func (rt *Runtime) FaultSpec() chaos.Spec { return rt.faults }
 // MetricsOut returns the -metrics-out path ("" when unset).
 func (rt *Runtime) MetricsOut() string { return rt.flags.MetricsOut }
 
-// Tracer returns a simnet tracer writing to the -flow-trace sink, or nil
-// when tracing is off — safe to assign to Config.Tracer directly.
+// Tracer returns a simnet tracer feeding the -flow-trace sink and the
+// live flow.phase.* collector (when -obs-addr is on), or nil when both
+// are off — safe to assign to Config.Tracer directly.
 func (rt *Runtime) Tracer() simnet.FlowTracer {
-	if rt.traceSink == nil {
-		return nil
+	var tracers []simnet.FlowTracer
+	if rt.traceSink != nil {
+		tracers = append(tracers, simnet.TracerFunc(func(e simnet.TraceEvent) {
+			if err := rt.traceSink.Emit(e); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: flow trace: %v\n", rt.flags.name, err)
+			}
+		}))
 	}
-	return simnet.TracerFunc(func(e simnet.TraceEvent) {
-		if err := rt.traceSink.Emit(e); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: flow trace: %v\n", rt.flags.name, err)
-		}
-	})
+	if rt.collector != nil {
+		tracers = append(tracers, rt.collector)
+	}
+	return flowtrace.Tee(tracers...)
+}
+
+// Registry returns the runtime's metrics registry — the one the
+// observability endpoint scrapes. Always non-nil; binaries register
+// their counters, gauges, and histograms here so a run is inspectable
+// live instead of only at exit.
+func (rt *Runtime) Registry() *telemetry.Registry { return rt.reg }
+
+// ObsEnabled reports whether the observability endpoint is serving.
+func (rt *Runtime) ObsEnabled() bool { return rt.obs != nil }
+
+// ObsAddr returns the observability endpoint's bound address ("" when
+// disabled) — with "-obs-addr :0" this is where the free port landed.
+func (rt *Runtime) ObsAddr() string {
+	if rt.obs == nil {
+		return ""
+	}
+	return rt.obs.Addr()
+}
+
+// SetObsInfo publishes one free-form key/value pair on the /run endpoint
+// (algorithm, topology, experiment name, ...); no-op when the endpoint
+// is off.
+func (rt *Runtime) SetObsInfo(key, value string) {
+	if rt.obs != nil {
+		rt.obs.SetInfo(key, value)
+	}
+}
+
+// OnEpisode is the shared per-episode training hook: it writes the
+// record to the -episode-log sink, folds phase wall times into the
+// registry (train.episodes, train.rollout_ms, train.update_ms), and
+// feeds the /run training section. Safe for concurrent use — training
+// seeds run in parallel. Install it unconditionally; every path is a
+// cheap no-op when its output is disabled.
+func (rt *Runtime) OnEpisode(rec rl.EpisodeRecord) {
+	rt.EmitEpisode(rec)
+	rt.reg.Counter("train.episodes").Inc()
+	rt.reg.Histogram("train.rollout_ms").Observe(rec.RolloutMS)
+	rt.reg.Histogram("train.update_ms").Observe(rec.UpdateMS)
+	if rt.obs != nil {
+		rt.obs.ObserveEpisode(telemetry.EpisodeUpdate{
+			Seed:       rec.Seed,
+			Episode:    rec.Episode,
+			Score:      rec.Score,
+			MeanReturn: rec.MeanReturn,
+			Entropy:    rec.Entropy,
+			LR:         rec.LR,
+		})
+	}
 }
 
 // EmitEpisode writes one record to the -episode-log sink; it is a no-op
@@ -195,6 +286,18 @@ func (rt *Runtime) Close() error {
 	closeSink(rt.episodeSink, rt.flags.EpisodeLog, "episode log")
 	closeSink(rt.traceSink, rt.flags.FlowTrace, "flow trace")
 	closeSink(rt.gridSink, rt.flags.GridLog, "grid log")
+	if rt.obs != nil {
+		// Hold the endpoint open so the run's final state can still be
+		// scraped (make obs-smoke relies on this window).
+		if rt.flags.ObsWait > 0 {
+			fmt.Fprintf(os.Stderr, "observability: serving final state on http://%s/ for %s\n", rt.obs.Addr(), rt.flags.ObsWait)
+			time.Sleep(rt.flags.ObsWait)
+		}
+		if err := rt.obs.Close(); err != nil && first == nil {
+			first = err
+		}
+		rt.obs = nil
+	}
 	if err := rt.flags.Prof.Stop(); err != nil && first == nil {
 		first = err
 	}

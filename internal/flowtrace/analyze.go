@@ -1,0 +1,172 @@
+package flowtrace
+
+import (
+	"sort"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+)
+
+// NodeStat attributes flow time and decisions to one node. In the
+// distributed coordination model every node runs its own agent, so this
+// doubles as the per-agent attribution table: Decisions counts the
+// agent's invocations, Processes/Forwards/Keeps split what it chose,
+// and the phase columns show where flows spent time under its control
+// (Transit is attributed to the forwarding node, which picked the link).
+type NodeStat struct {
+	Node      graph.NodeID `json:"node"`
+	Decisions int          `json:"decisions"`
+	Processes int          `json:"processes"`
+	Forwards  int          `json:"forwards"`
+	Keeps     int          `json:"keeps"`
+	Wait      float64      `json:"wait"`
+	Process   float64      `json:"process"`
+	Transit   float64      `json:"transit"`
+	Drops     int          `json:"drops"`
+}
+
+// Busy returns the total flow time attributed to the node.
+func (n NodeStat) Busy() float64 { return n.Wait + n.Process + n.Transit }
+
+// CauseStat aggregates the dropped flows sharing one drop cause.
+type CauseStat struct {
+	Cause     simnet.DropCause `json:"-"`
+	CauseName string           `json:"cause"`
+	Count     int              `json:"count"`
+	MeanLife  float64          `json:"mean_lifetime"` // mean time alive before the drop
+	MeanComp  float64          `json:"mean_chain_pos"`
+}
+
+// Report is the aggregate analysis of a set of flow span trees.
+type Report struct {
+	Flows     int `json:"flows"`
+	Completed int `json:"completed"`
+	Dropped   int `json:"dropped"`
+
+	// Delay decomposes the summed end-to-end delay of completed flows;
+	// DroppedTime does the same for the lifetime of dropped flows.
+	Delay       Decomposition `json:"delay"`
+	DroppedTime Decomposition `json:"dropped_time"`
+	MeanDelay   float64       `json:"mean_delay"` // completed flows
+
+	Nodes   []NodeStat  `json:"nodes"`  // sorted by Busy() descending
+	Causes  []CauseStat `json:"causes"` // sorted by Count descending
+	Slowest []*FlowSpan `json:"-"`      // top-N completed flows by delay
+}
+
+// Analyze builds the report over assembled spans. topN bounds the
+// Slowest list (0 disables it).
+func Analyze(spans []*FlowSpan, topN int) *Report {
+	r := &Report{Flows: len(spans)}
+	nodes := make(map[graph.NodeID]*NodeStat)
+	node := func(id graph.NodeID) *NodeStat {
+		st, ok := nodes[id]
+		if !ok {
+			st = &NodeStat{Node: id}
+			nodes[id] = st
+		}
+		return st
+	}
+	causes := make(map[simnet.DropCause]*CauseStat)
+
+	for _, f := range spans {
+		var into *Decomposition
+		if f.Completed {
+			r.Completed++
+			into = &r.Delay
+			r.MeanDelay += f.Delay()
+		} else {
+			r.Dropped++
+			into = &r.DroppedTime
+			node(f.Final).Drops++
+			cs, ok := causes[f.Drop]
+			if !ok {
+				cs = &CauseStat{Cause: f.Drop, CauseName: f.Drop.String()}
+				causes[f.Drop] = cs
+			}
+			cs.Count++
+			cs.MeanLife += f.Delay()
+			cs.MeanComp += float64(f.DropComp)
+		}
+		for i := range f.Visits {
+			v := &f.Visits[i]
+			st := node(v.Node)
+			for _, s := range v.Segments {
+				into.add(s)
+				switch s.Phase {
+				case PhaseDecision:
+					st.Decisions++
+				case PhaseWait:
+					st.Wait += s.Duration()
+				case PhaseProcess:
+					st.Processes++
+					st.Process += s.Duration()
+				}
+			}
+			if v.Out != nil {
+				into.add(*v.Out)
+				st.Forwards++
+				st.Transit += v.Out.Duration()
+			}
+		}
+	}
+	if r.Completed > 0 {
+		r.MeanDelay /= float64(r.Completed)
+	}
+
+	for _, st := range nodes {
+		// A decision resolves to process, forward, or keep; keeps have no
+		// dedicated segment (their hold is a wait), so derive them.
+		if k := st.Decisions - st.Forwards - st.Processes; k > 0 {
+			st.Keeps = k
+		}
+		r.Nodes = append(r.Nodes, *st)
+	}
+	sort.Slice(r.Nodes, func(i, j int) bool {
+		if r.Nodes[i].Busy() != r.Nodes[j].Busy() {
+			return r.Nodes[i].Busy() > r.Nodes[j].Busy()
+		}
+		return r.Nodes[i].Node < r.Nodes[j].Node
+	})
+
+	for _, cs := range causes {
+		if cs.Count > 0 {
+			cs.MeanLife /= float64(cs.Count)
+			cs.MeanComp /= float64(cs.Count)
+		}
+		r.Causes = append(r.Causes, *cs)
+	}
+	sort.Slice(r.Causes, func(i, j int) bool {
+		if r.Causes[i].Count != r.Causes[j].Count {
+			return r.Causes[i].Count > r.Causes[j].Count
+		}
+		return r.Causes[i].Cause < r.Causes[j].Cause
+	})
+
+	r.Slowest = SlowestFlows(spans, topN)
+	return r
+}
+
+// SlowestFlows returns the topN completed flows by end-to-end delay
+// (ties: lower flow ID first). The input slice is not modified.
+func SlowestFlows(spans []*FlowSpan, topN int) []*FlowSpan {
+	if topN <= 0 {
+		return nil
+	}
+	done := make([]*FlowSpan, 0, len(spans))
+	for _, f := range spans {
+		if f.Completed {
+			done = append(done, f)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Delay() != done[j].Delay() {
+			return done[i].Delay() > done[j].Delay()
+		}
+		return done[i].FlowID < done[j].FlowID
+	})
+	if len(done) > topN {
+		done = done[:topN]
+	}
+	return done
+}

@@ -1,0 +1,101 @@
+package flowtrace
+
+import (
+	"sync"
+
+	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
+)
+
+// Collector is a live simnet.FlowTracer that reassembles each flow's
+// span tree as soon as its terminal event arrives and folds the delay
+// decomposition into a telemetry.Registry, so the observability
+// endpoint can expose phase histograms while a simulation is still
+// running (no JSONL file or post-hoc cmd/flowtrace pass needed):
+//
+//	flow.phase.wait / flow.phase.process / flow.phase.transit
+//	    per-flow phase totals (histograms)
+//	flow.phase.total
+//	    end-to-end delay of completed flows (histogram)
+//	flow.traced.completed / flow.traced.dropped / flow.traced.malformed
+//	    flow outcome counters
+//	flow.drop.<cause>
+//	    drop counters by cause
+//
+// Only terminated flows are folded in; per-flow event buffers are
+// released on termination, so memory is bounded by the number of flows
+// in flight. Safe for concurrent use (several sims may share one
+// registry through separate or shared collectors).
+type Collector struct {
+	reg *telemetry.Registry
+
+	mu      sync.Mutex
+	pending map[int][]simnet.TraceEvent
+}
+
+// NewCollector builds a collector feeding reg.
+func NewCollector(reg *telemetry.Registry) *Collector {
+	return &Collector{reg: reg, pending: make(map[int][]simnet.TraceEvent)}
+}
+
+// Trace implements simnet.FlowTracer.
+func (c *Collector) Trace(e simnet.TraceEvent) {
+	c.mu.Lock()
+	c.pending[e.FlowID] = append(c.pending[e.FlowID], e)
+	if e.Kind != simnet.TraceComplete && e.Kind != simnet.TraceDrop {
+		c.mu.Unlock()
+		return
+	}
+	evs := c.pending[e.FlowID]
+	delete(c.pending, e.FlowID)
+	c.mu.Unlock()
+
+	span, err := assembleFlow(e.FlowID, evs)
+	if err != nil {
+		c.reg.Counter("flow.traced.malformed").Inc()
+		return
+	}
+	d := span.Decompose()
+	c.reg.Histogram("flow.phase.wait").Observe(d.Wait)
+	c.reg.Histogram("flow.phase.process").Observe(d.Process)
+	c.reg.Histogram("flow.phase.transit").Observe(d.Transit)
+	if span.Completed {
+		c.reg.Counter("flow.traced.completed").Inc()
+		c.reg.Histogram("flow.phase.total").Observe(span.Delay())
+	} else {
+		c.reg.Counter("flow.traced.dropped").Inc()
+		c.reg.Counter("flow.drop." + span.Drop.String()).Inc()
+	}
+}
+
+// Pending reports how many flows have buffered events but no terminal
+// event yet (in-flight flows; nonzero after a sim ends only if the
+// trace was truncated).
+func (c *Collector) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Tee fans one trace stream out to several tracers (e.g. the JSONL sink
+// and a live Collector). Nil tracers are skipped; with none left Tee
+// returns nil, which the simulator treats as tracing disabled.
+func Tee(tracers ...simnet.FlowTracer) simnet.FlowTracer {
+	var kept []simnet.FlowTracer
+	for _, t := range tracers {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return simnet.TracerFunc(func(e simnet.TraceEvent) {
+		for _, t := range kept {
+			t.Trace(e)
+		}
+	})
+}

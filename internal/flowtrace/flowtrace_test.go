@@ -1,0 +1,323 @@
+package flowtrace_test
+
+import (
+	"math"
+	"testing"
+
+	"distcoord/internal/flowtrace"
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
+	"distcoord/internal/traffic"
+)
+
+// lineGraph returns 0-1-2-...-n-1 with unit link delays and uniform
+// capacities (mirrors the simnet test helper, which is unexported).
+func lineGraph(n int, nodeCap, linkCap float64) *graph.Graph {
+	g := graph.New("line")
+	for i := 0; i < n; i++ {
+		g.AddNode("", 0, float64(i))
+		g.SetNodeCapacity(graph.NodeID(i), nodeCap)
+	}
+	for i := 0; i < n-1; i++ {
+		if err := g.AddLink(graph.NodeID(i), graph.NodeID(i+1), 1); err != nil {
+			panic(err)
+		}
+		g.SetLinkCapacity(i, linkCap)
+	}
+	return g
+}
+
+// twoCompService is a 2-component chain with a startup delay so span
+// trees contain nonzero wait segments.
+func twoCompService(procDelay, startupDelay float64) *simnet.Service {
+	return &simnet.Service{
+		Name: "svc",
+		Chain: []*simnet.Component{
+			{Name: "c1", ProcDelay: procDelay, StartupDelay: startupDelay, IdleTimeout: 1000, ResourcePerRate: 1},
+			{Name: "c2", ProcDelay: procDelay, StartupDelay: startupDelay, IdleTimeout: 1000, ResourcePerRate: 1},
+		},
+	}
+}
+
+// spCoord processes locally when the node has capacity, otherwise
+// forwards along the shortest path to the egress.
+type spCoord struct{}
+
+func (spCoord) Name() string { return "test-sp" }
+
+func (spCoord) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
+	if !f.Processed() {
+		if st.FreeNode(v) >= f.Current().Resource(f.Rate) {
+			return 0
+		}
+	}
+	hop := st.APSP().NextHop(v, f.Egress)
+	for i, ad := range st.Graph().Neighbors(v) {
+		if ad.Neighbor == hop {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// record returns a tracer appending into events plus access to the slice.
+func record(events *[]simnet.TraceEvent) simnet.FlowTracer {
+	return simnet.TracerFunc(func(e simnet.TraceEvent) { *events = append(*events, e) })
+}
+
+func run(t *testing.T, cfg simnet.Config) *simnet.Metrics {
+	t.Helper()
+	s, err := simnet.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+// TestAssembleExactSegments pins the span tree of one fully predictable
+// flow: arrive node 0 at t=10, start up c1 (wait 2), process (5), start
+// up c2 (wait 2), process (5), two unit-delay hops to the egress.
+func TestAssembleExactSegments(t *testing.T) {
+	var events []simnet.TraceEvent
+	cfg := simnet.Config{
+		Graph:       lineGraph(3, 10, 10),
+		Service:     twoCompService(5, 2),
+		Ingresses:   []simnet.Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 10}}},
+		Egress:      2,
+		Template:    simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     11,
+		Coordinator: spCoord{},
+		Tracer:      record(&events),
+	}
+	m := run(t, cfg)
+	if m.Succeeded != 1 {
+		t.Fatalf("succeeded = %d, want 1", m.Succeeded)
+	}
+
+	spans, err := flowtrace.Assemble(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	f := spans[0]
+	if !f.Completed || f.Ingress != 0 || f.Final != 2 {
+		t.Errorf("span shape wrong: %+v", f)
+	}
+	if f.Start != 10 || f.End != 26 {
+		t.Errorf("lifetime [%g, %g], want [10, 26]", f.Start, f.End)
+	}
+	d := f.Decompose()
+	if d.Wait != 4 || d.Process != 10 || d.Transit != 2 {
+		t.Errorf("decomposition %+v, want wait=4 process=10 transit=2", d)
+	}
+	if got := d.Total(); got != f.Delay() {
+		t.Errorf("phase sum %g != delay %g", got, f.Delay())
+	}
+	if len(f.Visits) != 2 || f.Visits[0].Node != 0 || f.Visits[1].Node != 1 {
+		t.Fatalf("visits wrong: %+v", f.Visits)
+	}
+	if f.Visits[0].Out == nil || f.Visits[0].Out.Duration() != 1 ||
+		f.Visits[1].Out == nil || f.Visits[1].Out.Duration() != 1 {
+		t.Errorf("transit segments wrong: %+v %+v", f.Visits[0].Out, f.Visits[1].Out)
+	}
+	if f.Decisions != 4 {
+		t.Errorf("decisions = %d, want 4 (process c1, process c2, forward, forward)", f.Decisions)
+	}
+	cp := f.CriticalPath()
+	if len(cp) == 0 || cp[0].Phase != flowtrace.PhaseProcess || cp[0].Duration() != 5 {
+		t.Errorf("critical path head = %+v, want a 5-unit process segment", cp)
+	}
+}
+
+// faultRunConfig is a busy run with instance-kill and link faults: the
+// acceptance scenario for span reassembly under drops.
+func faultRunConfig(tracer simnet.FlowTracer) simnet.Config {
+	return simnet.Config{
+		Graph:       lineGraph(3, 10, 10),
+		Service:     twoCompService(5, 2),
+		Ingresses:   []simnet.Ingress{{Node: 0, Arrivals: traffic.Fixed{Interval: 4}}},
+		Egress:      2,
+		Template:    simnet.FlowTemplate{Rate: 1, Duration: 1, Deadline: 100},
+		Horizon:     61,
+		Coordinator: spCoord{},
+		Tracer:      tracer,
+		Faults: []simnet.Fault{
+			{Time: 13, Kind: simnet.FaultInstanceKill, Node: 0},
+			{Time: 29, Kind: simnet.FaultLinkDown, Link: 1},
+			{Time: 33, Kind: simnet.FaultLinkUp, Link: 1},
+		},
+	}
+}
+
+// TestSpanTreesOverFaultRun is the acceptance property: on a fault-heavy
+// run, every arrived flow reassembles into exactly one span tree —
+// including the instance-kill drops — and each tree's phase durations
+// sum to its end-to-end delay within float tolerance.
+func TestSpanTreesOverFaultRun(t *testing.T) {
+	var events []simnet.TraceEvent
+	m := run(t, faultRunConfig(record(&events)))
+
+	if m.DropsBy[simnet.DropInstanceKill] == 0 {
+		t.Fatal("scenario produced no instance-kill drops; fault timing is off")
+	}
+	if m.Succeeded == 0 || m.Dropped == 0 {
+		t.Fatalf("want a mix of outcomes, got succeeded=%d dropped=%d", m.Succeeded, m.Dropped)
+	}
+
+	spans, err := flowtrace.Assemble(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != m.Arrived {
+		t.Fatalf("%d span trees for %d arrived flows", len(spans), m.Arrived)
+	}
+	seen := make(map[int]bool)
+	completed, dropped := 0, 0
+	byCause := make(map[simnet.DropCause]int)
+	for i, f := range spans {
+		if seen[f.FlowID] {
+			t.Fatalf("flow %d has more than one span tree", f.FlowID)
+		}
+		seen[f.FlowID] = true
+		if i > 0 && spans[i-1].FlowID >= f.FlowID {
+			t.Fatalf("spans not sorted by flow ID: %d after %d", f.FlowID, spans[i-1].FlowID)
+		}
+		if f.Completed {
+			completed++
+		} else {
+			dropped++
+			byCause[f.Drop]++
+		}
+		delay := f.Delay()
+		if diff := math.Abs(f.Decompose().Total() - delay); diff > 1e-9*math.Max(1, delay) {
+			t.Errorf("flow %d: phase sum %g != delay %g (diff %g)", f.FlowID, f.Decompose().Total(), delay, diff)
+		}
+	}
+	if completed != m.Succeeded || dropped != m.Dropped {
+		t.Errorf("span outcomes %d/%d, metrics say %d/%d", completed, dropped, m.Succeeded, m.Dropped)
+	}
+	for cause, n := range m.DropsBy {
+		if byCause[cause] != n {
+			t.Errorf("cause %v: %d spans, metrics say %d", cause, byCause[cause], n)
+		}
+	}
+
+	rep := flowtrace.Analyze(spans, 3)
+	if rep.Flows != len(spans) || rep.Completed != completed || rep.Dropped != dropped {
+		t.Errorf("report totals %d/%d/%d, want %d/%d/%d",
+			rep.Flows, rep.Completed, rep.Dropped, len(spans), completed, dropped)
+	}
+	// Per-node attribution must tile the same time the decompositions do.
+	var nodeTime float64
+	for _, ns := range rep.Nodes {
+		nodeTime += ns.Busy()
+	}
+	want := rep.Delay.Total() + rep.DroppedTime.Total()
+	if diff := math.Abs(nodeTime - want); diff > 1e-9*math.Max(1, want) {
+		t.Errorf("node-attributed time %g != decomposed time %g", nodeTime, want)
+	}
+	foundKill := false
+	for _, cs := range rep.Causes {
+		if cs.Cause == simnet.DropInstanceKill {
+			foundKill = true
+			if cs.Count != m.DropsBy[simnet.DropInstanceKill] {
+				t.Errorf("instance-kill count %d, want %d", cs.Count, m.DropsBy[simnet.DropInstanceKill])
+			}
+		}
+	}
+	if !foundKill {
+		t.Error("instance-kill missing from cause table")
+	}
+	if len(rep.Slowest) != 3 && len(rep.Slowest) != completed {
+		t.Errorf("slowest list has %d entries", len(rep.Slowest))
+	}
+	for i := 1; i < len(rep.Slowest); i++ {
+		if rep.Slowest[i].Delay() > rep.Slowest[i-1].Delay() {
+			t.Errorf("slowest list not sorted: %g after %g", rep.Slowest[i].Delay(), rep.Slowest[i-1].Delay())
+		}
+	}
+}
+
+// TestCollectorMatchesOffline runs the same fault scenario through the
+// live Collector and checks its registry feed agrees with the offline
+// reassembly.
+func TestCollectorMatchesOffline(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	col := flowtrace.NewCollector(reg)
+	var events []simnet.TraceEvent
+	m := run(t, faultRunConfig(flowtrace.Tee(col, record(&events))))
+
+	if col.Pending() != 0 {
+		t.Errorf("%d flows still pending after the run", col.Pending())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["flow.traced.completed"]; got != int64(m.Succeeded) {
+		t.Errorf("flow.traced.completed = %d, want %d", got, m.Succeeded)
+	}
+	if got := snap.Counters["flow.traced.dropped"]; got != int64(m.Dropped) {
+		t.Errorf("flow.traced.dropped = %d, want %d", got, m.Dropped)
+	}
+	if got := snap.Counters["flow.drop.instance-kill"]; got != int64(m.DropsBy[simnet.DropInstanceKill]) {
+		t.Errorf("flow.drop.instance-kill = %d, want %d", got, m.DropsBy[simnet.DropInstanceKill])
+	}
+	if got := snap.Counters["flow.traced.malformed"]; got != 0 {
+		t.Errorf("flow.traced.malformed = %d, want 0", got)
+	}
+
+	spans, err := flowtrace.Assemble(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantWait, wantTotal float64
+	totalObs := 0
+	for _, f := range spans {
+		wantWait += f.Decompose().Wait
+		if f.Completed {
+			wantTotal += f.Delay()
+			totalObs++
+		}
+	}
+	hw, ok := snap.Histograms["flow.phase.wait"]
+	if !ok || hw.Count != uint64(len(spans)) {
+		t.Fatalf("flow.phase.wait histogram count wrong: %+v", hw)
+	}
+	if diff := math.Abs(hw.Sum - wantWait); diff > 1e-9*math.Max(1, wantWait) {
+		t.Errorf("flow.phase.wait sum %g, want %g", hw.Sum, wantWait)
+	}
+	ht, ok := snap.Histograms["flow.phase.total"]
+	if !ok || ht.Count != uint64(totalObs) {
+		t.Fatalf("flow.phase.total histogram count wrong: %+v", ht)
+	}
+	if diff := math.Abs(ht.Sum - wantTotal); diff > 1e-9*math.Max(1, wantTotal) {
+		t.Errorf("flow.phase.total sum %g, want %g", ht.Sum, wantTotal)
+	}
+}
+
+// TestAssembleLooseTruncated salvages well-formed flows and reports the
+// truncated one.
+func TestAssembleLooseTruncated(t *testing.T) {
+	events := []simnet.TraceEvent{
+		{Time: 0, Kind: simnet.TraceArrival, FlowID: 1, Node: 0, Action: -1, Link: -1},
+		{Time: 0, Kind: simnet.TraceDecision, FlowID: 1, Node: 0, Action: 0, Link: -1},
+		{Time: 0, Kind: simnet.TraceProcess, FlowID: 1, Node: 0, Action: -1, Link: -1},
+		{Time: 5, Kind: simnet.TraceComplete, FlowID: 1, Node: 0, Action: -1, Link: -1},
+		{Time: 2, Kind: simnet.TraceArrival, FlowID: 2, Node: 0, Action: -1, Link: -1}, // no terminal
+	}
+	spans, errs := flowtrace.AssembleLoose(events)
+	if len(spans) != 1 || spans[0].FlowID != 1 {
+		t.Fatalf("salvaged %d spans, want flow 1 only", len(spans))
+	}
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	if _, err := flowtrace.Assemble(events); err == nil {
+		t.Error("Assemble accepted a truncated trace")
+	}
+}

@@ -1,0 +1,306 @@
+// Package flowtrace reassembles the per-flow TraceEvent stream of a
+// simulation (the -flow-trace JSONL output) into per-flow span trees
+// and analyzes them: an end-to-end delay decomposition (processing vs.
+// transit vs. waiting), per-node/per-agent decision and drop-cause
+// attribution tables, and a critical-path report of the slowest flows.
+// It is the analysis layer the paper's evaluation reasons with (why a
+// flow made or missed its deadline), turned into a library (cmd/flowtrace
+// is the CLI) and a live Collector feeding flow.phase.* histograms into
+// the observability endpoint while a run is still going.
+package flowtrace
+
+import (
+	"fmt"
+	"sort"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+)
+
+// Phase classifies one span-tree segment of a flow's lifetime.
+type Phase int
+
+// Phases of a flow's end-to-end delay. Decision segments are
+// zero-duration markers (the simulator queries coordinators
+// instantaneously); the other three partition the flow's lifetime.
+const (
+	PhaseDecision Phase = iota // a coordinator query (zero duration)
+	PhaseWait                  // waiting: instance startup/readiness, keep holds
+	PhaseProcess               // a component processing the flow
+	PhaseTransit               // the flow's head propagating over a link
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseDecision:
+		return "decision"
+	case PhaseWait:
+		return "wait"
+	case PhaseProcess:
+		return "process"
+	case PhaseTransit:
+		return "transit"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Segment is one leaf of the span tree: a contiguous interval of the
+// flow's lifetime attributed to a single phase at a single place.
+type Segment struct {
+	Phase  Phase
+	Node   graph.NodeID // where (for transit: the departing node)
+	Link   int          // traversed link for PhaseTransit; -1 otherwise
+	Comp   int          // chain component index the flow was requesting
+	Action int          // the coordinator's choice (decision segments); -1 otherwise
+	Start  float64
+	End    float64
+}
+
+// Duration returns the segment's extent.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Visit is one stay of the flow's head at a node: the middle level of
+// the span tree. Out, when non-nil, is the transit segment that carried
+// the flow away from the node (nil for the final visit and for flows
+// dropped while resident).
+type Visit struct {
+	Node     graph.NodeID
+	Enter    float64
+	Leave    float64
+	Segments []Segment
+	Out      *Segment
+}
+
+// FlowSpan is the root of one flow's span tree: ingress → node visits
+// (with their decision/wait/process segments and outbound transit) →
+// egress or drop.
+type FlowSpan struct {
+	FlowID    int
+	Ingress   graph.NodeID
+	Final     graph.NodeID // egress on completion, the drop location otherwise
+	Start     float64
+	End       float64
+	Completed bool
+	Drop      simnet.DropCause // cause when !Completed
+	DropComp  int              // chain position when the flow dropped
+	Decisions int
+	Visits    []Visit
+}
+
+// Delay returns the flow's end-to-end delay (lifetime for drops).
+func (f *FlowSpan) Delay() float64 { return f.End - f.Start }
+
+// Decomposition splits an end-to-end delay into its three duration
+// phases. For a well-formed span tree Total() equals FlowSpan.Delay up
+// to float summation error.
+type Decomposition struct {
+	Wait    float64 `json:"wait"`
+	Process float64 `json:"process"`
+	Transit float64 `json:"transit"`
+}
+
+// Total returns the decomposed sum.
+func (d Decomposition) Total() float64 { return d.Wait + d.Process + d.Transit }
+
+// add accumulates one segment.
+func (d *Decomposition) add(s Segment) {
+	switch s.Phase {
+	case PhaseWait:
+		d.Wait += s.Duration()
+	case PhaseProcess:
+		d.Process += s.Duration()
+	case PhaseTransit:
+		d.Transit += s.Duration()
+	}
+}
+
+// Decompose sums the flow's segments by phase.
+func (f *FlowSpan) Decompose() Decomposition {
+	var d Decomposition
+	for i := range f.Visits {
+		for _, s := range f.Visits[i].Segments {
+			d.add(s)
+		}
+		if out := f.Visits[i].Out; out != nil {
+			d.add(*out)
+		}
+	}
+	return d
+}
+
+// CriticalPath returns the flow's segments ordered by descending
+// duration (ties: chronological). A flow is strictly sequential, so
+// every segment is on the critical path; the ordering surfaces which
+// contributed most to the end-to-end delay. Zero-duration decision
+// markers are omitted.
+func (f *FlowSpan) CriticalPath() []Segment {
+	var segs []Segment
+	for i := range f.Visits {
+		for _, s := range f.Visits[i].Segments {
+			if s.Phase != PhaseDecision && s.Duration() > 0 {
+				segs = append(segs, s)
+			}
+		}
+		if out := f.Visits[i].Out; out != nil {
+			segs = append(segs, *out)
+		}
+	}
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Duration() > segs[j].Duration() })
+	return segs
+}
+
+// Assemble reassembles trace events into exactly one span tree per
+// flow, sorted by flow ID. Any malformed flow (missing arrival or
+// terminal event — e.g. a truncated trace) is an error; use
+// AssembleLoose to salvage the parseable flows instead.
+func Assemble(events []simnet.TraceEvent) ([]*FlowSpan, error) {
+	spans, errs := AssembleLoose(events)
+	if len(errs) > 0 {
+		return spans, fmt.Errorf("flowtrace: %d of %d flows malformed: %w", len(errs), len(errs)+len(spans), errs[0])
+	}
+	return spans, nil
+}
+
+// AssembleLoose is Assemble returning per-flow errors instead of
+// failing the batch.
+func AssembleLoose(events []simnet.TraceEvent) ([]*FlowSpan, []error) {
+	byFlow := make(map[int][]simnet.TraceEvent)
+	for _, e := range events {
+		byFlow[e.FlowID] = append(byFlow[e.FlowID], e)
+	}
+	ids := make([]int, 0, len(byFlow))
+	for id := range byFlow {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var spans []*FlowSpan
+	var errs []error
+	for _, id := range ids {
+		span, err := assembleFlow(id, byFlow[id])
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		spans = append(spans, span)
+	}
+	return spans, errs
+}
+
+// assembleFlow walks one flow's events in time order and attributes
+// every inter-event interval to a phase segment. The attribution rules
+// mirror the simulator's event semantics:
+//
+//   - process(t, wait w) … next(t'): wait [t, t+w], process [t+w, t']
+//     (t' is the processing-done decision, or an earlier drop when the
+//     instance or node was killed mid-processing)
+//   - forward(t) … next(t'): transit [t, t'] (t' is the decision at the
+//     neighbor, or an earlier drop when the link failed mid-flight)
+//   - keep(t) … next(t'): wait [t, t'] (the keep hold)
+//   - arrival/decision: instantaneous; defensively, any gap to the next
+//     event is attributed to wait so segment durations always sum to
+//     the end-to-end delay
+func assembleFlow(id int, evs []simnet.TraceEvent) (*FlowSpan, error) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	if evs[0].Kind != simnet.TraceArrival {
+		return nil, fmt.Errorf("flow %d: first event is %v, want arrival (truncated trace?)", id, evs[0].Kind)
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != simnet.TraceComplete && last.Kind != simnet.TraceDrop {
+		return nil, fmt.Errorf("flow %d: last event is %v, want complete or drop (truncated trace?)", id, last.Kind)
+	}
+
+	f := &FlowSpan{FlowID: id, Ingress: evs[0].Node, Start: evs[0].Time}
+	cur := -1 // index of the open visit
+	open := func(v graph.NodeID, t float64) {
+		f.Visits = append(f.Visits, Visit{Node: v, Enter: t, Leave: t})
+		cur = len(f.Visits) - 1
+	}
+	seg := func(s Segment) {
+		if cur < 0 {
+			return
+		}
+		f.Visits[cur].Segments = append(f.Visits[cur].Segments, s)
+		if s.End > f.Visits[cur].Leave {
+			f.Visits[cur].Leave = s.End
+		}
+	}
+
+	for i, e := range evs {
+		terminal := e.Kind == simnet.TraceComplete || e.Kind == simnet.TraceDrop
+		if terminal && i != len(evs)-1 {
+			return nil, fmt.Errorf("flow %d: events after terminal %v at t=%g", id, e.Kind, e.Time)
+		}
+		next := e.Time
+		if i+1 < len(evs) {
+			next = evs[i+1].Time
+		}
+
+		switch e.Kind {
+		case simnet.TraceArrival:
+			if i != 0 {
+				return nil, fmt.Errorf("flow %d: duplicate arrival at t=%g", id, e.Time)
+			}
+			open(e.Node, e.Time)
+			if next > e.Time {
+				seg(Segment{Phase: PhaseWait, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: -1, Start: e.Time, End: next})
+			}
+
+		case simnet.TraceDecision:
+			f.Decisions++
+			seg(Segment{Phase: PhaseDecision, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: e.Action, Start: e.Time, End: e.Time})
+			if next > e.Time {
+				seg(Segment{Phase: PhaseWait, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: -1, Start: e.Time, End: next})
+			}
+
+		case simnet.TraceProcess:
+			wEnd := e.Time + e.Wait
+			if wEnd > next {
+				wEnd = next
+			}
+			if wEnd > e.Time {
+				seg(Segment{Phase: PhaseWait, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: -1, Start: e.Time, End: wEnd})
+			}
+			if next > wEnd {
+				seg(Segment{Phase: PhaseProcess, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: -1, Start: wEnd, End: next})
+			}
+
+		case simnet.TraceKeep:
+			seg(Segment{Phase: PhaseWait, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: -1, Start: e.Time, End: next})
+
+		case simnet.TraceForward:
+			if cur < 0 {
+				return nil, fmt.Errorf("flow %d: forward before arrival", id)
+			}
+			f.Visits[cur].Leave = e.Time
+			f.Visits[cur].Out = &Segment{Phase: PhaseTransit, Node: e.Node, Link: e.Link, Comp: e.CompIdx, Action: -1, Start: e.Time, End: next}
+			cur = -1
+			if i+1 < len(evs) && evs[i+1].Kind != simnet.TraceDrop && evs[i+1].Kind != simnet.TraceComplete {
+				open(evs[i+1].Node, next)
+			}
+
+		case simnet.TraceComplete:
+			f.Completed = true
+			f.Final = e.Node
+			f.End = e.Time
+			if cur >= 0 {
+				f.Visits[cur].Leave = e.Time
+			}
+
+		case simnet.TraceDrop:
+			f.Completed = false
+			f.Drop = e.Drop
+			f.DropComp = e.CompIdx
+			f.Final = e.Node
+			f.End = e.Time
+			if cur >= 0 {
+				f.Visits[cur].Leave = e.Time
+			}
+
+		default:
+			return nil, fmt.Errorf("flow %d: unknown trace kind %v", id, e.Kind)
+		}
+	}
+	return f, nil
+}

@@ -193,7 +193,7 @@ func (s *Sim) killInstances(v graph.NodeID, comp string, now float64) {
 		cur := e.flow.Current()
 		return comp == "" || (cur != nil && cur.Name == comp)
 	}) {
-		s.drop(f, v, DropNodeFailure, now)
+		s.drop(f, v, DropInstanceKill, now)
 	}
 	s.st.removeInstances(v, comp)
 }

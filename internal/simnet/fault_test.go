@@ -263,8 +263,8 @@ func TestInstanceKillDropsProcessingFlows(t *testing.T) {
 	if m.Succeeded != 1 || m.Dropped != 1 {
 		t.Errorf("succeeded=%d dropped=%d, want 1/1", m.Succeeded, m.Dropped)
 	}
-	if m.DropsBy[DropNodeFailure] != 1 {
-		t.Errorf("DropsBy[node-failure] = %d, want 1", m.DropsBy[DropNodeFailure])
+	if m.DropsBy[DropInstanceKill] != 1 {
+		t.Errorf("DropsBy[instance-kill] = %d, want 1", m.DropsBy[DropInstanceKill])
 	}
 	if m.Faults != 1 {
 		t.Errorf("Faults = %d, want 1", m.Faults)

@@ -419,7 +419,7 @@ func (s *Sim) processLocally(f *Flow, v graph.NodeID, now float64) {
 	s.queue.push(event{t: procEnd, kind: evProcDone, flow: f, node: v})
 
 	s.metrics.Processings++
-	s.trace(TraceProcess, f, v, now, 0, -1, DropNone)
+	s.traceWait(TraceProcess, f, v, now, 0, -1, DropNone, procStart-now)
 	s.onAction(f, v, now, 0, ActionResult{Kind: ActionProcessed})
 }
 

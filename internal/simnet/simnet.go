@@ -124,6 +124,7 @@ const (
 	DropExpired                        // deadline τ_f reached before completion
 	DropNodeFailure                    // the node hosting or processing the flow crashed
 	DropLinkFailure                    // the link carrying the flow's head went down
+	DropInstanceKill                   // the component instance processing the flow was killed
 )
 
 // String implements fmt.Stringer.
@@ -143,6 +144,8 @@ func (d DropCause) String() string {
 		return "node-failure"
 	case DropLinkFailure:
 		return "link-failure"
+	case DropInstanceKill:
+		return "instance-kill"
 	}
 	return fmt.Sprintf("DropCause(%d)", int(d))
 }

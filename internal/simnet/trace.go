@@ -3,6 +3,7 @@ package simnet
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"distcoord/internal/graph"
 )
@@ -54,19 +55,26 @@ type TraceEvent struct {
 	Action  int       // coordinator action; -1 when not applicable
 	Link    int       // traversed link for TraceForward; -1 otherwise
 	Drop    DropCause // cause for TraceDrop; DropNone otherwise
+	// Wait, on TraceProcess events, is how long the flow waits before
+	// processing actually starts (instance startup / readiness delay):
+	// processing occupies [Time+Wait, nextEventTime]. It lets trace
+	// analysis split a processing segment into queue-wait and service
+	// time without knowing the service definitions.
+	Wait float64
 }
 
 // traceEventJSON is the export schema: compact keys, symbolic kind and
 // drop cause, optional fields omitted.
 type traceEventJSON struct {
-	Time    float64 `json:"t"`
-	Kind    string  `json:"kind"`
-	FlowID  int     `json:"flow"`
-	Node    int     `json:"node"`
-	CompIdx int     `json:"comp"`
-	Action  *int    `json:"action,omitempty"`
-	Link    *int    `json:"link,omitempty"`
-	Drop    string  `json:"drop,omitempty"`
+	Time    float64  `json:"t"`
+	Kind    string   `json:"kind"`
+	FlowID  int      `json:"flow"`
+	Node    int      `json:"node"`
+	CompIdx int      `json:"comp"`
+	Action  *int     `json:"action,omitempty"`
+	Link    *int     `json:"link,omitempty"`
+	Drop    string   `json:"drop,omitempty"`
+	Wait    *float64 `json:"wait,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with symbolic kinds and causes,
@@ -88,7 +96,44 @@ func (e TraceEvent) MarshalJSON() ([]byte, error) {
 	if e.Drop != DropNone {
 		out.Drop = e.Drop.String()
 	}
+	if e.Wait > 0 {
+		out.Wait = &e.Wait
+	}
 	return json.Marshal(out)
+}
+
+// The decode maps are derived from the String() methods at package
+// initialization, so adding an enum value (with its String case) can
+// never desynchronize encoding from decoding again — the historical bug
+// was a hand-written cause map missing "instance-kill".
+var (
+	traceKindByName = enumByName(func(i int) string {
+		s := TraceKind(i).String()
+		if strings.HasPrefix(s, "TraceKind(") {
+			return ""
+		}
+		return s
+	})
+	dropCauseByName = enumByName(func(i int) string {
+		s := DropCause(i).String()
+		if strings.HasPrefix(s, "DropCause(") {
+			return ""
+		}
+		return s
+	})
+)
+
+// enumByName probes an iota enum's String method from 0 upward until it
+// reports an unknown value ("" from the probe) and returns name → value.
+func enumByName(name func(int) string) map[string]int {
+	m := make(map[string]int)
+	for i := 0; ; i++ {
+		s := name(i)
+		if s == "" {
+			return m
+		}
+		m[s] = i
+	}
 }
 
 // UnmarshalJSON implements json.Unmarshaler (round-tripping traces back
@@ -112,26 +157,20 @@ func (e *TraceEvent) UnmarshalJSON(data []byte) error {
 	if in.Link != nil {
 		e.Link = *in.Link
 	}
-	kinds := map[string]TraceKind{
-		"arrival": TraceArrival, "decision": TraceDecision, "process": TraceProcess,
-		"forward": TraceForward, "keep": TraceKeep, "drop": TraceDrop, "complete": TraceComplete,
+	if in.Wait != nil {
+		e.Wait = *in.Wait
 	}
-	k, ok := kinds[in.Kind]
+	k, ok := traceKindByName[in.Kind]
 	if !ok {
 		return fmt.Errorf("simnet: unknown trace kind %q", in.Kind)
 	}
-	e.Kind = k
+	e.Kind = TraceKind(k)
 	if in.Drop != "" {
-		causes := map[string]DropCause{
-			"invalid-action": DropInvalidAction, "node-capacity": DropNodeCapacity,
-			"link-capacity": DropLinkCapacity, "expired": DropExpired,
-			"node-failure": DropNodeFailure, "link-failure": DropLinkFailure,
-		}
-		c, ok := causes[in.Drop]
+		c, ok := dropCauseByName[in.Drop]
 		if !ok {
 			return fmt.Errorf("simnet: unknown drop cause %q", in.Drop)
 		}
-		e.Drop = c
+		e.Drop = DropCause(c)
 	}
 	return nil
 }
@@ -156,6 +195,12 @@ func (f TracerFunc) Trace(e TraceEvent) { f(e) }
 // trace emits one event when a tracer is installed. The nil check comes
 // before the TraceEvent literal, so the disabled path does no work.
 func (s *Sim) trace(kind TraceKind, f *Flow, v graph.NodeID, now float64, action, link int, drop DropCause) {
+	s.traceWait(kind, f, v, now, action, link, drop, 0)
+}
+
+// traceWait is trace with the processing-start wait of TraceProcess
+// events (see TraceEvent.Wait).
+func (s *Sim) traceWait(kind TraceKind, f *Flow, v graph.NodeID, now float64, action, link int, drop DropCause, wait float64) {
 	if s.tracer == nil {
 		return
 	}
@@ -168,5 +213,6 @@ func (s *Sim) trace(kind TraceKind, f *Flow, v graph.NodeID, now float64, action
 		Action:  action,
 		Link:    link,
 		Drop:    drop,
+		Wait:    wait,
 	})
 }

@@ -99,6 +99,7 @@ func TestTraceEventJSONRoundTrip(t *testing.T) {
 		{Time: 10, Kind: TraceArrival, FlowID: 3, Node: 1, Action: -1, Link: -1},
 		{Time: 11.5, Kind: TraceDecision, FlowID: 3, Node: 1, CompIdx: 1, Action: 2, Link: -1},
 		{Time: 12, Kind: TraceForward, FlowID: 3, Node: 1, CompIdx: 1, Action: 2, Link: 4},
+		{Time: 13, Kind: TraceProcess, FlowID: 3, Node: 2, CompIdx: 1, Action: 0, Link: -1, Wait: 2.5},
 		{Time: 20, Kind: TraceDrop, FlowID: 3, Node: 2, CompIdx: 1, Action: -1, Link: -1, Drop: DropExpired},
 		{Time: 21, Kind: TraceComplete, FlowID: 4, Node: 7, CompIdx: 3, Action: -1, Link: -1},
 	}
@@ -113,6 +114,48 @@ func TestTraceEventJSONRoundTrip(t *testing.T) {
 		}
 		if back != e {
 			t.Errorf("round trip %s: got %+v, want %+v", data, back, e)
+		}
+	}
+}
+
+// TestTraceEventJSONRoundTripExhaustive round-trips every TraceKind and
+// every DropCause the String() methods know about, so a new enum value
+// whose symbolic name is missing from the decode path can never ship
+// again (the regression: "instance-kill" traces from -faults runs failed
+// to parse). The enum sizes are probed from the String() fallback, the
+// same way the decode maps are built — if String() itself misses a
+// value, the value has no symbolic name and cannot round-trip at all.
+func TestTraceEventJSONRoundTripExhaustive(t *testing.T) {
+	if len(traceKindByName) < 7 {
+		t.Fatalf("probed %d trace kinds, want >= 7", len(traceKindByName))
+	}
+	// DropNone is index 0 and never serialized for non-drop events, so
+	// at least invalid-action .. instance-kill must be present.
+	if len(dropCauseByName) < 8 {
+		t.Fatalf("probed %d drop causes, want >= 8", len(dropCauseByName))
+	}
+	if _, ok := dropCauseByName[DropInstanceKill.String()]; !ok {
+		t.Fatalf("decode map misses %q", DropInstanceKill.String())
+	}
+	for _, k := range traceKindByName {
+		kind := TraceKind(k)
+		for _, c := range dropCauseByName {
+			cause := DropCause(c)
+			if kind != TraceDrop && cause != DropNone {
+				continue // Drop is only serialized on drop events
+			}
+			e := TraceEvent{Time: 1.5, Kind: kind, FlowID: 9, Node: 2, CompIdx: 1, Action: -1, Link: -1, Drop: cause}
+			data, err := json.Marshal(e)
+			if err != nil {
+				t.Fatalf("marshal %v/%v: %v", kind, cause, err)
+			}
+			var back TraceEvent
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("unmarshal %v/%v (%s): %v", kind, cause, data, err)
+			}
+			if back != e {
+				t.Errorf("round trip %v/%v: got %+v, want %+v", kind, cause, back, e)
+			}
 		}
 	}
 }

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements Prometheus-style text exposition of a Registry
+// (the /metrics endpoint of the live observability server). The format
+// is the text-based exposition format version 0.0.4: one "# TYPE" line
+// per metric followed by its samples; histograms expose cumulative
+// buckets plus the conventional _sum and _count series.
+//
+// Output is deterministic: counters, then gauges, then histograms, each
+// in sorted name order, with shortest-round-trip float formatting — so
+// the format is pinnable by golden tests and diffs of two scrapes only
+// show value changes.
+
+// promName maps a registry metric name ("grid.cells.done") to a valid
+// Prometheus metric name ("grid_cells_done"): every character outside
+// [a-zA-Z0-9_:] becomes '_', and a leading digit is prefixed with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes every metric of the registry in the Prometheus text
+// exposition format. Values are read metric by metric, so a scrape
+// concurrent with a running simulation sees per-metric-consistent (not
+// globally atomic) values — the same guarantee Snapshot gives.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	r.mu.Lock()
+	counters := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	gauges := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	hists := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hists = append(hists, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+
+	for _, name := range counters {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " counter\n")
+		bw.WriteString(pn + " " + strconv.FormatInt(r.Counter(name).Value(), 10) + "\n")
+	}
+	for _, name := range gauges {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + " " + promFloat(r.Gauge(name).Value()) + "\n")
+	}
+	for _, name := range hists {
+		pn := promName(name)
+		h := r.Histogram(name)
+		bw.WriteString("# TYPE " + pn + " histogram\n")
+		bs := h.CumulativeBuckets()
+		for _, b := range bs {
+			bw.WriteString(pn + `_bucket{le="` + promFloat(b.Upper) + `"} ` +
+				strconv.FormatUint(b.Count, 10) + "\n")
+		}
+		// Buckets and count are read in two lock acquisitions; clamp so
+		// a scrape racing Observe keeps the +Inf bucket >= every finite
+		// bucket (bucket monotonicity).
+		count := h.Count()
+		if len(bs) > 0 && bs[len(bs)-1].Count > count {
+			count = bs[len(bs)-1].Count
+		}
+		bw.WriteString(pn + `_bucket{le="+Inf"} ` + strconv.FormatUint(count, 10) + "\n")
+		bw.WriteString(pn + "_sum " + promFloat(h.Sum()) + "\n")
+		bw.WriteString(pn + "_count " + strconv.FormatUint(count, 10) + "\n")
+	}
+	return bw.Flush()
+}

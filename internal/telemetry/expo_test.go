@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exposition format byte for byte: type
+// lines, sorted metric ordering (counters, gauges, histograms), integer
+// counters, shortest-round-trip floats, cumulative histogram buckets
+// with _sum/_count. Histogram bucket bounds are derived from the 2%
+// geometric growth, so the golden uses values that land in obviously
+// distinct buckets.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flows.dropped").Add(3)
+	r.Counter("flows.completed").Add(40)
+	r.Gauge("grid.cells.total").Set(120)
+	r.Gauge("grid.eta_seconds").Set(7.25)
+	h := r.Histogram("flow.phase.transit")
+	h.Observe(-1) // underflow: counted in every cumulative bucket
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(100)
+
+	b1 := math.Pow(histGrowth, float64(bucketIndex(1))+1)
+	b2 := math.Pow(histGrowth, float64(bucketIndex(100))+1)
+	want := strings.Join([]string{
+		"# TYPE flows_completed counter",
+		"flows_completed 40",
+		"# TYPE flows_dropped counter",
+		"flows_dropped 3",
+		"# TYPE grid_cells_total gauge",
+		"grid_cells_total 120",
+		"# TYPE grid_eta_seconds gauge",
+		"grid_eta_seconds 7.25",
+		"# TYPE flow_phase_transit histogram",
+		`flow_phase_transit_bucket{le="` + promFloat(b1) + `"} 3`,
+		`flow_phase_transit_bucket{le="` + promFloat(b2) + `"} 4`,
+		`flow_phase_transit_bucket{le="+Inf"} 4`,
+		"flow_phase_transit_sum 101",
+		"flow_phase_transit_count 4",
+		"",
+	}, "\n")
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// promLine matches one valid exposition line: a comment/type line or a
+// sample "name[{labels}] value".
+var promLine = regexp.MustCompile(`^(# .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [^ ]+)$`)
+
+// parseProm validates the text format line by line and returns the
+// sample values per series (bucket labels folded into the name).
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" { // empty scrape (no metrics yet)
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line %d not parseable exposition text: %q", i+1, line)
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d value %q: %v", i+1, line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestWritePromBucketMonotonicity checks the histogram invariants over
+// a spread of observations: cumulative bucket counts are non-decreasing
+// in bound order, the +Inf bucket equals _count, and _sum matches.
+func TestWritePromBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("delay")
+	sum := 0.0
+	for i := 0; i < 1000; i++ {
+		v := math.Pow(1.3, float64(i%40)) * (1 + float64(i)/1000)
+		h.Observe(v)
+		sum += v
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, sb.String())
+	if samples["delay_count"] != 1000 {
+		t.Errorf("delay_count = %g, want 1000", samples["delay_count"])
+	}
+	if math.Abs(samples["delay_sum"]-sum) > 1e-6*sum {
+		t.Errorf("delay_sum = %g, want %g", samples["delay_sum"], sum)
+	}
+
+	// Re-walk the text in order for monotonicity (map order won't do).
+	prev := -1.0
+	prevBound := math.Inf(-1)
+	buckets := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "delay_bucket{le=") {
+			continue
+		}
+		buckets++
+		boundStr := line[strings.Index(line, `"`)+1 : strings.LastIndex(line, `"`)]
+		bound := math.Inf(1)
+		if boundStr != "+Inf" {
+			var err error
+			if bound, err = strconv.ParseFloat(boundStr, 64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bound <= prevBound {
+			t.Fatalf("bucket bounds not increasing: %g after %g", bound, prevBound)
+		}
+		v, _ := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if v < prev {
+			t.Fatalf("bucket counts not monotone: %g after %g (le=%g)", v, prev, bound)
+		}
+		prev, prevBound = v, bound
+	}
+	if buckets < 10 {
+		t.Fatalf("only %d buckets exposed, want a spread", buckets)
+	}
+	if prev != samples["delay_count"] {
+		t.Errorf("+Inf bucket %g != count %g", prev, samples["delay_count"])
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"grid.cells.done":  "grid_cells_done",
+		"flow.phase.wait":  "flow_phase_wait",
+		"ok_name:colon":    "ok_name:colon",
+		"9starts.with.num": "_9starts_with_num",
+		"sp aces-and+more": "sp_aces_and_more",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

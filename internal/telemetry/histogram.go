@@ -155,6 +155,37 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	return h.max
 }
 
+// Bucket is one cumulative histogram bucket for text exposition: Count
+// observations were <= Upper.
+type Bucket struct {
+	Upper float64
+	Count uint64
+}
+
+// CumulativeBuckets returns the occupied buckets in ascending bound
+// order with cumulative counts (Prometheus "le" semantics). The
+// underflow bucket (observations <= 0) is below every positive bound,
+// so it is folded into each cumulative count. The final +Inf bucket is
+// implicit: its count is Count().
+func (h *Histogram) CumulativeBuckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idxs := make([]int, 0, len(h.buckets))
+	for idx := range h.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	out := make([]Bucket, 0, len(idxs))
+	cum := h.underflo
+	for _, idx := range idxs {
+		cum += h.buckets[idx]
+		// Bucket idx holds values in [growth^idx, growth^(idx+1)), so
+		// growth^(idx+1) is a valid "le" bound for everything in it.
+		out = append(out, Bucket{Upper: math.Pow(histGrowth, float64(idx)+1), Count: cum})
+	}
+	return out
+}
+
 // HistogramSnapshot is an exportable summary of a histogram.
 type HistogramSnapshot struct {
 	Count uint64  `json:"count"`

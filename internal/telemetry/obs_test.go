@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestObsServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("flows.completed").Add(7)
+	reg.Gauge("grid.cells.total").Set(10)
+	reg.Gauge("grid.cells.done").Set(4)
+	reg.Histogram("flow.phase.total").Observe(12)
+
+	o := NewObsServer("testbin", reg)
+	o.SetInfo("algo", "sp")
+	o.ObserveEpisode(EpisodeUpdate{Seed: 1, Episode: 5, Score: 0.75})
+	o.ObserveEpisode(EpisodeUpdate{Seed: 0, Episode: 6, Score: 0.5})
+
+	code, body := get(t, o.Handler(), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics -> %d", code)
+	}
+	for _, want := range []string{"flows_completed 7", "grid_cells_total 10", "flow_phase_total_count 1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, o.Handler(), "/snapshot")
+	if code != 200 {
+		t.Fatalf("/snapshot -> %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot not a Snapshot: %v", err)
+	}
+	if snap.Counters["flows.completed"] != 7 || snap.Gauges["grid.cells.done"] != 4 {
+		t.Errorf("snapshot values wrong: %+v", snap)
+	}
+
+	code, body = get(t, o.Handler(), "/run")
+	if code != 200 {
+		t.Fatalf("/run -> %d", code)
+	}
+	var run struct {
+		Binary   string            `json:"binary"`
+		Info     map[string]string `json:"info"`
+		Training *struct {
+			EpisodesDone int             `json:"episodes_done"`
+			Seeds        []EpisodeUpdate `json:"seeds"`
+		} `json:"training"`
+		Grid *struct {
+			Total, Done, Percent float64
+		} `json:"grid"`
+	}
+	if err := json.Unmarshal([]byte(body), &run); err != nil {
+		t.Fatalf("/run not JSON: %v\n%s", err, body)
+	}
+	if run.Binary != "testbin" || run.Info["algo"] != "sp" {
+		t.Errorf("run meta wrong: %s", body)
+	}
+	if run.Training == nil || run.Training.EpisodesDone != 2 ||
+		len(run.Training.Seeds) != 2 || run.Training.Seeds[0].Seed != 0 {
+		t.Errorf("run training section wrong: %s", body)
+	}
+	if run.Grid == nil || run.Grid.Total != 10 || run.Grid.Done != 4 || run.Grid.Percent != 40 {
+		t.Errorf("run grid section wrong: %s", body)
+	}
+
+	if code, _ := get(t, o.Handler(), "/nope"); code != 404 {
+		t.Errorf("/nope -> %d, want 404", code)
+	}
+}
+
+// TestObsServerServesOverTCP exercises the real listener path with
+// ":0"-style address resolution (the obs-smoke flow).
+func TestObsServerServesOverTCP(t *testing.T) {
+	o := NewObsServer("tcptest", NewRegistry())
+	if err := o.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if o.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + o.Addr() + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"tcptest"`) {
+		t.Errorf("GET /run -> %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestObsServerConcurrentScrape is the race-tier test: hammer /metrics,
+// /snapshot, and /run while writers mutate every metric type and the
+// training feed. Run with -race this pins the endpoint's thread safety;
+// it also checks each scrape is internally monotone.
+func TestObsServerConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	o := NewObsServer("racebin", reg)
+	const iters = 300
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("ops")
+			g := reg.Gauge("grid.cells.total")
+			h := reg.Histogram("lat")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(float64(i + 1))
+				h.Observe(float64(i%37) + 0.5)
+				o.ObserveEpisode(EpisodeUpdate{Seed: w, Episode: i})
+				reg.Gauge(fmt.Sprintf("dyn.%d", i%11)).Set(1) // metric creation during scrape
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/3; i++ {
+				for _, path := range []string{"/metrics", "/snapshot", "/run"} {
+					code, body := get(t, o.Handler(), path)
+					if code != 200 {
+						t.Errorf("%s -> %d", path, code)
+						return
+					}
+					if path == "/metrics" {
+						parseProm(t, body)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestProfilerPprofMuxIsPrivate pins the fix for the DefaultServeMux
+// leak: a handler another package registers globally must NOT be
+// reachable through the profiling port, while /debug/pprof/ must be.
+func TestProfilerPprofMuxIsPrivate(t *testing.T) {
+	http.HandleFunc("/leaked-global-handler", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "leaked")
+	})
+	p := &Profiler{PprofAddr: "127.0.0.1:0"}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	resp, err := http.Get("http://" + p.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/ -> %d, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get("http://" + p.Addr() + "/leaked-global-handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("globally registered handler served on pprof port: %d, want 404", resp.StatusCode)
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -64,10 +64,23 @@ func (p *Profiler) Start() error {
 			return fmt.Errorf("telemetry: pprof listener: %w", err)
 		}
 		p.ln = ln
-		p.srv = &http.Server{Handler: http.DefaultServeMux}
+		p.srv = &http.Server{Handler: pprofMux()}
 		go p.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Stop
 	}
 	return nil
+}
+
+// pprofMux builds a private mux that forwards only /debug/pprof/*.
+// Serving http.DefaultServeMux here would leak every handler any other
+// package registers globally onto the profiling port.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
 }
 
 // Addr returns the pprof listener's bound address ("" when disabled),
