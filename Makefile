@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-all obs-smoke fmt lint vet verify
+.PHONY: all build test race bench bench-scale bench-check bench-all obs-smoke fmt lint vet verify
 
 all: build test
 
@@ -25,6 +25,19 @@ race:
 # benchmarks").
 bench:
 	$(GO) run ./cmd/bench -out BENCH_inference.json
+
+# bench-scale measures end-to-end episode throughput (flows/sec) on
+# synthetic 100/500/1000-node topologies, sequential vs batched decision
+# resolution, and writes BENCH_scale.json (schema: EXPERIMENTS.md,
+# "Scale benchmarks").
+bench-scale:
+	$(GO) run ./cmd/bench -scale -out BENCH_scale.json
+
+# bench-check regression-gates the sequential decide hot path: a fresh
+# cmd/bench run must stay within +25% ns/op of the committed
+# BENCH_inference.json baseline.
+bench-check:
+	./scripts/bench_check.sh
 
 # bench-all runs every go test benchmark in the repo (figures, micro,
 # ablations); this takes much longer than `make bench`.

@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec drives the fault-spec parser with arbitrary CLI input.
+// The seed corpus covers every profile, each option key, and the
+// malformed classes the parser must reject (unknown profiles and keys,
+// missing '=', non-numeric values, out-of-range floats); `go test`
+// replays it as a regression suite, `go test -fuzz=FuzzParseSpec`
+// explores further. The invariant: ParseSpec either errors, or returns
+// a spec whose String() renders valid syntax that is a parse/render
+// fixed point.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("none")
+	f.Add("  node-outage  ")
+	f.Add("node-outage:seed=7")
+	f.Add("link-outage:link=3,duration=40")
+	f.Add("link-cascade:count=3,factor=0.3,seed=7")
+	f.Add("surge:burst=50,start=200")
+	f.Add("instance-kill:node=2,comp=IDS")
+	f.Add("node-outage:node=-1,start=0.5,duration=1e3")
+	f.Add("meteor-strike")
+	f.Add("none:seed=3")
+	f.Add("node-outage:")
+	f.Add("node-outage:seed")
+	f.Add("node-outage:seed=")
+	f.Add("node-outage:seed=x")
+	f.Add("node-outage:start=1e999")
+	f.Add("node-outage:start=NaN")
+	f.Add("node-outage:count=9999999999999999999")
+	f.Add("node-outage:warp=9")
+	f.Add("node-outage:,")
+	f.Add("instance-kill:comp=a=b")
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		rendered := sp.String()
+		sp2, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("String() of parsed %q rendered unparseable %q: %v", s, rendered, err)
+		}
+		if again := sp2.String(); again != rendered {
+			t.Fatalf("render not a fixed point for %q: %q -> %q", s, rendered, again)
+		}
+		if sp.Enabled() != sp2.Enabled() {
+			t.Fatalf("Enabled() flipped across round trip of %q: %v -> %v", s, sp.Enabled(), sp2.Enabled())
+		}
+	})
+}

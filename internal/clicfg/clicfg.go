@@ -44,6 +44,11 @@ type Flags struct {
 	// additionally use it as the engine's worker pool size. 0 keeps the
 	// default (all CPUs). Results never depend on it.
 	Jobs int
+	// Batch enables batched decision resolution in simulation runs that
+	// honor it (cmd/bench scale mode): same-(node, time) decisions are
+	// resolved with up to this many flows per inference call
+	// (simnet.Config.MaxBatch). 0 or 1 keeps the sequential path.
+	Batch int
 	// GridLog is the JSONL path for per-cell experiment grid records
 	// (eval.GridRecord).
 	GridLog string
@@ -69,6 +74,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the metrics summary as JSON to this file")
 	fs.StringVar(&f.Faults, "faults", "", "fault-injection spec: profile[:key=val,...] (node-outage, link-outage, link-cascade, surge, instance-kill; see EXPERIMENTS.md)")
 	fs.IntVar(&f.Jobs, "jobs", 0, "bound parallelism: GOMAXPROCS and the experiment worker pool (0: all CPUs); output is identical for any value")
+	fs.IntVar(&f.Batch, "batch", 0, "batched decision resolution: max flows per inference call for same-(node,time) decisions (0 or 1: sequential)")
 	fs.StringVar(&f.GridLog, "grid-log", "", "write per-cell experiment grid records to this JSONL file")
 	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve the live observability endpoint (/metrics, /snapshot, /run) on this address (e.g. localhost:9090, or :0 for a free port)")
 	fs.DurationVar(&f.ObsWait, "obs-wait", 0, "keep the observability endpoint serving this long after the run completes (requires -obs-addr)")
@@ -102,6 +108,9 @@ func (f *Flags) Apply() (*Runtime, error) {
 	}
 	if f.Jobs < 0 {
 		return nil, fmt.Errorf("clicfg: -jobs must be >= 0, got %d", f.Jobs)
+	}
+	if f.Batch < 0 {
+		return nil, fmt.Errorf("clicfg: -batch must be >= 0, got %d", f.Batch)
 	}
 	if f.ObsWait != 0 && f.ObsAddr == "" {
 		return nil, fmt.Errorf("clicfg: -obs-wait requires -obs-addr")
@@ -249,6 +258,9 @@ func (rt *Runtime) EpisodeLogEnabled() bool { return rt.episodeSink != nil }
 
 // Jobs returns the -jobs value (0: all CPUs).
 func (rt *Runtime) Jobs() int { return rt.flags.Jobs }
+
+// Batch returns the -batch value (0 or 1: sequential decisions).
+func (rt *Runtime) Batch() int { return rt.flags.Batch }
 
 // GridLogEnabled reports whether -grid-log was set.
 func (rt *Runtime) GridLogEnabled() bool { return rt.gridSink != nil }

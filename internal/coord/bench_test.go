@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"strconv"
 	"testing"
 
 	"distcoord/internal/graph"
@@ -58,6 +59,34 @@ func BenchmarkDistributedDecide(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d.Decide(st, f, 0, 1)
 			}
+		})
+	}
+}
+
+// BenchmarkDistributedDecideBatch measures the batched decision path at
+// several batch sizes, per decision (ns/decision comparable to
+// BenchmarkDistributedDecide). Steady state must report 0 allocs/op.
+func BenchmarkDistributedDecideBatch(b *testing.B) {
+	for _, k := range []int{1, 4, 16, 64} {
+		b.Run("batch="+strconv.Itoa(k), func(b *testing.B) {
+			d, st, f := benchDistributed(b)
+			flows := make([]*simnet.Flow, k)
+			for i := range flows {
+				fc := *f
+				fc.ID = i + 1
+				fc.Arrival = float64(i) * 0.001
+				flows[i] = &fc
+			}
+			actions := make([]int, k)
+			d.DecideBatch(st, flows, 0, 1, actions)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.DecideBatch(st, flows, 0, 1, actions)
+			}
+			b.StopTimer()
+			perDecision := float64(b.Elapsed().Nanoseconds()) / float64(b.N*k)
+			b.ReportMetric(perDecision, "ns/decision")
 		})
 	}
 }

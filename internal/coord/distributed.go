@@ -19,6 +19,12 @@ type nodeState struct {
 	ws    *nn.Workspace
 	obs   []float64
 	probs []float64
+
+	// Batched-inference buffers, allocated lazily on the node's first
+	// DecideBatch call so sequential-only deployments never pay for them.
+	bws      *nn.BatchWorkspace
+	batchObs []float64
+	bprobs   []float64
 }
 
 // Distributed is the paper's fully distributed DRL coordinator (Fig. 4b):

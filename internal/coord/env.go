@@ -32,6 +32,11 @@ type EnvConfig struct {
 	Horizon float64
 
 	Rewards RewardConfig
+
+	// MaxBatch, when > 1, enables batched decision resolution during
+	// rollouts (cf. simnet.Config.MaxBatch). The default 0 keeps rollouts
+	// sequential, which is what training reproducibility baselines pin.
+	MaxBatch int
 }
 
 func (c *EnvConfig) validate() error {
@@ -113,6 +118,7 @@ func (e *Env) Rollout(p rl.Policy) ([]rl.Trajectory, float64, error) {
 		Horizon:     e.cfg.Horizon,
 		Coordinator: tc,
 		Listener:    col,
+		MaxBatch:    e.cfg.MaxBatch,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -29,12 +29,13 @@ type Online struct {
 	adapter *Adapter
 	cfg     OnlineConfig
 
-	agents  []*rl.Agent       // one per node
-	scratch []*rl.Scratch     // per node: reusable inference buffers
-	rngs    []*rand.Rand      // per node: private sampling stream
-	buffers [][]rl.Trajectory // per node: single-step trajectories with precomputed returns
-	open    map[int]*onlineTrace
-	shaper  *shaper
+	agents   []*rl.Agent        // one per node
+	scratch  []*rl.Scratch      // per node: reusable inference buffers
+	bscratch []*rl.BatchScratch // per node: batched-inference buffers, lazily filled
+	rngs     []*rand.Rand       // per node: private sampling stream
+	buffers  [][]rl.Trajectory  // per node: single-step trajectories with precomputed returns
+	open     map[int]*onlineTrace
+	shaper   *shaper
 
 	// Updates counts local update rounds performed (diagnostics).
 	Updates int
@@ -94,14 +95,15 @@ func NewOnline(adapter *Adapter, trained *rl.Agent, cfg OnlineConfig) (*Online, 
 	cfg = cfg.withDefaults()
 	n := adapter.Graph().NumNodes()
 	o := &Online{
-		adapter: adapter,
-		cfg:     cfg,
-		agents:  make([]*rl.Agent, n),
-		scratch: make([]*rl.Scratch, n),
-		rngs:    make([]*rand.Rand, n),
-		buffers: make([][]rl.Trajectory, n),
-		open:    make(map[int]*onlineTrace),
-		shaper:  newShaper(cfg.Rewards, adapter.Diameter()),
+		adapter:  adapter,
+		cfg:      cfg,
+		agents:   make([]*rl.Agent, n),
+		scratch:  make([]*rl.Scratch, n),
+		bscratch: make([]*rl.BatchScratch, n),
+		rngs:     make([]*rand.Rand, n),
+		buffers:  make([][]rl.Trajectory, n),
+		open:     make(map[int]*onlineTrace),
+		shaper:   newShaper(cfg.Rewards, adapter.Diameter()),
 	}
 	base := trained.Config()
 	for v := 0; v < n; v++ {

@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+
+	"distcoord/internal/chaos"
+	"distcoord/internal/graph"
+	"distcoord/internal/simnet"
+	"distcoord/internal/traffic"
+)
+
+// syntheticScenario builds a figure-style scenario on an n-node
+// synthetic topology with uniform capacities. Continuous Poisson
+// arrivals keep event timestamps collision-free, so every gather window
+// holds one flow and batched inference is bit-equivalent to sequential.
+func syntheticScenario(n int, horizon float64) Scenario {
+	g := graph.SyntheticScale(n, 0x5CA1E)
+	for v := 0; v < g.NumNodes(); v++ {
+		g.SetNodeCapacity(graph.NodeID(v), 40)
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		g.SetLinkCapacity(l, 40)
+	}
+	return Scenario{
+		Graph:        g,
+		IngressNodes: []graph.NodeID{2, 5, 9},
+		Egress:       1,
+		Traffic:      traffic.PoissonSpec(10),
+		Deadline:     100,
+		Horizon:      horizon,
+	}
+}
+
+// TestBatchedRunMatchesSequential is the eval-level equivalence oracle:
+// for each figure-style scenario — Abilene and a 100-node synthetic,
+// with and without fault injection — a run with batched inference must
+// produce byte-identical metrics to the sequential run, under the real
+// trained Distributed coordinator.
+func TestBatchedRunMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short mode")
+	}
+	base := Base()
+	base.Horizon = 2000
+	// The actor's shape depends on the topology's maximum degree, so each
+	// topology family gets its own (tiny) trained policy.
+	trainOn := func(s Scenario) CoordinatorFactory {
+		t.Helper()
+		s.Horizon = tinyOptions().Budget.Horizon
+		policy, err := TrainDRL(s, tinyOptions().Budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return policy.Factory()
+	}
+	abileneFactory := trainOn(Base())
+	synthFactory := trainOn(syntheticScenario(100, 120))
+
+	outage := chaos.Spec{Profile: chaos.ProfileNodeOutage, Seed: 7, Node: -1, Link: -1}
+	cases := []struct {
+		name     string
+		scenario Scenario
+		factory  CoordinatorFactory
+	}{
+		{"abilene", base, abileneFactory},
+		{"abilene-faults", func() Scenario { s := base; s.Faults = outage; return s }(), abileneFactory},
+		{"synthetic100", syntheticScenario(100, 600), synthFactory},
+		{"synthetic100-faults", func() Scenario {
+			s := syntheticScenario(100, 600)
+			s.Faults = outage
+			return s
+		}(), synthFactory},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed = 3
+			run := func(maxBatch int) string {
+				inst, err := tc.scenario.Instantiate(seed)
+				if err != nil {
+					t.Fatalf("instantiate: %v", err)
+				}
+				// A fresh coordinator per run: per-node sampling streams
+				// must start identically for both paths.
+				c, err := tc.factory(inst, seed)
+				if err != nil {
+					t.Fatalf("factory: %v", err)
+				}
+				m, err := inst.RunWith(c, RunOptions{MaxBatch: maxBatch})
+				if err != nil {
+					t.Fatalf("run (MaxBatch=%d): %v", maxBatch, err)
+				}
+				if m.Arrived == 0 {
+					t.Fatal("degenerate scenario: no flows arrived")
+				}
+				b, err := json.Marshal(m)
+				if err != nil {
+					t.Fatalf("marshal metrics: %v", err)
+				}
+				return string(b)
+			}
+			seq := run(0)
+			bat := run(16)
+			if seq != bat {
+				t.Errorf("batched metrics diverged from sequential:\nseq: %s\nbat: %s", seq, bat)
+			}
+		})
+	}
+}
+
+// TestBatchedBurstRunDeterministic pins the batched semantics under
+// real multi-flow cohorts: burst arrivals make same-(node, time) windows
+// with more than one flow, where batched observations legitimately read
+// the window-start snapshot (so the result differs from sequential), but
+// two batched runs of the identical scenario must still agree byte for
+// byte.
+func TestBatchedBurstRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test skipped in -short mode")
+	}
+	s := syntheticScenario(100, 600)
+	s.Traffic = traffic.BurstSpec(20, 8)
+	train := s
+	train.Horizon = tinyOptions().Budget.Horizon
+	policy, err := TrainDRL(train, tinyOptions().Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		inst, err := s.Instantiate(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := policy.Factory()(inst, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := inst.RunWith(c, RunOptions{MaxBatch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("two batched burst runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestBatchedGridOutputUnchanged pins that the engine's grid pipeline is
+// untouched by the batching feature: RunOptions' zero value must keep
+// MaxBatch off, so grid output remains byte-identical to the seed
+// baseline (covered by the engine's own golden tests) regardless of the
+// coordinator's BatchDecider capability.
+func TestBatchedGridOutputUnchanged(t *testing.T) {
+	var opts RunOptions
+	if opts.MaxBatch != 0 {
+		t.Fatalf("zero RunOptions has MaxBatch %d, want 0", opts.MaxBatch)
+	}
+	var cfg simnet.Config
+	if cfg.MaxBatch != 0 {
+		t.Fatalf("zero simnet.Config has MaxBatch %d, want 0", cfg.MaxBatch)
+	}
+}

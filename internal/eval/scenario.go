@@ -223,6 +223,11 @@ type RunOptions struct {
 	// Listener observes simulation events alongside any coordinator
 	// capability (e.g. a chaos.Monitor collecting recovery metrics).
 	Listener simnet.Listener
+	// MaxBatch, when > 1, resolves same-(node, time) decisions with
+	// batched inference (cf. simnet.Config.MaxBatch). The grid and all
+	// figure outputs leave it 0, so published results stay pinned to the
+	// sequential path.
+	MaxBatch int
 }
 
 // Run simulates the instance under the given coordinator and returns the
@@ -265,6 +270,7 @@ func (inst *Instance) RunWith(c simnet.Coordinator, opts RunOptions) (*simnet.Me
 		Listener:    opts.Listener,
 		Faults:      faults,
 		Tracer:      opts.Tracer,
+		MaxBatch:    opts.MaxBatch,
 	})
 	if err != nil {
 		return nil, err

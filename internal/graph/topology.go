@@ -108,6 +108,18 @@ func Interroute() *Graph {
 	return synthesize("Interroute", 110, 158, 7, 0x1247, box{35, 60, -10, 30}, 20)
 }
 
+// SyntheticScale deterministically generates an n-node synthetic
+// topology (n ≥ 12) for scale benchmarks: m ≈ 1.5·n links and a fixed
+// maximum degree of 10, so the observation and action space — and
+// therefore the policy network shape — stay constant across scales and
+// match the paper's 2×256 evaluation network.
+func SyntheticScale(n int, seed int64) *Graph {
+	if n < 12 {
+		panic(fmt.Sprintf("graph: SyntheticScale needs n >= 12, got %d", n))
+	}
+	return synthesize(fmt.Sprintf("synthetic-%d", n), n, n+n/2, 10, seed, box{25, 50, -125, -65}, 20)
+}
+
 // Topologies returns fresh copies of the four evaluation networks in the
 // order of Table I.
 func Topologies() []*Graph {

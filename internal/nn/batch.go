@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// batchLanes is the SIMD width of the batched forward pass: weights are
+// streamed once per group of up to 16 observations, and the amd64 kernel
+// processes all 16 lanes per weight load (4 × 4-wide AVX2 vectors). The
+// generic fallback uses the same lane layout so both paths share the
+// packing code and produce bit-identical results.
+const batchLanes = 16
+
+// BatchWorkspace holds the scratch buffers of a batched forward pass:
+// the lane-transposed activation buffers for one 16-row group, a scalar
+// workspace for singleton remainders, and the growing row-major output
+// buffer. A workspace belongs to one caller (not safe for concurrent
+// use) and fits any network with the same layer sizes as the one that
+// created it.
+type BatchWorkspace struct {
+	sizes []int
+	// xt is the lane-transposed input of the current group:
+	// xt[i*16+l] = row l's input i.
+	xt []float64
+	// acts[k] is the lane-transposed output of layer k for the current
+	// group, laid out like xt so layers chain without repacking.
+	acts [][]float64
+	// row is the scalar workspace used for groups of exactly one row,
+	// which take the plain ForwardInto path.
+	row *Workspace
+	// out accumulates the row-major logits for all rows of the batch; it
+	// grows to the largest batch seen and is then reused.
+	out []float64
+}
+
+// NewBatchWorkspace allocates batched-inference scratch buffers sized
+// for m. The output buffer grows on demand with the batch size, so the
+// same workspace serves any batch size.
+func (m *MLP) NewBatchWorkspace() *BatchWorkspace {
+	ws := &BatchWorkspace{
+		sizes: append([]int(nil), m.sizes...),
+		xt:    make([]float64, m.InputSize()*batchLanes),
+		acts:  make([][]float64, len(m.layers)),
+		row:   m.NewWorkspace(),
+	}
+	for i, l := range m.layers {
+		ws.acts[i] = make([]float64, l.out*batchLanes)
+	}
+	return ws
+}
+
+// ForwardBatchInto runs inference for n observations stored row-major in
+// xs (len n*InputSize()) and returns the row-major logits (len
+// n*OutputSize()), which alias the workspace and stay valid until its
+// next use. Row b of the result is bit-identical to
+// ForwardInto(ws, xs[b*in:(b+1)*in]): batching changes only when the
+// arithmetic runs, never its operation order per row. n = 0 returns an
+// empty slice; steady state performs zero allocations.
+func (m *MLP) ForwardBatchInto(ws *BatchWorkspace, xs []float64, n int) []float64 {
+	in := m.InputSize()
+	outW := m.OutputSize()
+	if n < 0 || len(xs) != n*in {
+		panic(fmt.Sprintf("nn: batch input length %d, want %d rows x %d", len(xs), n, in))
+	}
+	if len(ws.sizes) != len(m.sizes) || len(ws.xt) != in*batchLanes {
+		panic("nn: batch workspace does not fit this network")
+	}
+	for i, l := range m.layers {
+		if len(ws.acts[i]) != l.out*batchLanes {
+			panic(fmt.Sprintf("nn: batch workspace layer %d sized %d, want %d", i, len(ws.acts[i]), l.out*batchLanes))
+		}
+	}
+	if cap(ws.out) < n*outW {
+		ws.out = make([]float64, n*outW)
+	}
+	ws.out = ws.out[:n*outW]
+
+	for g0 := 0; g0 < n; g0 += batchLanes {
+		rows := n - g0
+		if rows > batchLanes {
+			rows = batchLanes
+		}
+		if rows == 1 {
+			// A singleton group gains nothing from lane packing; route it
+			// through the scalar path (identical semantics either way).
+			y := m.ForwardInto(ws.row, xs[g0*in:(g0+1)*in])
+			copy(ws.out[g0*outW:(g0+1)*outW], y)
+			continue
+		}
+		// Pack the group lane-transposed, zero-filling unused lanes (the
+		// kernel computes them; their results are discarded).
+		for i := 0; i < in; i++ {
+			col := ws.xt[i*batchLanes : i*batchLanes+batchLanes]
+			for l := 0; l < rows; l++ {
+				col[l] = xs[(g0+l)*in+i]
+			}
+			for l := rows; l < batchLanes; l++ {
+				col[l] = 0
+			}
+		}
+		cur := ws.xt
+		for li, layer := range m.layers {
+			next := ws.acts[li]
+			layer.forwardLanes(cur, next)
+			if li+1 < len(m.layers) {
+				for j := range next {
+					next[j] = math.Tanh(next[j])
+				}
+			}
+			cur = next
+		}
+		for l := 0; l < rows; l++ {
+			dst := ws.out[(g0+l)*outW : (g0+l+1)*outW]
+			for o := range dst {
+				dst[o] = cur[o*batchLanes+l]
+			}
+		}
+	}
+	return ws.out
+}
+
+// forwardLanes computes one dense layer over 16 lane-transposed rows:
+// yt[o*16+l] = b[o] + Σ_i w[o][i]·xt[i*16+l], with the per-lane sum
+// accumulated in ascending i and a separate multiply and add per step —
+// the exact operation order of the scalar forward, so every lane is
+// bit-identical to it.
+func (d *dense) forwardLanes(xt, yt []float64) {
+	for o := 0; o < d.out; o++ {
+		acc := yt[o*batchLanes : o*batchLanes+batchLanes]
+		bias := d.b[o]
+		for l := range acc {
+			acc[l] = bias
+		}
+	}
+	if d.in == 0 {
+		return
+	}
+	o := 0
+	if useAVX512 {
+		// Output pairs share each xt column load (two rows per pass).
+		for ; o+2 <= d.out; o += 2 {
+			lanes16MulAdd2(&d.w[o*d.in], &d.w[(o+1)*d.in], d.in, &xt[0],
+				&yt[o*batchLanes], &yt[(o+1)*batchLanes])
+		}
+	}
+	for ; o < d.out; o++ {
+		row := d.w[o*d.in : (o+1)*d.in]
+		acc := yt[o*batchLanes : (o+1)*batchLanes]
+		if useAVX2 {
+			lanes16MulAdd(&row[0], d.in, &xt[0], &acc[0])
+		} else {
+			lanes16MulAddGeneric(row, xt, acc)
+		}
+	}
+}
+
+// lanes16MulAddGeneric is the portable lane kernel: acc[l] += row[i] *
+// xt[i*16+l] for every lane, ascending i, two roundings per step. Four
+// accumulators per pass keep the FP units busy without spilling.
+func lanes16MulAddGeneric(row, xt, acc []float64) {
+	for k := 0; k < batchLanes; k += 4 {
+		s0, s1, s2, s3 := acc[k], acc[k+1], acc[k+2], acc[k+3]
+		j := k
+		for _, wi := range row {
+			s0 += wi * xt[j]
+			s1 += wi * xt[j+1]
+			s2 += wi * xt[j+2]
+			s3 += wi * xt[j+3]
+			j += batchLanes
+		}
+		acc[k], acc[k+1], acc[k+2], acc[k+3] = s0, s1, s2, s3
+	}
+}
+
+// SoftmaxBatchInto applies SoftmaxInto to each of the n rows of width w
+// in logits (row-major, len n*w), writing into out (same shape), and
+// returns out. Each row matches a standalone SoftmaxInto bit-for-bit.
+func SoftmaxBatchInto(logits []float64, n, w int, out []float64) []float64 {
+	if len(logits) != n*w || len(out) != n*w {
+		panic("nn: SoftmaxBatchInto shape mismatch")
+	}
+	for b := 0; b < n; b++ {
+		SoftmaxInto(logits[b*w:(b+1)*w], out[b*w:(b+1)*w])
+	}
+	return out
+}
+
+// ArgmaxRows writes the per-row argmax (first index on ties, matching
+// Argmax) of the n rows of width w in xs into out (len n) and returns
+// out.
+func ArgmaxRows(xs []float64, n, w int, out []int) []int {
+	if len(xs) != n*w || len(out) != n {
+		panic("nn: ArgmaxRows shape mismatch")
+	}
+	for b := 0; b < n; b++ {
+		out[b] = Argmax(xs[b*w : (b+1)*w])
+	}
+	return out
+}

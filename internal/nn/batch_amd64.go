@@ -1,0 +1,24 @@
+package nn
+
+// lanes16MulAdd (batch_amd64.s) accumulates acc[l] += row[i]*xt[i*16+l]
+// over i = 0..n-1 for 16 lanes with AVX2, bit-identical per lane to the
+// scalar loop (separate multiply and add, ascending i).
+func lanes16MulAdd(row *float64, n int, xt *float64, acc *float64)
+
+// lanes16MulAdd2 (batch_amd64.s) is the AVX-512 two-row variant: both
+// weight rows accumulate over the same 16 lanes, sharing the xt column
+// loads. Bit-identical per (row, lane) to lanes16MulAdd.
+func lanes16MulAdd2(row0, row1 *float64, n int, xt *float64, acc0, acc1 *float64)
+
+// cpuHasAVX2 and cpuHasAVX512 (batch_amd64.s) detect the vector ISA with
+// OS state support (XGETBV).
+func cpuHasAVX2() bool
+func cpuHasAVX512() bool
+
+// useAVX2/useAVX512 route forwardLanes through the fastest available
+// kernel; all kernels produce bit-identical results, so the switches are
+// pure dispatch. Variables (not constants) so tests can force every path.
+var (
+	useAVX2   = cpuHasAVX2()
+	useAVX512 = cpuHasAVX512()
+)

@@ -1,0 +1,140 @@
+// AVX2 16-lane mul-add kernel for the batched forward pass. Each lane l
+// accumulates
+//   acc[l] += row[i] * xt[i*16+l]   for i = 0..n-1, in ascending i order,
+// with a separate multiply and add per step (two roundings — no FMA), so
+// every lane reproduces the scalar accumulation loop bit-for-bit.
+
+#include "textflag.h"
+
+// func lanes16MulAdd(row *float64, n int, xt *float64, acc *float64)
+TEXT ·lanes16MulAdd(SB), NOSPLIT, $0-32
+	MOVQ row+0(FP), SI
+	MOVQ n+8(FP), CX
+	MOVQ xt+16(FP), DX
+	MOVQ acc+24(FP), DI
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD 64(DI), Y2
+	VMOVUPD 96(DI), Y3
+	TESTQ CX, CX
+	JZ   done
+loop:
+	VBROADCASTSD (SI), Y4
+	VMULPD (DX), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(DX), Y4, Y6
+	VADDPD Y6, Y1, Y1
+	VMULPD 64(DX), Y4, Y7
+	VADDPD Y7, Y2, Y2
+	VMULPD 96(DX), Y4, Y8
+	VADDPD Y8, Y3, Y3
+	ADDQ $8, SI
+	ADDQ $128, DX
+	DECQ CX
+	JNZ  loop
+done:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	// Need OSXSAVE (ECX bit 27) and AVX (ECX bit 28).
+	MOVL CX, DX
+	ANDL $(1<<27 | 1<<28), DX
+	CMPL DX, $(1<<27 | 1<<28)
+	JNE  no
+	// XCR0 bits 1 and 2: XMM and YMM state enabled by the OS.
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	// CPUID leaf 7 subleaf 0: EBX bit 5 = AVX2.
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func lanes16MulAdd2(row0, row1 *float64, n int, xt *float64, acc0, acc1 *float64)
+// AVX-512 variant: two weight rows share each xt column load, giving
+// four independent 8-lane accumulator chains. Per (row, lane) the
+// accumulation is still ascending i with separate mul/add roundings, so
+// it is bit-identical to lanes16MulAdd and the scalar loop.
+TEXT ·lanes16MulAdd2(SB), NOSPLIT, $0-48
+	MOVQ row0+0(FP), SI
+	MOVQ row1+8(FP), R8
+	MOVQ n+16(FP), CX
+	MOVQ xt+24(FP), DX
+	MOVQ acc0+32(FP), DI
+	MOVQ acc1+40(FP), R9
+	VMOVUPD (DI), Z0
+	VMOVUPD 64(DI), Z1
+	VMOVUPD (R9), Z2
+	VMOVUPD 64(R9), Z3
+	TESTQ CX, CX
+	JZ   done2
+loop2:
+	VBROADCASTSD (SI), Z6
+	VBROADCASTSD (R8), Z7
+	VMOVUPD (DX), Z8
+	VMOVUPD 64(DX), Z9
+	VMULPD Z8, Z6, Z10
+	VADDPD Z10, Z0, Z0
+	VMULPD Z9, Z6, Z11
+	VADDPD Z11, Z1, Z1
+	VMULPD Z8, Z7, Z12
+	VADDPD Z12, Z2, Z2
+	VMULPD Z9, Z7, Z13
+	VADDPD Z13, Z3, Z3
+	ADDQ $8, SI
+	ADDQ $8, R8
+	ADDQ $128, DX
+	DECQ CX
+	JNZ  loop2
+done2:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, (R9)
+	VMOVUPD Z3, 64(R9)
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX512() bool
+TEXT ·cpuHasAVX512(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	// Need OSXSAVE (ECX bit 27).
+	ANDL $(1<<27), CX
+	JZ   no512
+	// XCR0: XMM+YMM (bits 1-2) plus opmask/ZMM-hi256/hi16-ZMM (bits 5-7).
+	MOVL $0, CX
+	XGETBV
+	ANDL $0xE6, AX
+	CMPL AX, $0xE6
+	JNE  no512
+	// CPUID leaf 7 subleaf 0: EBX bit 16 = AVX512F (with bit 5 = AVX2).
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5 | 1<<16), BX
+	CMPL BX, $(1<<5 | 1<<16)
+	JNE  no512
+	MOVB $1, ret+0(FP)
+	RET
+no512:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestForwardBatchKernelsAgree runs the full batched pipeline under
+// every kernel configuration this machine supports (AVX-512 pair
+// kernel, AVX2, generic fallback) and asserts bit-identical logits, so
+// one CI machine certifies every dispatch path it can reach.
+func TestForwardBatchKernelsAgree(t *testing.T) {
+	if !cpuHasAVX2() {
+		t.Skip("no AVX2 on this machine")
+	}
+	defer func(avx2, avx512 bool) { useAVX2, useAVX512 = avx2, avx512 }(useAVX2, useAVX512)
+	configs := []struct {
+		name         string
+		avx2, avx512 bool
+	}{
+		{"generic", false, false},
+		{"avx2", true, false},
+	}
+	if cpuHasAVX512() {
+		configs = append(configs, struct {
+			name         string
+			avx2, avx512 bool
+		}{"avx512", true, true})
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		m := randomMLP(rng)
+		in := m.InputSize()
+		const n = 37 // two full lane groups plus a ragged remainder
+		xs := make([]float64, n*in)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		var ref []float64
+		for _, cfg := range configs {
+			useAVX2, useAVX512 = cfg.avx2, cfg.avx512
+			got := m.ForwardBatchInto(m.NewBatchWorkspace(), xs, n)
+			if ref == nil {
+				ref = append([]float64(nil), got...)
+				continue
+			}
+			for i := range ref {
+				if math.Float64bits(ref[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("trial %d sizes=%v idx %d: %s %v != generic %v",
+						trial, m.sizes, i, cfg.name, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

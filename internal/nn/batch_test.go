@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// randomMLP builds a network with random layer sizes (1..40 units, 1..4
+// layers) and Xavier weights.
+func randomMLP(rng *rand.Rand) *MLP {
+	nLayers := 1 + rng.Intn(4)
+	sizes := make([]int, nLayers+1)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(40)
+	}
+	return NewMLP(rng, sizes...)
+}
+
+// TestForwardBatchMatchesForwardInto is the equivalence oracle of the
+// batched path: for random shapes and batch sizes — including the empty
+// batch, singletons, one full lane group, and ragged remainders — every
+// row of ForwardBatchInto must equal the sequential ForwardInto result
+// bit-for-bit (Float64bits, not approximate).
+func TestForwardBatchMatchesForwardInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	batchSizes := []int{0, 1, 2, 3, 5, 15, 16, 17, 31, 32, 33, 48}
+	for trial := 0; trial < 25; trial++ {
+		m := randomMLP(rng)
+		in, out := m.InputSize(), m.OutputSize()
+		bws := m.NewBatchWorkspace()
+		sws := m.NewWorkspace()
+		for _, n := range batchSizes {
+			xs := make([]float64, n*in)
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			got := m.ForwardBatchInto(bws, xs, n)
+			if len(got) != n*out {
+				t.Fatalf("trial %d n=%d: got %d outputs, want %d", trial, n, len(got), n*out)
+			}
+			for b := 0; b < n; b++ {
+				want := m.ForwardInto(sws, xs[b*in:(b+1)*in])
+				for o := 0; o < out; o++ {
+					g, w := got[b*out+o], want[o]
+					if math.Float64bits(g) != math.Float64bits(w) {
+						t.Fatalf("trial %d sizes=%v n=%d row %d out %d: batch %v != sequential %v",
+							trial, m.sizes, n, b, o, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchReusesWorkspace pins that a workspace serves different
+// batch sizes back-to-back (the simulator's gather layer produces
+// varying batch sizes against one workspace).
+func TestForwardBatchReusesWorkspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, 9, 17, 5)
+	bws := m.NewBatchWorkspace()
+	sws := m.NewWorkspace()
+	for _, n := range []int{33, 1, 16, 0, 7, 33} {
+		xs := make([]float64, n*9)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		got := m.ForwardBatchInto(bws, xs, n)
+		for b := 0; b < n; b++ {
+			want := m.ForwardInto(sws, xs[b*9:(b+1)*9])
+			for o, w := range want {
+				if math.Float64bits(got[b*5+o]) != math.Float64bits(w) {
+					t.Fatalf("n=%d row %d: mismatch", n, b)
+				}
+			}
+		}
+	}
+}
+
+// TestLanesGenericMatchesScalar pins the portable lane kernel against a
+// per-lane scalar reference, independent of which kernel forwardLanes
+// dispatches to on this machine.
+func TestLanesGenericMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 7, 64, 256} {
+		row := make([]float64, n)
+		xt := make([]float64, n*batchLanes)
+		acc := make([]float64, batchLanes)
+		ref := make([]float64, batchLanes)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		for i := range xt {
+			xt[i] = rng.NormFloat64()
+		}
+		for l := range acc {
+			acc[l] = rng.NormFloat64()
+			ref[l] = acc[l]
+		}
+		lanes16MulAddGeneric(row, xt, acc)
+		for l := 0; l < batchLanes; l++ {
+			s := ref[l]
+			for i := 0; i < n; i++ {
+				s += row[i] * xt[i*batchLanes+l]
+			}
+			if math.Float64bits(s) != math.Float64bits(acc[l]) {
+				t.Fatalf("n=%d lane %d: generic %v != scalar %v", n, l, acc[l], s)
+			}
+		}
+	}
+}
+
+// TestSoftmaxBatchMatchesRows pins SoftmaxBatchInto to row-by-row
+// SoftmaxInto, including a degenerate (all -Inf) row.
+func TestSoftmaxBatchMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, w = 9, 7
+	logits := make([]float64, n*w)
+	for i := range logits {
+		logits[i] = rng.NormFloat64() * 3
+	}
+	for i := 2 * w; i < 3*w; i++ {
+		logits[i] = math.Inf(-1)
+	}
+	got := SoftmaxBatchInto(logits, n, w, make([]float64, n*w))
+	want := make([]float64, w)
+	for b := 0; b < n; b++ {
+		SoftmaxInto(logits[b*w:(b+1)*w], want)
+		for o := 0; o < w; o++ {
+			if math.Float64bits(got[b*w+o]) != math.Float64bits(want[o]) {
+				t.Fatalf("row %d col %d: %v != %v", b, o, got[b*w+o], want[o])
+			}
+		}
+	}
+}
+
+// TestArgmaxRowsMatchesArgmax pins ArgmaxRows to per-row Argmax,
+// including first-on-ties.
+func TestArgmaxRowsMatchesArgmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n, w = 12, 5
+	xs := make([]float64, n*w)
+	for i := range xs {
+		xs[i] = float64(rng.Intn(3)) // small alphabet forces ties
+	}
+	got := ArgmaxRows(xs, n, w, make([]int, n))
+	for b := 0; b < n; b++ {
+		if want := Argmax(xs[b*w : (b+1)*w]); got[b] != want {
+			t.Fatalf("row %d: ArgmaxRows %d != Argmax %d", b, got[b], want)
+		}
+	}
+}
+
+// TestForwardBatchZeroAllocs asserts the steady-state batched forward
+// performs no allocations once the workspace has grown.
+func TestForwardBatchZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewMLP(rng, 44, 64, 64, 11)
+	ws := m.NewBatchWorkspace()
+	const n = 24
+	xs := make([]float64, n*44)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	m.ForwardBatchInto(ws, xs, n) // grow the output buffer
+	allocs := testing.AllocsPerRun(50, func() {
+		m.ForwardBatchInto(ws, xs, n)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForwardBatchInto allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkForwardBatch compares per-row inference cost across batch
+// sizes on the paper's deployed network shape (2x256 hidden).
+func BenchmarkForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, 44, 256, 256, 11)
+	for _, n := range []int{1, 4, 16, 64} {
+		xs := make([]float64, n*44)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		ws := m.NewBatchWorkspace()
+		b.Run("batch="+strconv.Itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.ForwardBatchInto(ws, xs, n)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/row")
+		})
+	}
+}

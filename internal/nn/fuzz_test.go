@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad drives the checkpoint decoder with malformed input. The seed
+// corpus covers the failure classes the validator must catch (truncation,
+// shape mismatches, non-finite and non-positive sizes); `go test` replays
+// it as a regression suite, `go test -fuzz=FuzzLoad` explores further.
+// The invariant: Load either errors or returns a network whose forward
+// pass on a zero input is finite and correctly shaped.
+func FuzzLoad(f *testing.F) {
+	// A valid 2-3-2 checkpoint as the happy-path seed.
+	var valid bytes.Buffer
+	if err := NewMLP(rand.New(rand.NewSource(1)), 2, 3, 2).Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"sizes":[2],"weights":[]}`))
+	f.Add([]byte(`{"sizes":[2,3],"weights":[[1,2,3,4,5,6]]}`))
+	f.Add([]byte(`{"sizes":[2,3],"weights":[[1,2,3,4,5],[0,0,0]]}`))
+	f.Add([]byte(`{"sizes":[0,0],"weights":[[],[]]}`))
+	f.Add([]byte(`{"sizes":[-1,0],"weights":[[],[]]}`))
+	f.Add([]byte(`{"sizes":[2,1],"weights":[[1,null],[0]]}`))
+	f.Add([]byte(`{"sizes":[1,1],"weights":[[1e999],[0]]}`))
+	f.Add([]byte(`{"sizes":[1,16777217],"weights":[[],[]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Huge size vectors make the decoder allocate before validation
+		// can reject; bound the input like any sane checkpoint reader.
+		if len(data) > 1<<16 {
+			return
+		}
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if m != nil {
+				t.Fatalf("Load returned both a network and error %v", err)
+			}
+			return
+		}
+		if m.InputSize() <= 0 || m.OutputSize() <= 0 {
+			t.Fatalf("Load accepted degenerate shape %v from %q", m.sizes, data)
+		}
+		out := m.Forward(make([]float64, m.InputSize()))
+		if len(out) != m.OutputSize() {
+			t.Fatalf("forward output %d, want %d", len(out), m.OutputSize())
+		}
+		for _, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted checkpoint produces non-finite output %v (input %q)", v, data)
+			}
+		}
+	})
+}
+
+// TestLoadRejectsDegenerateSizes pins the size validation the fuzz
+// corpus exercises: each malformed document must produce a decode error,
+// not a loadable network.
+func TestLoadRejectsDegenerateSizes(t *testing.T) {
+	for _, doc := range []string{
+		`{"sizes":[0,0],"weights":[[],[]]}`,
+		`{"sizes":[-1,0],"weights":[[],[]]}`,
+		`{"sizes":[2,-2],"weights":[[],[]]}`,
+		`{"sizes":[1,16777217],"weights":[[],[]]}`,
+	} {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("Load accepted %s", doc)
+		}
+	}
+}

@@ -77,6 +77,16 @@ func fromJSON(j mlpJSON) (*MLP, error) {
 	if len(j.Sizes) < 2 {
 		return nil, fmt.Errorf("nn: loaded network has invalid sizes %v", j.Sizes)
 	}
+	// Layer sizes must be positive and sane: a zero or negative size
+	// builds a degenerate network that passes the length checks below
+	// (e.g. sizes [-1,0] with empty weight blocks), and absurdly large
+	// sizes can overflow the in*out shape arithmetic.
+	const maxLayerSize = 1 << 24
+	for _, sz := range j.Sizes {
+		if sz <= 0 || sz > maxLayerSize {
+			return nil, fmt.Errorf("nn: loaded network has invalid sizes %v", j.Sizes)
+		}
+	}
 	if len(j.Weights) != 2*(len(j.Sizes)-1) {
 		return nil, fmt.Errorf("nn: loaded network has %d weight blocks, want %d",
 			len(j.Weights), 2*(len(j.Sizes)-1))

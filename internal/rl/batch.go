@@ -1,0 +1,61 @@
+package rl
+
+import (
+	"math/rand"
+
+	"distcoord/internal/nn"
+)
+
+// BatchPolicy is an optional Policy capability: select one action per
+// observation row with a single batched forward pass. obs holds n
+// row-major observations; implementations fill actions[i] for row i,
+// drawing any sampling randomness in row order, so the per-row results
+// are identical to n sequential SelectAction calls on the same stream.
+type BatchPolicy interface {
+	Policy
+	SelectActions(obs []float64, n int, actions []int)
+}
+
+// BatchScratch holds one caller's reusable batched-inference buffers
+// (batch workspace plus a probability matrix). Not safe for concurrent
+// use; each caller owns its own.
+type BatchScratch struct {
+	bws   *nn.BatchWorkspace
+	probs []float64
+	w     int // action-space width
+}
+
+// NewBatchScratch allocates batched-inference buffers sized for the
+// agent's actor. The probability matrix grows to the largest batch seen.
+func (a *Agent) NewBatchScratch() *BatchScratch {
+	return &BatchScratch{
+		bws: a.Actor.NewBatchWorkspace(),
+		w:   a.cfg.NumActions,
+	}
+}
+
+// SampleActionsWith draws one action per observation row of obs (n rows,
+// row-major) into actions, using a single batched actor forward pass.
+// Row i's action is bit-identical to a SampleActionWith call on the same
+// observation and random source: the forward pass preserves per-row
+// operation order and the stream is consumed in row order.
+func (a *Agent) SampleActionsWith(sc *BatchScratch, obs []float64, n int, rng *rand.Rand, actions []int) {
+	logits := a.Actor.ForwardBatchInto(sc.bws, obs, n)
+	if cap(sc.probs) < n*sc.w {
+		sc.probs = make([]float64, n*sc.w)
+	}
+	probs := nn.SoftmaxBatchInto(logits, n, sc.w, sc.probs[:n*sc.w])
+	for b := 0; b < n; b++ {
+		actions[b] = nn.SampleCategorical(rng, probs[b*sc.w:(b+1)*sc.w])
+	}
+}
+
+// SelectActions implements BatchPolicy, batching the actor forward pass
+// across the rows. The scratch is created on first use, so purely
+// sequential rollouts never pay for it.
+func (p *samplingPolicy) SelectActions(obs []float64, n int, actions []int) {
+	if p.bsc == nil {
+		p.bsc = p.agent.NewBatchScratch()
+	}
+	p.agent.SampleActionsWith(p.bsc, obs, n, p.rng, actions)
+}

@@ -286,6 +286,7 @@ type samplingPolicy struct {
 	agent *Agent
 	rng   *rand.Rand
 	sc    *Scratch
+	bsc   *BatchScratch // lazily created by SelectActions (batch.go)
 }
 
 // SelectAction implements Policy.

@@ -66,6 +66,10 @@ func (q *eventQueue) push(e event) {
 	q.up(len(q.items) - 1)
 }
 
+// peek returns the earliest event without removing it. Callers must
+// check Len; the pointer is only valid until the next queue operation.
+func (q *eventQueue) peek() *event { return &q.items[0] }
+
 // pop removes and returns the earliest event. Callers must check Len.
 func (q *eventQueue) pop() event {
 	top := q.items[0]

@@ -86,6 +86,14 @@ type Config struct {
 	// Horizon + 10·Deadline, enough for all generated flows to finish
 	// or expire.
 	MaxTime float64
+
+	// MaxBatch enables batched decision resolution when > 1 and the
+	// coordinator implements BatchDecider: decision events sharing one
+	// event timestamp are gathered and resolved per node with up to
+	// MaxBatch flows per DecideBatch call. 0 (the default) and 1 run the
+	// plain sequential path; coordinators without the capability fall
+	// back to it silently.
+	MaxBatch int
 }
 
 // validate fills defaults and rejects malformed configurations.
@@ -142,6 +150,9 @@ func (c *Config) validate() error {
 	if c.KeepStep <= 0 {
 		c.KeepStep = 1
 	}
+	if c.MaxBatch < 0 {
+		return errors.New("simnet: MaxBatch must be non-negative")
+	}
 	if c.MaxTime <= 0 {
 		c.MaxTime = c.Horizon + 10*c.Template.Deadline
 	}
@@ -161,6 +172,9 @@ type Sim struct {
 	resetter  Resetter
 	topoObs   TopologyObserver
 	listeners []Listener // Config.Listener plus the coordinator's FlowObserver capability, deduplicated
+	// batcher is non-nil when Config.MaxBatch > 1 and the coordinator has
+	// the BatchDecider capability.
+	batcher *decisionBatcher
 
 	nextID   int
 	svcRng   *rand.Rand
@@ -199,6 +213,11 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if to, ok := cfg.Coordinator.(TopologyObserver); ok {
 		s.topoObs = to
+	}
+	if cfg.MaxBatch > 1 {
+		if bd, ok := cfg.Coordinator.(BatchDecider); ok {
+			s.batcher = newDecisionBatcher(bd, cfg.MaxBatch, cfg.Graph.NumNodes())
+		}
 	}
 	if cfg.Listener != nil {
 		s.listeners = append(s.listeners, cfg.Listener)
@@ -288,6 +307,21 @@ func (s *Sim) Run() (*Metrics, error) {
 			return nil, fmt.Errorf("simnet: event time went backwards: %f < %f", e.t, s.st.now)
 		}
 		s.st.now = math.Max(s.st.now, e.t)
+		if s.batcher != nil && joinable(e.kind) {
+			// Gather the run of decision-bearing events at this timestamp
+			// into one window, then resolve it with batched inference. Any
+			// other event kind — or a later timestamp — ends the window.
+			s.gatherDecision(e)
+			for s.queue.Len() > 0 {
+				h := s.queue.peek()
+				if h.t != e.t || !joinable(h.kind) {
+					break
+				}
+				s.gatherDecision(s.queue.pop())
+			}
+			s.batcher.resolve(s, e.t)
+			continue
+		}
 		s.dispatch(e)
 	}
 
@@ -327,6 +361,13 @@ func (s *Sim) dispatch(e event) {
 // generateFlow creates the next flow at ingress e.ingress and schedules
 // the subsequent arrival.
 func (s *Sim) generateFlow(e event) {
+	f := s.newFlow(e)
+	s.handleFlowAt(f, f.Ingress, e.t)
+	s.scheduleNextArrival(e)
+}
+
+// newFlow instantiates the flow of arrival event e and records it.
+func (s *Sim) newFlow(e event) *Flow {
 	in := s.cfg.Ingresses[e.ingress]
 	f := &Flow{
 		ID:       s.nextID,
@@ -341,37 +382,89 @@ func (s *Sim) generateFlow(e event) {
 	s.nextID++
 	s.metrics.Arrived++
 	s.trace(TraceArrival, f, in.Node, e.t, -1, -1, DropNone)
-	s.handleFlowAt(f, in.Node, e.t)
+	return f
+}
 
-	next := e.t + in.Arrivals.Next()
+// scheduleNextArrival draws the next inter-arrival gap of e's ingress
+// and schedules the following generation event.
+func (s *Sim) scheduleNextArrival(e event) {
+	next := e.t + s.cfg.Ingresses[e.ingress].Arrivals.Next()
 	if next < s.cfg.Horizon {
 		s.queue.push(event{t: next, kind: evGenArrival, ingress: e.ingress})
 	}
 }
 
-// handleFlowAt is the decision point: flow f's head is at node v at time
-// now. It checks expiry and completion, then queries the coordinator and
-// applies the chosen action.
+// handleFlowAt is the sequential decision point: flow f's head is at
+// node v at time now. It checks expiry and completion, then queries the
+// coordinator and applies the chosen action.
 func (s *Sim) handleFlowAt(f *Flow, v graph.NodeID, now float64) {
-	if f.done {
+	if !s.precheck(f, v, now) {
 		return
+	}
+	action := s.cfg.Coordinator.Decide(s.st, f, v, now)
+	s.applyDecision(f, v, now, action)
+}
+
+// gatherDecision runs the pre-decision part of a decision-bearing event
+// and enqueues the flow into the current gather window. It mirrors the
+// sequential handlers exactly, except that the coordinator query and
+// action application are deferred to the window's batched resolve — and
+// that a burst arrival's follow-up generation event is scheduled before
+// (not after) the decision applies, so same-time arrivals can join the
+// window.
+func (s *Sim) gatherDecision(e event) {
+	switch e.kind {
+	case evGenArrival:
+		f := s.newFlow(e)
+		s.scheduleNextArrival(e)
+		if s.precheck(f, f.Ingress, e.t) {
+			s.batcher.add(f, f.Ingress)
+		}
+	case evHeadArrive:
+		if s.precheck(e.flow, e.node, e.t) {
+			s.batcher.add(e.flow, e.node)
+		}
+	case evProcDone:
+		f := e.flow
+		if f.done {
+			return
+		}
+		f.CompIdx++
+		s.onTraversed(f, e.node, e.t)
+		if s.precheck(f, e.node, e.t) {
+			s.batcher.add(f, e.node)
+		}
+	}
+}
+
+// precheck applies the checks that precede any coordinator query and
+// reports whether flow f still needs a decision at v. A false return
+// means the flow's fate was already settled (dropped, expired,
+// completed, or a stale event for a finished flow).
+func (s *Sim) precheck(f *Flow, v graph.NodeID, now float64) bool {
+	if f.done {
+		return false
 	}
 	if !s.st.NodeAlive(v) {
 		// The head reached a crashed node: flows in transit when the node
 		// went down fail on arrival (unless the node recovered first).
 		s.drop(f, v, DropNodeFailure, now)
-		return
+		return false
 	}
 	if f.Remaining(now) <= capEps {
 		s.drop(f, v, DropExpired, now)
-		return
+		return false
 	}
 	if f.Processed() && v == f.Egress {
 		s.complete(f, now)
-		return
+		return false
 	}
+	return true
+}
 
-	action := s.cfg.Coordinator.Decide(s.st, f, v, now)
+// applyDecision records a coordinator decision for flow f at node v and
+// applies it against live state.
+func (s *Sim) applyDecision(f *Flow, v graph.NodeID, now float64, action int) {
 	f.Decisions++
 	s.metrics.Decisions++
 	s.trace(TraceDecision, f, v, now, action, -1, DropNone)

@@ -16,7 +16,8 @@ import (
 // node. Implementations are not safe for concurrent use; each ingress
 // gets its own instance.
 type Process interface {
-	// Next returns the time until the next flow arrival (> 0).
+	// Next returns the time until the next flow arrival (≥ 0; only burst
+	// processes return 0, for the simultaneous members of one burst).
 	Next() float64
 	// Name identifies the arrival pattern (for experiment labels).
 	Name() string
@@ -64,6 +65,32 @@ func expDraw(rng *rand.Rand, mean float64) float64 {
 	}
 	return d
 }
+
+// Burst emits K simultaneous flows every Interval time steps: the first
+// member of each burst arrives Interval after the previous burst, the
+// remaining K−1 members follow with zero gap. Burst cohorts exercise
+// the batched decision path (many flows pending at one node and event
+// time); K = 1 degenerates to Fixed.
+type Burst struct {
+	Interval float64
+	K        int
+	i        int
+}
+
+// Next returns Interval at each burst boundary and 0 within a burst.
+func (b *Burst) Next() float64 {
+	if b.K <= 1 {
+		return b.Interval
+	}
+	b.i++
+	if b.i%b.K == 1 {
+		return b.Interval
+	}
+	return 0
+}
+
+// Name implements Process.
+func (b *Burst) Name() string { return fmt.Sprintf("burst(%g,%d)", b.Interval, b.K) }
 
 // MMPP is a two-state Markov-modulated Poisson process (Fig. 6c): flow
 // inter-arrival times are exponential with the current state's mean; at
@@ -237,6 +264,15 @@ func PoissonSpec(mean float64) Spec {
 	return Spec{
 		Label: fmt.Sprintf("poisson(%g)", mean),
 		New:   func(rng *rand.Rand) Process { return NewPoisson(mean, rng) },
+	}
+}
+
+// BurstSpec returns a Spec for bursts of k simultaneous flows every
+// interval time steps.
+func BurstSpec(interval float64, k int) Spec {
+	return Spec{
+		Label: fmt.Sprintf("burst(%g,%d)", interval, k),
+		New:   func(*rand.Rand) Process { return &Burst{Interval: interval, K: k} },
 	}
 }
 

@@ -1,0 +1,91 @@
+#!/bin/sh
+# bench_check.sh — regression gate on the sequential decision hot path.
+#
+# Compares the decide/stochastic and decide/argmax ns/op of a fresh
+# cmd/bench run against the committed BENCH_inference.json baseline and
+# fails when either regresses by more than 25%. Scale-harness numbers
+# (BENCH_scale.json) are recorded but deliberately not gated: episode
+# throughput varies too much across runner hardware for a meaningful
+# cross-machine threshold, while the per-decision hot path is stable
+# enough to bound.
+#
+# Usage: scripts/bench_check.sh [baseline.json] [fresh.json] [scale.json]
+#   baseline.json  defaults to the committed BENCH_inference.json
+#   fresh.json     defaults to running `go run ./cmd/bench` to a temp file
+#   scale.json     defaults to BENCH_scale.json; its flows/sec series is
+#                  summarized (and sanity-checked for parseability) when
+#                  the file exists
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=${1:-BENCH_inference.json}
+FRESH=${2:-}
+SCALE=${3:-BENCH_scale.json}
+LIMIT=125 # fresh ns/op may be at most this percent of baseline
+
+if [ ! -f "$BASELINE" ]; then
+	echo "bench_check: baseline $BASELINE not found" >&2
+	exit 1
+fi
+
+if [ -z "$FRESH" ]; then
+	FRESH=$(mktemp /tmp/bench_check.XXXXXX.json)
+	trap 'rm -f "$FRESH"' EXIT
+	echo "bench_check: measuring fresh decide hot path..."
+	go run ./cmd/bench -out "$FRESH" >/dev/null
+fi
+
+# Extracts ns_per_op of the decide record with the given variant from a
+# JSONL benchmark file.
+ns_per_op() {
+	awk -v want="$2" '
+		/"record":"bench"/ && /"bench":"decide"/ {
+			if (index($0, "\"variant\":\"" want "\"") == 0) next
+			if (match($0, /"ns_per_op":[0-9.eE+-]+/)) {
+				print substr($0, RSTART + 12, RLENGTH - 12)
+				exit
+			}
+		}' "$1"
+}
+
+fail=0
+for variant in stochastic argmax; do
+	base=$(ns_per_op "$BASELINE" "$variant")
+	cur=$(ns_per_op "$FRESH" "$variant")
+	if [ -z "$base" ] || [ -z "$cur" ]; then
+		echo "bench_check: decide/$variant record missing (baseline='${base:-}' fresh='${cur:-}')" >&2
+		fail=1
+		continue
+	fi
+	pct=$(awk -v b="$base" -v c="$cur" 'BEGIN { printf "%+.1f", (c - b) / b * 100 }')
+	if [ "$(awk -v b="$base" -v c="$cur" -v lim="$LIMIT" 'BEGIN { print (c <= b * lim / 100) ? 1 : 0 }')" = 1 ]; then
+		echo "bench_check: decide/$variant ok: $cur ns/op vs baseline $base ($pct%)"
+	else
+		echo "bench_check: decide/$variant REGRESSED: $cur ns/op vs baseline $base ($pct%, limit +25%)" >&2
+		fail=1
+	fi
+done
+
+# Scale series: summarized for the log, not regression-gated (episode
+# throughput is too machine-dependent for a cross-runner threshold) —
+# but a present-yet-unparseable file is an error.
+if [ -f "$SCALE" ]; then
+	rows=$(awk '
+		/"record":"scale"/ {
+			n = b = f = sp = ""
+			if (match($0, /"nodes":[0-9]+/)) n = substr($0, RSTART + 8, RLENGTH - 8)
+			if (match($0, /"batch":[0-9]+/)) b = substr($0, RSTART + 8, RLENGTH - 8)
+			if (match($0, /"flows_per_sec":[0-9.eE+-]+/)) f = substr($0, RSTART + 16, RLENGTH - 16)
+			if (match($0, /"speedup":[0-9.eE+-]+/)) sp = substr($0, RSTART + 10, RLENGTH - 10)
+			if (n != "" && b != "" && f != "")
+				printf "bench_check: scale nodes=%-5s batch=%-3s %10.0f flows/sec %6.2fx\n", n, b, f, sp
+		}' "$SCALE")
+	if [ -z "$rows" ]; then
+		echo "bench_check: $SCALE has no parseable scale records" >&2
+		fail=1
+	else
+		echo "$rows"
+	fi
+fi
+exit $fail
