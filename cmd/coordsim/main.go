@@ -11,6 +11,7 @@
 //	coordsim -algo sp -metrics-out metrics.json # machine-readable summary
 //	coordsim -algo drl -faults node-outage      # resilience run + recovery metrics
 //	coordsim -algo drl -jobs 2                  # cap CPU use (GOMAXPROCS)
+//	coordsim -algo sp -shards 4                 # sharded multi-core event loop
 package main
 
 import (
@@ -152,8 +153,14 @@ func run(c *runConfig) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q (want drl, central, gcasp, sp)", c.algo)
 	}
+	if err := c.shared.ValidateShards(coordinator); err != nil {
+		return err
+	}
 
-	opts := eval.RunOptions{Tracer: rt.Tracer()}
+	opts := eval.RunOptions{Tracer: rt.Tracer(), Shards: rt.Shards()}
+	if rt.Shards() > 1 {
+		opts.ShardObserver = rt.ShardObserver()
+	}
 	var monitor *chaos.Monitor
 	if s.Faults.Enabled() {
 		monitor = chaos.NewMonitor(inst.Chaos, 0)

@@ -49,6 +49,11 @@ type Flags struct {
 	// resolved with up to this many flows per inference call
 	// (simnet.Config.MaxBatch). 0 or 1 keeps the sequential path.
 	Batch int
+	// Shards runs simulations that honor it on the sharded multi-core
+	// event loop with this many shards (simnet.Config.Shards). 0 or 1
+	// keeps the byte-identical sequential engine; > 1 requires a
+	// coordinator with the ShardableCoordinator capability.
+	Shards int
 	// GridLog is the JSONL path for per-cell experiment grid records
 	// (eval.GridRecord).
 	GridLog string
@@ -75,6 +80,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Faults, "faults", "", "fault-injection spec: profile[:key=val,...] (node-outage, link-outage, link-cascade, surge, instance-kill; see EXPERIMENTS.md)")
 	fs.IntVar(&f.Jobs, "jobs", 0, "bound parallelism: GOMAXPROCS and the experiment worker pool (0: all CPUs); output is identical for any value")
 	fs.IntVar(&f.Batch, "batch", 0, "batched decision resolution: max flows per inference call for same-(node,time) decisions (0 or 1: sequential)")
+	fs.IntVar(&f.Shards, "shards", 0, "sharded multi-core event loop: number of node-region shards (0 or 1: sequential engine; >1 requires a shardable coordinator)")
 	fs.StringVar(&f.GridLog, "grid-log", "", "write per-cell experiment grid records to this JSONL file")
 	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve the live observability endpoint (/metrics, /snapshot, /run) on this address (e.g. localhost:9090, or :0 for a free port)")
 	fs.DurationVar(&f.ObsWait, "obs-wait", 0, "keep the observability endpoint serving this long after the run completes (requires -obs-addr)")
@@ -102,21 +108,12 @@ type Runtime struct {
 // pprof endpoint on stderr when one was requested). On error nothing is
 // left running.
 func (f *Flags) Apply() (*Runtime, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
 	faults, err := chaos.ParseSpec(f.Faults)
 	if err != nil {
 		return nil, err
-	}
-	if f.Jobs < 0 {
-		return nil, fmt.Errorf("clicfg: -jobs must be >= 0, got %d", f.Jobs)
-	}
-	if f.Batch < 0 {
-		return nil, fmt.Errorf("clicfg: -batch must be >= 0, got %d", f.Batch)
-	}
-	if f.ObsWait != 0 && f.ObsAddr == "" {
-		return nil, fmt.Errorf("clicfg: -obs-wait requires -obs-addr")
-	}
-	if f.ObsWait < 0 {
-		return nil, fmt.Errorf("clicfg: -obs-wait must be >= 0, got %s", f.ObsWait)
 	}
 	if f.Jobs > 0 {
 		runtime.GOMAXPROCS(f.Jobs)
@@ -166,6 +163,46 @@ func (f *Flags) Apply() (*Runtime, error) {
 		fmt.Fprintf(os.Stderr, "observability listening on http://%s/ (/metrics /snapshot /run)\n", rt.obs.Addr())
 	}
 	return rt, nil
+}
+
+// Validate is the single consistency check over the shared flags; Apply
+// runs it before resolving anything, so no sink or server is opened for
+// an inconsistent combination. It is exposed separately so binaries with
+// extra constraints can re-check after adjusting fields programmatically.
+func (f *Flags) Validate() error {
+	if f.Jobs < 0 {
+		return fmt.Errorf("clicfg: -jobs must be >= 0, got %d", f.Jobs)
+	}
+	if f.Batch < 0 {
+		return fmt.Errorf("clicfg: -batch must be >= 0, got %d", f.Batch)
+	}
+	if f.Shards < 0 {
+		return fmt.Errorf("clicfg: -shards must be >= 0, got %d", f.Shards)
+	}
+	if f.Shards > 1 && f.Jobs == 1 {
+		return fmt.Errorf("clicfg: -shards %d cannot run on one CPU; raise -jobs or leave it 0 (all CPUs)", f.Shards)
+	}
+	if f.ObsWait != 0 && f.ObsAddr == "" {
+		return fmt.Errorf("clicfg: -obs-wait requires -obs-addr")
+	}
+	if f.ObsWait < 0 {
+		return fmt.Errorf("clicfg: -obs-wait must be >= 0, got %s", f.ObsWait)
+	}
+	return nil
+}
+
+// ValidateShards rejects -shards > 1 for coordinators without the
+// ShardableCoordinator capability, turning a mid-run simnet error into
+// an upfront flag error naming the algorithm. Call it once the
+// coordinator is constructed.
+func (f *Flags) ValidateShards(c simnet.Coordinator) error {
+	if f.Shards <= 1 {
+		return nil
+	}
+	if _, ok := c.(simnet.ShardableCoordinator); !ok {
+		return fmt.Errorf("clicfg: -shards %d is incompatible with coordinator %q (no ForShard capability; deterministic sharding is undefined for it)", f.Shards, c.Name())
+	}
+	return nil
 }
 
 // FaultSpec returns the parsed -faults spec (zero value when disabled).
@@ -261,6 +298,32 @@ func (rt *Runtime) Jobs() int { return rt.flags.Jobs }
 
 // Batch returns the -batch value (0 or 1: sequential decisions).
 func (rt *Runtime) Batch() int { return rt.flags.Batch }
+
+// Shards returns the -shards value (0 or 1: sequential engine).
+func (rt *Runtime) Shards() int { return rt.flags.Shards }
+
+// ShardObserver returns an observer publishing per-shard progress gauges
+// (shard.<i>.epoch, shard.<i>.heap_depth, shard.<i>.handoffs) to the
+// runtime's registry — assign it to simnet.Config.ShardObserver (or
+// eval.RunOptions.ShardObserver) on sharded runs. The observer is safe
+// to install unconditionally: sharded runs invoke it between epochs,
+// single-shard runs never do.
+func (rt *Runtime) ShardObserver() simnet.ShardObserver {
+	return shardGauges{reg: rt.reg}
+}
+
+// shardGauges folds shard epoch reports into registry gauges.
+type shardGauges struct {
+	reg *telemetry.Registry
+}
+
+// OnShardEpoch implements simnet.ShardObserver.
+func (g shardGauges) OnShardEpoch(shard, epoch, heapDepth, handoffs int) {
+	prefix := fmt.Sprintf("shard.%d.", shard)
+	g.reg.Gauge(prefix + "epoch").Set(float64(epoch))
+	g.reg.Gauge(prefix + "heap_depth").Set(float64(heapDepth))
+	g.reg.Gauge(prefix + "handoffs").Set(float64(handoffs))
+}
 
 // GridLogEnabled reports whether -grid-log was set.
 func (rt *Runtime) GridLogEnabled() bool { return rt.gridSink != nil }

@@ -1,0 +1,153 @@
+package graph
+
+import "math"
+
+// PartitionContiguous assigns n nodes to k near-equal contiguous ID
+// blocks: node v goes to shard v*k/n. It is the trivial partitioning for
+// topologies whose node IDs already encode locality; for arbitrary
+// graphs PartitionRegions usually cuts far fewer links.
+func PartitionContiguous(n, k int) []int {
+	part := make([]int, n)
+	if k <= 1 {
+		return part
+	}
+	if k > n {
+		k = n
+	}
+	for v := range part {
+		part[v] = v * k / n
+	}
+	return part
+}
+
+// PartitionRegions grows k connected, balanced regions over g and
+// returns the node → region assignment. Seeds are spread by greedy
+// farthest-point selection on hop distance; the regions then claim one
+// node per round-robin turn from their BFS frontier, which keeps sizes
+// within one node of each other as long as every region can still grow.
+// Nodes unreachable from every seed are distributed round-robin. The
+// result is deterministic for a fixed graph and k.
+func PartitionRegions(g *Graph, k int) []int {
+	n := g.NumNodes()
+	part := make([]int, n)
+	if k <= 1 {
+		return part
+	}
+	if k > n {
+		k = n
+	}
+	for v := range part {
+		part[v] = -1
+	}
+	queues := make([][]NodeID, k)
+	for i, s := range spreadSeeds(g, k) {
+		part[s] = i
+		queues[i] = append(queues[i], s)
+	}
+	assigned := k
+	// cursor[v] is how far v's adjacency list has been scanned; each node
+	// sits in exactly one region's queue, so the total work is O(V+E).
+	cursor := make([]int, n)
+	for assigned < n {
+		progress := false
+		for r := 0; r < k && assigned < n; r++ {
+			for len(queues[r]) > 0 {
+				v := queues[r][0]
+				adj := g.Neighbors(v)
+				claimed := false
+				for cursor[v] < len(adj) {
+					w := adj[cursor[v]].Neighbor
+					cursor[v]++
+					if part[w] == -1 {
+						part[w] = r
+						queues[r] = append(queues[r], w)
+						assigned++
+						progress = true
+						claimed = true
+						break
+					}
+				}
+				if claimed {
+					break
+				}
+				queues[r] = queues[r][1:]
+			}
+		}
+		if !progress {
+			// Disconnected remainder: no seed reaches these nodes.
+			next := 0
+			for v := range part {
+				if part[v] == -1 {
+					part[v] = next % k
+					next++
+					assigned++
+				}
+			}
+		}
+	}
+	return part
+}
+
+// spreadSeeds picks k mutually distant nodes by greedy farthest-point
+// selection on hop distance, starting from node 0. Ties resolve to the
+// lowest node ID; unreachable nodes count as infinitely far, so each
+// connected component gets a seed before any component gets two.
+func spreadSeeds(g *Graph, k int) []NodeID {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for v := range dist {
+		dist[v] = math.MaxInt
+	}
+	seeds := make([]NodeID, 0, k)
+	next := NodeID(0)
+	for len(seeds) < k {
+		seeds = append(seeds, next)
+		bfsRelax(g, next, dist)
+		best, bestD := NodeID(-1), 0
+		for v := 0; v < n; v++ {
+			if dist[v] > bestD {
+				best, bestD = NodeID(v), dist[v]
+			}
+		}
+		if best < 0 {
+			break // every node is already a seed (k == n)
+		}
+		next = best
+	}
+	return seeds
+}
+
+// bfsRelax lowers dist to the hop distance from src where src is closer
+// than every previously relaxed source.
+func bfsRelax(g *Graph, src NodeID, dist []int) {
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ad := range g.Neighbors(v) {
+			if dist[ad.Neighbor] > dist[v]+1 {
+				dist[ad.Neighbor] = dist[v] + 1
+				queue = append(queue, ad.Neighbor)
+			}
+		}
+	}
+}
+
+// PartitionCut reports the quality of a partition for conservative
+// parallel simulation: the number of links whose endpoints fall in
+// different parts and the minimum delay over those links (the usable
+// lookahead window). minDelay is +Inf for a cut of zero.
+func PartitionCut(g *Graph, part []int) (cut int, minDelay float64) {
+	minDelay = math.Inf(1)
+	for _, l := range g.Links() {
+		if part[l.A] == part[l.B] {
+			continue
+		}
+		cut++
+		if l.Delay < minDelay {
+			minDelay = l.Delay
+		}
+	}
+	return cut, minDelay
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPartitionContiguousBalancedBlocks(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 2}, {11, 4}, {7, 7}, {5, 9}, {6, 1}, {4, 0}} {
+		part := PartitionContiguous(tc.n, tc.k)
+		if len(part) != tc.n {
+			t.Fatalf("n=%d k=%d: got %d assignments", tc.n, tc.k, len(part))
+		}
+		k := tc.k
+		if k > tc.n {
+			k = tc.n
+		}
+		if k < 1 {
+			k = 1
+		}
+		sizes := make([]int, k)
+		for v, p := range part {
+			if p < 0 || p >= k {
+				t.Fatalf("n=%d k=%d: node %d assigned to part %d", tc.n, tc.k, v, p)
+			}
+			if v > 0 && p < part[v-1] {
+				t.Fatalf("n=%d k=%d: assignment not monotone at node %d", tc.n, tc.k, v)
+			}
+			sizes[p]++
+		}
+		for p, sz := range sizes {
+			if sz == 0 {
+				t.Errorf("n=%d k=%d: part %d is empty", tc.n, tc.k, p)
+			}
+			if min, max := tc.n/k, (tc.n+k-1)/k; sz < min || sz > max {
+				t.Errorf("n=%d k=%d: part %d has %d nodes, want %d..%d", tc.n, tc.k, p, sz, min, max)
+			}
+		}
+	}
+}
+
+// regionsConnected checks that every part of the assignment induces a
+// connected subgraph of g.
+func regionsConnected(t *testing.T, g *Graph, part []int, k int) {
+	t.Helper()
+	for r := 0; r < k; r++ {
+		var members []NodeID
+		for v, p := range part {
+			if p == r {
+				members = append(members, NodeID(v))
+			}
+		}
+		if len(members) == 0 {
+			t.Errorf("region %d is empty", r)
+			continue
+		}
+		seen := map[NodeID]bool{members[0]: true}
+		queue := []NodeID{members[0]}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ad := range g.Neighbors(v) {
+				if part[ad.Neighbor] == r && !seen[ad.Neighbor] {
+					seen[ad.Neighbor] = true
+					queue = append(queue, ad.Neighbor)
+				}
+			}
+		}
+		if len(seen) != len(members) {
+			t.Errorf("region %d is disconnected: reached %d of %d members", r, len(seen), len(members))
+		}
+	}
+}
+
+func TestPartitionRegionsConnectedBalancedDeterministic(t *testing.T) {
+	for _, g := range []*Graph{Abilene(), SyntheticScale(200, 0x5CA1E)} {
+		for _, k := range []int{2, 3, 4} {
+			part := PartitionRegions(g, k)
+			if len(part) != g.NumNodes() {
+				t.Fatalf("%s k=%d: got %d assignments", g.Name(), k, len(part))
+			}
+			regionsConnected(t, g, part, k)
+			sizes := make([]int, k)
+			for _, p := range part {
+				sizes[p]++
+			}
+			for r, sz := range sizes {
+				// The round-robin growth keeps connected graphs within a
+				// small imbalance; a degenerate region would starve a
+				// shard of work.
+				if sz < g.NumNodes()/(2*k) {
+					t.Errorf("%s k=%d: region %d has only %d of %d nodes", g.Name(), k, r, sz, g.NumNodes())
+				}
+			}
+			if again := PartitionRegions(g, k); !reflect.DeepEqual(part, again) {
+				t.Errorf("%s k=%d: PartitionRegions is not deterministic", g.Name(), k)
+			}
+		}
+	}
+}
+
+func TestPartitionRegionsDegenerateK(t *testing.T) {
+	g := Abilene()
+	if part := PartitionRegions(g, 1); !reflect.DeepEqual(part, make([]int, g.NumNodes())) {
+		t.Errorf("k=1 must assign everything to part 0, got %v", part)
+	}
+	part := PartitionRegions(g, g.NumNodes()+5)
+	seen := map[int]bool{}
+	for v, p := range part {
+		if p < 0 || p >= g.NumNodes() {
+			t.Fatalf("k>n: node %d assigned out of range part %d", v, p)
+		}
+		if seen[p] {
+			t.Errorf("k>n: part %d assigned twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPartitionCut(t *testing.T) {
+	// 0-1-2 in part 0, 3-4 in part 1; two crossing links with delays 7
+	// and 3.
+	g := New("cut-test")
+	for i := 0; i < 5; i++ {
+		g.AddNode("", 0, 0)
+	}
+	mustLink := func(a, b NodeID, d float64) {
+		if err := g.AddLink(a, b, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink(0, 1, 1)
+	mustLink(1, 2, 1)
+	mustLink(3, 4, 1)
+	mustLink(2, 3, 7)
+	mustLink(0, 4, 3)
+	part := []int{0, 0, 0, 1, 1}
+	cut, minDelay := PartitionCut(g, part)
+	if cut != 2 || minDelay != 3 {
+		t.Errorf("cut=%d minDelay=%g, want 2 and 3", cut, minDelay)
+	}
+	allSame := []int{0, 0, 0, 0, 0}
+	cut, minDelay = PartitionCut(g, allSame)
+	if cut != 0 || !math.IsInf(minDelay, 1) {
+		t.Errorf("closed partition: cut=%d minDelay=%g, want 0 and +Inf", cut, minDelay)
+	}
+}

@@ -179,7 +179,7 @@ func TestBatchFallsBackWithoutCapability(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if s.batcher != nil {
+	if s.execs[0].batcher != nil {
 		t.Fatal("batcher engaged for a coordinator without BatchDecider")
 	}
 	if _, err := s.Run(); err != nil {
@@ -219,5 +219,53 @@ func TestBatchedWithFaultsMatchesSequential(t *testing.T) {
 	}
 	if stats.MaxSize < 2 {
 		t.Errorf("burst traffic formed no multi-flow batch under faults: %+v", stats)
+	}
+}
+
+// TestBatchWindowAccountingWithFaultAtWindowTimestamp is the window
+// accounting regression of the sharding PR: faults landing exactly on a
+// gather-window timestamp (burst cohorts arrive at t = 25, 50, 75, ...)
+// must neither skew BatchStats invariants nor make the batched path
+// diverge from the sequential one. A node-down at an ingress's own
+// burst instant makes the same-time cohort precheck-drop without any
+// decision (an empty window at that node), and a surge arrival at a
+// window timestamp injects a sequentially decided flow between windows.
+func TestBatchWindowAccountingWithFaultAtWindowTimestamp(t *testing.T) {
+	arrivals := func(int) ArrivalProcess { return &traffic.Burst{Interval: 25, K: 8} }
+	faults := []Fault{
+		{Time: 50, Kind: FaultNodeDown, Node: 2}, // node 2 is the first ingress
+		{Time: 75, Kind: FaultExtraArrival, Node: 5},
+		{Time: 100, Kind: FaultNodeUp, Node: 2},
+		{Time: 125, Kind: FaultInstanceKill, Node: 5},
+	}
+	mk := func(maxBatch int) Config {
+		cfg := batchTestConfig(arrivals, maxBatch)
+		cfg.Faults = faults
+		return cfg
+	}
+	seq, _ := runBatchScenario(t, mk(0))
+	bat, stats := runBatchScenario(t, mk(16))
+	if a, b := metricsJSON(t, seq), metricsJSON(t, bat); a != b {
+		t.Errorf("batched metrics diverged with faults at window timestamps:\nseq: %s\nbat: %s", a, b)
+	}
+	// Window accounting invariants: every counted window resolved at
+	// least one flow through at least one call, no call exceeded the cap,
+	// and only coordinator decisions flow through the batcher (the surge
+	// flow's decisions are sequential, so Flows < Decisions).
+	if stats.Windows == 0 || stats.MaxSize < 2 {
+		t.Fatalf("degenerate batching: %+v", stats)
+	}
+	if stats.Calls < stats.Windows {
+		t.Errorf("window accounting: %d windows but only %d calls", stats.Windows, stats.Calls)
+	}
+	if stats.Flows < stats.Calls {
+		t.Errorf("window accounting: %d calls but only %d flows", stats.Calls, stats.Flows)
+	}
+	if stats.MaxSize > 16 {
+		t.Errorf("DecideBatch call of %d flows exceeds MaxBatch 16", stats.MaxSize)
+	}
+	if stats.Flows >= bat.Decisions {
+		t.Errorf("batcher claims %d flows but only %d decisions happened (surge flows decide sequentially)",
+			stats.Flows, bat.Decisions)
 	}
 }

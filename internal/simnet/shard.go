@@ -1,0 +1,402 @@
+package simnet
+
+// Sharded event-loop execution: conservative parallel discrete-event
+// simulation in the Chandy–Misra–Bryant tradition, specialized to this
+// simulator's structure.
+//
+// The node set is partitioned into Config.Shards regions; each region
+// gets its own exec — event heap, state copy, metrics, RNG streams, and
+// batcher — and simulates its nodes' events without locks. Shards
+// synchronize at epoch barriers: with L the minimum delay over
+// shard-crossing links (the lookahead) and t the globally earliest
+// pending event, every shard may safely simulate the window [t, t+L),
+// because an event a remote shard executes in this window can influence
+// this shard no earlier than t+L (any cross-shard interaction rides a
+// crossing link and pays ≥ L of delay). Flows forwarded across the
+// partition during an epoch are banked in per-destination outboxes and
+// delivered into the target heaps at the barrier; their arrival times
+// are ≥ the epoch end by construction, so delivery order can never
+// violate causality. L > 0 guarantees progress: every epoch executes at
+// least the globally earliest event.
+//
+// Determinism: multi-shard runs are exactly reproducible for a fixed
+// (Config, Shards, Partition) triple. Every source of event ordering is
+// deterministic — per-shard heaps break timestamp ties by insertion
+// sequence, barrier delivery walks outboxes in (destination, source,
+// send-order) order, flow IDs are striped (shard i issues i, i+S,
+// i+2S, ...), and every RNG stream is derived from configured seeds.
+// Sharded results are NOT required to be identical to the sequential
+// engine's: cross-shard capacity visibility is conservative rather than
+// exact (see the notes on boundary sync below), which can admit or
+// reject individual flows differently. On partition-closed workloads
+// (no flow ever crosses the cut) the two engines agree exactly; the
+// merge property test pins that.
+//
+// Approximations in sharded mode, all deliberately conservative and
+// confined to cross-shard visibility:
+//   - Link capacity of crossing links is accounted per sender shard, so
+//     simultaneous use from both sides can admit up to one extra flow
+//     per direction before the ledgers sync.
+//   - A shard reads HasInstance of remote nodes from its own (possibly
+//     stale) view; at worst it re-places an instance the owner already
+//     has, never the reverse.
+//   - usedNode of boundary nodes (endpoints of crossing links) is copied
+//     from the owning shard to all others at every barrier, bounding
+//     staleness by one epoch.
+// Liveness, link scaling, and routing views are NOT approximated: every
+// shard applies the full fault schedule, so NodeAlive/LinkAlive/APSP
+// agree everywhere at all times.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+
+	"distcoord/internal/graph"
+)
+
+// ShardableCoordinator is an optional Coordinator capability required
+// for multi-shard runs: ForShard returns the coordinator instance that
+// shard will query. Stateless coordinators return themselves;
+// coordinators with per-node state whose Decide touches only the
+// decided node's state may also return themselves; anything with
+// cross-node mutable state must return an independent clone (and
+// thereby accepts that shards learn from their own region only).
+type ShardableCoordinator interface {
+	Coordinator
+	ForShard(shard, shards int) Coordinator
+}
+
+// ShardObserver receives per-shard progress at every epoch barrier of a
+// multi-shard run (telemetry: per-shard gauges for epoch, heap depth,
+// and cumulative handoffs). Callbacks run on the coordinating goroutine
+// between epochs, never concurrently.
+type ShardObserver interface {
+	OnShardEpoch(shard, epoch, heapDepth, handoffs int)
+}
+
+// boundaryNode is a node visible across the partition cut; its compute
+// ledger is broadcast from the owning shard at every epoch barrier.
+type boundaryNode struct {
+	node  graph.NodeID
+	owner int32
+}
+
+// holdsReference reports whether values of type t can reach shared
+// mutable state: equality of two such values then implies they alias it.
+// Only comparable types are passed in, so slices, maps, and funcs cannot
+// occur below structs or arrays.
+func holdsReference(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Chan, reflect.UnsafePointer, reflect.Interface:
+		return true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if holdsReference(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	case reflect.Array:
+		return holdsReference(t.Elem())
+	default:
+		return false
+	}
+}
+
+// initShards validates the sharded configuration and builds one exec per
+// shard.
+func (s *Sim) initShards() error {
+	k := s.cfg.Shards
+	sc, ok := s.cfg.Coordinator.(ShardableCoordinator)
+	if !ok {
+		return fmt.Errorf("simnet: Shards=%d requires a ShardableCoordinator, but %q does not implement ForShard", k, s.cfg.Coordinator.Name())
+	}
+
+	part := s.cfg.Partition
+	if part == nil {
+		part = graph.PartitionRegions(s.cfg.Graph, k)
+	}
+	s.shardOf = make([]int32, len(part))
+	for v, p := range part {
+		s.shardOf[v] = int32(p)
+	}
+
+	cut, lookahead := graph.PartitionCut(s.cfg.Graph, part)
+	if cut > 0 && lookahead <= 0 {
+		return fmt.Errorf("simnet: sharding requires strictly positive delays on shard-crossing links (min crossing delay %g)", lookahead)
+	}
+	s.lookahead = lookahead
+
+	// Endpoints of crossing links are visible to both sides; collect them
+	// once, in link order, for the barrier-time ledger broadcast.
+	seen := make(map[graph.NodeID]bool)
+	for _, l := range s.cfg.Graph.Links() {
+		if part[l.A] == part[l.B] {
+			continue
+		}
+		for _, v := range []graph.NodeID{l.A, l.B} {
+			if !seen[v] {
+				seen[v] = true
+				s.boundary = append(s.boundary, boundaryNode{node: v, owner: s.shardOf[v]})
+			}
+		}
+	}
+
+	// An ArrivalProcess instance drawn from two shards would race (and
+	// break determinism); each ingress needs its own process unless all
+	// sharers live on one shard. Pure-value processes (no pointers, e.g.
+	// traffic.Fixed) carry no shared state: two equal copies are
+	// independent, so only reference-bearing types are checked.
+	procShard := make(map[ArrivalProcess]int32)
+	for _, in := range s.cfg.Ingresses {
+		t := reflect.TypeOf(in.Arrivals)
+		if !t.Comparable() || !holdsReference(t) {
+			continue
+		}
+		sh := s.shardOf[in.Node]
+		if prev, ok := procShard[in.Arrivals]; ok && prev != sh {
+			return fmt.Errorf("simnet: ingresses %v share one ArrivalProcess across shards %d and %d; give each ingress its own process", in.Node, prev, sh)
+		}
+		procShard[in.Arrivals] = sh
+	}
+
+	// The configured listener is invoked from shard goroutines; serialize
+	// it once here so every exec shares the same lock.
+	listener := s.cfg.Listener
+	if listener != nil {
+		listener = &lockedListener{l: listener}
+	}
+
+	s.execs = make([]*exec, k)
+	if s.cfg.Tracer != nil {
+		s.traceBufs = make([]*traceBuffer, k)
+	}
+	for i := 0; i < k; i++ {
+		c := sc.ForShard(i, k)
+		if c == nil {
+			return fmt.Errorf("simnet: coordinator %q returned nil for shard %d", s.cfg.Coordinator.Name(), i)
+		}
+		var tracer FlowTracer
+		if s.cfg.Tracer != nil {
+			s.traceBufs[i] = &traceBuffer{}
+			tracer = s.traceBufs[i]
+		}
+		x, err := s.newExec(i, c, tracer, listener)
+		if err != nil {
+			return err
+		}
+		x.nextID = i
+		x.idStride = k
+		x.svcRng = rand.New(rand.NewSource(shardSeed(s.cfg.ServiceSeed, i)))
+		x.outbox = make([][]event, k)
+		s.execs[i] = x
+	}
+	return nil
+}
+
+// shardSeed derives shard i's stream from a base seed (splitmix64-style
+// golden-ratio increment, so adjacent shards get well-separated states).
+func shardSeed(seed int64, shard int) int64 {
+	return seed ^ int64(uint64(shard+1)*0x9E3779B97F4A7C15)
+}
+
+// runSharded executes the epoch-barrier loop described at the top of
+// this file.
+func (s *Sim) runSharded() (*Metrics, error) {
+	s.start()
+	epoch := 0
+	for {
+		s.deliverHandoffs()
+		// The globally earliest pending event anchors the epoch window.
+		next := math.Inf(1)
+		for _, x := range s.execs {
+			if x.queue.Len() > 0 && x.queue.peek().t < next {
+				next = x.queue.peek().t
+			}
+		}
+		if next > s.cfg.MaxTime { // +Inf when every queue drained
+			break
+		}
+		end := next + s.lookahead
+		var wg sync.WaitGroup
+		for _, x := range s.execs {
+			if x.queue.Len() == 0 || x.queue.peek().t >= end {
+				continue // nothing inside this window; skip the goroutine
+			}
+			wg.Add(1)
+			go func(x *exec) {
+				defer wg.Done()
+				x.err = x.runEpoch(end)
+			}(x)
+		}
+		wg.Wait()
+		for _, x := range s.execs {
+			if x.err != nil {
+				return nil, x.err
+			}
+		}
+		s.syncBoundary()
+		epoch++
+		if s.cfg.ShardObserver != nil {
+			for _, x := range s.execs {
+				s.cfg.ShardObserver.OnShardEpoch(x.id, epoch, x.queue.Len(), x.handoffs)
+			}
+		}
+	}
+	s.flushTraces()
+	m := s.mergeMetrics()
+	if m.Pending() != 0 {
+		return m, fmt.Errorf("simnet: %d flows still pending at MaxTime", m.Pending())
+	}
+	return m, nil
+}
+
+// deliverHandoffs moves banked cross-shard head arrivals into their
+// destination heaps. Walking destinations in shard order, sources in
+// shard order, and each outbox in send order makes the sequence numbers
+// the destination heap assigns — and therefore all downstream
+// tie-breaking — deterministic. Flows dropped by a fault while sitting
+// in an outbox are skipped (their done flag is set).
+func (s *Sim) deliverHandoffs() {
+	for di, dst := range s.execs {
+		for _, src := range s.execs {
+			box := src.outbox[di]
+			for i := range box {
+				if !box[i].flow.done {
+					dst.queue.push(box[i])
+				}
+				box[i] = event{} // drop the Flow pointer for the GC
+			}
+			src.outbox[di] = box[:0]
+		}
+	}
+}
+
+// syncBoundary broadcasts the compute ledger of every boundary node from
+// its owning shard to all others, bounding cross-shard staleness of
+// usedNode reads to one epoch.
+func (s *Sim) syncBoundary() {
+	for _, b := range s.boundary {
+		used := s.execs[b.owner].st.usedNode[b.node]
+		for _, x := range s.execs {
+			if x.id != int(b.owner) {
+				x.st.usedNode[b.node] = used
+			}
+		}
+	}
+}
+
+// mergeMetrics combines per-shard metrics into run totals. Counters and
+// delay sums add; Delays concatenate in shard order (stable, though
+// unsorted — quantile queries sort internally).
+func (s *Sim) mergeMetrics() *Metrics {
+	if len(s.execs) == 1 {
+		return s.execs[0].metrics
+	}
+	m := newMetrics()
+	for _, x := range s.execs {
+		xm := x.metrics
+		m.Arrived += xm.Arrived
+		m.Succeeded += xm.Succeeded
+		m.Dropped += xm.Dropped
+		for c, n := range xm.DropsBy {
+			m.DropsBy[c] += n
+		}
+		m.SumDelay += xm.SumDelay
+		if xm.MaxDelay > m.MaxDelay {
+			m.MaxDelay = xm.MaxDelay
+		}
+		m.Delays = append(m.Delays, xm.Delays...)
+		m.Decisions += xm.Decisions
+		m.Forwards += xm.Forwards
+		m.Processings += xm.Processings
+		m.Keeps += xm.Keeps
+		m.Faults += xm.Faults
+	}
+	return m
+}
+
+// flushTraces k-way-merges the per-shard trace buffers (each sorted by
+// time already — execs emit in nondecreasing event time) into the
+// configured tracer, breaking time ties by shard index.
+func (s *Sim) flushTraces() {
+	if s.cfg.Tracer == nil {
+		return
+	}
+	idx := make([]int, len(s.traceBufs))
+	for {
+		best := -1
+		var bt float64
+		for i, buf := range s.traceBufs {
+			if idx[i] >= len(buf.events) {
+				continue
+			}
+			if t := buf.events[idx[i]].Time; best < 0 || t < bt {
+				best, bt = i, t
+			}
+		}
+		if best < 0 {
+			return
+		}
+		s.cfg.Tracer.Trace(s.traceBufs[best].events[idx[best]])
+		idx[best]++
+	}
+}
+
+// Shards returns the number of event-loop shards of this run (1 for the
+// sequential engine).
+func (s *Sim) Shards() int { return len(s.execs) }
+
+// Lookahead returns the conservative epoch window of a sharded run: the
+// minimum delay over shard-crossing links (+Inf for a closed partition,
+// 0 for single-shard runs).
+func (s *Sim) Lookahead() float64 { return s.lookahead }
+
+// Handoffs returns the cumulative number of cross-shard flow handoffs
+// so far (0 for single-shard runs).
+func (s *Sim) Handoffs() int {
+	n := 0
+	for _, x := range s.execs {
+		n += x.handoffs
+	}
+	return n
+}
+
+// traceBuffer banks one shard's trace events for the post-run merge, so
+// user tracers never see concurrent calls.
+type traceBuffer struct {
+	events []TraceEvent
+}
+
+// Trace implements FlowTracer.
+func (b *traceBuffer) Trace(e TraceEvent) { b.events = append(b.events, e) }
+
+// lockedListener serializes a Listener shared across shard goroutines.
+type lockedListener struct {
+	mu sync.Mutex
+	l  Listener
+}
+
+// OnAction implements Listener.
+func (ll *lockedListener) OnAction(f *Flow, v graph.NodeID, now float64, action int, res ActionResult) {
+	ll.mu.Lock()
+	defer ll.mu.Unlock()
+	ll.l.OnAction(f, v, now, action, res)
+}
+
+// OnTraversed implements Listener.
+func (ll *lockedListener) OnTraversed(f *Flow, v graph.NodeID, now float64) {
+	ll.mu.Lock()
+	defer ll.mu.Unlock()
+	ll.l.OnTraversed(f, v, now)
+}
+
+// OnFlowEnd implements Listener.
+func (ll *lockedListener) OnFlowEnd(f *Flow, success bool, cause DropCause, now float64) {
+	ll.mu.Lock()
+	defer ll.mu.Unlock()
+	ll.l.OnFlowEnd(f, success, cause, now)
+}

@@ -1,0 +1,418 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"distcoord/internal/graph"
+	"distcoord/internal/traffic"
+)
+
+// shardableSP is spCoord with the ForShard capability (stateless, so
+// every shard shares it).
+type shardableSP struct{ spCoord }
+
+func (s shardableSP) ForShard(shard, shards int) Coordinator { return s }
+
+// twoClusters builds two m-node line clusters joined by one bridge link
+// (node m-1 ↔ node m) with the given delay: nodes 0..m-1 are cluster A,
+// m..2m-1 cluster B, and every in-cluster link has unit delay.
+func twoClusters(m int, nodeCap, linkCap, bridgeDelay float64) *graph.Graph {
+	g := graph.New("two-clusters")
+	for i := 0; i < 2*m; i++ {
+		g.AddNode("", 0, float64(i))
+		g.SetNodeCapacity(graph.NodeID(i), nodeCap)
+	}
+	link := func(a, b graph.NodeID, delay float64) {
+		if err := g.AddLink(a, b, delay); err != nil {
+			panic(err)
+		}
+		g.SetLinkCapacity(g.NumLinks()-1, linkCap)
+	}
+	for i := 0; i < m-1; i++ {
+		link(graph.NodeID(i), graph.NodeID(i+1), 1)
+		link(graph.NodeID(m+i), graph.NodeID(m+i+1), 1)
+	}
+	link(graph.NodeID(m-1), graph.NodeID(m), bridgeDelay)
+	return g
+}
+
+// halfPartition assigns the first m of 2m nodes to shard 0, the rest to
+// shard 1.
+func halfPartition(m int) []int {
+	part := make([]int, 2*m)
+	for i := m; i < 2*m; i++ {
+		part[i] = 1
+	}
+	return part
+}
+
+// TestEventQueueCollidingTimestampsPopInInsertionOrder is the heap
+// tie-breaking regression: events at identical timestamps must pop in
+// insertion order, independent of heap internals — shard handoff
+// delivery relies on it for determinism. The ingress field doubles as
+// the insertion index.
+func TestEventQueueCollidingTimestampsPopInInsertionOrder(t *testing.T) {
+	var q eventQueue
+	// A deterministic pseudo-random time pattern with heavy collisions:
+	// only 5 distinct timestamps across 1000 events.
+	rng := rand.New(rand.NewSource(99))
+	times := make([]float64, 1000)
+	for i := range times {
+		times[i] = float64(rng.Intn(5))
+		q.push(event{t: times[i], ingress: i})
+	}
+	lastT, lastSeq := -1.0, -1
+	for i := 0; q.Len() > 0; i++ {
+		e := q.pop()
+		if e.t < lastT {
+			t.Fatalf("pop %d: time went backwards: %g after %g", i, e.t, lastT)
+		}
+		if e.t > lastT {
+			lastT, lastSeq = e.t, -1
+		}
+		if e.ingress <= lastSeq {
+			t.Fatalf("pop %d: insertion order violated at t=%g: index %d after %d", i, e.t, e.ingress, lastSeq)
+		}
+		if times[e.ingress] != e.t {
+			t.Fatalf("pop %d: event %d corrupted: t=%g, pushed %g", i, e.ingress, e.t, times[e.ingress])
+		}
+		lastSeq = e.ingress
+	}
+}
+
+// TestEventQueueTieBreakSurvivesInterleavedPops extends the regression
+// to interleaved push/pop (the event loop's actual access pattern):
+// same-time events pushed across different heap shapes must still pop in
+// insertion order.
+func TestEventQueueTieBreakSurvivesInterleavedPops(t *testing.T) {
+	var q eventQueue
+	next := 0
+	push := func(tm float64) {
+		q.push(event{t: tm, ingress: next})
+		next++
+	}
+	var popped []event
+	popOne := func() {
+		if q.Len() > 0 {
+			popped = append(popped, q.pop())
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(3) == 0 {
+			popOne()
+		} else {
+			// Times never decrease below the current minimum, as in a real
+			// simulation run.
+			base := 0.0
+			if q.Len() > 0 {
+				base = q.peek().t
+			}
+			push(base + float64(rng.Intn(3)))
+		}
+	}
+	for q.Len() > 0 {
+		popOne()
+	}
+	for i := 1; i < len(popped); i++ {
+		a, b := popped[i-1], popped[i]
+		if a.t == b.t && a.ingress > b.ingress {
+			t.Fatalf("pop %d: same-time events out of insertion order: %d before %d at t=%g", i, a.ingress, b.ingress, a.t)
+		}
+	}
+}
+
+// TestShardedRequiresShardableCoordinator pins the upfront capability
+// check: Shards > 1 with a plain Coordinator must fail at New, naming
+// the coordinator.
+func TestShardedRequiresShardableCoordinator(t *testing.T) {
+	cfg := oneFlow(twoClusters(4, 10, 10, 2), testService(1), 3, 100, spCoord{})
+	cfg.Shards = 2
+	if _, err := New(cfg); err == nil {
+		t.Fatal("Shards=2 with a non-shardable coordinator did not fail")
+	}
+}
+
+// TestShardedRejectsSharedArrivalProcess pins the shard-safety check on
+// traffic processes: one ArrivalProcess instance feeding ingresses on
+// two different shards must be rejected (it would race).
+func TestShardedRejectsSharedArrivalProcess(t *testing.T) {
+	m := 4
+	shared := traffic.NewPoisson(10, rand.New(rand.NewSource(1)))
+	cfg := oneFlow(twoClusters(m, 10, 10, 2), testService(1), graph.NodeID(m-1), 100, shardableSP{})
+	cfg.Ingresses = []Ingress{
+		{Node: 0, Arrivals: shared},
+		{Node: graph.NodeID(m), Arrivals: shared},
+	}
+	cfg.Shards = 2
+	cfg.Partition = halfPartition(m)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("shared ArrivalProcess across shards was not rejected")
+	}
+	// The same sharing within one shard is fine.
+	cfg.Ingresses = []Ingress{
+		{Node: 0, Arrivals: shared},
+		{Node: 1, Arrivals: shared},
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("shared ArrivalProcess within one shard rejected: %v", err)
+	}
+}
+
+// closedPartitionConfig builds a partition-closed workload on two
+// clusters: each cluster has its own ingress/egress pair, so no flow
+// ever crosses the bridge.
+func closedPartitionConfig(m int, seed int64) Config {
+	egA, egB := graph.NodeID(m-1), graph.NodeID(2*m-1)
+	return Config{
+		// Tight capacities and fast arrivals overload both clusters, so
+		// the workload exercises successes AND drops.
+		Graph:   twoClusters(m, 2, 2, 5),
+		Service: testService(2),
+		Ingresses: []Ingress{
+			{Node: 0, Arrivals: traffic.NewPoisson(1.5, rand.New(rand.NewSource(seed))), Egress: &egA},
+			{Node: graph.NodeID(m), Arrivals: traffic.NewPoisson(1.5, rand.New(rand.NewSource(seed+1))), Egress: &egB},
+		},
+		Egress:      egA,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 40},
+		Horizon:     400,
+		Coordinator: shardableSP{},
+	}
+}
+
+// countersOf projects the merge-relevant counters of a metrics value.
+func countersOf(m *Metrics) [8]int {
+	return [8]int{m.Arrived, m.Succeeded, m.Dropped, m.Decisions, m.Forwards, m.Processings, m.Keeps, m.Faults}
+}
+
+// sortedDelaysOf returns the delay multiset in ascending order.
+func sortedDelaysOf(m *Metrics) []float64 {
+	d := append([]float64(nil), m.Delays...)
+	sort.Float64s(d)
+	return d
+}
+
+// TestShardedMatchesSequentialOnClosedPartition is the merge property
+// test: on a partition-closed workload (each cluster self-contained, no
+// cross-shard flow) the per-shard metrics must merge to exactly the
+// single-shard totals — same counters, same drop causes, same delay
+// multiset.
+func TestShardedMatchesSequentialOnClosedPartition(t *testing.T) {
+	const m = 5
+	run := func(shards int) *Metrics {
+		cfg := closedPartitionConfig(m, 12345)
+		cfg.Shards = shards
+		if shards > 1 {
+			cfg.Partition = halfPartition(m)
+		}
+		return mustRun(t, cfg)
+	}
+	seq, sharded := run(1), run(2)
+	if seq.Arrived == 0 || seq.Succeeded == 0 || seq.Dropped == 0 {
+		t.Fatalf("degenerate scenario (want arrivals, successes, and drops): %+v", seq)
+	}
+	if countersOf(seq) != countersOf(sharded) {
+		t.Errorf("counters diverged:\nseq:     %v\nsharded: %v", countersOf(seq), countersOf(sharded))
+	}
+	if len(seq.DropsBy) != len(sharded.DropsBy) {
+		t.Errorf("drop causes diverged: %v vs %v", seq.DropsBy, sharded.DropsBy)
+	}
+	for c, n := range seq.DropsBy {
+		if sharded.DropsBy[c] != n {
+			t.Errorf("drops[%s]: seq %d, sharded %d", c, n, sharded.DropsBy[c])
+		}
+	}
+	a, b := sortedDelaysOf(seq), sortedDelaysOf(sharded)
+	if len(a) != len(b) {
+		t.Fatalf("delay count diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay multiset diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// crossShardConfig builds a workload where every flow must cross the
+// bridge: both ingresses send to the far cluster's tail.
+func crossShardConfig(m int, seed int64) Config {
+	egB, egA := graph.NodeID(2*m-1), graph.NodeID(m-1)
+	svcCheap := testService(2)
+	svcSteep := &Service{
+		Name: "steep",
+		Chain: []*Component{
+			{Name: "s1", ProcDelay: 4, IdleTimeout: 500, ResourcePerRate: 1.5},
+		},
+	}
+	return Config{
+		Graph: twoClusters(m, 3, 4, 5),
+		// A two-service mix exercises the per-shard service RNG streams.
+		Services: []WeightedService{
+			{Service: svcCheap, Weight: 3},
+			{Service: svcSteep, Weight: 1},
+		},
+		ServiceSeed: seed,
+		Ingresses: []Ingress{
+			{Node: 0, Arrivals: traffic.NewPoisson(5, rand.New(rand.NewSource(seed))), Egress: &egB},
+			{Node: graph.NodeID(m), Arrivals: traffic.NewPoisson(5, rand.New(rand.NewSource(seed+1))), Egress: &egA},
+		},
+		Egress:      egB,
+		Template:    FlowTemplate{Rate: 1, Duration: 1, Deadline: 120},
+		Horizon:     300,
+		Coordinator: shardableSP{},
+	}
+}
+
+// TestShardedCrossShardTrafficCompletes checks the handoff machinery end
+// to end: flows that must cross the partition complete (or drop) with
+// exact accounting — Run's internal Pending check would fail otherwise —
+// and the run reports actual handoffs.
+func TestShardedCrossShardTrafficCompletes(t *testing.T) {
+	cfg := crossShardConfig(5, 777)
+	cfg.Shards = 2
+	cfg.Partition = halfPartition(5)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Arrived == 0 || m.Succeeded == 0 {
+		t.Fatalf("degenerate cross-shard scenario: %+v", m)
+	}
+	if s.Handoffs() == 0 {
+		t.Fatal("cross-shard workload produced no handoffs")
+	}
+	if got := s.Lookahead(); got != 5 {
+		t.Errorf("lookahead = %g, want the bridge delay 5", got)
+	}
+}
+
+// TestShardedDeterministic pins the multi-shard determinism contract:
+// identical (Config, Shards, Partition) runs produce byte-identical
+// merged metrics — including the full delay list in merge order — and
+// identical handoff counts.
+func TestShardedDeterministic(t *testing.T) {
+	run := func() (*Metrics, int) {
+		cfg := crossShardConfig(5, 4242)
+		cfg.Shards = 2
+		cfg.Partition = halfPartition(5)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		m, err := s.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return m, s.Handoffs()
+	}
+	m1, h1 := run()
+	m2, h2 := run()
+	if a, b := metricsJSON(t, m1), metricsJSON(t, m2); a != b {
+		t.Errorf("sharded run is not deterministic:\nrun1: %s\nrun2: %s", a, b)
+	}
+	if h1 != h2 {
+		t.Errorf("handoff counts diverged: %d vs %d", h1, h2)
+	}
+}
+
+// TestShardedFaultsCountedOnce pins the fault ownership split: every
+// shard replicates liveness changes, but the Faults counter (and each
+// flow drop) lands exactly once in the merged metrics.
+func TestShardedFaultsCountedOnce(t *testing.T) {
+	const m = 5
+	bridge := 2 * (m - 1) // link index of the bridge (added last)
+	cfg := crossShardConfig(m, 31)
+	cfg.Shards = 2
+	cfg.Partition = halfPartition(m)
+	cfg.Faults = []Fault{
+		{Time: 60, Kind: FaultNodeDown, Node: 2},
+		{Time: 90, Kind: FaultLinkDown, Link: bridge},
+		{Time: 130, Kind: FaultNodeUp, Node: 2},
+		{Time: 150, Kind: FaultLinkUp, Link: bridge},
+		{Time: 170, Kind: FaultExtraArrival, Node: 1},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mm, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Two disruptive faults (node-down, link-down); recoveries and the
+	// surge arrival do not count. Double-counting across shards would
+	// report 3+.
+	if mm.Faults != 2 {
+		t.Errorf("merged Faults = %d, want exactly 2", mm.Faults)
+	}
+	if mm.Pending() != 0 {
+		t.Errorf("flow accounting leaked under sharded faults: pending %d", mm.Pending())
+	}
+}
+
+// TestShardedTraceMergeOrdered checks the post-run trace merge: events
+// from both shards arrive at the configured tracer in nondecreasing time
+// order, and per-flow event counts are complete (every flow has an
+// arrival and a terminal event).
+func TestShardedTraceMergeOrdered(t *testing.T) {
+	cfg := crossShardConfig(5, 99)
+	cfg.Shards = 2
+	cfg.Partition = halfPartition(5)
+	var events []TraceEvent
+	cfg.Tracer = TracerFunc(func(e TraceEvent) { events = append(events, e) })
+	mm := mustRun(t, cfg)
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	arrivals, terminals := 0, 0
+	for i, e := range events {
+		if i > 0 && e.Time < events[i-1].Time {
+			t.Fatalf("trace out of order at %d: %g after %g", i, e.Time, events[i-1].Time)
+		}
+		switch e.Kind {
+		case TraceArrival:
+			arrivals++
+		case TraceDrop, TraceComplete:
+			terminals++
+		}
+	}
+	if arrivals != mm.Arrived || terminals != mm.Arrived {
+		t.Errorf("trace incomplete: %d arrivals, %d terminals, want %d each", arrivals, terminals, mm.Arrived)
+	}
+}
+
+// TestShardedListenerSeesEveryFlowOnce checks that a shared
+// Config.Listener observes exactly one termination per flow across shard
+// goroutines (the lockedListener wrapper serializes delivery).
+func TestShardedListenerSeesEveryFlowOnce(t *testing.T) {
+	cfg := crossShardConfig(5, 55)
+	cfg.Shards = 2
+	cfg.Partition = halfPartition(5)
+	ends := map[int]int{}
+	cfg.Listener = &countingListener{ends: ends}
+	mm := mustRun(t, cfg)
+	if len(ends) != mm.Arrived {
+		t.Fatalf("listener saw %d distinct flows end, want %d", len(ends), mm.Arrived)
+	}
+	for id, n := range ends {
+		if n != 1 {
+			t.Errorf("flow %d ended %d times", id, n)
+		}
+	}
+}
+
+// countingListener counts OnFlowEnd per flow ID.
+type countingListener struct {
+	NopListener
+	ends map[int]int
+}
+
+func (c *countingListener) OnFlowEnd(f *Flow, success bool, cause DropCause, now float64) {
+	c.ends[f.ID]++
+}

@@ -194,17 +194,17 @@ func (f TracerFunc) Trace(e TraceEvent) { f(e) }
 
 // trace emits one event when a tracer is installed. The nil check comes
 // before the TraceEvent literal, so the disabled path does no work.
-func (s *Sim) trace(kind TraceKind, f *Flow, v graph.NodeID, now float64, action, link int, drop DropCause) {
-	s.traceWait(kind, f, v, now, action, link, drop, 0)
+func (x *exec) trace(kind TraceKind, f *Flow, v graph.NodeID, now float64, action, link int, drop DropCause) {
+	x.traceWait(kind, f, v, now, action, link, drop, 0)
 }
 
 // traceWait is trace with the processing-start wait of TraceProcess
 // events (see TraceEvent.Wait).
-func (s *Sim) traceWait(kind TraceKind, f *Flow, v graph.NodeID, now float64, action, link int, drop DropCause, wait float64) {
-	if s.tracer == nil {
+func (x *exec) traceWait(kind TraceKind, f *Flow, v graph.NodeID, now float64, action, link int, drop DropCause, wait float64) {
+	if x.tracer == nil {
 		return
 	}
-	s.tracer.Trace(TraceEvent{
+	x.tracer.Trace(TraceEvent{
 		Time:    now,
 		Kind:    kind,
 		FlowID:  f.ID,

@@ -174,19 +174,20 @@ func TestTraceDisabledAddsZeroAllocs(t *testing.T) {
 	}
 	f := &Flow{ID: 1, Service: svc, CompIdx: svc.Len(), Egress: 2, Rate: 1, Duration: 1, Deadline: 1e9}
 
+	x := s.execs[0]
 	if avg := testing.AllocsPerRun(1000, func() {
-		s.trace(TraceDecision, f, 0, 1, 0, -1, DropNone)
+		x.trace(TraceDecision, f, 0, 1, 0, -1, DropNone)
 	}); avg != 0 {
 		t.Errorf("trace with nil tracer allocates %.1f per call, want 0", avg)
 	}
 
 	// Warm the queue so append stays within capacity, then measure the
 	// keep decision path end to end (processLocally + event scheduling).
-	s.processLocally(f, 0, 1)
-	s.queue.pop()
+	x.processLocally(f, 0, 1)
+	x.queue.pop()
 	if avg := testing.AllocsPerRun(1000, func() {
-		s.processLocally(f, 0, 1)
-		s.queue.pop()
+		x.processLocally(f, 0, 1)
+		x.queue.pop()
 	}); avg != 0 {
 		t.Errorf("keep decision path allocates %.1f per run with telemetry off, want 0", avg)
 	}
