@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-scale bench-check bench-all obs-smoke fmt lint vet verify
+.PHONY: all build test race bench bench-scale bench-rpc bench-check bench-all obs-smoke agent-smoke fmt lint vet verify
 
 all: build test
 
@@ -33,6 +33,13 @@ bench:
 bench-scale:
 	$(GO) run ./cmd/bench -scale -out BENCH_scale.json
 
+# bench-rpc measures the decision round trip in-process vs across the
+# agentnet socket boundary (3 loopback agent servers) on an identically
+# seeded run, and writes BENCH_rpc.json (schema: EXPERIMENTS.md,
+# "Decision RTT"). The run itself enforces the equivalence oracle.
+bench-rpc:
+	$(GO) run ./cmd/bench -rpc -out BENCH_rpc.json
+
 # bench-check regression-gates the sequential decide hot path: a fresh
 # cmd/bench run must stay within +25% ns/op of the committed
 # BENCH_inference.json baseline.
@@ -49,6 +56,14 @@ bench-all:
 # /snapshot, and /run during the -obs-wait hold.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# agent-smoke end-to-end checks the networked agent tier: it spawns 3
+# real agentd processes, asserts the remote run's metrics are
+# byte-identical to the in-process run (equivalence oracle) with nonzero
+# RTT samples, then kills one agentd mid-run under an agent-kill chaos
+# schedule and asserts the recovery report sees the dip.
+agent-smoke:
+	./scripts/agent_smoke.sh
 
 fmt:
 	gofmt -l -w .

@@ -96,6 +96,7 @@ func main() {
 	out := flag.String("out", "BENCH_inference.json", "JSONL output path")
 	topology := flag.String("topology", "Abilene", "topology for the decide and episode benchmarks")
 	scale := flag.Bool("scale", false, "run the scale harness (synthetic 100/500/1000 nodes, sequential vs batched) instead of the inference benchmarks")
+	rpc := flag.Bool("rpc", false, "measure decision RTT in-process vs across agentnet sockets (use -out BENCH_rpc.json)")
 	shared := clicfg.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -146,9 +147,12 @@ func main() {
 	}
 
 	var benchErr error
-	if *scale {
+	switch {
+	case *rpc:
+		benchErr = runRPC(sink, *topology)
+	case *scale:
 		benchErr = runScale(sink, rt.Batch(), rt.Shards())
-	} else {
+	default:
 		benchErr = run(emit, *topology, rt.Batch())
 	}
 	if benchErr != nil {

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"distcoord/internal/agentnet"
+	"distcoord/internal/coord"
+	"distcoord/internal/eval"
+	"distcoord/internal/graph"
+	"distcoord/internal/nn"
+	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
+)
+
+// rpcResult is one decision-RTT measurement (-rpc, BENCH_rpc.json): the
+// same fig6b-style workload decided in-process versus across loopback
+// TCP sockets to goroutine-hosted agentd servers. EqualMetrics reports
+// whether both runs produced identical metrics fingerprints — the
+// equivalence oracle as a benchmark artifact (bench_check.sh rejects a
+// false value, and gates P50us finite and positive).
+type rpcResult struct {
+	Record       string  `json:"record"` // always "rpc"
+	Mode         string  `json:"mode"`   // "inproc" | "socket"
+	Topology     string  `json:"topology"`
+	Agents       int     `json:"agents,omitempty"` // socket mode only
+	Decisions    int     `json:"decisions"`
+	Samples      int     `json:"samples"`
+	P50us        float64 `json:"rtt_p50_us"`
+	P95us        float64 `json:"rtt_p95_us"`
+	P99us        float64 `json:"rtt_p99_us"`
+	EqualMetrics bool    `json:"equal_metrics"`
+}
+
+// timedCoordinator times each sequential decision of the wrapped
+// coordinator. It deliberately exposes no optional capability — both rpc
+// modes run the sequential path, so the two RTT distributions compare
+// the same per-decision work with and without a socket in the middle.
+type timedCoordinator struct {
+	inner   simnet.Coordinator
+	observe func(us float64)
+}
+
+func (t *timedCoordinator) Name() string { return t.inner.Name() }
+
+func (t *timedCoordinator) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
+	start := time.Now()
+	a := t.inner.Decide(st, f, v, now)
+	t.observe(float64(time.Since(start).Nanoseconds()) / 1e3)
+	return a
+}
+
+// runRPC measures the decision round trip in-process versus across the
+// agentnet socket boundary on an identically seeded fig6b-style run.
+// The agents are real agentnet servers on loopback TCP, hosted in this
+// process so the benchmark needs no external binaries.
+func runRPC(sink *telemetry.Sink, topology string) error {
+	const (
+		seed      = 0
+		numAgents = 3
+	)
+	s := eval.Base()
+	s.Topology = topology
+	s.Horizon = 4000
+
+	inst, err := s.Instantiate(seed)
+	if err != nil {
+		return err
+	}
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	agent, err := rl.NewAgent(rl.AgentConfig{
+		ObsSize:    adapter.ObsSize(),
+		NumActions: adapter.NumActions(),
+		Hidden:     []int{256, 256}, // the paper's deployed network shape
+		Seed:       42,
+	})
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := agent.Actor.Save(&buf); err != nil {
+		return err
+	}
+	checkpoint := buf.Bytes()
+
+	reg := telemetry.NewRegistry()
+
+	// In-process baseline: the exact computation the agents will host,
+	// timed around each Decide call.
+	actor, err := nn.Load(bytes.NewReader(checkpoint))
+	if err != nil {
+		return err
+	}
+	d, err := coord.NewDistributed(adapter, actor)
+	if err != nil {
+		return err
+	}
+	d.Reseed(seed)
+	inprocRTT := reg.Histogram("inproc")
+	mIn, err := inst.RunWith(&timedCoordinator{inner: d, observe: inprocRTT.Observe}, eval.RunOptions{})
+	if err != nil {
+		return err
+	}
+
+	// Socket mode: goroutine-hosted agentd servers on loopback TCP.
+	endpoints := make([]string, numAgents)
+	servers := make([]*agentnet.Server, numAgents)
+	for i := range endpoints {
+		host, err := coord.NewAgentHost(fmt.Sprintf("bench-agent-%d", i), checkpoint, "", nil)
+		if err != nil {
+			return err
+		}
+		servers[i] = agentnet.NewServer(host.NewBackend, agentnet.ServerConfig{})
+		addr, err := servers[i].Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer servers[i].Close()
+		endpoints[i] = addr.String()
+	}
+	socketRTT := reg.Histogram("socket")
+	r, err := coord.NewRemote(adapter, endpoints, seed, coord.RemoteOptions{
+		Stochastic: true,
+		ObserveRTT: socketRTT.Observe,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	inst2, err := s.Instantiate(seed)
+	if err != nil {
+		return err
+	}
+	mSock, err := inst2.RunWith(r, eval.RunOptions{})
+	if err != nil {
+		return err
+	}
+
+	equal := fingerprint(mIn) == fingerprint(mSock)
+	emit := func(mode string, h *telemetry.Histogram, m *simnet.Metrics, agents int) error {
+		rec := rpcResult{
+			Record:       "rpc",
+			Mode:         mode,
+			Topology:     inst.Graph.Name(),
+			Agents:       agents,
+			Decisions:    m.Decisions,
+			Samples:      int(h.Count()),
+			P50us:        h.Quantile(0.5),
+			P95us:        h.Quantile(0.95),
+			P99us:        h.Quantile(0.99),
+			EqualMetrics: equal,
+		}
+		if err := sink.Emit(rec); err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-10s %6d decisions  p50 %8.1f µs  p95 %8.1f µs  p99 %8.1f µs  equal_metrics=%v\n",
+			mode, rec.Topology, rec.Decisions, rec.P50us, rec.P95us, rec.P99us, equal)
+		return nil
+	}
+	if err := emit("inproc", inprocRTT, mIn, 0); err != nil {
+		return err
+	}
+	if err := emit("socket", socketRTT, mSock, numAgents); err != nil {
+		return err
+	}
+	if !equal {
+		return fmt.Errorf("rpc equivalence oracle violated: socket metrics diverged from in-process metrics")
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"distcoord/internal/agentnet"
+	"distcoord/internal/chaos"
+	"distcoord/internal/clicfg"
+	"distcoord/internal/coord"
+	"distcoord/internal/eval"
+)
+
+// agentProc is one locally spawned agentd process. It remembers its
+// bound address and launch arguments so an agent-kill fault can
+// terminate the real process and later restart it on the same port.
+type agentProc struct {
+	bin   string
+	model string
+	addr  string
+	cmd   *exec.Cmd
+}
+
+// start launches the process and parses the "agentd listening on ADDR"
+// line to learn where the listener landed. listen is "127.0.0.1:0" on
+// first launch and the remembered concrete address on restart.
+func (p *agentProc) start(listen string) error {
+	cmd := exec.Command(p.bin, "-listen", listen, "-model", p.model, "-quiet")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "agentd listening on "); ok {
+			p.addr = strings.TrimSpace(addr)
+			p.cmd = cmd
+			// Keep draining stdout so the child never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return nil
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	return fmt.Errorf("agentd (%s) exited before announcing its listener", p.bin)
+}
+
+func (p *agentProc) stop() {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.cmd = nil
+}
+
+// fleet is the driver's view of its agents: the endpoints to dial and,
+// when coordsim spawned them itself, the live processes.
+type fleet struct {
+	endpoints []string
+	procs     []*agentProc // nil entries for externally managed agents
+}
+
+func (fl *fleet) stop() {
+	for _, p := range fl.procs {
+		if p != nil {
+			p.stop()
+		}
+	}
+}
+
+// findAgentd resolves the agentd binary: an explicit -agentd-bin, a
+// sibling of the running coordsim executable, or $PATH.
+func findAgentd(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "agentd")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if path, err := exec.LookPath("agentd"); err == nil {
+		return path, nil
+	}
+	return "", fmt.Errorf("agentd binary not found (build it with `go build ./cmd/agentd` and pass -agentd-bin, or put it on PATH)")
+}
+
+// buildFleet assembles the agent endpoints: the -agents list plus
+// -spawn-agents locally launched agentd processes serving modelPath.
+func buildFleet(c *runConfig, modelPath string) (*fleet, error) {
+	fl := &fleet{endpoints: c.shared.AgentEndpoints()}
+	fl.procs = make([]*agentProc, len(fl.endpoints))
+	if c.spawnAgents <= 0 {
+		return fl, nil
+	}
+	bin, err := findAgentd(c.agentdBin)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.spawnAgents; i++ {
+		p := &agentProc{bin: bin, model: modelPath}
+		if err := p.start("127.0.0.1:0"); err != nil {
+			fl.stop()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "spawned agentd %d on %s\n", i, p.addr)
+		fl.endpoints = append(fl.endpoints, p.addr)
+		fl.procs = append(fl.procs, p)
+	}
+	return fl, nil
+}
+
+// remoteCoordinator dials the fleet and returns the socket-backed
+// coordinator, with decision RTTs feeding the runtime's
+// rpc_decide_rtt_us histogram.
+func remoteCoordinator(c *runConfig, rt *clicfg.Runtime, inst *eval.Instance, fl *fleet, checkpoint []byte) (*coord.Remote, error) {
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	opts := coord.RemoteOptions{
+		Stochastic: !c.greedy,
+		Client: agentnet.ClientConfig{
+			Timeout:         5 * time.Second,
+			DialTimeout:     2 * time.Second,
+			ReconnectBudget: 500 * time.Millisecond,
+		},
+		ObserveRTT: rt.DecideRTT().Observe,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "coordsim: "+format+"\n", args...)
+		},
+	}
+	if c.shared.ModelPush {
+		opts.Checkpoint = checkpoint
+	}
+	return coord.NewRemote(adapter, fl.endpoints, c.seed, opts)
+}
+
+// wireAgentKills installs the agent-kill actuator on the remote
+// coordinator's decision clock. Spawned agents die for real — the
+// process is killed and later restarted on its original port; external
+// agents are severed and revived at the connection.
+func wireAgentKills(r *coord.Remote, fl *fleet, kills []chaos.AgentKill) {
+	pool := r.Pool()
+	kill := func(slot int) {
+		if p := fl.procs[slot]; p != nil {
+			fmt.Fprintf(os.Stderr, "chaos: killing agentd %d (%s)\n", slot, p.addr)
+			p.stop()
+		} else {
+			fmt.Fprintf(os.Stderr, "chaos: severing agent %d\n", slot)
+		}
+		pool.Sever(slot)
+	}
+	revive := func(slot int) {
+		if p := fl.procs[slot]; p != nil {
+			fmt.Fprintf(os.Stderr, "chaos: restarting agentd %d on %s\n", slot, p.addr)
+			if err := p.start(p.addr); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: restart agentd %d: %v\n", slot, err)
+				return
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "chaos: reviving agent %d\n", slot)
+		}
+		pool.Revive(slot)
+	}
+	act := chaos.NewAgentKillActuator(kills, pool.NumAgents(), kill, revive)
+	r.OnTime = act.Advance
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"distcoord/internal/coord"
 	"distcoord/internal/eval"
 	"distcoord/internal/graph"
+	"distcoord/internal/nn"
 	"distcoord/internal/rl"
 	"distcoord/internal/simnet"
 	"distcoord/internal/traffic"
@@ -39,6 +41,9 @@ type runConfig struct {
 	seed                              int64
 	episodes                          int
 	greedy                            bool
+	model, saveModel                  string
+	spawnAgents                       int
+	agentdBin                         string
 	shared                            *clicfg.Flags
 }
 
@@ -54,6 +59,10 @@ func main() {
 	flag.Int64Var(&c.seed, "seed", 0, "simulation seed")
 	flag.IntVar(&c.episodes, "train-episodes", 300, "DRL training episodes (only -algo drl)")
 	flag.BoolVar(&c.greedy, "greedy", false, "deterministic argmax DRL inference instead of sampling (only -algo drl)")
+	flag.StringVar(&c.model, "model", "", "load this policy checkpoint instead of training (only -algo drl)")
+	flag.StringVar(&c.saveModel, "save-model", "", "write the policy checkpoint to this path after training (only -algo drl)")
+	flag.IntVar(&c.spawnAgents, "spawn-agents", 0, "launch this many local agentd processes and decide through them (only -algo drl; composes with -agents)")
+	flag.StringVar(&c.agentdBin, "agentd-bin", "", "agentd binary for -spawn-agents (default: sibling of coordsim, then PATH)")
 	c.shared = clicfg.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -125,7 +134,16 @@ func run(c *runConfig) error {
 	rt.SetObsInfo("topology", inst.Graph.Name())
 	rt.SetObsInfo("pattern", c.pattern)
 
+	remoteMode := c.shared.Agents != "" || c.spawnAgents > 0
+	if remoteMode && c.algo != "drl" {
+		return fmt.Errorf("a remote agent fleet (-agents/-spawn-agents) requires -algo drl; %q decides in-process only", c.algo)
+	}
+	if s.Faults.Profile == chaos.ProfileAgentKill && !remoteMode {
+		return fmt.Errorf("-faults agent-kill needs a fleet to kill; add -agents or -spawn-agents")
+	}
+
 	var coordinator simnet.Coordinator
+	var remote *coord.Remote
 	switch c.algo {
 	case "sp":
 		coordinator = baselines.SP{}
@@ -134,21 +152,38 @@ func run(c *runConfig) error {
 	case "central":
 		coordinator = baselines.NewCentral(100)
 	case "drl":
-		budget := eval.DefaultTrainBudget()
-		budget.Episodes = c.episodes
-		budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.OnEpisode(rec) }
-		fmt.Fprintf(os.Stderr, "training DRL agent (%d episodes x %d seeds)...\n", budget.Episodes, budget.Seeds)
-		policy, err := eval.TrainDRL(s, budget)
+		checkpoint, modelPath, err := drlCheckpoint(c, rt, s)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "training scores per seed: %v\n", policy.Stats.SeedScores)
-		coordinator, err = policy.Factory()(inst, c.seed)
-		if err != nil {
-			return err
-		}
-		if d, ok := coordinator.(*coord.Distributed); ok {
+		if remoteMode {
+			fl, err := buildFleet(c, modelPath)
+			if err != nil {
+				return err
+			}
+			defer fl.stop()
+			remote, err = remoteCoordinator(c, rt, inst, fl, checkpoint)
+			if err != nil {
+				return err
+			}
+			defer remote.Close()
+			if len(inst.Chaos.AgentKills) > 0 {
+				wireAgentKills(remote, fl, inst.Chaos.AgentKills)
+			}
+			coordinator = remote
+		} else {
+			actor, err := nn.Load(bytes.NewReader(checkpoint))
+			if err != nil {
+				return err
+			}
+			adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+			d, err := coord.NewDistributed(adapter, actor)
+			if err != nil {
+				return err
+			}
+			d.Reseed(c.seed)
 			d.Stochastic = !c.greedy
+			coordinator = d
 		}
 	default:
 		return fmt.Errorf("unknown algorithm %q (want drl, central, gcasp, sp)", c.algo)
@@ -157,10 +192,7 @@ func run(c *runConfig) error {
 		return err
 	}
 
-	opts := eval.RunOptions{Tracer: rt.Tracer(), Shards: rt.Shards()}
-	if rt.Shards() > 1 {
-		opts.ShardObserver = rt.ShardObserver()
-	}
+	opts := rt.RunOptions()
 	var monitor *chaos.Monitor
 	if s.Faults.Enabled() {
 		monitor = chaos.NewMonitor(inst.Chaos, 0)
@@ -186,6 +218,15 @@ func run(c *runConfig) error {
 	fmt.Printf("decisions:      %d (%d processings, %d forwards, %d keeps)\n",
 		m.Decisions, m.Processings, m.Forwards, m.Keeps)
 
+	if remote != nil {
+		ok, failed := remote.Pool().DecideStats()
+		h := rt.DecideRTT()
+		fmt.Printf("remote fleet:   %d agents, %d decisions over sockets (%d failed)\n",
+			remote.Pool().NumAgents(), ok, failed)
+		fmt.Printf("decision RTT:   p50 %.0f µs, p95 %.0f µs, p99 %.0f µs (%d samples)\n",
+			h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Count())
+	}
+
 	var recovery []chaos.FaultReport
 	if monitor != nil {
 		recovery = monitor.Report()
@@ -207,6 +248,58 @@ func run(c *runConfig) error {
 		fmt.Fprintf(os.Stderr, "wrote metrics summary to %s\n", path)
 	}
 	return rt.Close()
+}
+
+// drlCheckpoint produces the serialized policy the run deploys: loaded
+// from -model, or trained here and serialized. It returns the bytes and
+// a path holding them (for spawned agentd processes), honoring
+// -save-model and falling back to a temp file when spawning needs one.
+func drlCheckpoint(c *runConfig, rt *clicfg.Runtime, s eval.Scenario) ([]byte, string, error) {
+	var checkpoint []byte
+	if c.model != "" {
+		data, err := os.ReadFile(c.model)
+		if err != nil {
+			return nil, "", err
+		}
+		checkpoint = data
+	} else {
+		budget := eval.DefaultTrainBudget()
+		budget.Episodes = c.episodes
+		budget.OnEpisode = func(rec rl.EpisodeRecord) { rt.OnEpisode(rec) }
+		fmt.Fprintf(os.Stderr, "training DRL agent (%d episodes x %d seeds)...\n", budget.Episodes, budget.Seeds)
+		policy, err := eval.TrainDRL(s, budget)
+		if err != nil {
+			return nil, "", err
+		}
+		fmt.Fprintf(os.Stderr, "training scores per seed: %v\n", policy.Stats.SeedScores)
+		var buf bytes.Buffer
+		if err := policy.Agent.Actor.Save(&buf); err != nil {
+			return nil, "", err
+		}
+		checkpoint = buf.Bytes()
+	}
+	path := c.model
+	if c.saveModel != "" {
+		if err := nn.WriteFileVerified(c.saveModel, checkpoint, nn.Checksum(checkpoint)); err != nil {
+			return nil, "", err
+		}
+		fmt.Fprintf(os.Stderr, "wrote policy checkpoint to %s\n", c.saveModel)
+		path = c.saveModel
+	}
+	if path == "" && c.spawnAgents > 0 {
+		tmp, err := os.CreateTemp("", "coordsim-model-*.bin")
+		if err != nil {
+			return nil, "", err
+		}
+		name := tmp.Name()
+		tmp.Close()
+		if err := nn.WriteFileVerified(name, checkpoint, nn.Checksum(checkpoint)); err != nil {
+			os.Remove(name)
+			return nil, "", err
+		}
+		path = name
+	}
+	return checkpoint, path, nil
 }
 
 // writeMetrics serializes the metrics summary to path as indented JSON.

@@ -1,0 +1,358 @@
+package agentnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ClientConfig tunes a Client. Zero values get sane defaults.
+type ClientConfig struct {
+	// Timeout bounds each request round trip (write + read). Default 5s.
+	Timeout time.Duration
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// ReconnectBackoff is the initial retry delay after a failed dial;
+	// it doubles per attempt up to ReconnectMax. Defaults 50ms / 1s.
+	ReconnectBackoff time.Duration
+	ReconnectMax     time.Duration
+	// ReconnectBudget caps the total time spent re-dialing after a lost
+	// connection before a request is failed back to the caller. The
+	// simulation maps that failure to an invalid action (a dropped
+	// flow), so this budget is literally "how long an agent may be dead
+	// before its nodes start dropping traffic". Default 3s.
+	ReconnectBudget time.Duration
+	// Logf receives reconnect/lifecycle lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c *ClientConfig) defaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = time.Second
+	}
+	if c.ReconnectBudget <= 0 {
+		c.ReconnectBudget = 3 * time.Second
+	}
+}
+
+// Client is the driver-side handle to one agent daemon. All methods are
+// synchronous request/response and safe for concurrent use (requests are
+// serialized over the single connection; the simulator's per-decision
+// path is sequential anyway, and /metrics scrapes must not race it).
+//
+// On any transport error the client transparently re-dials with bounded
+// exponential backoff and replays the handshake, then retries the
+// request once. If the agent stays unreachable past ReconnectBudget the
+// request fails and the caller decides what a missing decision means
+// (coord.Remote returns an invalid action, which the engine drops).
+type Client struct {
+	addr  string
+	hello Hello
+	cfg   ClientConfig
+
+	mu      sync.Mutex
+	conn    net.Conn
+	ack     HelloAck
+	severed bool
+	nonce   uint64
+}
+
+// Dial connects to an agent daemon and performs the handshake. hello is
+// re-sent verbatim on every reconnect, so the agent rebuilds the same
+// decision state each time.
+func Dial(addr string, hello Hello, cfg ClientConfig) (*Client, error) {
+	cfg.defaults()
+	hello.Version = ProtoVersion
+	c := &Client{addr: addr, hello: hello, cfg: cfg}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Ack returns the handshake result from the most recent (re)connect.
+func (c *Client) Ack() HelloAck {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ack
+}
+
+// Addr returns the agent endpoint this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// connectLocked dials and handshakes once. Caller holds c.mu.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("agentnet: dial %s: %w", c.addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	conn.SetDeadline(deadline)
+	if err := WriteFrame(conn, MsgHello, c.hello.Marshal()); err != nil {
+		conn.Close()
+		return fmt.Errorf("agentnet: handshake %s: %w", c.addr, err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("agentnet: handshake %s: %w", c.addr, err)
+	}
+	if typ == MsgError {
+		var em ErrorMsg
+		em.Unmarshal(payload)
+		conn.Close()
+		return fmt.Errorf("agentnet: handshake %s: agent error: %s", c.addr, em.Msg)
+	}
+	if typ != MsgHelloAck {
+		conn.Close()
+		return fmt.Errorf("agentnet: handshake %s: expected HelloAck, got type %d", c.addr, typ)
+	}
+	var ack HelloAck
+	if err := ack.Unmarshal(payload); err != nil {
+		conn.Close()
+		return fmt.Errorf("agentnet: handshake %s: %w", c.addr, err)
+	}
+	if ack.Version != ProtoVersion {
+		conn.Close()
+		return fmt.Errorf("agentnet: handshake %s: protocol version mismatch: agent %d, driver %d",
+			c.addr, ack.Version, ProtoVersion)
+	}
+	conn.SetDeadline(time.Time{})
+	c.conn = conn
+	c.ack = ack
+	return nil
+}
+
+// reconnectLocked re-dials with exponential backoff until it succeeds or
+// the reconnect budget runs out. Caller holds c.mu.
+func (c *Client) reconnectLocked() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	backoff := c.cfg.ReconnectBackoff
+	deadline := time.Now().Add(c.cfg.ReconnectBudget)
+	for attempt := 1; ; attempt++ {
+		if c.severed {
+			return fmt.Errorf("agentnet: %s: client severed", c.addr)
+		}
+		err := c.connectLocked()
+		if err == nil {
+			c.logf("agentnet: reconnected to %s (attempt %d)", c.addr, attempt)
+			return nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return fmt.Errorf("agentnet: %s: reconnect budget exhausted: %w", c.addr, err)
+		}
+		c.logf("agentnet: reconnect %s attempt %d failed: %v (retrying in %v)", c.addr, attempt, err, backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > c.cfg.ReconnectMax {
+			backoff = c.cfg.ReconnectMax
+		}
+	}
+}
+
+// roundTrip sends one request frame and reads its response, retrying
+// once through a reconnect on transport failure. It returns the response
+// type and payload.
+func (c *Client) roundTrip(reqType byte, req []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.severed {
+			return 0, nil, fmt.Errorf("agentnet: %s: client severed", c.addr)
+		}
+		if c.conn == nil {
+			if err := c.reconnectLocked(); err != nil {
+				return 0, nil, err
+			}
+		}
+		typ, payload, err := c.roundTripOnceLocked(reqType, req)
+		if err == nil {
+			return typ, payload, nil
+		}
+		c.conn.Close()
+		c.conn = nil
+		// One retry after a fresh reconnect: a request/response protocol
+		// with no pipelining means a lost connection loses at most the
+		// in-flight request, which is safe to replay (decides are
+		// deterministic given agent state; pings/pushes are idempotent).
+		if attempt >= 1 {
+			return 0, nil, err
+		}
+		c.logf("agentnet: %s: request failed (%v), reconnecting", c.addr, err)
+	}
+}
+
+func (c *Client) roundTripOnceLocked(reqType byte, req []byte) (byte, []byte, error) {
+	deadline := time.Now().Add(c.cfg.Timeout)
+	c.conn.SetDeadline(deadline)
+	if err := WriteFrame(c.conn, reqType, req); err != nil {
+		return 0, nil, fmt.Errorf("agentnet: %s: write: %w", c.addr, err)
+	}
+	typ, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("agentnet: %s: read: %w", c.addr, err)
+	}
+	return typ, payload, nil
+}
+
+// errFromResponse converts an in-band Error frame into a Go error.
+func errFromResponse(addr string, typ byte, payload []byte, want byte) error {
+	if typ == want {
+		return nil
+	}
+	if typ == MsgError {
+		var em ErrorMsg
+		em.Unmarshal(payload)
+		return fmt.Errorf("agentnet: %s: agent error: %s", addr, em.Msg)
+	}
+	return fmt.Errorf("agentnet: %s: expected message type %d, got %d", addr, want, typ)
+}
+
+// Decide requests one action for an observation row.
+func (c *Client) Decide(node uint32, now float64, obs []float64) (int32, error) {
+	req := Decide{Node: node, Now: now, Obs: obs}
+	typ, payload, err := c.roundTrip(MsgDecide, req.Marshal())
+	if err != nil {
+		return 0, err
+	}
+	if err := errFromResponse(c.addr, typ, payload, MsgAction); err != nil {
+		return 0, err
+	}
+	var a Action
+	if err := a.Unmarshal(payload); err != nil {
+		return 0, err
+	}
+	return a.Action, nil
+}
+
+// DecideBatch requests actions for a same-node cohort of observation
+// rows (row-major, width columns each). It returns one action per row.
+func (c *Client) DecideBatch(node uint32, now float64, width int, rows []float64) ([]int32, error) {
+	req := DecideBatch{Node: node, Now: now, Width: uint32(width), Rows: rows}
+	typ, payload, err := c.roundTrip(MsgDecideBatch, req.Marshal())
+	if err != nil {
+		return nil, err
+	}
+	if err := errFromResponse(c.addr, typ, payload, MsgActions); err != nil {
+		return nil, err
+	}
+	var a Actions
+	if err := a.Unmarshal(payload); err != nil {
+		return nil, err
+	}
+	if width > 0 && len(a.Actions) != len(rows)/width {
+		return nil, fmt.Errorf("agentnet: %s: got %d actions for %d rows", c.addr, len(a.Actions), len(rows)/width)
+	}
+	return a.Actions, nil
+}
+
+// PushModel ships a serialized checkpoint and waits for the agent's
+// verified acknowledgement.
+func (c *Client) PushModel(hash string, payload []byte) error {
+	req := ModelPush{Hash: hash, Payload: payload}
+	typ, resp, err := c.roundTrip(MsgModelPush, req.Marshal())
+	if err != nil {
+		return err
+	}
+	if err := errFromResponse(c.addr, typ, resp, MsgModelAck); err != nil {
+		return err
+	}
+	var ack ModelAck
+	if err := ack.Unmarshal(resp); err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("agentnet: %s: model push rejected: %s", c.addr, ack.Err)
+	}
+	if ack.Hash != hash {
+		return fmt.Errorf("agentnet: %s: model ack hash %.12s... != pushed %.12s...", c.addr, ack.Hash, hash)
+	}
+	return nil
+}
+
+// Ping round-trips a liveness probe and returns its latency.
+func (c *Client) Ping() (time.Duration, error) {
+	c.mu.Lock()
+	c.nonce++
+	nonce := c.nonce
+	c.mu.Unlock()
+	req := Ping{Nonce: nonce}
+	start := time.Now()
+	typ, payload, err := c.roundTrip(MsgPing, req.Marshal())
+	if err != nil {
+		return 0, err
+	}
+	if err := errFromResponse(c.addr, typ, payload, MsgPong); err != nil {
+		return 0, err
+	}
+	var pong Pong
+	if err := pong.Unmarshal(payload); err != nil {
+		return 0, err
+	}
+	if pong.Nonce != nonce {
+		return 0, fmt.Errorf("agentnet: %s: pong nonce %d != ping nonce %d", c.addr, pong.Nonce, nonce)
+	}
+	return time.Since(start), nil
+}
+
+// Sever closes the connection and makes every request fail immediately
+// without reconnecting, until Revive. The chaos agent-kill fault uses
+// this to simulate a dead agent process with zero recovery, which the
+// engine surfaces as dropped flows at the agent's nodes.
+func (c *Client) Sever() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.severed = true
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Revive lifts a Sever; the next request reconnects and re-handshakes.
+func (c *Client) Revive() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.severed = false
+}
+
+// Close releases the connection. The client must not be used afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.severed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,195 @@
+package agentnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PoolConfig tunes a Pool.
+type PoolConfig struct {
+	// Client configures every per-agent connection.
+	Client ClientConfig
+	// ObserveRTT, if set, receives each decision round trip in
+	// microseconds (Decide and DecideBatch alike). The driver points
+	// this at a telemetry histogram so /metrics and BENCH_rpc.json see
+	// the same samples.
+	ObserveRTT func(us float64)
+	// Logf receives pool lifecycle lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Pool is the driver-side agent registry: one Client per agent daemon
+// plus the node→agent assignment. Nodes are partitioned round-robin
+// (node v is served by agent v mod len(agents)), which the daemons learn
+// through Hello.Nodes at handshake.
+//
+// The pool is what coord.Remote talks to; it adds the cross-cutting
+// concerns — RTT accounting, model distribution, liveness, targeted
+// kill/revive for chaos runs — on top of the per-connection Client.
+type Pool struct {
+	agents   []*Client
+	numNodes int
+	cfg      PoolConfig
+
+	decides [2]atomic.Int64 // [ok, failed]
+}
+
+// DialPool connects and handshakes with every endpoint. hello is the
+// template handshake; the pool fills in each agent's node assignment.
+// All agents must be reachable at startup — a partially alive fleet is a
+// deployment error, not a runtime condition.
+func DialPool(endpoints []string, hello Hello, numNodes int, cfg PoolConfig) (*Pool, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("agentnet: pool needs at least one endpoint")
+	}
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("agentnet: pool needs a positive node count, got %d", numNodes)
+	}
+	p := &Pool{numNodes: numNodes, cfg: cfg}
+	for i, ep := range endpoints {
+		h := hello
+		h.Nodes = nil
+		for v := i; v < numNodes; v += len(endpoints) {
+			h.Nodes = append(h.Nodes, uint32(v))
+		}
+		c, err := Dial(ep, h, cfg.Client)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("agentnet: agent %d: %w", i, err)
+		}
+		p.agents = append(p.agents, c)
+	}
+	return p, nil
+}
+
+// NumAgents returns the number of connected agent daemons.
+func (p *Pool) NumAgents() int { return len(p.agents) }
+
+// Agent returns the client for agent slot i.
+func (p *Pool) Agent(i int) *Client { return p.agents[i] }
+
+// AgentFor returns the agent slot serving node v.
+func (p *Pool) AgentFor(node int) int { return node % len(p.agents) }
+
+// AgentIDs returns the handshake-reported agent IDs, indexed by slot.
+func (p *Pool) AgentIDs() []string {
+	ids := make([]string, len(p.agents))
+	for i, c := range p.agents {
+		ids[i] = c.Ack().AgentID
+	}
+	return ids
+}
+
+// Caps returns the intersection of all agents' granted capabilities.
+// The engine may only rely on what every agent can serve: a single
+// batch-incapable agent disables batched dispatch for the run, because
+// decision cohorts are per-node and any node might land on that agent.
+func (p *Pool) Caps() uint32 {
+	caps := ^uint32(0)
+	for _, c := range p.agents {
+		caps &= c.Ack().Caps
+	}
+	return caps
+}
+
+func (p *Pool) observe(start time.Time) {
+	if p.cfg.ObserveRTT != nil {
+		p.cfg.ObserveRTT(float64(time.Since(start)) / float64(time.Microsecond))
+	}
+}
+
+// Decide routes one observation row to the agent serving node.
+func (p *Pool) Decide(node int, now float64, obs []float64) (int32, error) {
+	start := time.Now()
+	a, err := p.agents[p.AgentFor(node)].Decide(uint32(node), now, obs)
+	p.observe(start)
+	if err != nil {
+		p.decides[1].Add(1)
+		p.logf("agentnet: decide node %d: %v", node, err)
+		return 0, err
+	}
+	p.decides[0].Add(1)
+	return a, nil
+}
+
+// DecideBatch routes a same-node cohort to the agent serving node.
+func (p *Pool) DecideBatch(node int, now float64, width int, rows []float64) ([]int32, error) {
+	start := time.Now()
+	as, err := p.agents[p.AgentFor(node)].DecideBatch(uint32(node), now, width, rows)
+	p.observe(start)
+	if err != nil {
+		p.decides[1].Add(1)
+		p.logf("agentnet: decide batch node %d: %v", node, err)
+		return nil, err
+	}
+	p.decides[0].Add(1)
+	return as, nil
+}
+
+// PushModel distributes a checkpoint to every agent and fails if any
+// agent rejects it. Push-to-all is atomic in intent, not execution: an
+// agent that nacks leaves its previous model running, so the caller must
+// treat an error as "fleet is heterogeneous" and abort the run.
+func (p *Pool) PushModel(hash string, payload []byte) error {
+	for i, c := range p.agents {
+		if c.Ack().Caps&CapModelPush == 0 {
+			return fmt.Errorf("agentnet: agent %d (%s) did not negotiate model push", i, c.Addr())
+		}
+		if err := c.PushModel(hash, payload); err != nil {
+			return fmt.Errorf("agentnet: agent %d: %w", i, err)
+		}
+		p.logf("agentnet: pushed model %.12s... to agent %d (%s)", hash, i, c.Addr())
+	}
+	return nil
+}
+
+// PingAll probes every agent and returns the worst round trip, failing
+// on the first dead agent.
+func (p *Pool) PingAll() (time.Duration, error) {
+	var worst time.Duration
+	for i, c := range p.agents {
+		rtt, err := c.Ping()
+		if err != nil {
+			return 0, fmt.Errorf("agentnet: agent %d: %w", i, err)
+		}
+		if rtt > worst {
+			worst = rtt
+		}
+	}
+	return worst, nil
+}
+
+// Sever marks agent slot i dead: its connection drops and requests to
+// its nodes fail fast without reconnecting until Revive.
+func (p *Pool) Sever(i int) { p.agents[i].Sever() }
+
+// Revive lifts a Sever on agent slot i.
+func (p *Pool) Revive(i int) { p.agents[i].Revive() }
+
+// DecideStats returns the number of successful and failed decision
+// round trips so far.
+func (p *Pool) DecideStats() (ok, failed int64) {
+	return p.decides[0].Load(), p.decides[1].Load()
+}
+
+// Close releases every connection.
+func (p *Pool) Close() error {
+	var wg sync.WaitGroup
+	for _, c := range p.agents {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			c.Close()
+		}(c)
+	}
+	wg.Wait()
+	return nil
+}
+
+func (p *Pool) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,331 @@
+package agentnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedBackend is a deterministic Backend for transport tests: it
+// returns node*1000 + int(obs[0]) so the test can verify routing and
+// payload integrity from the action alone.
+type scriptedBackend struct {
+	id        string
+	grantCaps uint32
+
+	mu        sync.Mutex
+	hello     Hello
+	modelHash string
+	models    [][]byte
+	decides   int
+}
+
+func (b *scriptedBackend) Init(h *Hello) (HelloAck, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hello = *h
+	return HelloAck{AgentID: b.id, ModelHash: b.modelHash, Caps: h.WantCaps & b.grantCaps}, nil
+}
+
+func (b *scriptedBackend) Decide(node uint32, now float64, obs []float64) (int32, error) {
+	b.mu.Lock()
+	b.decides++
+	b.mu.Unlock()
+	if len(obs) == 0 {
+		return 0, fmt.Errorf("empty observation")
+	}
+	return int32(node)*1000 + int32(obs[0]), nil
+}
+
+func (b *scriptedBackend) DecideBatch(node uint32, now float64, width int, rows []float64, actions []int32) error {
+	for i := range actions {
+		actions[i] = int32(node)*1000 + int32(rows[i*width])
+	}
+	return nil
+}
+
+func (b *scriptedBackend) SetModel(hash string, payload []byte) error {
+	if hash == "reject" {
+		return fmt.Errorf("scripted rejection")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.modelHash = hash
+	b.models = append(b.models, append([]byte(nil), payload...))
+	return nil
+}
+
+func startServer(t *testing.T, b *scriptedBackend) (*Server, string) {
+	t.Helper()
+	srv := NewServer(func() Backend { return b }, ServerConfig{IdleTimeout: 5 * time.Second})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func testHello() Hello {
+	return Hello{
+		Seed: 42, Stochastic: true, ObsSize: 4, NumActions: 3,
+		Nodes: []uint32{0, 1}, WantCaps: CapBatch | CapModelPush,
+	}
+}
+
+func testClientConfig() ClientConfig {
+	return ClientConfig{
+		Timeout:          2 * time.Second,
+		DialTimeout:      time.Second,
+		ReconnectBackoff: 5 * time.Millisecond,
+		ReconnectMax:     20 * time.Millisecond,
+		ReconnectBudget:  time.Second,
+	}
+}
+
+func TestClientServerRequestResponse(t *testing.T) {
+	backend := &scriptedBackend{id: "agent-a", grantCaps: CapBatch | CapModelPush, modelHash: "h0"}
+	_, addr := startServer(t, backend)
+
+	c, err := Dial(addr, testHello(), testClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ack := c.Ack()
+	if ack.AgentID != "agent-a" || ack.ModelHash != "h0" || ack.Caps != CapBatch|CapModelPush {
+		t.Fatalf("unexpected ack %+v", ack)
+	}
+	backend.mu.Lock()
+	if backend.hello.Seed != 42 || len(backend.hello.Nodes) != 2 {
+		t.Fatalf("backend saw hello %+v", backend.hello)
+	}
+	backend.mu.Unlock()
+
+	if a, err := c.Decide(7, 1.5, []float64{9, 0, 0, 0}); err != nil || a != 7009 {
+		t.Fatalf("decide: %d, %v", a, err)
+	}
+	as, err := c.DecideBatch(3, 2.0, 2, []float64{5, 0, 8, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0] != 3005 || as[1] != 3008 {
+		t.Fatalf("batch actions %v", as)
+	}
+	if err := c.PushModel("h1", []byte("weights")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushModel("reject", []byte("x")); err == nil {
+		t.Fatal("rejected push reported success")
+	}
+	// A nacked push must not kill the session.
+	if a, err := c.Decide(1, 3, []float64{2}); err != nil || a != 1002 {
+		t.Fatalf("decide after nack: %d, %v", a, err)
+	}
+	if rtt, err := c.Ping(); err != nil || rtt <= 0 {
+		t.Fatalf("ping: %v, %v", rtt, err)
+	}
+}
+
+func TestServerEnforcesNegotiatedCaps(t *testing.T) {
+	backend := &scriptedBackend{id: "limited", grantCaps: 0}
+	_, addr := startServer(t, backend)
+	h := testHello()
+	h.WantCaps = CapBatch
+	cfg := testClientConfig()
+	cfg.ReconnectBudget = 50 * time.Millisecond
+	c, err := Dial(addr, h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Ack().Caps != 0 {
+		t.Fatalf("granted caps %#x, want none", c.Ack().Caps)
+	}
+	// Using an ungranted capability is a session-fatal protocol error.
+	if _, err := c.DecideBatch(0, 0, 1, []float64{1}); err == nil {
+		t.Fatal("DecideBatch without CapBatch succeeded")
+	}
+}
+
+func TestClientReconnectsAfterServerRestart(t *testing.T) {
+	backend := &scriptedBackend{id: "flappy", grantCaps: CapBatch}
+	srv1, addr := startServer(t, backend)
+
+	c, err := Dial(addr, testHello(), testClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Decide(0, 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server; restart on the same port while the client is
+	// retrying in its backoff loop.
+	srv1.Close()
+	srv2 := NewServer(func() Backend { return backend }, ServerConfig{IdleTimeout: 5 * time.Second})
+	restarted := make(chan error, 1)
+	go func() {
+		// The old listener's port can linger briefly; retry the bind.
+		var err error
+		for i := 0; i < 100; i++ {
+			if _, err = srv2.Listen(addr); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		restarted <- err
+	}()
+	t.Cleanup(func() { srv2.Close() })
+	if err := <-restarted; err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+
+	// The request after the outage must transparently reconnect,
+	// re-handshake, and succeed.
+	a, err := c.Decide(4, 9, []float64{2})
+	if err != nil {
+		t.Fatalf("post-restart decide: %v", err)
+	}
+	if a != 4002 {
+		t.Fatalf("post-restart action %d", a)
+	}
+}
+
+func TestSeverFailsFastAndReviveRecovers(t *testing.T) {
+	backend := &scriptedBackend{id: "victim", grantCaps: 0}
+	_, addr := startServer(t, backend)
+	c, err := Dial(addr, testHello(), testClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.Sever()
+	start := time.Now()
+	if _, err := c.Decide(0, 0, []float64{1}); err == nil {
+		t.Fatal("severed client served a decide")
+	}
+	// Severed means fail-fast: no reconnect backoff loop.
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("severed decide took %v, want immediate failure", d)
+	}
+	c.Revive()
+	if a, err := c.Decide(2, 0, []float64{3}); err != nil || a != 2003 {
+		t.Fatalf("revived decide: %d, %v", a, err)
+	}
+}
+
+func TestPoolRoutingAndStats(t *testing.T) {
+	const agents = 3
+	backends := make([]*scriptedBackend, agents)
+	endpoints := make([]string, agents)
+	for i := range backends {
+		backends[i] = &scriptedBackend{id: fmt.Sprintf("agent-%d", i), grantCaps: CapBatch | CapModelPush}
+		_, endpoints[i] = startServer(t, backends[i])
+	}
+
+	var rttSamples atomic.Int64
+	cfg := PoolConfig{
+		Client: testClientConfig(),
+		ObserveRTT: func(us float64) {
+			if us <= 0 {
+				t.Errorf("non-positive RTT sample %v", us)
+			}
+			rttSamples.Add(1)
+		},
+	}
+	const numNodes = 7
+	pool, err := DialPool(endpoints, testHello(), numNodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	if got := pool.Caps(); got != CapBatch|CapModelPush {
+		t.Fatalf("pool caps %#x", got)
+	}
+	ids := pool.AgentIDs()
+	if len(ids) != agents || ids[1] != "agent-1" {
+		t.Fatalf("agent ids %v", ids)
+	}
+
+	// Node v must land on agent v mod agents, and the agent must have
+	// been told it owns v at handshake.
+	for v := 0; v < numNodes; v++ {
+		a, err := pool.Decide(v, 0, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != int32(v)*1000+1 {
+			t.Fatalf("node %d action %d", v, a)
+		}
+		owner := backends[v%agents]
+		owner.mu.Lock()
+		found := false
+		for _, n := range owner.hello.Nodes {
+			if int(n) == v {
+				found = true
+			}
+		}
+		owner.mu.Unlock()
+		if !found {
+			t.Fatalf("agent %d does not know it owns node %d", v%agents, v)
+		}
+	}
+
+	if err := pool.PushModel("h9", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range backends {
+		b.mu.Lock()
+		if b.modelHash != "h9" {
+			t.Errorf("agent %d model hash %q after push", i, b.modelHash)
+		}
+		b.mu.Unlock()
+	}
+	if worst, err := pool.PingAll(); err != nil || worst <= 0 {
+		t.Fatalf("ping all: %v, %v", worst, err)
+	}
+
+	// Kill agent 1: its nodes fail, other nodes keep deciding.
+	pool.Sever(1)
+	if _, err := pool.Decide(1, 0, []float64{1}); err == nil {
+		t.Fatal("decide on severed agent succeeded")
+	}
+	if _, err := pool.Decide(2, 0, []float64{1}); err != nil {
+		t.Fatalf("healthy agent affected by sever: %v", err)
+	}
+	pool.Revive(1)
+	if _, err := pool.Decide(1, 0, []float64{1}); err != nil {
+		t.Fatalf("revived agent: %v", err)
+	}
+
+	ok, failed := pool.DecideStats()
+	if ok != int64(numNodes)+2 || failed != 1 {
+		t.Fatalf("decide stats ok=%d failed=%d", ok, failed)
+	}
+	if rttSamples.Load() != ok+failed {
+		t.Fatalf("rtt samples %d, want %d", rttSamples.Load(), ok+failed)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	backend := &scriptedBackend{id: "v", grantCaps: 0}
+	_, addr := startServer(t, backend)
+	// Dial forces the right version, so drive the handshake manually.
+	h := testHello()
+	h.Version = ProtoVersion + 1
+	cfg := testClientConfig()
+	c := &Client{addr: addr, hello: h, cfg: cfg}
+	c.mu.Lock()
+	err := c.connectLocked()
+	c.mu.Unlock()
+	if err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}

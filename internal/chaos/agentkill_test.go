@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"distcoord/internal/graph"
+)
+
+func TestParseSpecAgentKillRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"agent-kill",
+		"agent-kill:count=2,agent=1,start=300,duration=400",
+		"agent-kill:seed=9",
+	} {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if sp.Profile != ProfileAgentKill {
+			t.Fatalf("ParseSpec(%q) profile %q", in, sp.Profile)
+		}
+		again, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q.String() = %q): %v", in, sp.String(), err)
+		}
+		if !reflect.DeepEqual(sp, again) {
+			t.Errorf("round trip of %q: %+v != %+v", in, sp, again)
+		}
+	}
+}
+
+func TestBuildAgentKillSchedule(t *testing.T) {
+	g := abilene(t)
+	sp, err := ParseSpec("agent-kill:count=2,agent=1,start=300,duration=400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := sp.Build(g, 2000, []graph.NodeID{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Faults) != 0 {
+		t.Fatalf("agent-kill produced %d simnet faults, want 0", len(sched.Faults))
+	}
+	want := []AgentKill{
+		{Time: 300, Recover: 400, Agent: 1},
+		{Time: 500, Recover: 600, Agent: 1},
+	}
+	if !reflect.DeepEqual(sched.AgentKills, want) {
+		t.Fatalf("AgentKills = %+v, want %+v", sched.AgentKills, want)
+	}
+	if got := sched.DisruptiveTimes(); !reflect.DeepEqual(got, []float64{300, 500}) {
+		t.Fatalf("DisruptiveTimes = %v, want [300 500]", got)
+	}
+}
+
+func TestBuildAgentKillSeedSelectsSlots(t *testing.T) {
+	g := abilene(t)
+	sp, err := ParseSpec("agent-kill:count=3,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sp.Build(g, 2000, []graph.NodeID{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.Build(g, 2000, []graph.NodeID{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.AgentKills, b.AgentKills) {
+		t.Fatal("agent-kill schedule not deterministic for a fixed seed")
+	}
+	for _, k := range a.AgentKills {
+		if k.Agent < 0 {
+			t.Fatalf("seed-selected slot is negative: %+v", k)
+		}
+		if k.Recover <= k.Time {
+			t.Fatalf("kill never recovers: %+v", k)
+		}
+	}
+}
+
+func TestAgentKillActuator(t *testing.T) {
+	kills := []AgentKill{
+		{Time: 100, Recover: 150, Agent: 4}, // slot 4 % 3 = 1
+		{Time: 200, Recover: 0, Agent: 2},   // no recovery event
+	}
+	var log []string
+	act := NewAgentKillActuator(kills, 3,
+		func(slot int) { log = append(log, "kill "+string(rune('0'+slot))) },
+		func(slot int) { log = append(log, "revive "+string(rune('0'+slot))) },
+	)
+	act.Advance(50)
+	if len(log) != 0 {
+		t.Fatalf("events fired before their time: %v", log)
+	}
+	act.Advance(100)
+	act.Advance(100) // idempotent: once only
+	if want := []string{"kill 1"}; !reflect.DeepEqual(log, want) {
+		t.Fatalf("after t=100: %v, want %v", log, want)
+	}
+	if act.Done() {
+		t.Fatal("actuator done with events pending")
+	}
+	act.Advance(1000)
+	want := []string{"kill 1", "revive 1", "kill 2"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("after t=1000: %v, want %v", log, want)
+	}
+	if !act.Done() {
+		t.Fatal("actuator not done after all events fired")
+	}
+}

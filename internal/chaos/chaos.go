@@ -26,6 +26,7 @@ const (
 	ProfileLinkCascade  = "link-cascade"
 	ProfileSurge        = "surge"
 	ProfileInstanceKill = "instance-kill"
+	ProfileAgentKill    = "agent-kill"
 )
 
 // Spec declares a fault scenario independent of any concrete topology.
@@ -59,6 +60,10 @@ type Spec struct {
 	// Component restricts instance-kill to one component name; empty
 	// kills every instance at the victim node.
 	Component string
+	// Agent pins the victim agent slot (agent-kill); negative selects
+	// victims from the seed. Slots are taken modulo the fleet size when
+	// the schedule is applied, so a spec ports across fleet sizes.
+	Agent int
 }
 
 // Enabled reports whether the spec describes any fault injection.
@@ -98,6 +103,9 @@ func (sp Spec) String() string {
 	if sp.Component != "" {
 		add("comp", sp.Component)
 	}
+	if sp.Agent >= 0 {
+		add("agent", strconv.Itoa(sp.Agent))
+	}
 	if len(parts) == 0 {
 		return sp.Profile
 	}
@@ -108,7 +116,7 @@ func (sp Spec) String() string {
 // "node-outage", "link-cascade:count=3,factor=0.3,seed=7", or
 // "surge:burst=50,start=200". Unset keys take profile defaults at Build.
 func ParseSpec(s string) (Spec, error) {
-	sp := Spec{Node: -1, Link: -1}
+	sp := Spec{Node: -1, Link: -1, Agent: -1}
 	s = strings.TrimSpace(s)
 	if s == "" || s == ProfileNone {
 		sp.Profile = ProfileNone
@@ -116,11 +124,11 @@ func ParseSpec(s string) (Spec, error) {
 	}
 	head, rest, _ := strings.Cut(s, ":")
 	switch head {
-	case ProfileNodeOutage, ProfileLinkOutage, ProfileLinkCascade, ProfileSurge, ProfileInstanceKill:
+	case ProfileNodeOutage, ProfileLinkOutage, ProfileLinkCascade, ProfileSurge, ProfileInstanceKill, ProfileAgentKill:
 		sp.Profile = head
 	default:
 		return sp, fmt.Errorf("chaos: unknown profile %q (want %s)", head,
-			strings.Join([]string{ProfileNodeOutage, ProfileLinkOutage, ProfileLinkCascade, ProfileSurge, ProfileInstanceKill, ProfileNone}, "|"))
+			strings.Join([]string{ProfileNodeOutage, ProfileLinkOutage, ProfileLinkCascade, ProfileSurge, ProfileInstanceKill, ProfileAgentKill, ProfileNone}, "|"))
 	}
 	if rest == "" {
 		return sp, nil
@@ -150,6 +158,8 @@ func ParseSpec(s string) (Spec, error) {
 			sp.Burst, err = strconv.Atoi(val)
 		case "comp":
 			sp.Component = val
+		case "agent":
+			sp.Agent, err = strconv.Atoi(val)
 		default:
 			return sp, fmt.Errorf("chaos: unknown option %q", key)
 		}
@@ -160,16 +170,33 @@ func ParseSpec(s string) (Spec, error) {
 	return sp, nil
 }
 
+// AgentKill is a driver-level fault: at Time, the victim agent daemon
+// (slot Agent modulo the fleet size) dies — its connection is severed or
+// its process killed — and at Recover it comes back. Unlike simnet
+// faults, agent kills do not flow through the simulator's event loop:
+// the driver actuates them against the live agent pool, and the
+// simulation observes only the consequences (failed decisions at the
+// dead agent's nodes becoming invalid-action drops).
+type AgentKill struct {
+	Time    float64
+	Recover float64
+	Agent   int
+}
+
 // Schedule is a concrete, fully resolved fault scenario for one topology.
 type Schedule struct {
 	Spec   Spec
 	Faults []simnet.Fault
+	// AgentKills holds driver-level agent faults (agent-kill profile);
+	// empty for purely in-simulator schedules.
+	AgentKills []AgentKill
 }
 
 // DisruptiveTimes returns the injection times of disruptive faults in
 // ascending order, collapsing same-time events (a cascade step degrading
-// several links at once is one disruption). These are the reference
-// points for recovery analysis.
+// several links at once is one disruption). Agent kills count as
+// disruptive: they dent service exactly like an in-simulator fault.
+// These are the reference points for recovery analysis.
 func (s *Schedule) DisruptiveTimes() []float64 {
 	var ts []float64
 	for _, ft := range s.Faults {
@@ -180,8 +207,18 @@ func (s *Schedule) DisruptiveTimes() []float64 {
 			ts = append(ts, ft.Time)
 		}
 	}
+	for _, k := range s.AgentKills {
+		ts = append(ts, k.Time)
+	}
 	sort.Float64s(ts)
-	return ts
+	// The appended kill times may duplicate fault times; collapse again.
+	out := ts[:0]
+	for _, t := range ts {
+		if len(out) == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // Build resolves the spec against a topology: it picks victims (from the
@@ -225,6 +262,7 @@ func (sp Spec) Build(g *graph.Graph, horizon float64, ingresses []graph.NodeID, 
 	b := &builder{g: g, protected: protected, rng: rng}
 	var err error
 	var faults []simnet.Fault
+	var kills []AgentKill
 	switch sp.Profile {
 	case ProfileNodeOutage:
 		faults, err = b.nodeOutage(sp)
@@ -236,6 +274,8 @@ func (sp Spec) Build(g *graph.Graph, horizon float64, ingresses []graph.NodeID, 
 		faults, err = b.surge(sp, ingresses)
 	case ProfileInstanceKill:
 		faults, err = b.instanceKill(sp)
+	case ProfileAgentKill:
+		kills = b.agentKill(sp)
 	default:
 		err = fmt.Errorf("chaos: unknown profile %q", sp.Profile)
 	}
@@ -243,7 +283,7 @@ func (sp Spec) Build(g *graph.Graph, horizon float64, ingresses []graph.NodeID, 
 		return nil, err
 	}
 	sort.SliceStable(faults, func(i, j int) bool { return faults[i].Time < faults[j].Time })
-	return &Schedule{Spec: sp, Faults: faults}, nil
+	return &Schedule{Spec: sp, Faults: faults, AgentKills: kills}, nil
 }
 
 // builder carries victim-selection state while expanding one spec.
@@ -404,6 +444,77 @@ func (b *builder) instanceKill(sp Spec) ([]simnet.Fault, error) {
 	}
 	return faults, nil
 }
+
+// agentKill schedules Count agent-daemon crashes spread evenly over
+// Duration; each victim recovers halfway through its slot, so the run
+// shows distinct dip-and-recover episodes. Victim slots are pinned by
+// Spec.Agent or drawn from the seed; they are resolved modulo the fleet
+// size when actuated, so the schedule stays fleet-size independent.
+func (b *builder) agentKill(sp Spec) []AgentKill {
+	gap := sp.Duration / float64(sp.Count)
+	kills := make([]AgentKill, 0, sp.Count)
+	for i := 0; i < sp.Count; i++ {
+		slot := sp.Agent
+		if slot < 0 {
+			slot = b.rng.Intn(1 << 16)
+		}
+		t := sp.Start + float64(i)*gap
+		kills = append(kills, AgentKill{Time: t, Recover: t + gap/2, Agent: slot})
+	}
+	return kills
+}
+
+// AgentKillActuator replays an agent-kill schedule against a live fleet.
+// It is transport-agnostic: kill and revive receive a resolved agent
+// slot and do whatever "dead" means for the deployment — severing a
+// pooled connection for goroutine-hosted agents, or killing a real
+// agentd process. Drive Advance from the decision path
+// (coord.Remote.OnTime): simulation time, not wall time, triggers the
+// faults, keeping chaos runs reproducible.
+type AgentKillActuator struct {
+	events []agentKillEvent
+	next   int
+	kill   func(slot int)
+	revive func(slot int)
+}
+
+type agentKillEvent struct {
+	time   float64
+	slot   int
+	revive bool
+}
+
+// NewAgentKillActuator resolves the schedule's kills against a fleet of
+// numAgents daemons (slots taken modulo the fleet size) and returns an
+// actuator calling kill/revive as simulation time passes each event.
+func NewAgentKillActuator(kills []AgentKill, numAgents int, kill, revive func(slot int)) *AgentKillActuator {
+	a := &AgentKillActuator{kill: kill, revive: revive}
+	for _, k := range kills {
+		slot := k.Agent % numAgents
+		a.events = append(a.events, agentKillEvent{time: k.Time, slot: slot})
+		if k.Recover > k.Time {
+			a.events = append(a.events, agentKillEvent{time: k.Recover, slot: slot, revive: true})
+		}
+	}
+	sort.SliceStable(a.events, func(i, j int) bool { return a.events[i].time < a.events[j].time })
+	return a
+}
+
+// Advance fires every event with time <= now, in order, at most once.
+func (a *AgentKillActuator) Advance(now float64) {
+	for a.next < len(a.events) && a.events[a.next].time <= now {
+		ev := a.events[a.next]
+		a.next++
+		if ev.revive {
+			a.revive(ev.slot)
+		} else {
+			a.kill(ev.slot)
+		}
+	}
+}
+
+// Done reports whether every scheduled event has fired.
+func (a *AgentKillActuator) Done() bool { return a.next >= len(a.events) }
 
 // pickNode draws a random unprotected node whose removal (together with
 // previously chosen victims) keeps the surviving network connected.

@@ -41,9 +41,10 @@ func (m *Monitor) OnFlowEnd(f *simnet.Flow, success bool, cause simnet.DropCause
 type FaultReport struct {
 	Time float64 `json:"time"`
 	Kind string  `json:"kind"`
-	// Node / Link identify the victim; −1 when not applicable.
-	Node int `json:"node"`
-	Link int `json:"link"`
+	// Node / Link / Agent identify the victim; −1 when not applicable.
+	Node  int `json:"node"`
+	Link  int `json:"link"`
+	Agent int `json:"agent"`
 	telemetry.RecoveryStat
 }
 
@@ -54,7 +55,7 @@ func (m *Monitor) Report() []FaultReport {
 	stats := m.tracker.Analyze(times)
 	reports := make([]FaultReport, len(stats))
 	for i, st := range stats {
-		r := FaultReport{Time: st.FaultTime, Node: -1, Link: -1, RecoveryStat: st}
+		r := FaultReport{Time: st.FaultTime, Node: -1, Link: -1, Agent: -1, RecoveryStat: st}
 		// Describe the (first) disruptive fault at this injection time.
 		for _, ft := range m.schedule.Faults {
 			if ft.Time == st.FaultTime && ft.Kind.Disruptive() {
@@ -66,6 +67,15 @@ func (m *Monitor) Report() []FaultReport {
 					r.Link = ft.Link
 				}
 				break
+			}
+		}
+		if r.Kind == "" {
+			for _, k := range m.schedule.AgentKills {
+				if k.Time == st.FaultTime {
+					r.Kind = ProfileAgentKill
+					r.Agent = k.Agent
+					break
+				}
 			}
 		}
 		reports[i] = r

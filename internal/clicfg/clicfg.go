@@ -16,9 +16,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"distcoord/internal/chaos"
+	"distcoord/internal/eval"
 	"distcoord/internal/flowtrace"
 	"distcoord/internal/rl"
 	"distcoord/internal/simnet"
@@ -65,6 +67,18 @@ type Flags struct {
 	// ObsWait keeps the observability endpoint serving this long after the
 	// run completes, so final state can still be scraped.
 	ObsWait time.Duration
+	// Listen serves an agentd control socket on this address (cmd/agentd);
+	// empty disables serving. Mutually exclusive with Agents — a process
+	// is either an agent or a driver.
+	Listen string
+	// Agents is a comma-separated list of agentd endpoints; when set,
+	// simulations decide through a coord.Remote fleet instead of
+	// in-process, every decision crossing a socket.
+	Agents string
+	// ModelPush pushes the driver's policy checkpoint to every connected
+	// agent whose model hash differs (requires Agents). Without it a
+	// heterogeneous fleet is refused at connect time.
+	ModelPush bool
 
 	name string
 }
@@ -84,6 +98,9 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.GridLog, "grid-log", "", "write per-cell experiment grid records to this JSONL file")
 	fs.StringVar(&f.ObsAddr, "obs-addr", "", "serve the live observability endpoint (/metrics, /snapshot, /run) on this address (e.g. localhost:9090, or :0 for a free port)")
 	fs.DurationVar(&f.ObsWait, "obs-wait", 0, "keep the observability endpoint serving this long after the run completes (requires -obs-addr)")
+	fs.StringVar(&f.Listen, "listen", "", "serve an agent daemon control socket on this address (e.g. 127.0.0.1:7501, or :0 for a free port)")
+	fs.StringVar(&f.Agents, "agents", "", "comma-separated agentd endpoints; decisions cross the socket to this fleet instead of running in-process")
+	fs.BoolVar(&f.ModelPush, "model-push", false, "push the local policy checkpoint to agents running a different model (requires -agents)")
 	f.Prof.RegisterFlags(fs)
 	return f
 }
@@ -188,7 +205,33 @@ func (f *Flags) Validate() error {
 	if f.ObsWait < 0 {
 		return fmt.Errorf("clicfg: -obs-wait must be >= 0, got %s", f.ObsWait)
 	}
+	if f.Listen != "" && f.Agents != "" {
+		return fmt.Errorf("clicfg: -listen and -agents are mutually exclusive (a process serves decisions or drives a fleet, not both)")
+	}
+	if f.ModelPush && f.Agents == "" {
+		return fmt.Errorf("clicfg: -model-push requires -agents (there is no fleet to push to)")
+	}
+	if f.Agents != "" && f.Shards > 1 {
+		return fmt.Errorf("clicfg: -agents is incompatible with -shards %d (remote decisions are not shardable)", f.Shards)
+	}
+	for _, ep := range strings.Split(f.Agents, ",") {
+		if f.Agents != "" && strings.TrimSpace(ep) == "" {
+			return fmt.Errorf("clicfg: -agents %q has an empty endpoint", f.Agents)
+		}
+	}
 	return nil
+}
+
+// AgentEndpoints returns the parsed -agents list (nil when unset).
+func (f *Flags) AgentEndpoints() []string {
+	if f.Agents == "" {
+		return nil
+	}
+	eps := strings.Split(f.Agents, ",")
+	for i := range eps {
+		eps[i] = strings.TrimSpace(eps[i])
+	}
+	return eps
 }
 
 // ValidateShards rejects -shards > 1 for coordinators without the
@@ -199,7 +242,7 @@ func (f *Flags) ValidateShards(c simnet.Coordinator) error {
 	if f.Shards <= 1 {
 		return nil
 	}
-	if _, ok := c.(simnet.ShardableCoordinator); !ok {
+	if simnet.Capabilities(c).Shard == nil {
 		return fmt.Errorf("clicfg: -shards %d is incompatible with coordinator %q (no ForShard capability; deterministic sharding is undefined for it)", f.Shards, c.Name())
 	}
 	return nil
@@ -207,6 +250,29 @@ func (f *Flags) ValidateShards(c simnet.Coordinator) error {
 
 // FaultSpec returns the parsed -faults spec (zero value when disabled).
 func (rt *Runtime) FaultSpec() chaos.Spec { return rt.faults }
+
+// RunOptions is the single flag→options mapping: it builds the
+// eval.RunOptions a simulation run should use under these flags — the
+// tracer (flow trace + live collector), batched decisions, sharding, and
+// the per-shard progress gauges. Binaries layer run-specific fields
+// (Listener, agent fleets) on top of the returned value instead of
+// re-deriving the shared ones.
+func (rt *Runtime) RunOptions() eval.RunOptions {
+	return eval.RunOptions{
+		Tracer:        rt.Tracer(),
+		MaxBatch:      rt.Batch(),
+		Shards:        rt.Shards(),
+		ShardObserver: rt.ShardObserver(),
+	}
+}
+
+// DecideRTT returns the decision round-trip histogram
+// ("rpc_decide_rtt_us", microseconds) on the runtime's registry — wire
+// it to coord.RemoteOptions.ObserveRTT so remote runs expose decision
+// latency on /metrics.
+func (rt *Runtime) DecideRTT() *telemetry.Histogram {
+	return rt.reg.Histogram("rpc_decide_rtt_us")
+}
 
 // MetricsOut returns the -metrics-out path ("" when unset).
 func (rt *Runtime) MetricsOut() string { return rt.flags.MetricsOut }

@@ -253,6 +253,13 @@ func TestFlagValidation(t *testing.T) {
 		{"single shard on one cpu", []string{"-shards", "1", "-jobs", "1"}, true},
 		{"batch and shards together", []string{"-shards", "2", "-batch", "16"}, true},
 		{"obs-wait without obs-addr", []string{"-obs-wait", "5s"}, false},
+		{"agentd serving", []string{"-listen", "127.0.0.1:0"}, true},
+		{"remote fleet", []string{"-agents", "127.0.0.1:7501,127.0.0.1:7502"}, true},
+		{"listen and agents together", []string{"-listen", ":0", "-agents", "127.0.0.1:7501"}, false},
+		{"model-push without agents", []string{"-model-push"}, false},
+		{"model-push with agents", []string{"-model-push", "-agents", "127.0.0.1:7501"}, true},
+		{"agents with shards", []string{"-agents", "127.0.0.1:7501", "-shards", "2"}, false},
+		{"empty agent endpoint", []string{"-agents", "127.0.0.1:7501,,127.0.0.1:7502"}, false},
 	}
 	for _, tc := range cases {
 		err := parseArgs(t, tc.args...).Validate()
@@ -262,6 +269,64 @@ func TestFlagValidation(t *testing.T) {
 		if !tc.ok && err == nil {
 			t.Errorf("%s: inconsistent flags accepted", tc.name)
 		}
+	}
+}
+
+func TestAgentEndpoints(t *testing.T) {
+	if eps := parseArgs(t).AgentEndpoints(); eps != nil {
+		t.Errorf("no -agents, endpoints %v", eps)
+	}
+	got := parseArgs(t, "-agents", "127.0.0.1:7501, 127.0.0.1:7502").AgentEndpoints()
+	want := []string{"127.0.0.1:7501", "127.0.0.1:7502"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("endpoints %v, want %v", got, want)
+	}
+}
+
+// TestRunOptionsBuilder pins the single flag→options mapping: the shared
+// run options a binary gets must reflect the parsed flags, not per-binary
+// hand-threading.
+func TestRunOptionsBuilder(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	rt, err := parseArgs(t, "-batch", "16", "-shards", "2", "-flow-trace", tracePath).Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	opts := rt.RunOptions()
+	if opts.MaxBatch != 16 {
+		t.Errorf("MaxBatch = %d, want 16", opts.MaxBatch)
+	}
+	if opts.Shards != 2 {
+		t.Errorf("Shards = %d, want 2", opts.Shards)
+	}
+	if opts.Tracer == nil {
+		t.Error("Tracer nil despite -flow-trace")
+	}
+	if opts.ShardObserver == nil {
+		t.Error("ShardObserver nil; sharded runs would lose progress gauges")
+	}
+
+	rt2, err := parseArgs(t).Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	opts2 := rt2.RunOptions()
+	if opts2.MaxBatch != 0 || opts2.Shards != 0 || opts2.Tracer != nil {
+		t.Errorf("default run options not zero-valued: %+v", opts2)
+	}
+}
+
+func TestDecideRTTOnRegistry(t *testing.T) {
+	rt, err := parseArgs(t).Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.DecideRTT().Observe(123)
+	if got := rt.Registry().Histogram("rpc_decide_rtt_us").Count(); got != 1 {
+		t.Errorf("rpc_decide_rtt_us count = %d, want 1", got)
 	}
 }
 

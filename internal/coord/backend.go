@@ -1,0 +1,182 @@
+package coord
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"distcoord/internal/agentnet"
+	"distcoord/internal/nn"
+)
+
+// AgentHost is the policy side of one agent daemon process: it owns the
+// currently deployed checkpoint (bytes, hash, parsed actor) and mints a
+// fresh agentnet.Backend per driver connection. Model swaps are atomic
+// under the host lock and verified against the pushed hash before the
+// old model is released, so the daemon never runs a torn or unverified
+// checkpoint.
+type AgentHost struct {
+	id string
+	// persistPath, when non-empty, is where verified pushed checkpoints
+	// are written (nn.WriteFileVerified), so a restarted daemon comes
+	// back with the model the control plane last deployed.
+	persistPath string
+	logf        func(format string, args ...any)
+
+	mu    sync.Mutex
+	model *nn.MLP
+	hash  string
+}
+
+// NewAgentHost parses checkpoint bytes and returns a host serving that
+// model. id is the agent's self-reported identity in handshakes;
+// persistPath may be empty to keep pushed models in memory only.
+func NewAgentHost(id string, checkpoint []byte, persistPath string, logf func(string, ...any)) (*AgentHost, error) {
+	model, err := nn.Load(bytes.NewReader(checkpoint))
+	if err != nil {
+		return nil, err
+	}
+	return &AgentHost{
+		id:          id,
+		persistPath: persistPath,
+		logf:        logf,
+		model:       model,
+		hash:        nn.Checksum(checkpoint),
+	}, nil
+}
+
+// ModelHash returns the hash of the currently deployed checkpoint.
+func (h *AgentHost) ModelHash() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hash
+}
+
+// swapModel verifies and installs a pushed checkpoint, persisting it if
+// the host is configured to. Returns the parsed model for the session
+// that received the push.
+func (h *AgentHost) swapModel(hash string, payload []byte) (*nn.MLP, error) {
+	model, err := nn.LoadVerified(payload, hash)
+	if err != nil {
+		return nil, err
+	}
+	if h.persistPath != "" {
+		if err := nn.WriteFileVerified(h.persistPath, payload, hash); err != nil {
+			return nil, err
+		}
+	}
+	h.mu.Lock()
+	h.model = model
+	h.hash = hash
+	h.mu.Unlock()
+	h.log("agentd: deployed model %.12s...", hash)
+	return model, nil
+}
+
+func (h *AgentHost) snapshot() (*nn.MLP, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.model, h.hash
+}
+
+func (h *AgentHost) log(format string, args ...any) {
+	if h.logf != nil {
+		h.logf(format, args...)
+	}
+}
+
+// NewBackend mints the per-connection backend (agentnet.Server calls
+// this once per accepted driver connection).
+func (h *AgentHost) NewBackend() agentnet.Backend { return &policySession{host: h} }
+
+// policySession is one driver connection's decision state: a PolicyBank
+// over the nodes the driver assigned in its Hello, with streams derived
+// from the driver's seed. Sessions are independent — two drivers (or a
+// reconnecting one) each get fresh, deterministic state.
+type policySession struct {
+	host       *AgentHost
+	hello      agentnet.Hello
+	bank       *PolicyBank
+	stochastic bool
+	scratch    []int
+}
+
+func (s *policySession) Init(h *agentnet.Hello) (agentnet.HelloAck, error) {
+	model, hash := s.host.snapshot()
+	if h.ModelHash != "" && h.ModelHash != hash {
+		// The driver expected a specific model we don't have. Not fatal:
+		// report our hash and let the driver push (it negotiated
+		// CapModelPush for exactly this).
+		s.host.log("agentd: driver expects model %.12s..., have %.12s...", h.ModelHash, hash)
+	}
+	if len(h.Nodes) == 0 {
+		return agentnet.HelloAck{}, fmt.Errorf("coord: handshake assigns no nodes")
+	}
+	s.hello = *h
+	s.stochastic = h.Stochastic
+	if err := s.buildBank(model); err != nil {
+		return agentnet.HelloAck{}, err
+	}
+	return agentnet.HelloAck{
+		AgentID:   s.host.id,
+		ModelHash: hash,
+		Caps:      h.WantCaps & (agentnet.CapBatch | agentnet.CapModelPush),
+	}, nil
+}
+
+// buildBank (re)derives the session's decision state from a model and
+// the handshake geometry. Called at Init and again after a model push;
+// both times the streams restart from the handshake seed, so a push
+// before the first decide (the deployment pattern) leaves the run
+// bit-identical to an in-process one.
+func (s *policySession) buildBank(model *nn.MLP) error {
+	numNodes := 0
+	ids := make([]int, len(s.hello.Nodes))
+	for i, v := range s.hello.Nodes {
+		ids[i] = int(v)
+		if int(v)+1 > numNodes {
+			numNodes = int(v) + 1
+		}
+	}
+	bank, err := NewPolicyBank(model, numNodes, ids, int(s.hello.ObsSize), int(s.hello.NumActions))
+	if err != nil {
+		return err
+	}
+	bank.Reseed(s.hello.Seed)
+	s.bank = bank
+	return nil
+}
+
+func (s *policySession) Decide(node uint32, now float64, obs []float64) (int32, error) {
+	a, err := s.bank.DecideObs(int(node), obs, s.stochastic)
+	if err != nil {
+		return 0, err
+	}
+	return int32(a), nil
+}
+
+func (s *policySession) DecideBatch(node uint32, now float64, width int, rows []float64, actions []int32) error {
+	if width != int(s.hello.ObsSize) {
+		return fmt.Errorf("coord: batch row width %d, want %d", width, s.hello.ObsSize)
+	}
+	k := len(actions)
+	if cap(s.scratch) < k {
+		s.scratch = make([]int, k)
+	}
+	s.scratch = s.scratch[:k]
+	if err := s.bank.DecideRows(int(node), rows, k, s.stochastic, s.scratch); err != nil {
+		return err
+	}
+	for i, a := range s.scratch {
+		actions[i] = int32(a)
+	}
+	return nil
+}
+
+func (s *policySession) SetModel(hash string, payload []byte) error {
+	model, err := s.host.swapModel(hash, payload)
+	if err != nil {
+		return err
+	}
+	return s.buildBank(model)
+}

@@ -47,14 +47,22 @@ func (d *Distributed) DecideBatch(st *simnet.State, flows []*simnet.Flow, v grap
 		actions[0] = d.Decide(st, flows[0], v, now)
 		return
 	}
-	n := &d.nodes[v]
+	n := &d.bank.nodes[v]
 	n.batchObs = observeRows(d.adapter, n.batchObs, st, flows, v, now)
+	n.decideRows(n.batchObs, k, d.adapter.NumActions(), d.Stochastic, actions)
+}
+
+// decideRows resolves k prebuilt observation rows (flat row-major) with
+// one batched forward pass, sampling per row in order from the node's
+// stream. Shared by the in-process batch path above and by
+// PolicyBank.DecideRows (the agent-daemon path), so both sample
+// bit-identically.
+func (n *nodeState) decideRows(rows []float64, k, na int, stochastic bool, actions []int) {
 	if n.bws == nil {
 		n.bws = n.actor.NewBatchWorkspace()
 	}
-	logits := n.actor.ForwardBatchInto(n.bws, n.batchObs, k)
-	na := d.adapter.NumActions()
-	if !d.Stochastic {
+	logits := n.actor.ForwardBatchInto(n.bws, rows, k)
+	if !stochastic {
 		nn.ArgmaxRows(logits, k, na, actions)
 		return
 	}

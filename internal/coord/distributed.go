@@ -1,7 +1,6 @@
 package coord
 
 import (
-	"errors"
 	"math/rand"
 
 	"distcoord/internal/graph"
@@ -34,10 +33,12 @@ type nodeState struct {
 // It implements simnet.Coordinator.
 type Distributed struct {
 	adapter *Adapter
-	// nodes holds one actor copy, random stream, and inference workspace
+	// bank holds one actor copy, random stream, and inference workspace
 	// per node — deliberately not shared, mirroring the deployment
 	// architecture (and making per-node inference timing honest, Fig. 9b).
-	nodes []nodeState
+	// The same PolicyBank type, restricted to an assigned node subset,
+	// is what cmd/agentd hosts on the far side of a socket.
+	bank *PolicyBank
 
 	// Stochastic samples actions from π instead of taking the argmax.
 	// It defaults to true, matching the paper's stable-baselines
@@ -51,28 +52,15 @@ type Distributed struct {
 // NewDistributed deploys a copy of the trained actor at each node of the
 // adapter's network.
 func NewDistributed(adapter *Adapter, actor *nn.MLP) (*Distributed, error) {
-	if actor.InputSize() != adapter.ObsSize() {
-		return nil, errors.New("coord: actor input size does not match adapter observation size")
+	bank, err := NewPolicyBank(actor, adapter.Graph().NumNodes(), nil, adapter.ObsSize(), adapter.NumActions())
+	if err != nil {
+		return nil, err
 	}
-	if actor.OutputSize() != adapter.NumActions() {
-		return nil, errors.New("coord: actor output size does not match adapter action space")
-	}
-	d := &Distributed{
+	return &Distributed{
 		adapter:    adapter,
-		nodes:      make([]nodeState, adapter.Graph().NumNodes()),
+		bank:       bank,
 		Stochastic: true,
-	}
-	for v := range d.nodes {
-		c := actor.Clone()
-		d.nodes[v] = nodeState{
-			actor: c,
-			ws:    c.NewWorkspace(),
-			obs:   make([]float64, 0, adapter.ObsSize()),
-			probs: make([]float64, adapter.NumActions()),
-		}
-	}
-	d.Reseed(1)
-	return d, nil
+	}, nil
 }
 
 // Name implements simnet.Coordinator.
@@ -81,7 +69,7 @@ func (d *Distributed) Name() string { return "DistDRL" }
 // Decide implements simnet.Coordinator: observe locally, run the node's
 // own policy copy, act. The steady-state path performs zero allocations.
 func (d *Distributed) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now float64) int {
-	n := &d.nodes[v]
+	n := &d.bank.nodes[v]
 	n.obs = d.adapter.ObserveInto(n.obs, st, f, v, now)
 	return n.decide(d.Stochastic)
 }
@@ -106,11 +94,7 @@ func (n *nodeState) decide(stochastic bool) int {
 // evaluation runs). Each node derives its own independent source from
 // the base seed — the deployed nodes are independent decision makers,
 // so they must not consume from one shared stream.
-func (d *Distributed) Reseed(seed int64) {
-	for v := range d.nodes {
-		d.nodes[v].rng = rand.New(rand.NewSource(nodeSeed(seed, v)))
-	}
-}
+func (d *Distributed) Reseed(seed int64) { d.bank.Reseed(seed) }
 
 // nodeSeed derives node v's stream from the base seed: a golden-ratio
 // stride (splitmix-style) keeps the per-node sources decorrelated even
@@ -125,7 +109,7 @@ func nodeSeed(seed int64, v int) int64 {
 // It routes through the same decide logic as Decide — honoring
 // Stochastic — so benchmarks measure the deployed code path.
 func (d *Distributed) DecideAt(v graph.NodeID, obs []float64) int {
-	n := &d.nodes[v]
+	n := &d.bank.nodes[v]
 	n.obs = append(n.obs[:0], obs...)
 	return n.decide(d.Stochastic)
 }

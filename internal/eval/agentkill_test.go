@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"testing"
+
+	"distcoord/internal/chaos"
+	"distcoord/internal/coord"
+	"distcoord/internal/graph"
+)
+
+// pairGraph is a deliberately easy topology: two nodes, one link, huge
+// capacities. Max degree 1 means every action (process-local or forward)
+// is valid, so even a randomly initialized policy serves ~100% of flows.
+// That makes an agent kill the ONLY source of failure — the recovery
+// tracker's dip is unambiguously the fault's.
+func pairGraph() *graph.Graph {
+	g := graph.New("pair")
+	a := g.AddNode("a", 0, 0)
+	b := g.AddNode("b", 0, 0)
+	if err := g.AddLink(a, b, 1); err != nil {
+		panic(err)
+	}
+	g.SetNodeCapacity(a, 100)
+	g.SetNodeCapacity(b, 100)
+	g.SetLinkCapacity(0, 100)
+	return g
+}
+
+// TestAgentKillRecoveryDip is the chaos acceptance test for the agentnet
+// tier: a scheduled agent-kill fault severs a live agent daemon mid-run
+// (goroutine-hosted servers, real sockets), the recovery tracker sees
+// the service dip, and the fault report attributes it to the agent.
+func TestAgentKillRecoveryDip(t *testing.T) {
+	sp, err := chaos.ParseSpec("agent-kill:start=500,duration=600,count=1,agent=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Base()
+	sc.Graph = pairGraph()
+	sc.IngressNodes = []graph.NodeID{0}
+	sc.Egress = 1
+	sc.Horizon = 1500
+	sc.Faults = sp
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Chaos.AgentKills) != 1 {
+		t.Fatalf("schedule has %d agent kills, want 1", len(inst.Chaos.AgentKills))
+	}
+
+	checkpoint := testActorBytes(t, inst, 42)
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	endpoints := startAgents(t, 2, checkpoint)
+	r, err := coord.NewRemote(adapter, endpoints, 0, coord.RemoteOptions{
+		Stochastic: true,
+		Client:     testClientConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Agent 0 serves node 0 — the ingress — so the kill window starves
+	// every new flow until the revive. Sever/Revive emulate exactly what
+	// killing and restarting the agentd process does to the driver.
+	act := chaos.NewAgentKillActuator(inst.Chaos.AgentKills, r.Pool().NumAgents(),
+		r.Pool().Sever, r.Pool().Revive)
+	r.OnTime = act.Advance
+
+	monitor := chaos.NewMonitor(inst.Chaos, 0)
+	m, err := inst.RunWith(r, RunOptions{Listener: monitor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !act.Done() {
+		t.Fatal("agent-kill schedule did not fully fire within the run")
+	}
+	if m.Succeeded == 0 {
+		t.Fatal("no flow succeeded — the scenario is supposed to be easy")
+	}
+
+	reports := monitor.Report()
+	if len(reports) != 1 {
+		t.Fatalf("got %d fault reports, want 1: %+v", len(reports), reports)
+	}
+	rep := reports[0]
+	if rep.Kind != chaos.ProfileAgentKill {
+		t.Errorf("report kind %q, want %q", rep.Kind, chaos.ProfileAgentKill)
+	}
+	if rep.Agent != 0 {
+		t.Errorf("report agent %d, want 0", rep.Agent)
+	}
+	if rep.Time != 500 {
+		t.Errorf("report time %v, want 500", rep.Time)
+	}
+	if rep.DipDepth <= 0.5 {
+		t.Errorf("dip depth %v — killing the ingress agent should crater the success rate", rep.DipDepth)
+	}
+	if rep.Drops == 0 {
+		t.Error("fault report attributes no drops to the kill")
+	}
+	ok, failed := r.Pool().DecideStats()
+	if failed == 0 {
+		t.Error("pool saw no failed decisions during the kill window")
+	}
+	if ok == 0 {
+		t.Error("pool saw no successful decisions")
+	}
+}

@@ -1,0 +1,315 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"distcoord/internal/agentnet"
+	"distcoord/internal/coord"
+	"distcoord/internal/nn"
+	"distcoord/internal/rl"
+	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
+)
+
+// These tests pin the remote≡in-process equivalence oracle: a fig6b-style
+// run whose decisions travel over real sockets to agent-hosted policy
+// banks must produce metrics byte-identical (metricsFingerprint) to the
+// same run with the in-process Distributed coordinator. This is the
+// correctness contract of the whole agentnet tier — the network boundary
+// may add latency, never behavior.
+
+func testActorBytes(t *testing.T, inst *Instance, seed int64) []byte {
+	t.Helper()
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	agent, err := rl.NewAgent(rl.AgentConfig{
+		ObsSize:    adapter.ObsSize(),
+		NumActions: adapter.NumActions(),
+		Hidden:     []int{32, 32},
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := agent.Actor.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startAgents hosts n agent daemons in-process (goroutine listeners over
+// real loopback TCP — the same Server cmd/agentd runs) and returns their
+// endpoints.
+func startAgents(t *testing.T, n int, checkpoint []byte) []string {
+	t.Helper()
+	endpoints := make([]string, n)
+	for i := range endpoints {
+		host, err := coord.NewAgentHost(fmt.Sprintf("test-agent-%d", i), checkpoint, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := agentnet.NewServer(host.NewBackend, agentnet.ServerConfig{IdleTimeout: time.Minute})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		endpoints[i] = addr.String()
+	}
+	return endpoints
+}
+
+func testClientConfig() agentnet.ClientConfig {
+	return agentnet.ClientConfig{
+		Timeout:          5 * time.Second,
+		DialTimeout:      2 * time.Second,
+		ReconnectBackoff: 5 * time.Millisecond,
+		ReconnectBudget:  200 * time.Millisecond,
+	}
+}
+
+// runPair runs the same instance once in-process and once through a
+// 3-agent fleet, both seeded identically, and returns both fingerprints.
+func runPair(t *testing.T, sc Scenario, seed int64, checkpoint, pushFrom []byte, opts RunOptions) (inproc, remote string) {
+	t.Helper()
+	inst, err := sc.Instantiate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+
+	actor, err := nn.Load(bytes.NewReader(checkpoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := coord.NewDistributed(adapter, actor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Reseed(seed)
+	m1, err := inst.RunWith(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Agents boot with pushFrom (possibly the wrong model); the driver
+	// pushes checkpoint when they differ, exactly like a deployment.
+	hostModel := pushFrom
+	if hostModel == nil {
+		hostModel = checkpoint
+	}
+	endpoints := startAgents(t, 3, hostModel)
+	r, err := coord.NewRemote(adapter, endpoints, seed, coord.RemoteOptions{
+		Stochastic: true,
+		Checkpoint: checkpoint,
+		Client:     testClientConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Re-instantiate so arrival streams restart identically.
+	inst2, err := sc.Instantiate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := inst2.RunWith(r, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, failed := r.Pool().DecideStats()
+	if failed != 0 {
+		t.Fatalf("healthy fleet had %d failed decisions", failed)
+	}
+	if ok == 0 {
+		t.Fatal("remote run made no decisions over the socket")
+	}
+	return metricsFingerprint(m1), metricsFingerprint(m2)
+}
+
+// TestRemoteEquivalenceOracle is THE oracle: sequential decision path,
+// fig6b base scenario, fixed seed — remote metrics must equal in-process
+// metrics exactly.
+func TestRemoteEquivalenceOracle(t *testing.T) {
+	sc := Base()
+	sc.Horizon = 1500
+	for _, seed := range []int64{0, 1} {
+		inst, err := sc.Instantiate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkpoint := testActorBytes(t, inst, 42)
+		inproc, remote := runPair(t, sc, seed, checkpoint, nil, RunOptions{})
+		if inproc != remote {
+			t.Fatalf("seed %d: remote run diverged from in-process run:\nin-process:\n%s\nremote:\n%s", seed, inproc, remote)
+		}
+	}
+}
+
+// TestRemoteEquivalenceBatched pins the batched dispatch path: cohorts
+// cross the socket as DecideBatch frames and must still sample
+// identically to in-process batched inference.
+func TestRemoteEquivalenceBatched(t *testing.T) {
+	sc := Base()
+	sc.NumIngresses = 3 // more simultaneous arrivals → real cohorts
+	sc.Horizon = 1200
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := testActorBytes(t, inst, 42)
+	opts := RunOptions{MaxBatch: 8}
+	inproc, remote := runPair(t, sc, 0, checkpoint, nil, opts)
+	if inproc != remote {
+		t.Fatalf("batched remote run diverged from in-process run:\nin-process:\n%s\nremote:\n%s", inproc, remote)
+	}
+}
+
+// TestRemoteEquivalenceAfterModelPush boots the fleet with the WRONG
+// model and lets the driver push the right one at connect time: the run
+// must still be byte-identical, proving push lands before any decision
+// and the swap rebuilds per-node streams from the handshake seed.
+func TestRemoteEquivalenceAfterModelPush(t *testing.T) {
+	sc := Base()
+	sc.Horizon = 1200
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := testActorBytes(t, inst, 42)
+	wrong := testActorBytes(t, inst, 7)
+	inproc, remote := runPair(t, sc, 0, checkpoint, wrong, RunOptions{})
+	if inproc != remote {
+		t.Fatalf("post-push remote run diverged from in-process run:\nin-process:\n%s\nremote:\n%s", inproc, remote)
+	}
+}
+
+// TestRemoteConcurrentMetricsScrapes runs one driver against 3
+// goroutine-hosted agent listeners while hammering the observability
+// endpoint's /metrics handler from concurrent scrapers. Run under the
+// race detector, this pins that RTT histogram observation (the remote
+// decide hot path) and Prometheus exposition never race.
+func TestRemoteConcurrentMetricsScrapes(t *testing.T) {
+	sc := Base()
+	sc.Horizon = 800
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := testActorBytes(t, inst, 42)
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	endpoints := startAgents(t, 3, checkpoint)
+
+	reg := telemetry.NewRegistry()
+	rtt := reg.Histogram("rpc_decide_rtt_us")
+	obs := telemetry.NewObsServer("eval-test", reg)
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+
+	r, err := coord.NewRemote(adapter, endpoints, 0, coord.RemoteOptions{
+		Stochastic: true,
+		Client:     testClientConfig(),
+		ObserveRTT: rtt.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("scrape status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	if _, err := inst.RunWith(r, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if rtt.Count() == 0 {
+		t.Fatal("no RTT samples recorded during the remote run")
+	}
+	if rtt.Quantile(0.5) <= 0 {
+		t.Fatalf("RTT p50 %v not positive", rtt.Quantile(0.5))
+	}
+}
+
+// TestRemoteDeadAgentDegrades severs one agent's connection mid-run; its
+// nodes' decisions fail and surface as invalid-action drops while other
+// nodes keep succeeding. This is the failure semantics chaos agent-kill
+// relies on.
+func TestRemoteDeadAgentDegrades(t *testing.T) {
+	sc := Base()
+	sc.Horizon = 1500
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := testActorBytes(t, inst, 42)
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	endpoints := startAgents(t, 3, checkpoint)
+	r, err := coord.NewRemote(adapter, endpoints, 0, coord.RemoteOptions{
+		Stochastic: true,
+		Client:     testClientConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	killAt := 700.0
+	killed := false
+	var okAtKill int64
+	r.OnTime = func(now float64) {
+		if !killed && now >= killAt {
+			killed = true
+			okAtKill, _ = r.Pool().DecideStats()
+			r.Pool().Sever(1)
+		}
+	}
+	m, err := inst.RunWith(r, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed {
+		t.Fatal("kill time never reached")
+	}
+	if m.DropsBy[simnet.DropInvalidAction] == 0 {
+		t.Fatal("dead agent produced no invalid-action drops")
+	}
+	ok, failed := r.Pool().DecideStats()
+	if failed == 0 {
+		t.Fatal("pool recorded no failed decisions despite a severed agent")
+	}
+	// The surviving agents must keep serving their nodes after the kill.
+	if ok <= okAtKill {
+		t.Fatalf("no successful decisions after the kill (ok %d at kill, %d at end)", okAtKill, ok)
+	}
+}

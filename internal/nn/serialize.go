@@ -1,6 +1,9 @@
 package nn
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -114,6 +117,77 @@ func fromJSON(j mlpJSON) (*MLP, error) {
 		})
 	}
 	return m, nil
+}
+
+// Checksum returns the model hash of serialized checkpoint bytes: the
+// hex SHA-256 of the exact byte stream Save produces. Agents advertise
+// this hash at handshake and verify it on every model push, so a policy
+// deployed across nodes is provably the policy that was trained.
+func Checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Checksum returns the model hash of the network's serialized form (the
+// hash Save-then-Checksum would produce).
+func (m *MLP) Checksum() (string, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return "", err
+	}
+	return Checksum(buf.Bytes()), nil
+}
+
+// LoadVerified decodes a checkpoint only after its bytes hash to
+// wantHash. This is the load path for weights that arrived over a
+// network push: a truncated or corrupted transfer is rejected by the
+// cheap hash comparison before any JSON deserialization runs, so a
+// half-written file can never become a live (and subtly wrong) policy.
+// An empty wantHash skips verification and behaves like Load.
+func LoadVerified(data []byte, wantHash string) (*MLP, error) {
+	if wantHash != "" {
+		if got := Checksum(data); got != wantHash {
+			return nil, fmt.Errorf("nn: checkpoint hash mismatch: got %.12s..., want %.12s... (refusing to deserialize)", got, wantHash)
+		}
+	}
+	return Load(bytes.NewReader(data))
+}
+
+// WriteFileVerified is the receiving end of a model push: it verifies
+// that data hashes to wantHash, then persists it with the same
+// temp+fsync+rename pattern as SaveFile, so the on-disk checkpoint is
+// atomically either the old model or the complete verified new one —
+// never a torn write. An empty wantHash skips verification.
+func WriteFileVerified(path string, data []byte, wantHash string) (err error) {
+	if wantHash != "" {
+		if got := Checksum(data); got != wantHash {
+			return fmt.Errorf("nn: refusing to write checkpoint: hash mismatch (got %.12s..., want %.12s...)", got, wantHash)
+		}
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("nn: writing checkpoint: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
+		return fmt.Errorf("nn: writing checkpoint: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("nn: writing checkpoint: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("nn: writing checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("nn: writing checkpoint: %w", err)
+	}
+	return nil
 }
 
 // LoadFile reads a network from a file written with SaveFile (or Save).

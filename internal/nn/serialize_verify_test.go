@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func checkpointBytes(t *testing.T, m *MLP) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestChecksumStable(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(1)), 4, 8, 3)
+	data := checkpointBytes(t, m)
+	h1 := Checksum(data)
+	h2, err := m.Checksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("MLP.Checksum %s != Checksum(Save bytes) %s", h2, h1)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("checksum %q is not hex sha-256", h1)
+	}
+	other := NewMLP(rand.New(rand.NewSource(2)), 4, 8, 3)
+	if oh := Checksum(checkpointBytes(t, other)); oh == h1 {
+		t.Fatal("different weights produced identical checksums")
+	}
+}
+
+func TestLoadVerified(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(7)), 5, 6, 2)
+	data := checkpointBytes(t, m)
+	hash := Checksum(data)
+
+	got, err := LoadVerified(data, hash)
+	if err != nil {
+		t.Fatalf("matching hash rejected: %v", err)
+	}
+	if gotHash, _ := got.Checksum(); gotHash != hash {
+		t.Fatalf("round-trip changed checksum: %s != %s", gotHash, hash)
+	}
+
+	// Mismatched hash must be rejected before deserialization: even a
+	// fully valid checkpoint body fails when the advertised hash differs.
+	if _, err := LoadVerified(data, Checksum([]byte("other"))); err == nil {
+		t.Fatal("hash mismatch accepted")
+	} else if !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("want hash-mismatch error, got %v", err)
+	}
+
+	// A corrupted (truncated) payload fails the hash check, never reaching
+	// the JSON decoder.
+	if _, err := LoadVerified(data[:len(data)-4], hash); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+
+	// Empty wantHash degrades to plain Load.
+	if _, err := LoadVerified(data, ""); err != nil {
+		t.Fatalf("empty hash should skip verification: %v", err)
+	}
+}
+
+func TestWriteFileVerified(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(3)), 3, 4, 2)
+	data := checkpointBytes(t, m)
+	hash := Checksum(data)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+
+	if err := WriteFileVerified(path, data, hash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("written checkpoint does not load: %v", err)
+	}
+
+	// A mismatching push must leave the existing file untouched.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileVerified(path, []byte("garbage"), hash); err == nil {
+		t.Fatal("hash mismatch accepted")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rejected push modified the checkpoint file")
+	}
+
+	// No stray temp files left behind by the rejected or accepted writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("unexpected files in checkpoint dir: %v", names)
+	}
+}

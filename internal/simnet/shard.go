@@ -110,8 +110,8 @@ func holdsReference(t reflect.Type) bool {
 // shard.
 func (s *Sim) initShards() error {
 	k := s.cfg.Shards
-	sc, ok := s.cfg.Coordinator.(ShardableCoordinator)
-	if !ok {
+	sc := Capabilities(s.cfg.Coordinator).Shard
+	if sc == nil {
 		return fmt.Errorf("simnet: Shards=%d requires a ShardableCoordinator, but %q does not implement ForShard", k, s.cfg.Coordinator.Name())
 	}
 

@@ -283,8 +283,8 @@ func New(cfg Config) (*Sim, error) {
 	return s, nil
 }
 
-// newExec builds one execution context around coordinator c, discovering
-// its optional capabilities.
+// newExec builds one execution context around coordinator c, resolving
+// its optional capabilities through the Capabilities seam.
 func (s *Sim) newExec(id int, c Coordinator, tracer FlowTracer, listener Listener) (*exec, error) {
 	x := &exec{
 		sim:         s,
@@ -297,22 +297,17 @@ func (s *Sim) newExec(id int, c Coordinator, tracer FlowTracer, listener Listene
 	for _, ws := range s.cfg.Services {
 		x.svcTotal += ws.Weight
 	}
-	if tk, ok := c.(Ticker); ok {
-		if tk.Interval() <= 0 {
+	caps := Capabilities(c)
+	if caps.Ticker != nil {
+		if caps.Ticker.Interval() <= 0 {
 			return nil, fmt.Errorf("simnet: coordinator %q has non-positive tick interval", c.Name())
 		}
-		x.ticker = tk
+		x.ticker = caps.Ticker
 	}
-	if r, ok := c.(Resetter); ok {
-		x.resetter = r
-	}
-	if to, ok := c.(TopologyObserver); ok {
-		x.topoObs = to
-	}
-	if s.cfg.MaxBatch > 1 {
-		if bd, ok := c.(BatchDecider); ok {
-			x.batcher = newDecisionBatcher(bd, s.cfg.MaxBatch, s.cfg.Graph.NumNodes())
-		}
+	x.resetter = caps.Resetter
+	x.topoObs = caps.Topology
+	if s.cfg.MaxBatch > 1 && caps.Batch != nil {
+		x.batcher = newDecisionBatcher(caps.Batch, s.cfg.MaxBatch, s.cfg.Graph.NumNodes())
 	}
 	if listener != nil {
 		x.listeners = append(x.listeners, listener)
@@ -322,7 +317,7 @@ func (s *Sim) newExec(id int, c Coordinator, tracer FlowTracer, listener Listene
 	// already in the slice and must not be delivered events twice. The
 	// second comparison covers sharded runs, where the configured
 	// listener arrives wrapped for locking.
-	if l, ok := c.(Listener); ok && l != listener && l != s.cfg.Listener {
+	if l := caps.Flow; l != nil && Listener(l) != listener && Listener(l) != s.cfg.Listener {
 		x.listeners = append(x.listeners, l)
 	}
 	return x, nil

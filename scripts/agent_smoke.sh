@@ -1,0 +1,126 @@
+#!/bin/sh
+# agent_smoke.sh: end-to-end smoke test of the networked agent tier.
+#
+# Builds coordsim and agentd, trains a tiny throwaway policy, then:
+#
+#   1. runs the scenario in-process and through a fleet of 3 real agentd
+#      processes (same seed), asserting byte-identical -metrics-out JSON
+#      (the equivalence oracle) and nonzero decision-RTT samples;
+#   2. reruns with an agent-kill chaos schedule that terminates one
+#      agentd process mid-run and restarts it, asserting the recovery
+#      report attributes a dip to the agent-kill fault.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+agent_pids=""
+cleanup() {
+    for pid in $agent_pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/coordsim" ./cmd/coordsim
+go build -o "$workdir/agentd" ./cmd/agentd
+
+SEED=3
+HORIZON=400
+
+# Train a tiny policy, save the checkpoint, and record the in-process
+# baseline metrics in one go.
+echo "agent-smoke: training throwaway policy + in-process baseline..."
+"$workdir/coordsim" -algo drl -train-episodes 2 -seed "$SEED" -horizon "$HORIZON" \
+    -save-model "$workdir/model.bin" -metrics-out "$workdir/inproc.json" \
+    >"$workdir/inproc.out" 2>"$workdir/inproc.err"
+
+# Spawn 3 agentd processes on free ports and collect their addresses.
+agents=""
+for i in 1 2 3; do
+    "$workdir/agentd" -listen 127.0.0.1:0 -model "$workdir/model.bin" -quiet \
+        >"$workdir/agent$i.out" 2>"$workdir/agent$i.err" &
+    pid=$!
+    agent_pids="$agent_pids $pid"
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^agentd listening on //p' "$workdir/agent$i.out" | head -n1)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "agent-smoke: agentd $i exited before announcing its listener" >&2
+            cat "$workdir/agent$i.err" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "agent-smoke: agentd $i never announced its listener" >&2
+        exit 1
+    fi
+    agents="${agents:+$agents,}$addr"
+done
+echo "agent-smoke: fleet up at $agents"
+
+# The same run, every decision crossing a socket (-model-push exercises
+# the checkpoint deployment path even though the fleet already has it).
+"$workdir/coordsim" -algo drl -model "$workdir/model.bin" -seed "$SEED" -horizon "$HORIZON" \
+    -agents "$agents" -model-push -metrics-out "$workdir/remote.json" \
+    >"$workdir/remote.out" 2>"$workdir/remote.err"
+
+md5() { md5sum "$1" 2>/dev/null | cut -d' ' -f1 || md5 -q "$1"; }
+if [ "$(md5 "$workdir/inproc.json")" != "$(md5 "$workdir/remote.json")" ]; then
+    echo "agent-smoke: EQUIVALENCE VIOLATED — remote metrics differ from in-process:" >&2
+    diff "$workdir/inproc.json" "$workdir/remote.json" >&2 || true
+    exit 1
+fi
+echo "agent-smoke: remote metrics identical to in-process (md5 $(md5 "$workdir/remote.json"))"
+
+samples=$(sed -n 's/^decision RTT:.*(\([0-9]*\) samples)$/\1/p' "$workdir/remote.out")
+if [ -z "$samples" ] || [ "$samples" -eq 0 ]; then
+    echo "agent-smoke: no decision RTT samples recorded over the socket" >&2
+    cat "$workdir/remote.out" >&2
+    exit 1
+fi
+echo "agent-smoke: $samples decision RTT samples over sockets"
+
+failed=$(sed -n 's/^remote fleet:.*(\([0-9]*\) failed)$/\1/p' "$workdir/remote.out")
+if [ "${failed:-0}" -ne 0 ]; then
+    echo "agent-smoke: healthy fleet reported $failed failed decisions" >&2
+    exit 1
+fi
+
+for pid in $agent_pids; do
+    kill "$pid" 2>/dev/null || true
+done
+agent_pids=""
+
+# Chaos phase: the driver spawns its own fleet, the agent-kill schedule
+# terminates agentd 0 mid-run (a real SIGKILL), and the recovery report
+# must attribute a service dip to the fault.
+echo "agent-smoke: agent-kill chaos run..."
+"$workdir/coordsim" -algo drl -model "$workdir/model.bin" -seed "$SEED" -horizon 1000 \
+    -spawn-agents 3 -agentd-bin "$workdir/agentd" \
+    -faults "agent-kill:start=300,duration=400,agent=0" \
+    -metrics-out "$workdir/chaos.json" \
+    >"$workdir/chaos.out" 2>"$workdir/chaos.err"
+
+if ! grep -q "chaos: killing agentd 0" "$workdir/chaos.err"; then
+    echo "agent-smoke: the agent-kill fault never killed the agentd process" >&2
+    cat "$workdir/chaos.err" >&2
+    exit 1
+fi
+if ! grep -q '"kind": "agent-kill"' "$workdir/chaos.json"; then
+    echo "agent-smoke: recovery report lacks the agent-kill fault" >&2
+    cat "$workdir/chaos.json" >&2
+    exit 1
+fi
+if ! grep -q '"drops": [1-9]' "$workdir/chaos.json"; then
+    echo "agent-smoke: recovery report attributes no drops to the kill" >&2
+    cat "$workdir/chaos.json" >&2
+    exit 1
+fi
+echo "agent-smoke: recovery report sees the agent-kill dip:"
+sed -n 's/^  t=/agent-smoke:   t=/p' "$workdir/chaos.out"
+
+echo "agent-smoke: OK"

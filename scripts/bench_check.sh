@@ -9,12 +9,15 @@
 # cross-machine threshold, while the per-decision hot path is stable
 # enough to bound.
 #
-# Usage: scripts/bench_check.sh [baseline.json] [fresh.json] [scale.json]
+# Usage: scripts/bench_check.sh [baseline.json] [fresh.json] [scale.json] [rpc.json]
 #   baseline.json  defaults to the committed BENCH_inference.json
 #   fresh.json     defaults to running `go run ./cmd/bench` to a temp file
 #   scale.json     defaults to BENCH_scale.json; its flows/sec series is
 #                  summarized (and sanity-checked for parseability) when
 #                  the file exists
+#   rpc.json       defaults to BENCH_rpc.json; when the file exists, its
+#                  RTT p50 must be finite and > 0 for every record and
+#                  no record may carry "equal_metrics":false
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,6 +25,7 @@ cd "$(dirname "$0")/.."
 BASELINE=${1:-BENCH_inference.json}
 FRESH=${2:-}
 SCALE=${3:-BENCH_scale.json}
+RPC=${4:-BENCH_rpc.json}
 LIMIT=125 # fresh ns/op may be at most this percent of baseline
 
 if [ ! -f "$BASELINE" ]; then
@@ -103,6 +107,36 @@ if [ -f "$SCALE" ]; then
 		}' "$SCALE" | sort -u | wc -l)
 	if [ "$shard_arrived" -gt 1 ]; then
 		echo "bench_check: $SCALE shard sweep disagrees on arrived-flow counts across shard counts" >&2
+		fail=1
+	fi
+fi
+
+# Decision-RTT sanity gates: every rpc record's p50 must be a finite,
+# strictly positive number (a zero or NaN p50 means the histogram never
+# saw a sample), and the in-run equivalence oracle must not have
+# recorded a divergence.
+if [ -f "$RPC" ]; then
+	rpc_rows=$(awk '
+		/"record":"rpc"/ {
+			mode = p50 = ""
+			if (match($0, /"mode":"[a-z]+"/)) mode = substr($0, RSTART + 8, RLENGTH - 9)
+			if (match($0, /"rtt_p50_us":[0-9.eE+-]+/)) p50 = substr($0, RSTART + 13, RLENGTH - 13)
+			print mode, p50
+		}' "$RPC")
+	if [ -z "$rpc_rows" ]; then
+		echo "bench_check: $RPC has no parseable rpc records" >&2
+		fail=1
+	fi
+	echo "$rpc_rows" | while read -r mode p50; do
+		[ -z "$mode" ] && continue
+		if [ -z "$p50" ] || [ "$(awk -v v="$p50" 'BEGIN { print (v > 0 && v < 1e12) ? 1 : 0 }')" != 1 ]; then
+			echo "bench_check: $RPC rpc/$mode p50 '$p50' is not finite and > 0" >&2
+			exit 1
+		fi
+		echo "bench_check: rpc $mode decision RTT p50 $p50 us ok"
+	done || fail=1
+	if grep -q '"equal_metrics":false' "$RPC"; then
+		echo "bench_check: $RPC records a remote run that diverged from the in-process run" >&2
 		fail=1
 	fi
 fi
