@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-scale bench-rpc bench-check bench-all obs-smoke agent-smoke fmt lint vet verify
+.PHONY: all build test race bench bench-scale bench-rpc bench-check bench-all obs-smoke agent-smoke ctl-smoke scripts-test fmt lint vet verify
 
 all: build test
 
@@ -65,6 +65,19 @@ obs-smoke:
 agent-smoke:
 	./scripts/agent_smoke.sh
 
+# ctl-smoke end-to-end checks the experiment-controller tier: it starts
+# cmd/ctl over a throwaway store, submits a 2-point sweep over HTTP,
+# waits for it to finish, verifies every manifest artifact resolves
+# through the content-addressed blob route, and asserts a recalc
+# re-renders byte-identically from the stored grid log.
+ctl-smoke:
+	./scripts/ctl_smoke.sh
+
+# scripts-test runs the shell-level unit tests (currently the
+# bench_check.sh gate semantics: REGRESSED vs NO BASELINE exit codes).
+scripts-test:
+	./scripts/test_bench_check.sh
+
 fmt:
 	gofmt -l -w .
 
@@ -79,5 +92,6 @@ lint:
 vet:
 	$(GO) vet ./...
 
-# verify is the pre-merge gate: build, full suite, lint, race detector.
-verify: build test lint race
+# verify is the pre-merge gate: build, full suite, lint, race detector,
+# and the shell-level script tests.
+verify: build test lint race scripts-test

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"distcoord/internal/agentnet"
@@ -26,12 +29,19 @@ type agentProc struct {
 	cmd   *exec.Cmd
 }
 
+// announceTimeout bounds how long start waits for a spawned agentd to
+// print its listener line. A child that wedges before binding used to
+// hang the driver forever (and the hung child outlived it); now it is
+// killed and reported.
+const announceTimeout = 10 * time.Second
+
 // start launches the process and parses the "agentd listening on ADDR"
 // line to learn where the listener landed. listen is "127.0.0.1:0" on
 // first launch and the remembered concrete address on restart.
 func (p *agentProc) start(listen string) error {
 	cmd := exec.Command(p.bin, "-listen", listen, "-model", p.model, "-quiet")
 	cmd.Stderr = os.Stderr
+	cmd.SysProcAttr = sysProcAttr()
 	out, err := cmd.StdoutPipe()
 	if err != nil {
 		return err
@@ -39,22 +49,35 @@ func (p *agentProc) start(listen string) error {
 	if err := cmd.Start(); err != nil {
 		return err
 	}
-	sc := bufio.NewScanner(out)
-	for sc.Scan() {
-		if addr, ok := strings.CutPrefix(sc.Text(), "agentd listening on "); ok {
-			p.addr = strings.TrimSpace(addr)
-			p.cmd = cmd
-			// Keep draining stdout so the child never blocks on a full pipe.
-			go func() {
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if addr, ok := strings.CutPrefix(sc.Text(), "agentd listening on "); ok {
+				addrc <- strings.TrimSpace(addr)
+				// Keep draining stdout so the child never blocks on a full pipe.
 				for sc.Scan() {
 				}
-			}()
-			return nil
+				return
+			}
 		}
+		close(addrc)
+	}()
+	select {
+	case addr, ok := <-addrc:
+		if !ok {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("agentd (%s) exited before announcing its listener", p.bin)
+		}
+		p.addr = addr
+		p.cmd = cmd
+		return nil
+	case <-time.After(announceTimeout):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("agentd (%s) did not announce its listener within %s", p.bin, announceTimeout)
 	}
-	cmd.Process.Kill()
-	cmd.Wait()
-	return fmt.Errorf("agentd (%s) exited before announcing its listener", p.bin)
 }
 
 func (p *agentProc) stop() {
@@ -71,14 +94,40 @@ func (p *agentProc) stop() {
 type fleet struct {
 	endpoints []string
 	procs     []*agentProc // nil entries for externally managed agents
+	stopOnce  sync.Once
 }
 
+// stop kills and reaps every spawned agentd exactly once; the signal
+// reaper and the deferred shutdown path may both reach it.
 func (fl *fleet) stop() {
-	for _, p := range fl.procs {
-		if p != nil {
-			p.stop()
+	fl.stopOnce.Do(func() {
+		for _, p := range fl.procs {
+			if p != nil {
+				p.stop()
+			}
 		}
-	}
+	})
+}
+
+// reapOnSignal kills the spawned fleet when coordsim itself is
+// interrupted mid-run. Without this, SIGINT/SIGTERM terminated the
+// driver before its deferred fl.stop ran, leaking every spawned agentd
+// as an orphan daemon (Pdeathsig covers the unclean-death paths on
+// Linux; this covers clean signals portably and exits with the
+// conventional 128+signo code).
+func (fl *fleet) reapOnSignal() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "coordsim: %s: stopping spawned agents\n", sig)
+		fl.stop()
+		code := 1
+		if s, ok := sig.(syscall.Signal); ok {
+			code = 128 + int(s)
+		}
+		os.Exit(code)
+	}()
 }
 
 // findAgentd resolves the agentd binary: an explicit -agentd-bin, a
@@ -121,6 +170,7 @@ func buildFleet(c *runConfig, modelPath string) (*fleet, error) {
 		fl.endpoints = append(fl.endpoints, p.addr)
 		fl.procs = append(fl.procs, p)
 	}
+	fl.reapOnSignal()
 	return fl, nil
 }
 

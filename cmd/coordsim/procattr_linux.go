@@ -1,0 +1,13 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// sysProcAttr arms the parent-death signal on spawned agentd processes:
+// if coordsim dies without running its cleanup paths (SIGKILL, panic,
+// OOM kill), the kernel delivers SIGKILL to the children instead of
+// leaving orphan daemons holding ports.
+func sysProcAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

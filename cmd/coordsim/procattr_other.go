@@ -1,0 +1,9 @@
+//go:build !linux
+
+package main
+
+import "syscall"
+
+// sysProcAttr has no parent-death signal outside Linux; the signal
+// reaper and fleet.stop cover the portable shutdown paths.
+func sysProcAttr() *syscall.SysProcAttr { return nil }

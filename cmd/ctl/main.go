@@ -1,0 +1,117 @@
+// Command ctl is the experiment-controller daemon: it serves the
+// internal/ctlserv HTTP API (submit runs and sweeps, watch progress,
+// recalc figures from stored grid logs) on top of a content-addressed
+// artifact store, alongside the standard observability endpoints
+// (/metrics, /snapshot, /run) on the same listener.
+//
+// Usage:
+//
+//	ctl -listen 127.0.0.1:8801 -store ./ctl-store
+//	ctl -listen :0 -store ./ctl-store     # free port, printed on stdout
+//
+// The daemon prints "ctl listening on ADDR" on stdout once the socket
+// is bound (scripts parse this line to learn the port), then serves
+// until SIGINT/SIGTERM; shutdown cancels queued and running work,
+// persists every manifest, and drains in-flight HTTP requests
+// gracefully.
+//
+// Submit a sweep and re-render it:
+//
+//	curl -X POST localhost:8801/sweeps -d '{"base":{"algo":"sp","seeds":3},
+//	    "axes":[{"param":"algo","values":["sp","gcasp"]}]}'
+//	curl localhost:8801/runs/<id>               # manifest + progress
+//	curl localhost:8801/runs/<id>/events        # chunked JSONL stream
+//	curl -X POST localhost:8801/runs/<id>/recalc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"distcoord/internal/ctlserv"
+	"distcoord/internal/store"
+	"distcoord/internal/telemetry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8801", "serve the controller API on this address (:0 for a free port)")
+	storeDir := flag.String("store", "ctl-store", "artifact store directory (created if missing)")
+	jobs := flag.Int("jobs", 0, "worker-pool bound for each run's evaluation grid (0: all CPUs)")
+	queueDepth := flag.Int("queue-depth", 0, "max runs waiting behind the executing one (0: default 64)")
+	gitRev := flag.String("git-rev", "", "git revision recorded in run manifests (default: git rev-parse HEAD)")
+	quiet := flag.Bool("quiet", false, "suppress server log lines")
+	flag.Parse()
+
+	if err := run(*listen, *storeDir, *jobs, *queueDepth, *gitRev, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "ctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, storeDir string, jobs, queueDepth int, gitRev string, quiet bool) error {
+	if listen == "" {
+		return fmt.Errorf("-listen is required")
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	logf := log.New(os.Stderr, "ctl: ", log.LstdFlags).Printf
+	if quiet {
+		logf = func(string, ...interface{}) {}
+	}
+	if gitRev == "" {
+		gitRev = currentGitRev()
+	}
+
+	ctl := ctlserv.New(st, ctlserv.Options{
+		GitRev:     gitRev,
+		Jobs:       jobs,
+		QueueDepth: queueDepth,
+		Logf:       logf,
+	})
+
+	// One listener serves both tiers: the controller API and the
+	// standard observability endpoints over the process registry.
+	obs := telemetry.NewObsServer("ctl", telemetry.NewRegistry())
+	obs.SetInfo("store", storeDir)
+	obs.SetInfo("git_rev", gitRev)
+	for _, pattern := range []string{"/runs", "/runs/", "/sweeps", "/blobs/"} {
+		obs.Mount(pattern, ctl.Handler())
+	}
+	if err := obs.Start(listen); err != nil {
+		ctl.Close()
+		return err
+	}
+	fmt.Printf("ctl listening on %s\n", obs.Addr())
+	logf("store %s, git rev %s", storeDir, gitRev)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	logf("received %s, shutting down", sig)
+
+	// Stop the executor first (cancels queued and running work, persists
+	// terminal manifests), then drain in-flight HTTP requests.
+	ctl.Close()
+	return obs.Close()
+}
+
+// currentGitRev asks git for HEAD; manifests record "unknown" when the
+// store lives outside a checkout or git is unavailable.
+func currentGitRev() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	if rev := strings.TrimSpace(string(out)); rev != "" {
+		return rev
+	}
+	return "unknown"
+}

@@ -1,0 +1,134 @@
+package ctlserv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"distcoord/internal/clicfg"
+	"distcoord/internal/eval"
+)
+
+// This file is the pure render path: sweep artifacts (figure markdown,
+// text table, CSV matrix) are computed as a function of the expanded
+// sweep points and the *stored* grid-log bytes — never from in-memory
+// engine state. The run-completion path and the recalc endpoint call
+// the same function on the same inputs, which is what makes recalc
+// byte-identical to the original render by construction: aggregation
+// sorts records by seed, point and series order come from the
+// deterministic sweep expansion, so even the emission order of the grid
+// log (which depends on the worker count) cannot leak into the output.
+
+// Render artifact names, stable across runs. grid.jsonl is the input of
+// the render; the three renders are its deterministic projections.
+const (
+	ArtifactGridLog   = "grid.jsonl"
+	ArtifactFigureMD  = "figure.md"
+	ArtifactFigureTXT = "figure.txt"
+	ArtifactMatrixCSV = "matrix.csv"
+)
+
+// RenderNames lists the artifacts RenderFromGridLog produces, in
+// canonical order.
+func RenderNames() []string {
+	return []string{ArtifactFigureMD, ArtifactFigureTXT, ArtifactMatrixCSV}
+}
+
+// EncodeGridLog serializes grid records as JSONL, the grid.jsonl
+// artifact (completion order; rendering does not depend on it).
+func EncodeGridLog(recs []eval.GridRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return nil, fmt.Errorf("ctlserv: encoding grid log: %w", err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseGridLog parses a grid.jsonl artifact back into records.
+func ParseGridLog(data []byte) ([]eval.GridRecord, error) {
+	var recs []eval.GridRecord
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r eval.GridRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("ctlserv: grid log line %d: %w", len(recs)+1, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ctlserv: reading grid log: %w", err)
+	}
+	return recs, nil
+}
+
+// BuildFigure folds grid records into the sweep's figure: one series
+// per algorithm (display label, in first appearance order over the
+// expanded points), one x-position per sweep point label. A point with
+// no successful cells (failed or skipped before any seed completed)
+// contributes no figure point and renders as "-".
+func BuildFigure(name string, points []clicfg.SweepPoint, recs []eval.GridRecord) eval.Figure {
+	fig := eval.Figure{ID: name, Title: "sweep matrix", XLabel: "point"}
+	type group struct{ x, algo string }
+	grouped := make(map[group][]eval.GridRecord)
+	okCells := make(map[group]int)
+	for _, r := range recs {
+		if r.Kind != "eval" {
+			continue
+		}
+		g := group{r.X, r.Algo}
+		grouped[g] = append(grouped[g], r)
+		if r.Status == "ok" {
+			okCells[g]++
+		}
+	}
+	var order []string
+	seen := make(map[string]bool)
+	for _, p := range points {
+		lbl := clicfg.AlgoLabel(p.Spec.Algo)
+		if !seen[lbl] {
+			seen[lbl] = true
+			order = append(order, lbl)
+		}
+	}
+	for _, algo := range order {
+		s := eval.Series{Algo: algo}
+		for _, p := range points {
+			if clicfg.AlgoLabel(p.Spec.Algo) != algo {
+				continue
+			}
+			g := group{p.Label, algo}
+			if okCells[g] == 0 {
+				continue
+			}
+			s.Points = append(s.Points, eval.Point{X: p.Label, Outcome: eval.AggregateRecords(grouped[g])})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// RenderFromGridLog produces the render artifacts from stored grid-log
+// bytes. Both the run-completion path and POST /runs/{id}/recalc go
+// through here, so the two renders are byte-identical whenever the
+// inputs are.
+func RenderFromGridLog(name string, points []clicfg.SweepPoint, gridLog []byte) (map[string][]byte, error) {
+	recs, err := ParseGridLog(gridLog)
+	if err != nil {
+		return nil, err
+	}
+	fig := BuildFigure(name, points, recs)
+	return map[string][]byte{
+		ArtifactFigureMD:  []byte(fig.Markdown()),
+		ArtifactFigureTXT: []byte(fig.String()),
+		ArtifactMatrixCSV: []byte(fig.CSV()),
+	}, nil
+}

@@ -1,9 +1,12 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distcoord/internal/simnet"
@@ -65,6 +68,12 @@ type GridRecord struct {
 	// end-to-end delay (eval cells; Delay is 0 when no flow succeeded).
 	Succ  float64 `json:"succ"`
 	Delay float64 `json:"delay"`
+	// Succeeded is the cell's successful-flow count (eval cells). It is
+	// recorded so stored grid logs can be re-aggregated faithfully: a
+	// seed with zero successful flows contributes no delay sample, and
+	// that distinction must survive the round trip through JSONL (see
+	// AggregateRecords and the controller's recalc endpoint).
+	Succeeded int `json:"succeeded,omitempty"`
 	// Score is the best training seed's final score (train cells).
 	Score float64 `json:"score"`
 	// Done/Total is grid progress at emission time.
@@ -96,7 +105,14 @@ type gridJob struct {
 	wall       time.Duration
 
 	succ, delay, score float64
+	succeeded          int
 }
+
+// ErrCanceled is the error of a grid aborted by Engine.Cancel: the
+// canceled cells (and their skip cascade) carry it, and Run returns it
+// when no earlier-registered job failed for a real reason. Match with
+// errors.Is.
+var ErrCanceled = errors.New("eval: grid canceled")
 
 // Engine executes an experiment grid. Build one per figure with
 // NewEngine, register jobs with Train/Eval/Do, then call Run once;
@@ -105,6 +121,8 @@ type Engine struct {
 	opts Options
 	jobs []*gridJob
 	ran  bool
+
+	canceled atomic.Bool
 }
 
 // NewEngine returns an empty engine. The relevant Options fields are
@@ -184,8 +202,16 @@ func (ev *EvalJob) Algo() string { return ev.key.Algo }
 // Eval registers EvalSeeds evaluation cells for one algorithm at one
 // figure point, seeded baseSeed..baseSeed+EvalSeeds-1. after, when
 // non-nil, is the training job the cells depend on (pass the PolicyJob
-// whose Factory feeds mk; nil for baselines).
+// whose Factory feeds mk; nil for baselines). Cells run with the
+// engine-wide Options.Run observers.
 func (e *Engine) Eval(figure, x, algo string, s Scenario, mk CoordinatorFactory, after *PolicyJob, baseSeed int64) *EvalJob {
+	return e.EvalWith(figure, x, algo, s, mk, after, baseSeed, e.opts.Run)
+}
+
+// EvalWith is Eval with per-registration run options: the controller
+// sweeps MaxBatch and Shards per point, so cells of the same grid can
+// run under different execution modes.
+func (e *Engine) EvalWith(figure, x, algo string, s Scenario, mk CoordinatorFactory, after *PolicyJob, baseSeed int64, ro RunOptions) *EvalJob {
 	ev := &EvalJob{key: CellKey{Figure: figure, X: x, Algo: algo, Kind: "eval"}}
 	var deps []*gridJob
 	if after != nil {
@@ -198,7 +224,7 @@ func (e *Engine) Eval(figure, x, algo string, s Scenario, mk CoordinatorFactory,
 		key := ev.key
 		key.Seed = seed
 		slot.job = e.add(key, deps, func(j *gridJob) error {
-			res, err := runCell(s, mk, seed)
+			res, err := runCellWith(s, mk, seed, ro)
 			if err != nil {
 				if algo != "" {
 					return fmt.Errorf("%s: %w", algo, err)
@@ -206,7 +232,7 @@ func (e *Engine) Eval(figure, x, algo string, s Scenario, mk CoordinatorFactory,
 				return err
 			}
 			slot.res = res
-			j.succ, j.delay = res.Succ, res.Delay
+			j.succ, j.delay, j.succeeded = res.Succ, res.Delay, res.Succeeded
 			return nil
 		})
 	}
@@ -228,6 +254,17 @@ func (ev *EvalJob) Outcome() Outcome {
 func (e *Engine) Do(figure, x string, fn func() error) {
 	e.add(CellKey{Figure: figure, X: x, Kind: "row"}, nil, func(*gridJob) error { return fn() })
 }
+
+// Cells returns the number of registered grid cells (training jobs,
+// evaluation cells, and rows) — the controller records it in the run
+// manifest before Run starts.
+func (e *Engine) Cells() int { return len(e.jobs) }
+
+// Cancel aborts the grid: cells not yet started fail with ErrCanceled
+// (cascading skips to their dependents) while cells already running
+// finish normally. Safe to call from any goroutine, before or during
+// Run, and more than once.
+func (e *Engine) Cancel() { e.canceled.Store(true) }
 
 // Run executes the grid on the bounded worker pool and blocks until
 // every job completed or was skipped. On failure it returns the error
@@ -254,6 +291,8 @@ func (e *Engine) Run() error {
 	if r := e.opts.Registry; r != nil {
 		r.Gauge("grid.cells.total").Set(float64(total))
 		r.Gauge("grid.cells.done").Set(0)
+		r.Gauge("grid.cells.failed").Set(0)
+		r.Gauge("grid.cells.skipped").Set(0)
 	}
 
 	ready := make(chan *gridJob, total)
@@ -264,6 +303,11 @@ func (e *Engine) Run() error {
 		go func() {
 			defer wg.Done()
 			for j := range ready {
+				if e.canceled.Load() {
+					j.err = ErrCanceled
+					finished <- j
+					continue
+				}
 				start := time.Now()
 				err := j.run(j)
 				j.wall = time.Since(start)
@@ -276,6 +320,7 @@ func (e *Engine) Run() error {
 	start := time.Now()
 	completed := 0
 	aborted := false
+	var counts [4]int // indexed by job state: done, failed, skipped
 	var firstFailed *gridJob
 
 	// account finalizes one job (done, failed, or skipped): progress
@@ -296,7 +341,8 @@ func (e *Engine) Run() error {
 		default:
 			j.state = jobDone
 		}
-		e.emit(j, completed, total, start)
+		counts[j.state]++
+		e.emit(j, completed, total, counts, start)
 		for _, d := range j.dependents {
 			d.remaining--
 			if j.state != jobDone {
@@ -333,20 +379,29 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// emit publishes one completed cell: telemetry gauges (cells done,
-// cells/sec, ETA), a progress line, and the optional grid-log record.
-func (e *Engine) emit(j *gridJob, done, total int, start time.Time) {
+// emit publishes one accounted cell: telemetry gauges (cells done/
+// failed/skipped, cells/sec, ETA), a progress line, and the optional
+// grid-log record. The grid.cells.* gauges partition the grid — after
+// the pool drains, done + failed + skipped == total even when a failure
+// triggered the skip cascade, so a progress reader (the controller's
+// /runs/{id} endpoint) can always tell a finished grid from a stalled
+// one. grid.cells.done counts only cells that completed ok; the
+// GridRecord.Done field keeps its historical meaning of "cells
+// accounted so far" (any status).
+func (e *Engine) emit(j *gridJob, completed, total int, counts [4]int, start time.Time) {
 	elapsed := time.Since(start).Seconds()
 	rate := 0.0
 	if elapsed > 0 {
-		rate = float64(done) / elapsed
+		rate = float64(completed) / elapsed
 	}
 	eta := 0.0
 	if rate > 0 {
-		eta = float64(total-done) / rate
+		eta = float64(total-completed) / rate
 	}
 	if r := e.opts.Registry; r != nil {
-		r.Gauge("grid.cells.done").Set(float64(done))
+		r.Gauge("grid.cells.done").Set(float64(counts[jobDone]))
+		r.Gauge("grid.cells.failed").Set(float64(counts[jobFailed]))
+		r.Gauge("grid.cells.skipped").Set(float64(counts[jobSkipped]))
 		r.Gauge("grid.cells_per_sec").Set(rate)
 		r.Gauge("grid.eta_seconds").Set(eta)
 	}
@@ -358,23 +413,45 @@ func (e *Engine) emit(j *gridJob, done, total int, start time.Time) {
 		status = "skipped"
 	}
 	e.opts.logf("grid: [%s] %s in %v (%d/%d cells, %.1f cells/s, ETA %.0fs)",
-		j.key.label(), status, j.wall.Round(time.Millisecond), done, total, rate, eta)
+		j.key.label(), status, j.wall.Round(time.Millisecond), completed, total, rate, eta)
 	if e.opts.OnCell != nil {
 		rec := GridRecord{
-			CellKey: j.key,
-			Status:  status,
-			WallMS:  float64(j.wall) / float64(time.Millisecond),
-			Succ:    j.succ,
-			Delay:   j.delay,
-			Score:   j.score,
-			Done:    done,
-			Total:   total,
+			CellKey:   j.key,
+			Status:    status,
+			WallMS:    float64(j.wall) / float64(time.Millisecond),
+			Succ:      j.succ,
+			Delay:     j.delay,
+			Succeeded: j.succeeded,
+			Score:     j.score,
+			Done:      completed,
+			Total:     total,
 		}
 		if j.err != nil {
 			rec.Error = j.err.Error()
 		}
 		e.opts.OnCell(rec)
 	}
+}
+
+// AggregateRecords folds stored eval-cell grid records (any order; only
+// Kind "eval" / Status "ok" records contribute) into an Outcome, the
+// same mean±std aggregation EvalJob.Outcome performs in memory. Records
+// are ordered by seed first, so the result does not depend on log
+// emission order — this is the recalc path: a figure re-rendered from a
+// stored grid log is byte-identical to the original render.
+func AggregateRecords(recs []GridRecord) Outcome {
+	eligible := make([]GridRecord, 0, len(recs))
+	for _, r := range recs {
+		if r.Kind == "eval" && r.Status == "ok" {
+			eligible = append(eligible, r)
+		}
+	}
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Seed < eligible[j].Seed })
+	cells := make([]cellResult, len(eligible))
+	for i, r := range eligible {
+		cells[i] = cellResult{Succ: r.Succ, Delay: r.Delay, Succeeded: r.Succeeded}
+	}
+	return aggregate(cells)
 }
 
 // evalAlgos registers the standard per-point algorithm set: DistDRL

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -354,5 +356,170 @@ func TestEvaluateDelaySampleCount(t *testing.T) {
 	f := Figure{ID: "d", XLabel: "x", Series: []Series{{Algo: "SP", Points: []Point{{X: "1", Outcome: o}}}}}
 	if out := f.String(); !strings.Contains(out, "(n=0)") {
 		t.Errorf("figure table missing delay sample annotation:\n%s", out)
+	}
+}
+
+// TestEngineFailFastGaugesTerminal pins the contract the controller's
+// progress endpoint depends on: after a cell error aborts the grid, the
+// skip cascade leaves the grid.cells.* gauges in a terminal,
+// self-consistent state — done + failed + skipped == total — so a
+// reader can always distinguish a finished (aborted) grid from a
+// stalled one.
+func TestEngineFailFastGaugesTerminal(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		reg := telemetry.NewRegistry()
+		e := NewEngine(Options{Jobs: jobs, Registry: reg})
+		boom := e.add(CellKey{Figure: "t", X: "boom", Kind: "row"}, nil, func(*gridJob) error {
+			return errBoom
+		})
+		child := e.add(CellKey{Figure: "t", X: "child", Kind: "row"}, []*gridJob{boom}, func(*gridJob) error {
+			return nil
+		})
+		e.add(CellKey{Figure: "t", X: "grandchild", Kind: "row"}, []*gridJob{child}, func(*gridJob) error {
+			return nil
+		})
+		for i := 0; i < 5; i++ {
+			e.Do("t", "filler", func() error { return nil })
+		}
+		if err := e.Run(); err == nil {
+			t.Fatalf("jobs=%d: Run did not fail", jobs)
+		}
+		g := func(name string) int { return int(reg.Gauge(name).Value()) }
+		total := g("grid.cells.total")
+		done, failed, skipped := g("grid.cells.done"), g("grid.cells.failed"), g("grid.cells.skipped")
+		if total != e.Cells() {
+			t.Errorf("jobs=%d: grid.cells.total = %d, want %d", jobs, total, e.Cells())
+		}
+		if done+failed+skipped != total {
+			t.Errorf("jobs=%d: done(%d) + failed(%d) + skipped(%d) != total(%d)",
+				jobs, done, failed, skipped, total)
+		}
+		if failed < 1 {
+			t.Errorf("jobs=%d: grid.cells.failed = %d, want >= 1", jobs, failed)
+		}
+		if skipped < 2 {
+			t.Errorf("jobs=%d: grid.cells.skipped = %d, want >= 2 (dependency cascade)", jobs, skipped)
+		}
+	}
+}
+
+// TestEngineCancel asserts Cancel aborts the grid: cells not yet
+// started carry ErrCanceled, their dependents cascade to skipped, Run
+// returns ErrCanceled, and the gauges still partition the total.
+func TestEngineCancel(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := NewEngine(Options{Jobs: 1, Registry: reg})
+	started := make(chan struct{})
+	canceled := make(chan struct{})
+	e.add(CellKey{Figure: "t", X: "first", Kind: "row"}, nil, func(*gridJob) error {
+		close(started)
+		<-canceled // cancel lands while this cell is mid-run
+		return nil
+	})
+	ran := 0
+	for i := 0; i < 4; i++ {
+		e.add(CellKey{Figure: "t", X: "later", Kind: "row"}, nil, func(*gridJob) error {
+			ran++
+			return nil
+		})
+	}
+	go func() {
+		<-started
+		e.Cancel()
+		e.Cancel() // idempotent
+		close(canceled)
+	}()
+	err := e.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run error = %v, want ErrCanceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d cells ran after Cancel, want 0 (single worker)", ran)
+	}
+	g := func(name string) int { return int(reg.Gauge(name).Value()) }
+	if sum := g("grid.cells.done") + g("grid.cells.failed") + g("grid.cells.skipped"); sum != g("grid.cells.total") {
+		t.Errorf("gauges not terminal after cancel: done+failed+skipped = %d, total = %d",
+			sum, g("grid.cells.total"))
+	}
+}
+
+// TestAggregateRecordsMatchesOutcome pins the recalc path: folding the
+// grid-log records of an evaluation back into an Outcome reproduces
+// EvalJob.Outcome exactly, regardless of record emission order.
+func TestAggregateRecordsMatchesOutcome(t *testing.T) {
+	var recs []GridRecord
+	opts := Options{
+		EvalSeeds: 4,
+		Jobs:      4,
+		OnCell:    func(r GridRecord) { recs = append(recs, r) },
+	}
+	s := Base()
+	s.Horizon = 300
+	e := NewEngine(opts)
+	ev := e.Eval("t", "1", AlgoSP, s, Fresh(func() simnet.Coordinator { return baselines.SP{} }), nil, 0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := ev.Outcome()
+	// Reverse the records to prove order independence, and mix in a
+	// non-eval record that must be ignored.
+	rev := []GridRecord{{CellKey: CellKey{Kind: "train"}, Status: "ok", Succ: 99}}
+	for i := len(recs) - 1; i >= 0; i-- {
+		rev = append(rev, recs[i])
+	}
+	got := AggregateRecords(rev)
+	if got != want {
+		t.Errorf("AggregateRecords = %+v, want %+v", got, want)
+	}
+}
+
+// TestAggregateRecordsZeroSuccessSeed asserts a stored cell with zero
+// successful flows contributes no delay sample after the JSONL round
+// trip — the Succeeded field must survive serialization.
+func TestAggregateRecordsZeroSuccessSeed(t *testing.T) {
+	recs := []GridRecord{
+		{CellKey: CellKey{Kind: "eval", Seed: 0}, Status: "ok", Succ: 0.5, Delay: 10, Succeeded: 5},
+		{CellKey: CellKey{Kind: "eval", Seed: 1}, Status: "ok", Succ: 0, Delay: 0, Succeeded: 0},
+	}
+	raw, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []GridRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	o := AggregateRecords(back)
+	if o.Succ.N != 2 {
+		t.Errorf("Succ.N = %d, want 2", o.Succ.N)
+	}
+	if o.Delay.N != 1 || o.Delay.Mean != 10 {
+		t.Errorf("Delay = %+v, want N=1 Mean=10 (zero-success seed excluded)", o.Delay)
+	}
+}
+
+// TestFigureCSV checks the machine-readable render: header plus one row
+// per (x, algo) pair in deterministic order, with quoting.
+func TestFigureCSV(t *testing.T) {
+	fig := Figure{
+		ID:     "t",
+		XLabel: "x,label",
+		Series: []Series{
+			{Algo: "A", Points: []Point{
+				{X: "1", Outcome: Outcome{Succ: Summary{Mean: 0.5, Std: 0.1, N: 3}, Delay: Summary{Mean: 12, Std: 2, N: 3}}},
+				{X: "2", Outcome: Outcome{Succ: Summary{Mean: 0.75, N: 3}, Delay: Summary{N: 0}}},
+			}},
+			{Algo: "B", Points: []Point{
+				{X: "1", Outcome: Outcome{Succ: Summary{Mean: 0.25, N: 3}, Delay: Summary{Mean: 8, N: 2}}},
+			}},
+		},
+	}
+	got := fig.CSV()
+	want := "figure,\"x,label\",algo,succ_mean,succ_std,succ_n,delay_mean,delay_std,delay_n\n" +
+		"t,1,A,0.5,0.1,3,12,2,3\n" +
+		"t,1,B,0.25,0,3,8,0,2\n" +
+		"t,2,A,0.75,0,3,0,0,0\n"
+	if got != want {
+		t.Errorf("CSV:\n%s\nwant:\n%s", got, want)
 	}
 }

@@ -36,9 +36,15 @@ type Options struct {
 	// scheduler goroutine, never concurrently.
 	OnCell func(GridRecord)
 	// Registry, when non-nil, receives engine progress metrics:
-	// grid.cells.total/grid.cells.done, grid.cells_per_sec, and
-	// grid.eta_seconds gauges.
+	// grid.cells.total/done/failed/skipped, grid.cells_per_sec, and
+	// grid.eta_seconds gauges. The done/failed/skipped gauges partition
+	// the total once the grid drains, even under fail-fast abort.
 	Registry *telemetry.Registry
+	// Run attaches execution options (flow tracer, MaxBatch, Shards) to
+	// every evaluation cell registered via Eval. Figures leave it zero,
+	// pinning published results to the plain sequential path; the
+	// controller sets it per sweep point via EvalWith.
+	Run RunOptions
 }
 
 // DefaultOptions returns commodity-hardware settings.
@@ -532,4 +538,36 @@ func (f Figure) Markdown() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// CSV renders the figure as a flat machine-readable table: one row per
+// (x, algorithm) pair with full success and delay summaries, the sweep
+// matrix the controller stores next to the markdown render. Rows follow
+// x-position then series display order, so the output is deterministic
+// for a given figure.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figure,%s,algo,succ_mean,succ_std,succ_n,delay_mean,delay_std,delay_n\n", csvField(f.XLabel))
+	for _, x := range f.xPositions() {
+		for _, s := range f.Series {
+			p, ok := s.point(x)
+			if !ok {
+				continue
+			}
+			o := p.Outcome
+			fmt.Fprintf(&b, "%s,%s,%s,%g,%g,%d,%g,%g,%d\n",
+				csvField(f.ID), csvField(x), csvField(s.Algo),
+				o.Succ.Mean, o.Succ.Std, o.Succ.N,
+				o.Delay.Mean, o.Delay.Std, o.Delay.N)
+		}
+	}
+	return b.String()
+}
+
+// csvField quotes a field when it contains a comma, quote, or newline.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
 }

@@ -82,6 +82,13 @@ type cellResult struct {
 // runCell runs one evaluation cell: instantiate the scenario for the
 // seed, build a fresh coordinator, simulate.
 func runCell(s Scenario, mk CoordinatorFactory, seed int64) (cellResult, error) {
+	return runCellWith(s, mk, seed, RunOptions{})
+}
+
+// runCellWith is runCell with run options attached — the controller
+// evaluates sweep cells under batched or sharded execution and with a
+// per-run flow tracer.
+func runCellWith(s Scenario, mk CoordinatorFactory, seed int64, ro RunOptions) (cellResult, error) {
 	inst, err := s.Instantiate(seed)
 	if err != nil {
 		return cellResult{}, err
@@ -90,7 +97,7 @@ func runCell(s Scenario, mk CoordinatorFactory, seed int64) (cellResult, error) 
 	if err != nil {
 		return cellResult{}, err
 	}
-	m, err := inst.Run(c)
+	m, err := inst.RunWith(c, ro)
 	if err != nil {
 		return cellResult{}, fmt.Errorf("eval: seed %d with %s: %w", seed, c.Name(), err)
 	}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	data := []byte("grid log contents\n")
+	hash, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hash) != 64 {
+		t.Fatalf("hash %q is not sha256 hex", hash)
+	}
+	if !s.Has(hash) {
+		t.Error("Has = false after Put")
+	}
+	back, err := s.Get(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(data) {
+		t.Errorf("Get = %q, want %q", back, data)
+	}
+	// The blob must live at sha256/<prefix>/<hash>.
+	path := filepath.Join(s.Root(), "blobs", "sha256", hash[:2], hash)
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("blob not at content-addressed path: %v", err)
+	}
+	// Idempotent re-put.
+	again, err := s.Put(data)
+	if err != nil || again != hash {
+		t.Errorf("re-Put = %q, %v; want same hash", again, err)
+	}
+}
+
+func TestGetRejectsCorruptAndInvalid(t *testing.T) {
+	s := open(t)
+	hash, err := s.Put([]byte("honest bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Root(), "blobs", "sha256", hash[:2], hash)
+	if err := os.WriteFile(path, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(hash); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("Get of tampered blob: %v, want corruption error", err)
+	}
+	for _, bad := range []string{"", "ab", "../../etc/passwd", "aa/bb"} {
+		if _, err := s.Get(bad); err == nil {
+			t.Errorf("Get(%q) accepted an invalid hash", bad)
+		}
+	}
+	if _, err := s.Get(strings.Repeat("0", 64)); err == nil {
+		t.Error("Get of a missing blob did not error")
+	}
+}
+
+func TestManifestLifecycle(t *testing.T) {
+	s := open(t)
+	spec, _ := json.Marshal(map[string]string{"algo": "sp"})
+	m := &Manifest{
+		ID:      "r-0001",
+		Name:    "smoke",
+		Kind:    "sweep",
+		Spec:    spec,
+		GitRev:  "abc123",
+		Status:  StatusQueued,
+		Created: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+	}
+	if err := s.PutManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddArtifact(m, "grid.jsonl", []byte(`{"cell":1}`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	m.Status = StatusDone
+	if err := s.PutManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.GetManifest("r-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "smoke" || back.Status != StatusDone || back.GitRev != "abc123" {
+		t.Errorf("manifest round trip lost fields: %+v", back)
+	}
+	data, err := s.GetArtifact(back, "grid.jsonl")
+	if err != nil || !strings.Contains(string(data), `"cell":1`) {
+		t.Errorf("artifact read back = %q, %v", data, err)
+	}
+	if _, err := s.GetArtifact(back, "nope"); err == nil {
+		t.Error("missing artifact did not error")
+	}
+}
+
+func TestManifestIDValidation(t *testing.T) {
+	s := open(t)
+	for _, bad := range []string{"", "a/b", "..", "../x", `a\b`} {
+		if err := s.PutManifest(&Manifest{ID: bad}); err == nil {
+			t.Errorf("PutManifest accepted id %q", bad)
+		}
+		if _, err := s.GetManifest(bad); err == nil {
+			t.Errorf("GetManifest accepted id %q", bad)
+		}
+	}
+}
+
+func TestListManifestsOrder(t *testing.T) {
+	s := open(t)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for i, id := range []string{"r-a", "r-b", "r-c"} {
+		m := &Manifest{ID: id, Status: StatusQueued, Created: base.Add(time.Duration(i) * time.Minute)}
+		if err := s.PutManifest(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray non-manifest file must not break the listing.
+	if err := os.WriteFile(filepath.Join(s.Root(), "runs", "junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := s.ListManifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0].ID != "r-c" || ms[2].ID != "r-a" {
+		ids := make([]string, len(ms))
+		for i, m := range ms {
+			ids[i] = m.ID
+		}
+		t.Errorf("listing = %v, want [r-c r-b r-a]", ids)
+	}
+}
+
+// TestBlobDedup pins the content-addressing benefit the controller
+// relies on: identical artifacts across runs share one blob.
+func TestBlobDedup(t *testing.T) {
+	s := open(t)
+	m1 := &Manifest{ID: "r-1", Status: StatusDone}
+	m2 := &Manifest{ID: "r-2", Status: StatusDone}
+	payload := []byte("identical render\n")
+	if err := s.AddArtifact(m1, "figure.md", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddArtifact(m2, "figure.md", payload); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Artifacts["figure.md"].Hash != m2.Artifacts["figure.md"].Hash {
+		t.Error("identical artifacts got different addresses")
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -73,6 +74,15 @@ func NewObsServer(binary string, reg *Registry) *ObsServer {
 // listener via httptest or direct ServeHTTP calls).
 func (o *ObsServer) Handler() http.Handler { return o.mux }
 
+// Mount attaches an additional handler subtree to the server's private
+// mux — the experiment controller mounts its /runs API next to the
+// observability endpoints so one listener serves both. pattern uses
+// net/http ServeMux syntax (e.g. "/runs/"); registration is safe at any
+// time, including while serving.
+func (o *ObsServer) Mount(pattern string, h http.Handler) {
+	o.mux.Handle(pattern, h)
+}
+
 // Registry returns the registry the server exposes.
 func (o *ObsServer) Registry() *Registry { return o.reg }
 
@@ -100,13 +110,28 @@ func (o *ObsServer) Addr() string {
 	return o.ln.Addr().String()
 }
 
-// Close shuts the listener down. Safe to call without Start.
+// shutdownTimeout bounds how long Close waits for in-flight scrapes.
+// Handlers only read registry state, so responses finish in
+// milliseconds; the deadline exists for wedged clients, not slow
+// handlers.
+const shutdownTimeout = 2 * time.Second
+
+// Close shuts the server down gracefully: the listener stops accepting,
+// in-flight scrapes get their complete response, and only connections
+// still open after a short deadline are hard-dropped (a /metrics scrape
+// racing Close used to lose its body to http.Server.Close). Safe to
+// call without Start.
 func (o *ObsServer) Close() error {
 	if o.srv == nil {
 		return nil
 	}
 	o.srv.SetKeepAlivesEnabled(false)
-	err := o.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	err := o.srv.Shutdown(ctx)
+	cancel()
+	if err != nil { // deadline hit: fall back to hard close
+		err = o.srv.Close()
+	}
 	o.srv, o.ln = nil, nil
 	return err
 }
@@ -157,10 +182,14 @@ type runTraining struct {
 }
 
 // runGrid is the experiment-grid section of the /run response, read
-// from the engine's grid.cells.* gauges.
+// from the engine's grid.cells.* gauges. Done counts cells that
+// completed ok; Failed and Skipped account the rest, and Percent covers
+// all accounted cells so an aborted grid still reads as 100% finished.
 type runGrid struct {
 	Total       float64 `json:"total"`
 	Done        float64 `json:"done"`
+	Failed      float64 `json:"failed,omitempty"`
+	Skipped     float64 `json:"skipped,omitempty"`
 	Percent     float64 `json:"percent"`
 	CellsPerSec float64 `json:"cells_per_sec"`
 	ETASeconds  float64 `json:"eta_seconds"`
@@ -203,10 +232,12 @@ func (o *ObsServer) handleRun(w http.ResponseWriter, _ *http.Request) {
 		g := &runGrid{
 			Total:       total,
 			Done:        snap.Gauges["grid.cells.done"],
+			Failed:      snap.Gauges["grid.cells.failed"],
+			Skipped:     snap.Gauges["grid.cells.skipped"],
 			CellsPerSec: snap.Gauges["grid.cells_per_sec"],
 			ETASeconds:  snap.Gauges["grid.eta_seconds"],
 		}
-		g.Percent = 100 * g.Done / g.Total
+		g.Percent = 100 * (g.Done + g.Failed + g.Skipped) / g.Total
 		st.Grid = g
 	}
 

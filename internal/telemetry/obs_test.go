@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, h http.Handler, path string) (int, string) {
@@ -184,5 +185,91 @@ func TestProfilerPprofMuxIsPrivate(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 404 {
 		t.Errorf("globally registered handler served on pprof port: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestObsServerCloseWaitsForInflightScrape is the regression test for
+// the hard-drop shutdown bug: Close used http.Server.Close, which tore
+// down in-flight connections mid-response, so a /metrics scrape racing
+// shutdown could read a truncated body. Close now drains via Shutdown
+// with a deadline: a response in flight when Close is called must
+// arrive complete. The test mounts a handler (exercising Mount, the
+// controller attachment point) that blocks mid-request until after
+// Close has started. Run with -race this also pins Close's safety
+// against concurrent scrapes.
+func TestObsServerCloseWaitsForInflightScrape(t *testing.T) {
+	o := NewObsServer("shutbin", NewRegistry())
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	o.Mount("/slow", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(inHandler)
+		<-release
+		fmt.Fprint(w, "complete-body")
+	}))
+	if err := o.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := o.Addr()
+
+	type result struct {
+		body string
+		err  error
+	}
+	scraped := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			scraped <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		scraped <- result{body: string(b), err: err}
+	}()
+
+	<-inHandler // the scrape is mid-handler; now race shutdown against it
+	closed := make(chan error, 1)
+	go func() { closed <- o.Close() }()
+	time.Sleep(20 * time.Millisecond) // let Shutdown begin draining
+	close(release)
+
+	if res := <-scraped; res.err != nil || res.body != "complete-body" {
+		t.Errorf("scrape racing Close: body=%q err=%v, want complete response", res.body, res.err)
+	}
+	if err := <-closed; err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/slow"); err == nil {
+		t.Error("server still accepting connections after Close")
+	}
+	if err := o.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestObsServerRunGridTerminalCounts checks /run surfaces the
+// failed/skipped gauges and computes percent over all accounted cells,
+// so an aborted grid reads 100% finished rather than stuck.
+func TestObsServerRunGridTerminalCounts(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("grid.cells.total").Set(10)
+	reg.Gauge("grid.cells.done").Set(6)
+	reg.Gauge("grid.cells.failed").Set(1)
+	reg.Gauge("grid.cells.skipped").Set(3)
+	o := NewObsServer("gridbin", reg)
+	code, body := get(t, o.Handler(), "/run")
+	if code != 200 {
+		t.Fatalf("/run -> %d", code)
+	}
+	var run struct {
+		Grid *struct {
+			Total, Done, Failed, Skipped, Percent float64
+		} `json:"grid"`
+	}
+	if err := json.Unmarshal([]byte(body), &run); err != nil {
+		t.Fatalf("/run not JSON: %v", err)
+	}
+	if run.Grid == nil || run.Grid.Failed != 1 || run.Grid.Skipped != 3 || run.Grid.Percent != 100 {
+		t.Errorf("grid section = %+v, want failed=1 skipped=3 percent=100", run.Grid)
 	}
 }

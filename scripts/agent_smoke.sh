@@ -8,7 +8,10 @@
 #      (the equivalence oracle) and nonzero decision-RTT samples;
 #   2. reruns with an agent-kill chaos schedule that terminates one
 #      agentd process mid-run and restarts it, asserting the recovery
-#      report attributes a dip to the agent-kill fault.
+#      report attributes a dip to the agent-kill fault;
+#   3. SIGTERMs a -spawn-agents run mid-flight and asserts the driver
+#      reaps every spawned agentd — no orphan daemons survive either a
+#      clean exit or an interrupt.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,6 +25,19 @@ cleanup() {
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
+
+# assert_no_orphans fails the smoke if any agentd spawned from this
+# run's private binary is still alive. Spawned daemons are not in
+# $agent_pids, so a real leak survives the cleanup trap and this check
+# is the only thing that catches it.
+assert_no_orphans() {
+    leftover=$(ps -eo pid=,args= | awk -v bin="$workdir/agentd" '$2 == bin')
+    if [ -n "$leftover" ]; then
+        echo "agent-smoke: ORPHANED agentd processes after $1:" >&2
+        echo "$leftover" >&2
+        exit 1
+    fi
+}
 
 go build -o "$workdir/coordsim" ./cmd/coordsim
 go build -o "$workdir/agentd" ./cmd/agentd
@@ -122,5 +138,34 @@ if ! grep -q '"drops": [1-9]' "$workdir/chaos.json"; then
 fi
 echo "agent-smoke: recovery report sees the agent-kill dip:"
 sed -n 's/^  t=/agent-smoke:   t=/p' "$workdir/chaos.out"
+assert_no_orphans "the chaos run's clean exit"
+
+# Interrupt phase: SIGTERM the driver while its spawned fleet is live;
+# the signal reaper must kill and reap every agentd before exiting.
+echo "agent-smoke: interrupt-reaping run..."
+"$workdir/coordsim" -algo drl -model "$workdir/model.bin" -seed "$SEED" -horizon 100000 \
+    -spawn-agents 2 -agentd-bin "$workdir/agentd" \
+    >"$workdir/interrupt.out" 2>"$workdir/interrupt.err" &
+sim_pid=$!
+spawned=0
+for _ in $(seq 1 200); do
+    spawned=$(grep -c '^spawned agentd' "$workdir/interrupt.err" || true)
+    [ "$spawned" -ge 2 ] && break
+    if ! kill -0 "$sim_pid" 2>/dev/null; then
+        echo "agent-smoke: interrupt run exited before spawning its fleet" >&2
+        cat "$workdir/interrupt.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ "$spawned" -lt 2 ]; then
+    echo "agent-smoke: interrupt run never spawned its fleet" >&2
+    cat "$workdir/interrupt.err" >&2
+    exit 1
+fi
+kill -TERM "$sim_pid"
+wait "$sim_pid" 2>/dev/null || true
+assert_no_orphans "SIGTERM mid-run"
+echo "agent-smoke: SIGTERM mid-run left no orphan agentd"
 
 echo "agent-smoke: OK"

@@ -13,11 +13,21 @@
 #   baseline.json  defaults to the committed BENCH_inference.json
 #   fresh.json     defaults to running `go run ./cmd/bench` to a temp file
 #   scale.json     defaults to BENCH_scale.json; its flows/sec series is
-#                  summarized (and sanity-checked for parseability) when
-#                  the file exists
-#   rpc.json       defaults to BENCH_rpc.json; when the file exists, its
-#                  RTT p50 must be finite and > 0 for every record and
-#                  no record may carry "equal_metrics":false
+#                  summarized and sanity-checked for parseability
+#   rpc.json       defaults to BENCH_rpc.json; its RTT p50 must be finite
+#                  and > 0 for every record and no record may carry
+#                  "equal_metrics":false
+#
+# Pass "-" for baseline.json, scale.json, or rpc.json to skip that gate
+# explicitly. A missing or unparsable gate input is NOT a skip:
+#
+# Exit codes:
+#   0  every gate passed
+#   1  REGRESSED: a gated number regressed or an oracle recorded an
+#      inconsistency
+#   2  NO BASELINE: a gate input is missing or unparsable — a setup
+#      problem, never a clean pass (previously these paths passed
+#      vacuously and a deleted baseline disabled the gate silently)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,17 +38,12 @@ SCALE=${3:-BENCH_scale.json}
 RPC=${4:-BENCH_rpc.json}
 LIMIT=125 # fresh ns/op may be at most this percent of baseline
 
-if [ ! -f "$BASELINE" ]; then
-	echo "bench_check: baseline $BASELINE not found" >&2
-	exit 1
-fi
-
-if [ -z "$FRESH" ]; then
-	FRESH=$(mktemp /tmp/bench_check.XXXXXX.json)
-	trap 'rm -f "$FRESH"' EXIT
-	echo "bench_check: measuring fresh decide hot path..."
-	go run ./cmd/bench -out "$FRESH" >/dev/null
-fi
+fail=0
+missing=0
+no_baseline() {
+	echo "bench_check: NO BASELINE: $*" >&2
+	missing=1
+}
 
 # Extracts ns_per_op of the decide record with the given variant from a
 # JSONL benchmark file.
@@ -53,30 +58,51 @@ ns_per_op() {
 		}' "$1"
 }
 
-fail=0
-for variant in stochastic argmax; do
-	base=$(ns_per_op "$BASELINE" "$variant")
-	cur=$(ns_per_op "$FRESH" "$variant")
-	if [ -z "$base" ] || [ -z "$cur" ]; then
-		echo "bench_check: decide/$variant record missing (baseline='${base:-}' fresh='${cur:-}')" >&2
-		fail=1
-		continue
+# --- decide hot-path gate -------------------------------------------------
+if [ "$BASELINE" = "-" ]; then
+	echo "bench_check: decide gate skipped explicitly (baseline '-')"
+elif [ ! -f "$BASELINE" ]; then
+	no_baseline "$BASELINE not found (regenerate with 'make bench' and commit it, or pass '-' to skip the decide gate deliberately)"
+else
+	if [ -z "$FRESH" ]; then
+		FRESH=$(mktemp /tmp/bench_check.XXXXXX.json)
+		trap 'rm -f "$FRESH"' EXIT
+		echo "bench_check: measuring fresh decide hot path..."
+		go run ./cmd/bench -out "$FRESH" >/dev/null
 	fi
-	pct=$(awk -v b="$base" -v c="$cur" 'BEGIN { printf "%+.1f", (c - b) / b * 100 }')
-	if [ "$(awk -v b="$base" -v c="$cur" -v lim="$LIMIT" 'BEGIN { print (c <= b * lim / 100) ? 1 : 0 }')" = 1 ]; then
-		echo "bench_check: decide/$variant ok: $cur ns/op vs baseline $base ($pct%)"
-	else
-		echo "bench_check: decide/$variant REGRESSED: $cur ns/op vs baseline $base ($pct%, limit +25%)" >&2
-		fail=1
-	fi
-done
+	for variant in stochastic argmax; do
+		base=$(ns_per_op "$BASELINE" "$variant")
+		cur=$(ns_per_op "$FRESH" "$variant")
+		if [ -z "$base" ]; then
+			no_baseline "$BASELINE has no decide/$variant record (corrupt or truncated baseline?)"
+			continue
+		fi
+		if [ -z "$cur" ]; then
+			echo "bench_check: fresh run $FRESH produced no decide/$variant record" >&2
+			fail=1
+			continue
+		fi
+		pct=$(awk -v b="$base" -v c="$cur" 'BEGIN { printf "%+.1f", (c - b) / b * 100 }')
+		if [ "$(awk -v b="$base" -v c="$cur" -v lim="$LIMIT" 'BEGIN { print (c <= b * lim / 100) ? 1 : 0 }')" = 1 ]; then
+			echo "bench_check: decide/$variant ok: $cur ns/op vs baseline $base ($pct%)"
+		else
+			echo "bench_check: decide/$variant REGRESSED: $cur ns/op vs baseline $base ($pct%, limit +25%)" >&2
+			fail=1
+		fi
+	done
+fi
 
-# Scale series: summarized for the log, not regression-gated (episode
-# throughput is too machine-dependent for a cross-runner threshold) —
-# but a present-yet-unparseable file is an error, and so is any sharded
-# record whose determinism self-check failed or whose flow count
-# diverges from the single-shard engine on the identical workload.
-if [ -f "$SCALE" ]; then
+# --- scale series ---------------------------------------------------------
+# Summarized for the log, not regression-gated (episode throughput is
+# too machine-dependent for a cross-runner threshold) — but a missing or
+# unparseable file is an error, and so is any sharded record whose
+# determinism self-check failed or whose flow count diverges from the
+# single-shard engine on the identical workload.
+if [ "$SCALE" = "-" ]; then
+	echo "bench_check: scale gate skipped explicitly (scale '-')"
+elif [ ! -f "$SCALE" ]; then
+	no_baseline "$SCALE not found (regenerate with 'make bench-scale' and commit it, or pass '-' to skip the scale gate deliberately)"
+else
 	rows=$(awk '
 		/"record":"scale"/ {
 			n = b = k = f = sp = ""
@@ -89,8 +115,7 @@ if [ -f "$SCALE" ]; then
 				printf "bench_check: scale nodes=%-5s batch=%-3s shards=%-2s %10.0f flows/sec %6.2fx\n", n, b, k, f, sp
 		}' "$SCALE")
 	if [ -z "$rows" ]; then
-		echo "bench_check: $SCALE has no parseable scale records" >&2
-		fail=1
+		no_baseline "$SCALE has no parseable scale records"
 	else
 		echo "$rows"
 	fi
@@ -111,11 +136,15 @@ if [ -f "$SCALE" ]; then
 	fi
 fi
 
-# Decision-RTT sanity gates: every rpc record's p50 must be a finite,
-# strictly positive number (a zero or NaN p50 means the histogram never
-# saw a sample), and the in-run equivalence oracle must not have
-# recorded a divergence.
-if [ -f "$RPC" ]; then
+# --- decision-RTT sanity gates --------------------------------------------
+# Every rpc record's p50 must be a finite, strictly positive number (a
+# zero or NaN p50 means the histogram never saw a sample), and the
+# in-run equivalence oracle must not have recorded a divergence.
+if [ "$RPC" = "-" ]; then
+	echo "bench_check: rpc gate skipped explicitly (rpc '-')"
+elif [ ! -f "$RPC" ]; then
+	no_baseline "$RPC not found (regenerate with 'make bench-rpc' and commit it, or pass '-' to skip the rpc gate deliberately)"
+else
 	rpc_rows=$(awk '
 		/"record":"rpc"/ {
 			mode = p50 = ""
@@ -124,8 +153,7 @@ if [ -f "$RPC" ]; then
 			print mode, p50
 		}' "$RPC")
 	if [ -z "$rpc_rows" ]; then
-		echo "bench_check: $RPC has no parseable rpc records" >&2
-		fail=1
+		no_baseline "$RPC has no parseable rpc records"
 	fi
 	echo "$rpc_rows" | while read -r mode p50; do
 		[ -z "$mode" ] && continue
@@ -140,4 +168,13 @@ if [ -f "$RPC" ]; then
 		fail=1
 	fi
 fi
-exit $fail
+
+if [ "$fail" -ne 0 ]; then
+	echo "bench_check: FAILED: REGRESSED (exit 1)" >&2
+	exit 1
+fi
+if [ "$missing" -ne 0 ]; then
+	echo "bench_check: FAILED: NO BASELINE (exit 2) — fix the baseline files; an absent baseline is not a passing gate" >&2
+	exit 2
+fi
+echo "bench_check: all gates passed"

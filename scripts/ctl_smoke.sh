@@ -1,0 +1,167 @@
+#!/bin/sh
+# ctl_smoke.sh: end-to-end smoke test of the experiment-controller tier.
+#
+# Builds cmd/ctl, starts it on a free port over a throwaway store, then:
+#
+#   1. submits a 2-point sweep (algo axis: sp, gcasp) over HTTP and
+#      waits for it to finish via GET /runs/{id} polling;
+#   2. asserts the run manifest is content-addressed: every artifact
+#      hash resolves through GET /blobs/{hash} to bytes that re-hash to
+#      the same value;
+#   3. POSTs /runs/{id}/recalc and asserts the re-render is
+#      byte-identical to the original (hash-compared, no re-simulation);
+#   4. asserts the observability endpoints (/metrics) share the
+#      controller's listener, and the events stream yields a terminal
+#      status;
+#   5. SIGTERMs the daemon and asserts a clean exit.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+ctl_pid=""
+cleanup() {
+    [ -n "$ctl_pid" ] && kill "$ctl_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/ctl" ./cmd/ctl
+
+"$workdir/ctl" -listen 127.0.0.1:0 -store "$workdir/store" -git-rev smoke-rev \
+    >"$workdir/ctl.out" 2>"$workdir/ctl.err" &
+ctl_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^ctl listening on //p' "$workdir/ctl.out" | head -n1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$ctl_pid" 2>/dev/null; then
+        echo "ctl-smoke: ctl exited before announcing its listener" >&2
+        cat "$workdir/ctl.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ctl-smoke: ctl never announced its listener" >&2
+    exit 1
+fi
+echo "ctl-smoke: controller up at $addr"
+
+# Submit a 2-point sweep.
+submit=$(curl -sf -X POST "http://$addr/sweeps" -d '{
+    "name": "smoke-sweep",
+    "base": {"algo": "sp", "seeds": 2, "horizon": 300},
+    "axes": [{"param": "algo", "values": ["sp", "gcasp"]}]
+}')
+id=$(echo "$submit" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n1)
+if [ -z "$id" ]; then
+    echo "ctl-smoke: submission returned no run id: $submit" >&2
+    exit 1
+fi
+echo "ctl-smoke: submitted sweep $id"
+
+# Wait for a terminal status.
+status=""
+for _ in $(seq 1 600); do
+    manifest=$(curl -sf "http://$addr/runs/$id")
+    status=$(echo "$manifest" | sed -n 's/.*"status": "\([a-z]*\)".*/\1/p' | head -n1)
+    case $status in
+    done | failed | canceled) break ;;
+    esac
+    sleep 0.1
+done
+if [ "$status" != "done" ]; then
+    echo "ctl-smoke: run $id ended as '$status', want done:" >&2
+    curl -s "http://$addr/runs/$id" >&2
+    exit 1
+fi
+echo "ctl-smoke: run $id done"
+echo "$manifest" >"$workdir/manifest.json"
+
+if ! grep -q '"git_rev": "smoke-rev"' "$workdir/manifest.json"; then
+    echo "ctl-smoke: manifest lacks the daemon's git rev" >&2
+    cat "$workdir/manifest.json" >&2
+    exit 1
+fi
+
+# Every manifest artifact must resolve through the content-addressed
+# blob route to bytes that re-hash to the recorded hash.
+hashes=$(sed -n 's/.*"hash": "\([0-9a-f]\{64\}\)".*/\1/p' "$workdir/manifest.json" | sort -u)
+if [ -z "$hashes" ]; then
+    echo "ctl-smoke: manifest records no artifact hashes" >&2
+    cat "$workdir/manifest.json" >&2
+    exit 1
+fi
+n=0
+for h in $hashes; do
+    curl -sf "http://$addr/blobs/$h" >"$workdir/blob"
+    got=$(sha256sum "$workdir/blob" | cut -d' ' -f1)
+    if [ "$got" != "$h" ]; then
+        echo "ctl-smoke: blob $h re-hashes to $got — store is not content-addressed" >&2
+        exit 1
+    fi
+    n=$((n + 1))
+done
+echo "ctl-smoke: $n artifact blobs verified content-addressed"
+
+# The rendered figure must carry both sweep points.
+curl -sf "http://$addr/runs/$id/artifacts/figure.md" >"$workdir/figure.md"
+for want in "algo=sp" "algo=gcasp"; do
+    if ! grep -q "$want" "$workdir/figure.md"; then
+        echo "ctl-smoke: figure.md lacks sweep point $want" >&2
+        cat "$workdir/figure.md" >&2
+        exit 1
+    fi
+done
+
+# Recalc: the re-render from the stored grid log must be byte-identical
+# to the original artifacts (the response hash-compares them).
+recalc=$(curl -sf -X POST "http://$addr/runs/$id/recalc")
+if ! echo "$recalc" | grep -q '"identical": true'; then
+    echo "ctl-smoke: recalc is not byte-identical to the original render:" >&2
+    echo "$recalc" >&2
+    exit 1
+fi
+if echo "$recalc" | grep -q '"identical": false'; then
+    echo "ctl-smoke: recalc reports a diverging artifact:" >&2
+    echo "$recalc" >&2
+    exit 1
+fi
+curl -sf "http://$addr/runs/$id/artifacts/figure.md" >"$workdir/figure_recalc.md"
+if ! cmp -s "$workdir/figure.md" "$workdir/figure_recalc.md"; then
+    echo "ctl-smoke: figure.md changed across recalc" >&2
+    exit 1
+fi
+echo "ctl-smoke: recalc byte-identical (hash-compared + cmp)"
+
+# The observability tier shares the listener, and a late events stream
+# still yields the terminal status.
+if ! curl -sf "http://$addr/run" | grep -q '"binary": "ctl"'; then
+    echo "ctl-smoke: observability /run is not served on the controller listener" >&2
+    exit 1
+fi
+curl -sf -o /dev/null "http://$addr/metrics" || {
+    echo "ctl-smoke: /metrics is not served on the controller listener" >&2
+    exit 1
+}
+if ! curl -sf "http://$addr/runs/$id/events" | grep -q '"status":"done"'; then
+    echo "ctl-smoke: events stream lacks the terminal status" >&2
+    exit 1
+fi
+
+# Clean shutdown on SIGTERM.
+kill -TERM "$ctl_pid"
+for _ in $(seq 1 50); do
+    kill -0 "$ctl_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$ctl_pid" 2>/dev/null; then
+    echo "ctl-smoke: ctl did not exit within 5s of SIGTERM" >&2
+    exit 1
+fi
+wait "$ctl_pid" 2>/dev/null || true
+ctl_pid=""
+
+echo "ctl-smoke: OK"
