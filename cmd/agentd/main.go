@@ -51,9 +51,14 @@ func main() {
 }
 
 func run(model, persist, id string, idle time.Duration, quiet bool, shared *clicfg.Flags) error {
-	if err := shared.Validate(); err != nil {
+	// Apply (not just Validate) so -obs-addr gives the daemon its own
+	// live observability endpoint: /metrics exposes the agentd.* decision
+	// telemetry below, /timeseries its sampled history.
+	rt, err := shared.Apply()
+	if err != nil {
 		return err
 	}
+	defer rt.Close()
 	if shared.Listen == "" {
 		return fmt.Errorf("-listen is required (the daemon serves decisions on it)")
 	}
@@ -75,9 +80,26 @@ func run(model, persist, id string, idle time.Duration, quiet bool, shared *clic
 	if err != nil {
 		return err
 	}
+	reg := rt.Registry()
+	rt.SetObsInfo("id", id)
+	rt.SetObsInfo("model_hash", host.ModelHash())
+	host.OnDeploy = func(hash string) {
+		reg.Counter("agentd.deploys").Inc()
+		rt.SetObsInfo("model_hash", hash)
+	}
 	srv := agentnet.NewServer(host.NewBackend, agentnet.ServerConfig{
 		IdleTimeout: idle,
 		Logf:        logf,
+		// Server-side decision telemetry: request and row counters plus
+		// the sub-span histograms a driver's client-side timing cannot
+		// see (encode time lands in the driver's network share).
+		ObserveDecide: func(batch int, serverNS, inferNS, encodeNS int64) {
+			reg.Counter("agentd.requests").Inc()
+			reg.Counter("agentd.decisions").Add(int64(batch))
+			reg.Histogram("agentd.server_us").Observe(float64(serverNS) / 1e3)
+			reg.Histogram("agentd.infer_us").Observe(float64(inferNS) / 1e3)
+			reg.Histogram("agentd.encode_us").Observe(float64(encodeNS) / 1e3)
+		},
 	})
 	addr, err := srv.Listen(shared.Listen)
 	if err != nil {

@@ -176,7 +176,9 @@ func buildFleet(c *runConfig, modelPath string) (*fleet, error) {
 
 // remoteCoordinator dials the fleet and returns the socket-backed
 // coordinator, with decision RTTs feeding the runtime's
-// rpc_decide_rtt_us histogram.
+// rpc_decide_rtt_us histogram, per-agent fleet telemetry (agent.<slot>.*)
+// feeding its registry, and the pool's aggregated health view mounted as
+// /fleet on the observability endpoint.
 func remoteCoordinator(c *runConfig, rt *clicfg.Runtime, inst *eval.Instance, fl *fleet, checkpoint []byte) (*coord.Remote, error) {
 	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
 	opts := coord.RemoteOptions{
@@ -187,6 +189,7 @@ func remoteCoordinator(c *runConfig, rt *clicfg.Runtime, inst *eval.Instance, fl
 			ReconnectBudget: 500 * time.Millisecond,
 		},
 		ObserveRTT: rt.DecideRTT().Observe,
+		Metrics:    rt.Registry(),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "coordsim: "+format+"\n", args...)
 		},
@@ -194,14 +197,21 @@ func remoteCoordinator(c *runConfig, rt *clicfg.Runtime, inst *eval.Instance, fl
 	if c.shared.ModelPush {
 		opts.Checkpoint = checkpoint
 	}
-	return coord.NewRemote(adapter, fl.endpoints, c.seed, opts)
+	remote, err := coord.NewRemote(adapter, fl.endpoints, c.seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	rt.MountObs("/fleet", remote.Pool().FleetHandler())
+	return remote, nil
 }
 
 // wireAgentKills installs the agent-kill actuator on the remote
 // coordinator's decision clock. Spawned agents die for real — the
 // process is killed and later restarted on its original port; external
-// agents are severed and revived at the connection.
-func wireAgentKills(r *coord.Remote, fl *fleet, kills []chaos.AgentKill) {
+// agents are severed and revived at the connection. Fired events feed
+// the runtime's registry (chaos.agent_kills / chaos.agent_revives /
+// chaos.agents_down), so the recovery window shows as a /timeseries dip.
+func wireAgentKills(r *coord.Remote, fl *fleet, rt *clicfg.Runtime, kills []chaos.AgentKill) {
 	pool := r.Pool()
 	kill := func(slot int) {
 		if p := fl.procs[slot]; p != nil {
@@ -225,5 +235,16 @@ func wireAgentKills(r *coord.Remote, fl *fleet, kills []chaos.AgentKill) {
 		pool.Revive(slot)
 	}
 	act := chaos.NewAgentKillActuator(kills, pool.NumAgents(), kill, revive)
+	reg := rt.Registry()
+	down := reg.Gauge("chaos.agents_down")
+	act.OnEvent = func(simTime float64, slot int, revived bool) {
+		if revived {
+			reg.Counter("chaos.agent_revives").Inc()
+			down.Set(down.Value() - 1)
+		} else {
+			reg.Counter("chaos.agent_kills").Inc()
+			down.Set(down.Value() + 1)
+		}
+	}
 	r.OnTime = act.Advance
 }

@@ -168,7 +168,7 @@ func run(c *runConfig) error {
 			}
 			defer remote.Close()
 			if len(inst.Chaos.AgentKills) > 0 {
-				wireAgentKills(remote, fl, inst.Chaos.AgentKills)
+				wireAgentKills(remote, fl, rt, inst.Chaos.AgentKills)
 			}
 			coordinator = remote
 		} else {

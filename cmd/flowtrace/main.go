@@ -9,8 +9,14 @@
 //	coordsim -algo sp -topo line4 -flow-trace trace.jsonl
 //	flowtrace -in trace.jsonl                 # decomposition + node table
 //	flowtrace -in trace.jsonl -by cause       # drop-cause attribution
+//	flowtrace -in trace.jsonl -by agent -agents 3   # fleet attribution
 //	flowtrace -in trace.jsonl -top 5          # 5 slowest flows, spelled out
 //	flowtrace -in trace.jsonl -json           # full report as JSON
+//
+// Traces from remote runs carry the wall-time decomposition of every
+// decision round trip; the report then includes the RPC sub-span table,
+// and -strict additionally asserts the exact-tiling invariant
+// (send+net+queue+infer+return == total for every decision).
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"text/tabwriter"
 
@@ -31,22 +38,27 @@ func main() {
 	var (
 		in     = flag.String("in", "", "flow-trace JSONL file to analyze (\"-\" for stdin)")
 		top    = flag.Int("top", 10, "list the N slowest completed flows with their critical path")
-		by     = flag.String("by", "node", "attribution table to print: node, cause, or phase")
+		by     = flag.String("by", "node", "attribution table to print: node, agent, cause, or phase")
+		agents = flag.Int("agents", 0, "fleet size for -by agent (node v maps to agent v mod N)")
 		asJSON = flag.Bool("json", false, "emit the full report as JSON instead of text")
-		strict = flag.Bool("strict", false, "fail on malformed flows instead of skipping them")
+		strict = flag.Bool("strict", false, "fail on malformed flows or broken RPC tiling instead of skipping/ignoring")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *in, *top, *by, *asJSON, *strict); err != nil {
+	if err := run(os.Stdout, *in, *top, *by, *agents, *asJSON, *strict); err != nil {
 		fmt.Fprintln(os.Stderr, "flowtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, in string, top int, by string, asJSON, strict bool) error {
+func run(w io.Writer, in string, top int, by string, agents int, asJSON, strict bool) error {
 	switch by {
 	case "node", "cause", "phase":
+	case "agent":
+		if agents <= 0 {
+			return fmt.Errorf("-by agent needs -agents N (the fleet size)")
+		}
 	default:
-		return fmt.Errorf("-by must be node, cause, or phase, got %q", by)
+		return fmt.Errorf("-by must be node, agent, cause, or phase, got %q", by)
 	}
 	if in == "" {
 		return fmt.Errorf("-in is required (a -flow-trace JSONL file, or \"-\" for stdin)")
@@ -63,6 +75,11 @@ func run(w io.Writer, in string, top int, by string, asJSON, strict bool) error 
 	if strict && len(errs) > 0 {
 		return fmt.Errorf("%d malformed flows, first: %w", len(errs), errs[0])
 	}
+	if strict {
+		if _, err := flowtrace.VerifyRPCTiling(spans); err != nil {
+			return fmt.Errorf("rpc tiling: %w", err)
+		}
+	}
 	rep := flowtrace.Analyze(spans, top)
 
 	if asJSON {
@@ -70,7 +87,7 @@ func run(w io.Writer, in string, top int, by string, asJSON, strict bool) error 
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	}
-	render(w, rep, by, len(errs))
+	render(w, rep, by, agents, len(errs))
 	return nil
 }
 
@@ -107,7 +124,7 @@ func readEvents(path string) ([]simnet.TraceEvent, error) {
 	return events, nil
 }
 
-func render(w io.Writer, rep *flowtrace.Report, by string, malformed int) {
+func render(w io.Writer, rep *flowtrace.Report, by string, agents, malformed int) {
 	fmt.Fprintf(w, "flows: %d (%d completed, %d dropped", rep.Flows, rep.Completed, rep.Dropped)
 	if malformed > 0 {
 		fmt.Fprintf(w, ", %d malformed skipped", malformed)
@@ -123,6 +140,9 @@ func render(w io.Writer, rep *flowtrace.Report, by string, malformed int) {
 		fmt.Fprintln(w, "\ntime spent by dropped flows:")
 		printDecomp(w, rep.DroppedTime)
 	}
+	if rep.RPC != nil {
+		printRPC(w, rep.RPC)
+	}
 
 	switch by {
 	case "node":
@@ -132,6 +152,15 @@ func render(w io.Writer, rep *flowtrace.Report, by string, malformed int) {
 		for _, n := range rep.Nodes {
 			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%.4g\t%.4g\t%.4g\t%d\n",
 				n.Node, n.Decisions, n.Processes, n.Forwards, n.Keeps, n.Wait, n.Process, n.Transit, n.Drops)
+		}
+		tw.Flush()
+	case "agent":
+		fmt.Fprintf(w, "\nper-agent attribution (%d agents, node v -> agent v mod %d):\n", agents, agents)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "agent\tnodes\tdecisions\tprocess#\tforward#\tkeep#\twait\tprocess\ttransit\tdrops")
+		for _, a := range flowtrace.GroupByAgent(rep.Nodes, agents) {
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%.4g\t%.4g\t%.4g\t%d\n",
+				a.Agent, intsString(a.Nodes), a.Decisions, a.Processes, a.Forwards, a.Keeps, a.Wait, a.Process, a.Transit, a.Drops)
 		}
 		tw.Flush()
 	case "cause":
@@ -163,8 +192,68 @@ func render(w io.Writer, rep *flowtrace.Report, by string, malformed int) {
 				fmt.Fprintf(w, "    %-8s %.4g at node %d [%.4g, %.4g]\n",
 					s.Phase, s.Duration(), s.Node, s.Start, s.End)
 			}
+			printFlowRPC(w, f)
 		}
 	}
+}
+
+// printFlowRPC spells out the wall-time sub-spans of the flow's slowest
+// remote decisions (up to 3) — the cost hiding behind the zero-duration
+// decision markers of the critical path.
+func printFlowRPC(w io.Writer, f *flowtrace.FlowSpan) {
+	var decs []flowtrace.Segment
+	for i := range f.Visits {
+		for _, s := range f.Visits[i].Segments {
+			if s.Phase == flowtrace.PhaseDecision && s.RPC.TotalNS != 0 {
+				decs = append(decs, s)
+			}
+		}
+	}
+	if len(decs) == 0 {
+		return
+	}
+	sort.Slice(decs, func(i, j int) bool { return decs[i].RPC.TotalNS > decs[j].RPC.TotalNS })
+	for i, s := range decs {
+		if i == 3 {
+			break
+		}
+		t := s.RPC
+		fmt.Fprintf(w, "    decision rpc %.1fus at node %d t=%.4g (send %.1f, net %.1f, queue %.1f, infer %.1f, return %.1f)\n",
+			float64(t.TotalNS)/1e3, s.Node, s.Start,
+			float64(t.SendNS)/1e3, float64(t.NetNS)/1e3, float64(t.QueueNS)/1e3, float64(t.InferNS)/1e3, float64(t.ReturnNS)/1e3)
+	}
+}
+
+// printRPC renders the aggregate decision round-trip decomposition of a
+// remote run. The sub-span percentages tile the total exactly.
+func printRPC(w io.Writer, r *flowtrace.RPCStat) {
+	fmt.Fprintf(w, "\ndecision round trips (remote): %d, mean %.1fus\n", r.Decisions, r.MeanUS)
+	pct := func(v float64) float64 {
+		if r.TotalUS == 0 {
+			return 0
+		}
+		return 100 * v / r.TotalUS
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  client-send\t%.1fus\t%5.1f%%\n", r.SendUS, pct(r.SendUS))
+	fmt.Fprintf(tw, "  network\t%.1fus\t%5.1f%%\n", r.NetUS, pct(r.NetUS))
+	fmt.Fprintf(tw, "  agent-queue\t%.1fus\t%5.1f%%\n", r.QueueUS, pct(r.QueueUS))
+	fmt.Fprintf(tw, "  inference\t%.1fus\t%5.1f%%\n", r.InferUS, pct(r.InferUS))
+	fmt.Fprintf(tw, "  return\t%.1fus\t%5.1f%%\n", r.ReturnUS, pct(r.ReturnUS))
+	fmt.Fprintf(tw, "  total\t%.1fus\t\n", r.TotalUS)
+	tw.Flush()
+}
+
+// intsString renders a node list compactly ("0 3 6").
+func intsString(xs []int) string {
+	var sb strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", x)
+	}
+	return sb.String()
 }
 
 func printDecomp(w io.Writer, d flowtrace.Decomposition) {

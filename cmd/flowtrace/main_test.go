@@ -88,7 +88,7 @@ func TestRunTextReport(t *testing.T) {
 	path := writeTrace(t)
 	for _, by := range []string{"node", "cause", "phase"} {
 		var sb strings.Builder
-		if err := run(&sb, path, 3, by, false, true); err != nil {
+		if err := run(&sb, path, 3, by, 0, false, true); err != nil {
 			t.Fatalf("-by %s: %v", by, err)
 		}
 		out := sb.String()
@@ -108,10 +108,26 @@ func TestRunTextReport(t *testing.T) {
 	}
 }
 
+func TestRunByAgent(t *testing.T) {
+	path := writeTrace(t)
+	// -by agent requires a fleet size.
+	if err := run(&strings.Builder{}, path, 3, "agent", 0, false, true); err == nil {
+		t.Error("-by agent without -agents accepted")
+	}
+	var sb strings.Builder
+	if err := run(&sb, path, 3, "agent", 2, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "per-agent attribution (2 agents") {
+		t.Errorf("agent table missing:\n%s", out)
+	}
+}
+
 func TestRunJSONReport(t *testing.T) {
 	path := writeTrace(t)
 	var sb strings.Builder
-	if err := run(&sb, path, 3, "node", true, true); err != nil {
+	if err := run(&sb, path, 3, "node", 0, true, true); err != nil {
 		t.Fatal(err)
 	}
 	var rep struct {
@@ -141,13 +157,13 @@ func TestRunJSONReport(t *testing.T) {
 }
 
 func TestRunInputErrors(t *testing.T) {
-	if err := run(&strings.Builder{}, "", 3, "node", false, false); err == nil {
+	if err := run(&strings.Builder{}, "", 3, "node", 0, false, false); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run(&strings.Builder{}, "/nonexistent/trace.jsonl", 3, "node", false, false); err == nil {
+	if err := run(&strings.Builder{}, "/nonexistent/trace.jsonl", 3, "node", 0, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(&strings.Builder{}, "x.jsonl", 3, "bogus", false, false); err == nil {
+	if err := run(&strings.Builder{}, "x.jsonl", 3, "bogus", 0, false, false); err == nil {
 		t.Error("bad -by accepted")
 	}
 
@@ -155,7 +171,7 @@ func TestRunInputErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&strings.Builder{}, bad, 3, "node", false, false); err == nil {
+	if err := run(&strings.Builder{}, bad, 3, "node", 0, false, false); err == nil {
 		t.Error("malformed JSONL accepted")
 	}
 
@@ -175,13 +191,13 @@ func TestRunInputErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run(&sb, trunc, 3, "node", false, false); err != nil {
+	if err := run(&sb, trunc, 3, "node", 0, false, false); err != nil {
 		t.Errorf("loose mode rejected truncated trace: %v", err)
 	}
 	if !strings.Contains(sb.String(), "malformed skipped") {
 		t.Errorf("skip note missing:\n%s", sb.String())
 	}
-	if err := run(&strings.Builder{}, trunc, 3, "node", false, true); err == nil {
+	if err := run(&strings.Builder{}, trunc, 3, "node", 0, false, true); err == nil {
 		t.Error("strict mode accepted truncated trace")
 	}
 }

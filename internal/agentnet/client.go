@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -46,6 +47,71 @@ func (c *ClientConfig) defaults() {
 	}
 }
 
+// RPCTiming decomposes one decision round trip into sub-spans, all in
+// integer nanoseconds. The derivation guarantees the exact tiling
+//
+//	SendNS + NetNS + QueueNS + InferNS + ReturnNS == TotalNS
+//
+// with no rounding slack: SendNS (request marshal + socket write,
+// including any reconnect spent getting a connection) and ReturnNS
+// (response decode after the read completed) are measured client-side;
+// the wire window between them is split using the agent's piggybacked
+// ServerNS/InferNS into NetNS (bytes in flight both ways, plus the
+// agent's response encode+write, which cannot time itself into its own
+// payload), QueueNS (agent-side decode and queueing around inference),
+// and InferNS (policy inference proper). Server-reported durations are
+// clamped into the wire window, so clock skew between the processes can
+// never break the tiling — only shift attribution between NetNS and
+// QueueNS.
+//
+// A failed round trip still tiles: TotalNS == SendNS, everything else 0.
+type RPCTiming struct {
+	TotalNS  int64
+	SendNS   int64
+	NetNS    int64
+	QueueNS  int64
+	InferNS  int64
+	ReturnNS int64
+}
+
+// deriveTiming computes the exact-tiling decomposition from the client
+// timestamps (t0 entry, t1 write done, t2 read done, t3 decode done)
+// and the server-reported span durations.
+func deriveTiming(t0, t1, t2, t3 time.Time, serverNS, inferNS int64) RPCTiming {
+	total := t3.Sub(t0).Nanoseconds()
+	send := t1.Sub(t0).Nanoseconds()
+	ret := t3.Sub(t2).Nanoseconds()
+	wire := total - send - ret // == t2 - t1; non-negative on the monotonic clock
+	server := serverNS
+	if server < 0 {
+		server = 0
+	}
+	if server > wire {
+		server = wire
+	}
+	infer := inferNS
+	if infer < 0 {
+		infer = 0
+	}
+	if infer > server {
+		infer = server
+	}
+	return RPCTiming{
+		TotalNS:  total,
+		SendNS:   send,
+		NetNS:    wire - server,
+		QueueNS:  server - infer,
+		InferNS:  infer,
+		ReturnNS: ret,
+	}
+}
+
+// failedTiming is the decomposition of a round trip that never produced
+// a response: the whole duration is attributed to the send side.
+func failedTiming(d time.Duration) RPCTiming {
+	return RPCTiming{TotalNS: d.Nanoseconds(), SendNS: d.Nanoseconds()}
+}
+
 // Client is the driver-side handle to one agent daemon. All methods are
 // synchronous request/response and safe for concurrent use (requests are
 // serialized over the single connection; the simulator's per-decision
@@ -56,6 +122,11 @@ func (c *ClientConfig) defaults() {
 // request once. If the agent stays unreachable past ReconnectBudget the
 // request fails and the caller decides what a missing decision means
 // (coord.Remote returns an invalid action, which the engine drops).
+//
+// The decide path reuses per-client scratch buffers for request
+// marshaling and response decoding, so a steady-state session performs
+// zero allocations per round trip — the socket boundary costs syscalls,
+// not garbage.
 type Client struct {
 	addr  string
 	hello Hello
@@ -66,6 +137,17 @@ type Client struct {
 	ack     HelloAck
 	severed bool
 	nonce   uint64
+
+	// Request/response scratch, all guarded by mu. enc holds the framed
+	// request ([5-byte header][payload]); rbuf backs response reads; resp
+	// is the batch-response decode target whose Actions slice is reused.
+	enc    []byte
+	rbuf   []byte
+	resp   Actions
+	t1, t2 time.Time // write-done / read-done of the last round trip
+	timing RPCTiming
+
+	reconnects atomic.Int64
 }
 
 // Dial connects to an agent daemon and performs the handshake. hello is
@@ -92,6 +174,18 @@ func (c *Client) Ack() HelloAck {
 
 // Addr returns the agent endpoint this client dials.
 func (c *Client) Addr() string { return c.addr }
+
+// Reconnects returns how many times the client has successfully
+// re-dialed after losing its connection.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// LastRPCTiming returns the sub-span decomposition of the most recent
+// Decide/DecideBatch round trip (successful or failed).
+func (c *Client) LastRPCTiming() RPCTiming {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timing
+}
 
 // connectLocked dials and handshakes once. Caller holds c.mu.
 func (c *Client) connectLocked() error {
@@ -154,6 +248,7 @@ func (c *Client) reconnectLocked() error {
 		}
 		err := c.connectLocked()
 		if err == nil {
+			c.reconnects.Add(1)
 			c.logf("agentnet: reconnected to %s (attempt %d)", c.addr, attempt)
 			return nil
 		}
@@ -169,12 +264,13 @@ func (c *Client) reconnectLocked() error {
 	}
 }
 
-// roundTrip sends one request frame and reads its response, retrying
-// once through a reconnect on transport failure. It returns the response
-// type and payload.
-func (c *Client) roundTrip(reqType byte, req []byte) (byte, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// roundTripLocked sends one framed request and reads its response,
+// retrying once through a reconnect on transport failure. frame is a
+// complete frame (header + type + payload) as built by beginFrame/
+// finishFrame; the response payload aliases c.rbuf and is valid until
+// the next round trip. Write-done and read-done timestamps of the
+// successful attempt land in c.t1/c.t2. Caller holds c.mu.
+func (c *Client) roundTripLocked(frame []byte) (byte, []byte, error) {
 	for attempt := 0; ; attempt++ {
 		if c.severed {
 			return 0, nil, fmt.Errorf("agentnet: %s: client severed", c.addr)
@@ -184,7 +280,7 @@ func (c *Client) roundTrip(reqType byte, req []byte) (byte, []byte, error) {
 				return 0, nil, err
 			}
 		}
-		typ, payload, err := c.roundTripOnceLocked(reqType, req)
+		typ, payload, err := c.roundTripOnceLocked(frame)
 		if err == nil {
 			return typ, payload, nil
 		}
@@ -201,16 +297,19 @@ func (c *Client) roundTrip(reqType byte, req []byte) (byte, []byte, error) {
 	}
 }
 
-func (c *Client) roundTripOnceLocked(reqType byte, req []byte) (byte, []byte, error) {
+func (c *Client) roundTripOnceLocked(frame []byte) (byte, []byte, error) {
 	deadline := time.Now().Add(c.cfg.Timeout)
 	c.conn.SetDeadline(deadline)
-	if err := WriteFrame(c.conn, reqType, req); err != nil {
+	if _, err := c.conn.Write(frame); err != nil {
 		return 0, nil, fmt.Errorf("agentnet: %s: write: %w", c.addr, err)
 	}
-	typ, payload, err := ReadFrame(c.conn)
+	c.t1 = time.Now()
+	typ, payload, rbuf, err := readFrameInto(c.conn, c.rbuf)
+	c.rbuf = rbuf
 	if err != nil {
 		return 0, nil, fmt.Errorf("agentnet: %s: read: %w", c.addr, err)
 	}
+	c.t2 = time.Now()
 	return typ, payload, nil
 }
 
@@ -227,49 +326,77 @@ func errFromResponse(addr string, typ byte, payload []byte, want byte) error {
 	return fmt.Errorf("agentnet: %s: expected message type %d, got %d", addr, want, typ)
 }
 
-// Decide requests one action for an observation row.
-func (c *Client) Decide(node uint32, now float64, obs []float64) (int32, error) {
-	req := Decide{Node: node, Now: now, Obs: obs}
-	typ, payload, err := c.roundTrip(MsgDecide, req.Marshal())
+// Decide requests one action for an observation row. flow and span are
+// the trace context stamped into the request frame; pass zeros when the
+// run is untraced (the wire cost is 16 fixed bytes either way, and the
+// timing capture is a handful of clock reads — there is no traced/
+// untraced mode switch on this path).
+func (c *Client) Decide(node uint32, now float64, flow, span uint64, obs []float64) (int32, error) {
+	t0 := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := Decide{Node: node, Now: now, Flow: flow, Span: span, Obs: obs}
+	c.enc = m.AppendTo(frameStart(c.enc))
+	finishFrame(c.enc, MsgDecide)
+	typ, payload, err := c.roundTripLocked(c.enc)
 	if err != nil {
+		c.timing = failedTiming(time.Since(t0))
 		return 0, err
 	}
 	if err := errFromResponse(c.addr, typ, payload, MsgAction); err != nil {
+		c.timing = failedTiming(time.Since(t0))
 		return 0, err
 	}
 	var a Action
 	if err := a.Unmarshal(payload); err != nil {
+		c.timing = failedTiming(time.Since(t0))
 		return 0, err
 	}
+	c.timing = deriveTiming(t0, c.t1, c.t2, time.Now(), int64(a.ServerNS), int64(a.InferNS))
 	return a.Action, nil
 }
 
 // DecideBatch requests actions for a same-node cohort of observation
-// rows (row-major, width columns each). It returns one action per row.
-func (c *Client) DecideBatch(node uint32, now float64, width int, rows []float64) ([]int32, error) {
-	req := DecideBatch{Node: node, Now: now, Width: uint32(width), Rows: rows}
-	typ, payload, err := c.roundTrip(MsgDecideBatch, req.Marshal())
+// rows (row-major, width columns each). It returns one action per row;
+// the slice aliases client scratch and is valid until the next call.
+func (c *Client) DecideBatch(node uint32, now float64, span uint64, width int, rows []float64) ([]int32, error) {
+	t0 := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := DecideBatch{Node: node, Now: now, Span: span, Width: uint32(width), Rows: rows}
+	c.enc = m.AppendTo(frameStart(c.enc))
+	finishFrame(c.enc, MsgDecideBatch)
+	typ, payload, err := c.roundTripLocked(c.enc)
 	if err != nil {
+		c.timing = failedTiming(time.Since(t0))
 		return nil, err
 	}
 	if err := errFromResponse(c.addr, typ, payload, MsgActions); err != nil {
+		c.timing = failedTiming(time.Since(t0))
 		return nil, err
 	}
-	var a Actions
-	if err := a.Unmarshal(payload); err != nil {
+	if err := c.resp.Unmarshal(payload); err != nil {
+		c.timing = failedTiming(time.Since(t0))
 		return nil, err
 	}
-	if width > 0 && len(a.Actions) != len(rows)/width {
-		return nil, fmt.Errorf("agentnet: %s: got %d actions for %d rows", c.addr, len(a.Actions), len(rows)/width)
+	if width > 0 && len(c.resp.Actions) != len(rows)/width {
+		c.timing = failedTiming(time.Since(t0))
+		return nil, fmt.Errorf("agentnet: %s: got %d actions for %d rows", c.addr, len(c.resp.Actions), len(rows)/width)
 	}
-	return a.Actions, nil
+	c.timing = deriveTiming(t0, c.t1, c.t2, time.Now(), int64(c.resp.ServerNS), int64(c.resp.InferNS))
+	return c.resp.Actions, nil
 }
 
 // PushModel ships a serialized checkpoint and waits for the agent's
 // verified acknowledgement.
 func (c *Client) PushModel(hash string, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	req := ModelPush{Hash: hash, Payload: payload}
-	typ, resp, err := c.roundTrip(MsgModelPush, req.Marshal())
+	frame := append(frameStart(c.enc), req.Marshal()...)
+	finishFrame(frame, MsgModelPush)
+	c.enc = frame
+	typ, resp, err := c.roundTripLocked(frame)
 	if err != nil {
 		return err
 	}
@@ -286,18 +413,24 @@ func (c *Client) PushModel(hash string, payload []byte) error {
 	if ack.Hash != hash {
 		return fmt.Errorf("agentnet: %s: model ack hash %.12s... != pushed %.12s...", c.addr, ack.Hash, hash)
 	}
+	// The agent now runs the pushed checkpoint; keep the cached handshake
+	// view current so fleet health reports the live model version.
+	c.ack.ModelHash = hash
 	return nil
 }
 
 // Ping round-trips a liveness probe and returns its latency.
 func (c *Client) Ping() (time.Duration, error) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.nonce++
 	nonce := c.nonce
-	c.mu.Unlock()
 	req := Ping{Nonce: nonce}
 	start := time.Now()
-	typ, payload, err := c.roundTrip(MsgPing, req.Marshal())
+	frame := append(frameStart(c.enc), req.Marshal()...)
+	finishFrame(frame, MsgPing)
+	c.enc = frame
+	typ, payload, err := c.roundTripLocked(frame)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,128 @@
+package agentnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"distcoord/internal/telemetry"
+)
+
+func dialTestPool(t *testing.T, agents, numNodes int, reg *telemetry.Registry) *Pool {
+	t.Helper()
+	endpoints := make([]string, agents)
+	for i := range endpoints {
+		b := &scriptedBackend{id: fmt.Sprintf("agent-%d", i), grantCaps: CapBatch, modelHash: "m0"}
+		_, endpoints[i] = startServer(t, b)
+	}
+	pool, err := DialPool(endpoints, testHello(), numNodes, PoolConfig{
+		Client:  testClientConfig(),
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+// TestPoolFleetTelemetry drives decisions, a failure, and a kill/revive
+// cycle through a pool wired to a shared registry and checks both the
+// agent.<slot>.* series and the /fleet snapshot they aggregate into.
+func TestPoolFleetTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pool := dialTestPool(t, 2, 4, reg)
+	defer pool.Close()
+
+	for v := 0; v < 4; v++ {
+		if _, err := pool.Decide(v, 0, 0, 0, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Sever(1)
+	if _, err := pool.Decide(1, 0, 0, 0, []float64{1}); err == nil {
+		t.Fatal("severed agent served a decision")
+	}
+	pool.Revive(1)
+
+	if got := reg.Counter("agent.0.decides").Value(); got != 2 {
+		t.Errorf("agent.0.decides = %v, want 2", got)
+	}
+	if got := reg.Counter("agent.1.failures").Value(); got != 1 {
+		t.Errorf("agent.1.failures = %v, want 1", got)
+	}
+	if got := reg.Gauge("agent.1.up").Value(); got != 1 {
+		t.Errorf("agent.1.up = %v after revive, want 1", got)
+	}
+	if reg.Histogram("agent.0.rtt_us").Count() == 0 {
+		t.Error("agent.0.rtt_us has no samples")
+	}
+
+	rr := httptest.NewRecorder()
+	pool.FleetHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/fleet", nil))
+	var snap FleetSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("fleet JSON: %v\n%s", err, rr.Body.String())
+	}
+	if snap.NumAgents != 2 || snap.NumNodes != 4 {
+		t.Errorf("snapshot shape = %d agents / %d nodes, want 2/4", snap.NumAgents, snap.NumNodes)
+	}
+	if snap.Decides != 4 || snap.Failed != 1 {
+		t.Errorf("snapshot totals = %d ok / %d failed, want 4/1", snap.Decides, snap.Failed)
+	}
+	a1 := snap.Agents[1]
+	if a1.ID != "agent-1" || a1.ModelHash != "m0" || !a1.Up {
+		t.Errorf("agent 1 status = %+v", a1)
+	}
+	var kinds []string
+	for _, ev := range a1.Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	if strings.Join(kinds, ",") != "sever,revive" {
+		t.Errorf("agent 1 timeline = %v, want [sever revive]", kinds)
+	}
+}
+
+// TestPoolCloseRetiresSharedGauges pins the stale-gauge fix: closing a
+// pool must remove every agent.<slot>.* series from a SHARED registry
+// (the obs server outlives the pool under -obs-wait), while a pool that
+// owns its private registry must leave it intact so FleetSnapshot keeps
+// working after Close.
+func TestPoolCloseRetiresSharedGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("rpc.other").Inc()
+	pool := dialTestPool(t, 2, 4, reg)
+	if _, err := pool.Decide(0, 0, 0, 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "agent.") {
+			t.Errorf("stale per-agent counter %q after Close", name)
+		}
+	}
+	for name := range snap.Gauges {
+		if strings.HasPrefix(name, "agent.") {
+			t.Errorf("stale per-agent gauge %q after Close", name)
+		}
+	}
+	if _, ok := snap.Counters["rpc.other"]; !ok {
+		t.Error("Close deleted metrics outside the agent.* namespace")
+	}
+
+	// Private registry: nothing to retire, snapshot stays serviceable.
+	own := dialTestPool(t, 1, 1, nil)
+	if _, err := own.Decide(0, 0, 0, 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := own.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := own.FleetSnapshot(); snap.Agents[0].Decides != 1 {
+		t.Errorf("private-registry snapshot lost its counts after Close: %+v", snap.Agents[0])
+	}
+}

@@ -27,7 +27,14 @@ import (
 // ProtoVersion is the wire protocol version. Both sides send it in the
 // handshake and refuse mismatches, so a stale agentd binary fails loudly
 // at connect time instead of mis-decoding frames mid-run.
-const ProtoVersion uint16 = 1
+//
+// Version history:
+//
+//	1: initial protocol
+//	2: Decide/DecideBatch carry a trace context (flow + span IDs);
+//	   Action/Actions piggyback server-side span durations (ServerNS,
+//	   InferNS) so the driver can decompose each decision round trip
+const ProtoVersion uint16 = 2
 
 // MaxFrame bounds a frame payload (type byte + body). Model pushes carry
 // whole checkpoints, so the cap is generous; everything else is tiny.
@@ -101,6 +108,53 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("agentnet: short frame: %w", err)
 	}
 	return body[0], body[1:], nil
+}
+
+// frameStart resets buf to a frame skeleton: a 5-byte header
+// placeholder the message payload is appended after. finishFrame fills
+// the header once the payload is in place; the frame then goes out in a
+// single Write (one packet under TCP_NODELAY, where the header+payload
+// pair WriteFrame emits could be two). The hot request/response loops
+// build frames this way into reusable scratch buffers.
+func frameStart(buf []byte) []byte {
+	return append(buf[:0], 0, 0, 0, 0, 0)
+}
+
+// finishFrame fills the header of a frame built by frameStart.
+func finishFrame(frame []byte, typ byte) {
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	frame[4] = typ
+}
+
+// readFrameInto reads one frame like ReadFrame but into buf, growing it
+// only when the frame outsizes its capacity. It returns the type byte,
+// the payload (aliasing the buffer, valid until the next read into it),
+// and the possibly-grown buffer for the caller to keep. This is the
+// zero-allocation read path used by the client and server hot loops.
+func readFrameInto(r io.Reader, buf []byte) (byte, []byte, []byte, error) {
+	// The header is read into the scratch buffer, not a local array: a
+	// stack [4]byte passed through the io.Reader interface escapes, and
+	// that one hidden allocation per frame — on each side of the socket —
+	// is exactly what this path exists to avoid.
+	if cap(buf) < 4 {
+		buf = make([]byte, 64)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n < 1 || n > MaxFrame {
+		return 0, nil, buf, fmt.Errorf("agentnet: invalid frame length %d", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, buf, fmt.Errorf("agentnet: short frame: %w", err)
+	}
+	return body[0], body[1:n], buf, nil
 }
 
 // DecodeFrame parses one frame from buf without consuming a reader: it
@@ -272,6 +326,24 @@ func (d *dec) f64s(what string) []float64 {
 	return vs
 }
 
+// f64sInto decodes a float64 vector into dst, reusing its capacity. The
+// request structs in the client/server hot loops decode through this so
+// a steady-state session performs no per-request allocations.
+func (d *dec) f64sInto(dst []float64, what string) []float64 {
+	n := d.count(what, 8)
+	if d.err != nil {
+		return dst[:0]
+	}
+	if dst == nil || cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = d.f64(what)
+	}
+	return dst
+}
+
 func (d *dec) u32s(what string) []uint32 {
 	n := d.count(what, 4)
 	if d.err != nil {
@@ -294,6 +366,22 @@ func (d *dec) i32s(what string) []int32 {
 		vs[i] = int32(d.u32(what))
 	}
 	return vs
+}
+
+// i32sInto is f64sInto for int32 vectors.
+func (d *dec) i32sInto(dst []int32, what string) []int32 {
+	n := d.count(what, 4)
+	if d.err != nil {
+		return dst[:0]
+	}
+	if dst == nil || cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = int32(d.u32(what))
+	}
+	return dst
 }
 
 // done returns the sticky decode error, also failing if trailing garbage
@@ -384,39 +472,70 @@ func (m *HelloAck) Unmarshal(p []byte) error {
 }
 
 // Decide asks for one action (driver → agent): the observation row for a
-// flow at node Node at simulation time Now.
+// flow at node Node at simulation time Now. Flow and Span carry the
+// driver's trace context so the agent-side work is attributable to a
+// specific flow's decision segment; agents echo nothing back — the
+// context exists so both halves of a distributed span share an identity.
 type Decide struct {
 	Node uint32
 	Now  float64
+	Flow uint64
+	Span uint64
 	Obs  []float64
 }
 
-func (m *Decide) Marshal() []byte {
-	b := make([]byte, 0, 16+8*len(m.Obs))
+// AppendTo appends the marshaled payload to b. The client marshals into
+// a reusable scratch buffer through this, keeping the decide path
+// allocation-free.
+func (m *Decide) AppendTo(b []byte) []byte {
 	b = appendU32(b, m.Node)
 	b = appendF64(b, m.Now)
+	b = appendU64(b, m.Flow)
+	b = appendU64(b, m.Span)
 	b = appendF64s(b, m.Obs)
 	return b
+}
+
+func (m *Decide) Marshal() []byte {
+	return m.AppendTo(make([]byte, 0, 32+8*len(m.Obs)))
 }
 
 func (m *Decide) Unmarshal(p []byte) error {
 	d := &dec{b: p}
 	m.Node = d.u32("decide.node")
 	m.Now = d.f64("decide.now")
-	m.Obs = d.f64s("decide.obs")
+	m.Flow = d.u64("decide.flow")
+	m.Span = d.u64("decide.span")
+	m.Obs = d.f64sInto(m.Obs, "decide.obs")
 	return d.done("decide")
 }
 
-// Action answers a Decide (agent → driver).
+// Action answers a Decide (agent → driver). ServerNS and InferNS are the
+// piggybacked server-side span durations: ServerNS covers the agent from
+// frame-read-complete to response-encode-start (decode + queue + infer),
+// InferNS just the policy inference inside it. Response encode+write
+// cannot time itself into its own payload, so it lands in the driver's
+// network sub-span by construction.
 type Action struct {
-	Action int32
+	Action   int32
+	ServerNS uint64
+	InferNS  uint64
 }
 
-func (m *Action) Marshal() []byte { return appendU32(nil, uint32(m.Action)) }
+func (m *Action) AppendTo(b []byte) []byte {
+	b = appendU32(b, uint32(m.Action))
+	b = appendU64(b, m.ServerNS)
+	b = appendU64(b, m.InferNS)
+	return b
+}
+
+func (m *Action) Marshal() []byte { return m.AppendTo(make([]byte, 0, 20)) }
 
 func (m *Action) Unmarshal(p []byte) error {
 	d := &dec{b: p}
 	m.Action = int32(d.u32("action.action"))
+	m.ServerNS = d.u64("action.server_ns")
+	m.InferNS = d.u64("action.infer_ns")
 	return d.done("action")
 }
 
@@ -424,27 +543,36 @@ func (m *Action) Unmarshal(p []byte) error {
 // trip: Rows holds len(Rows)/Width observation rows, row-major, exactly
 // as coord.observeRows packs them.
 type DecideBatch struct {
-	Node  uint32
-	Now   float64
+	Node uint32
+	Now  float64
+	// Span is the trace context for the whole cohort: the rows share one
+	// round trip, so they share one span (flow identity stays driver-side
+	// where the cohort membership is known).
+	Span  uint64
 	Width uint32
 	Rows  []float64
 }
 
-func (m *DecideBatch) Marshal() []byte {
-	b := make([]byte, 0, 24+8*len(m.Rows))
+func (m *DecideBatch) AppendTo(b []byte) []byte {
 	b = appendU32(b, m.Node)
 	b = appendF64(b, m.Now)
+	b = appendU64(b, m.Span)
 	b = appendU32(b, m.Width)
 	b = appendF64s(b, m.Rows)
 	return b
+}
+
+func (m *DecideBatch) Marshal() []byte {
+	return m.AppendTo(make([]byte, 0, 32+8*len(m.Rows)))
 }
 
 func (m *DecideBatch) Unmarshal(p []byte) error {
 	d := &dec{b: p}
 	m.Node = d.u32("decide_batch.node")
 	m.Now = d.f64("decide_batch.now")
+	m.Span = d.u64("decide_batch.span")
 	m.Width = d.u32("decide_batch.width")
-	m.Rows = d.f64s("decide_batch.rows")
+	m.Rows = d.f64sInto(m.Rows, "decide_batch.rows")
 	if d.err == nil && m.Width != 0 && len(m.Rows)%int(m.Width) != 0 {
 		return fmt.Errorf("agentnet: decide_batch rows %d not a multiple of width %d", len(m.Rows), m.Width)
 	}
@@ -455,15 +583,29 @@ func (m *DecideBatch) Unmarshal(p []byte) error {
 }
 
 // Actions answers a DecideBatch, one action per row in row order.
+// ServerNS/InferNS have Action's semantics, covering the whole cohort.
 type Actions struct {
-	Actions []int32
+	ServerNS uint64
+	InferNS  uint64
+	Actions  []int32
 }
 
-func (m *Actions) Marshal() []byte { return appendI32s(nil, m.Actions) }
+func (m *Actions) AppendTo(b []byte) []byte {
+	b = appendU64(b, m.ServerNS)
+	b = appendU64(b, m.InferNS)
+	b = appendI32s(b, m.Actions)
+	return b
+}
+
+func (m *Actions) Marshal() []byte {
+	return m.AppendTo(make([]byte, 0, 24+4*len(m.Actions)))
+}
 
 func (m *Actions) Unmarshal(p []byte) error {
 	d := &dec{b: p}
-	m.Actions = d.i32s("actions.actions")
+	m.ServerNS = d.u64("actions.server_ns")
+	m.InferNS = d.u64("actions.infer_ns")
+	m.Actions = d.i32sInto(m.Actions, "actions.actions")
 	return d.done("actions")
 }
 

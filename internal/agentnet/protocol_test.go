@@ -26,13 +26,16 @@ func sampleMessages() map[byte]message {
 			WantCaps: CapBatch | CapModelPush, ModelHash: "deadbeef",
 		},
 		MsgHelloAck: &HelloAck{Version: ProtoVersion, AgentID: "127.0.0.1:9001#42", ModelHash: "deadbeef", Caps: CapBatch},
-		MsgDecide:   &Decide{Node: 7, Now: 123.456, Obs: []float64{0, 0.5, -1, math.MaxFloat64, 1e-300}},
-		MsgAction:   &Action{Action: -1},
+		MsgDecide: &Decide{
+			Node: 7, Now: 123.456, Flow: 0xabcdef0123456789, Span: 77,
+			Obs: []float64{0, 0.5, -1, math.MaxFloat64, 1e-300},
+		},
+		MsgAction: &Action{Action: -1, ServerNS: 41_000, InferNS: 12_345},
 		MsgDecideBatch: &DecideBatch{
-			Node: 2, Now: 99.25, Width: 3,
+			Node: 2, Now: 99.25, Span: 31337, Width: 3,
 			Rows: []float64{1, 2, 3, 4, 5, 6},
 		},
-		MsgActions:   &Actions{Actions: []int32{0, 5, -1, 3}},
+		MsgActions:   &Actions{ServerNS: 90_000, InferNS: 45_000, Actions: []int32{0, 5, -1, 3}},
 		MsgModelPush: &ModelPush{Hash: "cafe", Payload: []byte(`{"sizes":[2,2]}`)},
 		MsgModelAck:  &ModelAck{Hash: "cafe", OK: false, Err: "hash mismatch"},
 		MsgPing:      &Ping{Nonce: 0xfeedface},
@@ -88,9 +91,15 @@ func TestMessageRoundTripRandom(t *testing.T) {
 				NumActions: rng.Uint32() % 100, Nodes: randU32s(rng.Intn(20)),
 				WantCaps: rng.Uint32(), ModelHash: string(randBytes(rng.Intn(70))),
 			},
-			&Decide{Node: rng.Uint32(), Now: rng.Float64() * 1e6, Obs: randF64s(rng.Intn(64))},
-			&DecideBatch{Node: rng.Uint32(), Now: rng.Float64(), Width: uint32(width), Rows: randF64s(width * rng.Intn(10))},
-			&Actions{Actions: func() []int32 {
+			&Decide{
+				Node: rng.Uint32(), Now: rng.Float64() * 1e6,
+				Flow: rng.Uint64(), Span: rng.Uint64(), Obs: randF64s(rng.Intn(64)),
+			},
+			&DecideBatch{
+				Node: rng.Uint32(), Now: rng.Float64(), Span: rng.Uint64(),
+				Width: uint32(width), Rows: randF64s(width * rng.Intn(10)),
+			},
+			&Actions{ServerNS: rng.Uint64(), InferNS: rng.Uint64(), Actions: func() []int32 {
 				vs := make([]int32, rng.Intn(20))
 				for i := range vs {
 					vs[i] = rng.Int31() - rng.Int31()
@@ -232,7 +241,8 @@ func TestFrameLengthGuards(t *testing.T) {
 func TestDecodeRejectsHostileLengths(t *testing.T) {
 	hostile := appendU32(nil, 0xffffffff) // "4 billion obs values" in 4 bytes
 	var d Decide
-	if err := d.Unmarshal(append(appendF64(appendU32(nil, 1), 0), hostile...)); err == nil {
+	hdr := appendU64(appendU64(appendF64(appendU32(nil, 1), 0), 2), 3) // node, now, flow, span
+	if err := d.Unmarshal(append(hdr, hostile...)); err == nil {
 		t.Fatal("hostile obs count accepted")
 	}
 	var a Actions

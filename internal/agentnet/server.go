@@ -40,6 +40,14 @@ type ServerConfig struct {
 	// goes silent longer than this (no decides, no pings) is presumed
 	// dead and the session is dropped. Default 2 minutes.
 	IdleTimeout time.Duration
+	// ObserveDecide, if set, receives the server-side span durations of
+	// every decision request: the cohort size (1 for Decide), serverNS
+	// (frame-read-complete → response-encode-start, i.e. decode + queue +
+	// inference), inferNS (policy inference inside it), and encodeNS
+	// (response encode + socket write — invisible to the driver, which
+	// accounts it as network time). cmd/agentd points this at its local
+	// telemetry registry. Nil-checked on the hot path.
+	ObserveDecide func(batch int, serverNS, inferNS, encodeNS int64)
 	// Logf receives session lifecycle lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -202,54 +210,96 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.logf("agentnet: session %v: handshake ok (agent %s, nodes %d, caps %#x)",
 		remote, ack.AgentID, len(hello.Nodes), ack.Caps)
 
-	var actions []int32
+	// The decision loop reuses its read buffer, request structs (whose
+	// row/obs slices keep their capacity across requests via the
+	// decode-into helpers), actions scratch, and framed-response buffer,
+	// so a steady-state session performs zero allocations per decide —
+	// matching the client side, where the whole loopback round trip is
+	// asserted allocation-free.
+	var (
+		rbuf, wbuf []byte
+		reqDecide  Decide
+		reqBatch   DecideBatch
+		actions    []int32
+	)
+	observe := s.Config.ObserveDecide
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.Config.IdleTimeout))
-		typ, payload, err := ReadFrame(conn)
+		typ, payload, rb, err := readFrameInto(conn, rbuf)
+		rbuf = rb
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("agentnet: session %v: read: %v", remote, err)
 			}
 			return
 		}
-		var respType byte
-		var resp []byte
+		tRead := time.Now() // frame fully read; ServerNS starts here
 		switch typ {
 		case MsgDecide:
-			var req Decide
-			if err := req.Unmarshal(payload); err != nil {
+			if err := reqDecide.Unmarshal(payload); err != nil {
 				fail(err)
 				return
 			}
-			a, err := backend.Decide(req.Node, req.Now, req.Obs)
+			tInfer := time.Now()
+			a, err := backend.Decide(reqDecide.Node, reqDecide.Now, reqDecide.Obs)
 			if err != nil {
 				fail(err)
 				return
 			}
-			respType, resp = MsgAction, (&Action{Action: a}).Marshal()
+			tEnc := time.Now() // pre-encode; ServerNS ends here
+			resp := Action{
+				Action:   a,
+				ServerNS: uint64(tEnc.Sub(tRead).Nanoseconds()),
+				InferNS:  uint64(tEnc.Sub(tInfer).Nanoseconds()),
+			}
+			wbuf = resp.AppendTo(frameStart(wbuf))
+			finishFrame(wbuf, MsgAction)
+			conn.SetWriteDeadline(time.Now().Add(s.Config.IdleTimeout))
+			if _, err := conn.Write(wbuf); err != nil {
+				s.logf("agentnet: session %v: write: %v", remote, err)
+				return
+			}
+			if observe != nil {
+				observe(1, int64(resp.ServerNS), int64(resp.InferNS), time.Since(tEnc).Nanoseconds())
+			}
 		case MsgDecideBatch:
 			if ack.Caps&CapBatch == 0 {
 				fail(errors.New("DecideBatch without negotiated CapBatch"))
 				return
 			}
-			var req DecideBatch
-			if err := req.Unmarshal(payload); err != nil {
+			if err := reqBatch.Unmarshal(payload); err != nil {
 				fail(err)
 				return
 			}
 			k := 0
-			if req.Width > 0 {
-				k = len(req.Rows) / int(req.Width)
+			if reqBatch.Width > 0 {
+				k = len(reqBatch.Rows) / int(reqBatch.Width)
 			}
 			if cap(actions) < k {
 				actions = make([]int32, k)
 			}
 			actions = actions[:k]
-			if err := backend.DecideBatch(req.Node, req.Now, int(req.Width), req.Rows, actions); err != nil {
+			tInfer := time.Now()
+			if err := backend.DecideBatch(reqBatch.Node, reqBatch.Now, int(reqBatch.Width), reqBatch.Rows, actions); err != nil {
 				fail(err)
 				return
 			}
-			respType, resp = MsgActions, (&Actions{Actions: actions}).Marshal()
+			tEnc := time.Now()
+			resp := Actions{
+				ServerNS: uint64(tEnc.Sub(tRead).Nanoseconds()),
+				InferNS:  uint64(tEnc.Sub(tInfer).Nanoseconds()),
+				Actions:  actions,
+			}
+			wbuf = resp.AppendTo(frameStart(wbuf))
+			finishFrame(wbuf, MsgActions)
+			conn.SetWriteDeadline(time.Now().Add(s.Config.IdleTimeout))
+			if _, err := conn.Write(wbuf); err != nil {
+				s.logf("agentnet: session %v: write: %v", remote, err)
+				return
+			}
+			if observe != nil {
+				observe(k, int64(resp.ServerNS), int64(resp.InferNS), time.Since(tEnc).Nanoseconds())
+			}
 		case MsgModelPush:
 			if ack.Caps&CapModelPush == 0 {
 				fail(errors.New("ModelPush without negotiated CapModelPush"))
@@ -268,21 +318,24 @@ func (s *Server) serveConn(conn net.Conn) {
 				ackMsg.OK = false
 				ackMsg.Err = err.Error()
 			}
-			respType, resp = MsgModelAck, ackMsg.Marshal()
+			conn.SetWriteDeadline(time.Now().Add(s.Config.IdleTimeout))
+			if err := WriteFrame(conn, MsgModelAck, ackMsg.Marshal()); err != nil {
+				s.logf("agentnet: session %v: write: %v", remote, err)
+				return
+			}
 		case MsgPing:
 			var req Ping
 			if err := req.Unmarshal(payload); err != nil {
 				fail(err)
 				return
 			}
-			respType, resp = MsgPong, (&Pong{Nonce: req.Nonce}).Marshal()
+			conn.SetWriteDeadline(time.Now().Add(s.Config.IdleTimeout))
+			if err := WriteFrame(conn, MsgPong, (&Pong{Nonce: req.Nonce}).Marshal()); err != nil {
+				s.logf("agentnet: session %v: write: %v", remote, err)
+				return
+			}
 		default:
 			fail(fmt.Errorf("unexpected message type %d", typ))
-			return
-		}
-		conn.SetWriteDeadline(time.Now().Add(s.Config.IdleTimeout))
-		if err := WriteFrame(conn, respType, resp); err != nil {
-			s.logf("agentnet: session %v: write: %v", remote, err)
 			return
 		}
 	}

@@ -1,0 +1,148 @@
+package agentnet
+
+import (
+	"testing"
+	"time"
+)
+
+// sum re-adds the five sub-spans; the tiling invariant is that this
+// equals TotalNS exactly, in int64, for every derivation path.
+func (t RPCTiming) sum() int64 {
+	return t.SendNS + t.NetNS + t.QueueNS + t.InferNS + t.ReturnNS
+}
+
+func TestDeriveTimingTilesExactly(t *testing.T) {
+	base := time.Unix(100, 0)
+	at := func(ns int64) time.Time { return base.Add(time.Duration(ns)) }
+	cases := []struct {
+		name              string
+		t1, t2, t3        int64 // offsets from t0
+		serverNS, inferNS int64
+		want              RPCTiming
+	}{
+		{
+			name: "honest server report",
+			t1:   100, t2: 1100, t3: 1200, serverNS: 600, inferNS: 400,
+			want: RPCTiming{TotalNS: 1200, SendNS: 100, NetNS: 400, QueueNS: 200, InferNS: 400, ReturnNS: 100},
+		},
+		{
+			name: "server claims more than the wire window (clock skew)",
+			t1:   100, t2: 1100, t3: 1200, serverNS: 5000, inferNS: 400,
+			want: RPCTiming{TotalNS: 1200, SendNS: 100, NetNS: 0, QueueNS: 600, InferNS: 400, ReturnNS: 100},
+		},
+		{
+			name: "inference claims more than the server span",
+			t1:   100, t2: 1100, t3: 1200, serverNS: 600, inferNS: 9000,
+			want: RPCTiming{TotalNS: 1200, SendNS: 100, NetNS: 400, QueueNS: 0, InferNS: 600, ReturnNS: 100},
+		},
+		{
+			name: "negative server report is ignored",
+			t1:   100, t2: 1100, t3: 1200, serverNS: -5, inferNS: -7,
+			want: RPCTiming{TotalNS: 1200, SendNS: 100, NetNS: 1000, QueueNS: 0, InferNS: 0, ReturnNS: 100},
+		},
+		{
+			name: "zero-duration round trip",
+			t1:   0, t2: 0, t3: 0, serverNS: 0, inferNS: 0,
+			want: RPCTiming{},
+		},
+	}
+	for _, tc := range cases {
+		got := deriveTiming(at(0), at(tc.t1), at(tc.t2), at(tc.t3), tc.serverNS, tc.inferNS)
+		if got != tc.want {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+		if got.sum() != got.TotalNS {
+			t.Errorf("%s: sub-spans sum to %d, total %d", tc.name, got.sum(), got.TotalNS)
+		}
+	}
+}
+
+func TestFailedTimingTiles(t *testing.T) {
+	got := failedTiming(1500 * time.Nanosecond)
+	if got.TotalNS != 1500 || got.SendNS != 1500 {
+		t.Errorf("failed timing = %+v, want total==send==1500", got)
+	}
+	if got.sum() != got.TotalNS {
+		t.Errorf("failed timing does not tile: %+v", got)
+	}
+}
+
+// TestDecideRecordsTiming exercises the live path: a real round trip
+// over loopback must leave a fully-tiled, server-informed timing behind.
+func TestDecideRecordsTiming(t *testing.T) {
+	backend := &scriptedBackend{id: "timed", grantCaps: CapBatch}
+	_, addr := startServer(t, backend)
+	c, err := Dial(addr, testHello(), testClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Decide(1, 0.5, 7, 1, []float64{1, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	tm := c.LastRPCTiming()
+	if tm.TotalNS <= 0 {
+		t.Fatalf("no timing recorded: %+v", tm)
+	}
+	if tm.sum() != tm.TotalNS {
+		t.Errorf("decide timing does not tile: %+v", tm)
+	}
+	for name, v := range map[string]int64{
+		"send": tm.SendNS, "net": tm.NetNS, "queue": tm.QueueNS,
+		"infer": tm.InferNS, "return": tm.ReturnNS,
+	} {
+		if v < 0 {
+			t.Errorf("negative %s span: %+v", name, tm)
+		}
+	}
+
+	if _, err := c.DecideBatch(1, 1.0, 2, 4, []float64{1, 0, 0, 0, 2, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	tm = c.LastRPCTiming()
+	if tm.TotalNS <= 0 || tm.sum() != tm.TotalNS {
+		t.Errorf("batch timing does not tile: %+v", tm)
+	}
+}
+
+// TestDecideSteadyStateZeroAlloc pins the acceptance criterion that the
+// remote decide path allocates nothing per round trip once warm. The
+// measurement is process-wide, so it covers the server's per-connection
+// loop on the other end of the loopback socket too.
+func TestDecideSteadyStateZeroAlloc(t *testing.T) {
+	backend := &scriptedBackend{id: "hot", grantCaps: CapBatch}
+	_, addr := startServer(t, backend)
+	c, err := Dial(addr, testHello(), testClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obs := []float64{3, 1, 4, 1}
+	rows := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	// Warm both paths so scratch buffers reach steady-state capacity.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Decide(2, float64(i), uint64(i), uint64(i), obs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.DecideBatch(2, float64(i), uint64(i), 4, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c.Decide(2, 1.5, 9, 9, obs); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("Decide allocates %.2f/op in steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c.DecideBatch(2, 1.5, 9, 4, rows); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("DecideBatch allocates %.2f/op in steady state, want 0", n)
+	}
+}

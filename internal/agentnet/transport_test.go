@@ -105,10 +105,10 @@ func TestClientServerRequestResponse(t *testing.T) {
 	}
 	backend.mu.Unlock()
 
-	if a, err := c.Decide(7, 1.5, []float64{9, 0, 0, 0}); err != nil || a != 7009 {
+	if a, err := c.Decide(7, 1.5, 0, 0, []float64{9, 0, 0, 0}); err != nil || a != 7009 {
 		t.Fatalf("decide: %d, %v", a, err)
 	}
-	as, err := c.DecideBatch(3, 2.0, 2, []float64{5, 0, 8, 0})
+	as, err := c.DecideBatch(3, 2.0, 0, 2, []float64{5, 0, 8, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestClientServerRequestResponse(t *testing.T) {
 		t.Fatal("rejected push reported success")
 	}
 	// A nacked push must not kill the session.
-	if a, err := c.Decide(1, 3, []float64{2}); err != nil || a != 1002 {
+	if a, err := c.Decide(1, 3, 0, 0, []float64{2}); err != nil || a != 1002 {
 		t.Fatalf("decide after nack: %d, %v", a, err)
 	}
 	if rtt, err := c.Ping(); err != nil || rtt <= 0 {
@@ -146,7 +146,7 @@ func TestServerEnforcesNegotiatedCaps(t *testing.T) {
 		t.Fatalf("granted caps %#x, want none", c.Ack().Caps)
 	}
 	// Using an ungranted capability is a session-fatal protocol error.
-	if _, err := c.DecideBatch(0, 0, 1, []float64{1}); err == nil {
+	if _, err := c.DecideBatch(0, 0, 0, 1, []float64{1}); err == nil {
 		t.Fatal("DecideBatch without CapBatch succeeded")
 	}
 }
@@ -160,7 +160,7 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Decide(0, 0, []float64{1}); err != nil {
+	if _, err := c.Decide(0, 0, 0, 0, []float64{1}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -187,7 +187,7 @@ func TestClientReconnectsAfterServerRestart(t *testing.T) {
 
 	// The request after the outage must transparently reconnect,
 	// re-handshake, and succeed.
-	a, err := c.Decide(4, 9, []float64{2})
+	a, err := c.Decide(4, 9, 0, 0, []float64{2})
 	if err != nil {
 		t.Fatalf("post-restart decide: %v", err)
 	}
@@ -207,7 +207,7 @@ func TestSeverFailsFastAndReviveRecovers(t *testing.T) {
 
 	c.Sever()
 	start := time.Now()
-	if _, err := c.Decide(0, 0, []float64{1}); err == nil {
+	if _, err := c.Decide(0, 0, 0, 0, []float64{1}); err == nil {
 		t.Fatal("severed client served a decide")
 	}
 	// Severed means fail-fast: no reconnect backoff loop.
@@ -215,7 +215,7 @@ func TestSeverFailsFastAndReviveRecovers(t *testing.T) {
 		t.Fatalf("severed decide took %v, want immediate failure", d)
 	}
 	c.Revive()
-	if a, err := c.Decide(2, 0, []float64{3}); err != nil || a != 2003 {
+	if a, err := c.Decide(2, 0, 0, 0, []float64{3}); err != nil || a != 2003 {
 		t.Fatalf("revived decide: %d, %v", a, err)
 	}
 }
@@ -257,7 +257,7 @@ func TestPoolRoutingAndStats(t *testing.T) {
 	// Node v must land on agent v mod agents, and the agent must have
 	// been told it owns v at handshake.
 	for v := 0; v < numNodes; v++ {
-		a, err := pool.Decide(v, 0, []float64{1})
+		a, err := pool.Decide(v, 0, 0, 0, []float64{1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,14 +294,14 @@ func TestPoolRoutingAndStats(t *testing.T) {
 
 	// Kill agent 1: its nodes fail, other nodes keep deciding.
 	pool.Sever(1)
-	if _, err := pool.Decide(1, 0, []float64{1}); err == nil {
+	if _, err := pool.Decide(1, 0, 0, 0, []float64{1}); err == nil {
 		t.Fatal("decide on severed agent succeeded")
 	}
-	if _, err := pool.Decide(2, 0, []float64{1}); err != nil {
+	if _, err := pool.Decide(2, 0, 0, 0, []float64{1}); err != nil {
 		t.Fatalf("healthy agent affected by sever: %v", err)
 	}
 	pool.Revive(1)
-	if _, err := pool.Decide(1, 0, []float64{1}); err != nil {
+	if _, err := pool.Decide(1, 0, 0, 0, []float64{1}); err != nil {
 		t.Fatalf("revived agent: %v", err)
 	}
 

@@ -476,6 +476,12 @@ type AgentKillActuator struct {
 	next   int
 	kill   func(slot int)
 	revive func(slot int)
+
+	// OnEvent, when set before the first Advance, observes every fired
+	// event with its scheduled simulation time (after kill/revive ran).
+	// Drivers feed it into telemetry so fault timelines carry sim time —
+	// the fleet's own event ring only knows wall clocks.
+	OnEvent func(simTime float64, slot int, revive bool)
 }
 
 type agentKillEvent struct {
@@ -509,6 +515,9 @@ func (a *AgentKillActuator) Advance(now float64) {
 			a.revive(ev.slot)
 		} else {
 			a.kill(ev.slot)
+		}
+		if a.OnEvent != nil {
+			a.OnEvent(ev.time, ev.slot, ev.revive)
 		}
 	}
 }

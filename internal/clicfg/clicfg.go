@@ -13,6 +13,7 @@ package clicfg
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -177,7 +178,11 @@ func (f *Flags) Apply() (*Runtime, error) {
 		// collector installed, Tracer() is non-nil even without -flow-trace,
 		// so simulations emit trace events for it to fold into the registry.
 		rt.collector = flowtrace.NewCollector(rt.reg)
-		fmt.Fprintf(os.Stderr, "observability listening on http://%s/ (/metrics /snapshot /run)\n", rt.obs.Addr())
+		// And ring-buffered metric history, so transient behavior (chaos
+		// recovery dips, reconnect bursts) shows up as curves on
+		// /timeseries instead of being averaged away by the final scrape.
+		rt.obs.EnableHistory(0, 0)
+		fmt.Fprintf(os.Stderr, "observability listening on http://%s/ (/metrics /snapshot /run /timeseries)\n", rt.obs.Addr())
 	}
 	return rt, nil
 }
@@ -311,6 +316,16 @@ func (rt *Runtime) ObsAddr() string {
 		return ""
 	}
 	return rt.obs.Addr()
+}
+
+// MountObs attaches an additional handler subtree to the observability
+// endpoint's mux (e.g. the coordinator's /fleet health view, or the
+// experiment controller's /runs API); no-op when the endpoint is off.
+// pattern uses net/http ServeMux syntax.
+func (rt *Runtime) MountObs(pattern string, h http.Handler) {
+	if rt.obs != nil {
+		rt.obs.Mount(pattern, h)
+	}
 }
 
 // SetObsInfo publishes one free-form key/value pair on the /run endpoint

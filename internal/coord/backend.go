@@ -23,6 +23,11 @@ type AgentHost struct {
 	persistPath string
 	logf        func(format string, args ...any)
 
+	// OnDeploy, when set before serving, observes every successful model
+	// swap with the new checkpoint hash (daemon telemetry counts deploys
+	// and exposes the live model version). Called outside the host lock.
+	OnDeploy func(hash string)
+
 	mu    sync.Mutex
 	model *nn.MLP
 	hash  string
@@ -70,6 +75,9 @@ func (h *AgentHost) swapModel(hash string, payload []byte) (*nn.MLP, error) {
 	h.hash = hash
 	h.mu.Unlock()
 	h.log("agentd: deployed model %.12s...", hash)
+	if h.OnDeploy != nil {
+		h.OnDeploy(hash)
+	}
 	return model, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"distcoord/internal/graph"
 	"distcoord/internal/nn"
 	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
 )
 
 // RemoteOptions configures a Remote coordinator.
@@ -25,6 +26,11 @@ type RemoteOptions struct {
 	Client agentnet.ClientConfig
 	// ObserveRTT receives each decision round trip in microseconds.
 	ObserveRTT func(us float64)
+	// Metrics, when non-nil, receives the fleet telemetry series
+	// (agent.<slot>.* gauges, counters and RTT histograms) so the agent
+	// health shows up on the run's observability endpoints alongside the
+	// simulator metrics. Nil keeps fleet telemetry private to the pool.
+	Metrics *telemetry.Registry
 	// Logf receives connection lifecycle lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +61,15 @@ type Remote struct {
 	obs     []float64
 	rows    []float64
 	scratch []int32
+
+	// span counts decision round trips, giving every RPC a unique span ID
+	// carried in the wire frame (trace correlation across processes).
+	span uint64
+	// lastTiming holds the sub-span decomposition of the most recent round
+	// trip; hasTiming guards the first-decision case. Single simulation
+	// goroutine — no locking.
+	lastTiming simnet.DecideTiming
+	hasTiming  bool
 }
 
 // NewRemote dials every endpoint, verifies or pushes the policy, and
@@ -76,6 +91,7 @@ func NewRemote(adapter *Adapter, endpoints []string, seed int64, opts RemoteOpti
 	pool, err := agentnet.DialPool(endpoints, hello, adapter.Graph().NumNodes(), agentnet.PoolConfig{
 		Client:     opts.Client,
 		ObserveRTT: opts.ObserveRTT,
+		Metrics:    opts.Metrics,
 		Logf:       opts.Logf,
 	})
 	if err != nil {
@@ -135,11 +151,35 @@ func (r *Remote) Decide(st *simnet.State, f *simnet.Flow, v graph.NodeID, now fl
 		r.OnTime(now)
 	}
 	r.obs = r.adapter.ObserveInto(r.obs, st, f, v, now)
-	a, err := r.pool.Decide(int(v), now, r.obs)
+	r.span++
+	a, err := r.pool.Decide(int(v), now, uint64(f.ID), r.span, r.obs)
+	r.recordTiming(int(v))
 	if err != nil {
 		return -1
 	}
 	return int(a)
+}
+
+// recordTiming converts the pool's last round-trip decomposition for node
+// into the simulator-side DecideTiming consumed via the DecisionTimer
+// capability. Failed round trips still tile (total == send), so chaos
+// runs attribute reconnect stalls to the client-send sub-span.
+func (r *Remote) recordTiming(node int) {
+	t := r.pool.LastRPCTiming(node)
+	r.lastTiming = simnet.DecideTiming{
+		TotalNS:  t.TotalNS,
+		SendNS:   t.SendNS,
+		NetNS:    t.NetNS,
+		QueueNS:  t.QueueNS,
+		InferNS:  t.InferNS,
+		ReturnNS: t.ReturnNS,
+	}
+	r.hasTiming = t.TotalNS != 0
+}
+
+// LastDecideTiming implements simnet.DecisionTimer.
+func (r *Remote) LastDecideTiming() (simnet.DecideTiming, bool) {
+	return r.lastTiming, r.hasTiming
 }
 
 // DecideBatch implements simnet.BatchDecider by shipping the whole
@@ -154,7 +194,9 @@ func (r *Remote) DecideBatch(st *simnet.State, flows []*simnet.Flow, v graph.Nod
 		r.OnTime(now)
 	}
 	r.rows = observeRows(r.adapter, r.rows, st, flows, v, now)
-	got, err := r.pool.DecideBatch(int(v), now, r.adapter.ObsSize(), r.rows)
+	r.span++
+	got, err := r.pool.DecideBatch(int(v), now, r.span, r.adapter.ObsSize(), r.rows)
+	r.recordTiming(int(v))
 	if err != nil || len(got) != k {
 		for i := range actions[:k] {
 			actions[i] = -1
@@ -171,7 +213,7 @@ func (r *Remote) DecideBatch(st *simnet.State, flows []*simnet.Flow, v graph.Nod
 // only advertised when every agent in the fleet granted CapBatch — a
 // cohort can land on any node, hence any agent.
 func (r *Remote) Capabilities() simnet.Caps {
-	caps := simnet.Caps{}
+	caps := simnet.Caps{Timing: r}
 	if r.pool.Caps()&agentnet.CapBatch != 0 {
 		caps.Batch = r
 	}

@@ -1,0 +1,204 @@
+package ctlserv
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+
+	"distcoord/internal/store"
+)
+
+// This file implements GET /runs/{a}/diff/{b}: a content-addressed
+// comparison of two runs' artifacts. Because the store dedups by hash,
+// "identical" is a string compare, not a byte walk; only differing CSV
+// artifacts (the figure matrices) are parsed further, into a keyed
+// row-level diff that tells the caller *which* grid rows moved between
+// two experiment runs instead of just "bytes differ".
+
+// diffStatus values for one artifact across two runs.
+const (
+	diffIdentical = "identical"
+	diffDiffers   = "differs"
+	diffOnlyA     = "only_a"
+	diffOnlyB     = "only_b"
+)
+
+// csvDiff is the row-level comparison of one CSV artifact present in
+// both runs, keyed by each row's leading identity columns.
+type csvDiff struct {
+	HeaderChanged bool `json:"header_changed"`
+	RowsA         int  `json:"rows_a"`
+	RowsB         int  `json:"rows_b"`
+	RowsOnlyA     int  `json:"rows_only_a"`
+	RowsOnlyB     int  `json:"rows_only_b"`
+	RowsChanged   int  `json:"rows_changed"`
+	RowsCommon    int  `json:"rows_common"` // identical rows
+	// ChangedKeys lists the identity keys of changed rows plus keys
+	// present on one side only (capped at 20), so a client can name the
+	// moved grid rows without fetching both artifacts.
+	ChangedKeys []string `json:"changed_keys,omitempty"`
+}
+
+// artifactDiff is one artifact's comparison in the diff response.
+type artifactDiff struct {
+	Status string   `json:"status"`
+	HashA  string   `json:"hash_a,omitempty"`
+	HashB  string   `json:"hash_b,omitempty"`
+	BytesA int      `json:"bytes_a,omitempty"`
+	BytesB int      `json:"bytes_b,omitempty"`
+	CSV    *csvDiff `json:"csv,omitempty"`
+}
+
+// handleDiff compares two stored runs artifact by artifact. Both runs
+// must exist; any status is accepted (a still-running run simply has
+// fewer artifacts). The top-level "identical" is true only when the two
+// runs hold the same artifact names with the same content hashes.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	idA, idB := r.PathValue("a"), r.PathValue("b")
+	ma, err := s.st.GetManifest(idA)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	mb, err := s.st.GetManifest(idB)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	names := make(map[string]bool, len(ma.Artifacts)+len(mb.Artifacts))
+	for name := range ma.Artifacts {
+		names[name] = true
+	}
+	for name := range mb.Artifacts {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	out := make(map[string]artifactDiff, len(sorted))
+	identical := true
+	for _, name := range sorted {
+		aa, inA := ma.Artifacts[name]
+		ab, inB := mb.Artifacts[name]
+		d := artifactDiff{}
+		switch {
+		case inA && !inB:
+			d.Status, d.HashA, d.BytesA = diffOnlyA, aa.Hash, aa.Bytes
+		case !inA && inB:
+			d.Status, d.HashB, d.BytesB = diffOnlyB, ab.Hash, ab.Bytes
+		case aa.Hash == ab.Hash:
+			d.Status, d.HashA, d.HashB, d.BytesA, d.BytesB = diffIdentical, aa.Hash, ab.Hash, aa.Bytes, ab.Bytes
+		default:
+			d.Status, d.HashA, d.HashB, d.BytesA, d.BytesB = diffDiffers, aa.Hash, ab.Hash, aa.Bytes, ab.Bytes
+			if strings.HasSuffix(name, ".csv") {
+				if cd, err := diffCSV(s.st, ma, mb, name); err == nil {
+					d.CSV = cd
+				}
+			}
+		}
+		if d.Status != diffIdentical {
+			identical = false
+		}
+		out[name] = d
+	}
+
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"a":         idA,
+		"b":         idB,
+		"identical": identical,
+		"artifacts": out,
+	})
+}
+
+// changedKeysCap bounds the named keys in a csvDiff.
+const changedKeysCap = 20
+
+// diffCSV loads one CSV artifact from both runs and compares rows keyed
+// by their identity columns. The first line is the header; duplicate
+// keys keep the last row (figure matrices have unique keys, so this is
+// theoretical).
+func diffCSV(st *store.Store, ma, mb *store.Manifest, name string) (*csvDiff, error) {
+	da, err := st.GetArtifact(ma, name)
+	if err != nil {
+		return nil, err
+	}
+	db, err := st.GetArtifact(mb, name)
+	if err != nil {
+		return nil, err
+	}
+	headA, rowsA := csvRows(string(da))
+	headB, rowsB := csvRows(string(db))
+	d := &csvDiff{HeaderChanged: headA != headB, RowsA: len(rowsA), RowsB: len(rowsB)}
+
+	keys := make(map[string]bool, len(rowsA)+len(rowsB))
+	for k := range rowsA {
+		keys[k] = true
+	}
+	for k := range rowsB {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var changed []string
+	for _, k := range sorted {
+		ra, inA := rowsA[k]
+		rb, inB := rowsB[k]
+		switch {
+		case inA && !inB:
+			d.RowsOnlyA++
+			changed = append(changed, k)
+		case !inA && inB:
+			d.RowsOnlyB++
+			changed = append(changed, k)
+		case ra != rb:
+			d.RowsChanged++
+			changed = append(changed, k)
+		default:
+			d.RowsCommon++
+		}
+	}
+	if len(changed) > changedKeysCap {
+		changed = changed[:changedKeysCap]
+	}
+	d.ChangedKeys = changed
+	return d, nil
+}
+
+// csvRows splits a CSV body into its header line and an identity-key →
+// full-row map. No quoting support — the rendered matrices only quote
+// when labels contain commas, and such rows just get longer keys.
+func csvRows(body string) (header string, rows map[string]string) {
+	rows = make(map[string]string)
+	for i, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if i == 0 {
+			header = line
+			continue
+		}
+		rows[csvKey(line)] = line
+	}
+	return header, rows
+}
+
+// csvKey extracts a row's identity: its first three fields. The matrix
+// CSV identifies a measurement by (figure, point, algo) and then lists
+// aggregates, so keying on the leading triple matches "same cell,
+// different numbers" as a changed row rather than an add+remove pair.
+func csvKey(line string) string {
+	parts := strings.SplitN(line, ",", 4)
+	if len(parts) < 4 {
+		return line
+	}
+	return strings.Join(parts[:3], ",")
+}

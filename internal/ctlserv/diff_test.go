@@ -1,0 +1,128 @@
+package ctlserv
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"distcoord/internal/clicfg"
+	"distcoord/internal/store"
+)
+
+type diffResponse struct {
+	A         string                  `json:"a"`
+	B         string                  `json:"b"`
+	Identical bool                    `json:"identical"`
+	Artifacts map[string]artifactDiff `json:"artifacts"`
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	submit := func(spec clicfg.RunSpec) (string, *store.Manifest) {
+		t.Helper()
+		code, body := postJSON(t, ts.URL+"/runs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit -> %d: %s", code, body)
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &acc); err != nil {
+			t.Fatal(err)
+		}
+		m := waitTerminal(t, ts, acc.ID)
+		if m.Status != store.StatusDone {
+			t.Fatalf("run %s status = %s (%s)", acc.ID, m.Status, m.Error)
+		}
+		return acc.ID, m
+	}
+
+	// Same name so the matrix rows share their identity key; the seed
+	// count differs, so the single (figure, base, SP) cell changes.
+	idA, _ := submit(clicfg.RunSpec{Name: "diffme", Algo: "sp", Seeds: 1, Horizon: 150})
+	idB, _ := submit(clicfg.RunSpec{Name: "diffme", Algo: "sp", Seeds: 2, Horizon: 250})
+
+	// A run diffed against itself is identical everywhere.
+	var self diffResponse
+	if code := getJSON(t, ts.URL+"/runs/"+idA+"/diff/"+idA, &self); code != 200 {
+		t.Fatalf("self diff -> %d", code)
+	}
+	if !self.Identical {
+		t.Errorf("self diff not identical: %+v", self)
+	}
+	for name, d := range self.Artifacts {
+		if d.Status != diffIdentical || d.HashA != d.HashB {
+			t.Errorf("self diff artifact %s = %+v", name, d)
+		}
+	}
+
+	// Two different runs differ, and the matrix CSV explains which row.
+	var resp diffResponse
+	if code := getJSON(t, ts.URL+"/runs/"+idA+"/diff/"+idB, &resp); code != 200 {
+		t.Fatalf("diff -> %d", code)
+	}
+	if resp.A != idA || resp.B != idB {
+		t.Errorf("diff ids = %s/%s, want %s/%s", resp.A, resp.B, idA, idB)
+	}
+	if resp.Identical {
+		t.Errorf("diff of distinct runs reported identical: %+v", resp)
+	}
+	for _, name := range []string{ArtifactGridLog, ArtifactMatrixCSV} {
+		d, ok := resp.Artifacts[name]
+		if !ok {
+			t.Fatalf("diff missing artifact %s (have %v)", name, resp.Artifacts)
+		}
+		if d.Status != diffDiffers || d.HashA == d.HashB || d.HashA == "" || d.HashB == "" {
+			t.Errorf("artifact %s = %+v, want differing hashes", name, d)
+		}
+	}
+
+	cd := resp.Artifacts[ArtifactMatrixCSV].CSV
+	if cd == nil {
+		t.Fatalf("matrix.csv diff has no CSV breakdown: %+v", resp.Artifacts[ArtifactMatrixCSV])
+	}
+	if cd.HeaderChanged {
+		t.Errorf("matrix header reported changed: %+v", cd)
+	}
+	if cd.RowsA != 1 || cd.RowsB != 1 || cd.RowsChanged != 1 || cd.RowsOnlyA != 0 || cd.RowsOnlyB != 0 || cd.RowsCommon != 0 {
+		t.Errorf("matrix row counts = %+v, want single changed row", cd)
+	}
+	if len(cd.ChangedKeys) != 1 || cd.ChangedKeys[0] != "diffme,base,SP" {
+		t.Errorf("changed keys = %v, want [diffme,base,SP]", cd.ChangedKeys)
+	}
+
+	// Non-CSV differing artifacts carry no row breakdown.
+	if d := resp.Artifacts[ArtifactGridLog]; d.CSV != nil {
+		t.Errorf("grid log diff has a CSV breakdown: %+v", d)
+	}
+
+	// Unknown run on either side is a 404.
+	if code := getJSON(t, ts.URL+"/runs/"+idA+"/diff/r-nope", nil); code != http.StatusNotFound {
+		t.Errorf("diff vs unknown -> %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/runs/r-nope/diff/"+idA, nil); code != http.StatusNotFound {
+		t.Errorf("diff of unknown -> %d, want 404", code)
+	}
+}
+
+func TestCSVRowKeying(t *testing.T) {
+	body := "figure,point,algo,v\nfig,base,SP,1\nfig,base,GCASP,2\nshort,line\n"
+	header, rows := csvRows(body)
+	if header != "figure,point,algo,v" {
+		t.Errorf("header = %q", header)
+	}
+	want := map[string]string{
+		"fig,base,SP":    "fig,base,SP,1",
+		"fig,base,GCASP": "fig,base,GCASP,2",
+		"short,line":     "short,line",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v, want %v", rows, want)
+	}
+	for k, v := range want {
+		if rows[k] != v {
+			t.Errorf("rows[%q] = %q, want %q", k, rows[k], v)
+		}
+	}
+}

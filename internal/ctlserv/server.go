@@ -196,6 +196,7 @@ func New(st *store.Store, opts Options) *Server {
 	s.mux.HandleFunc("POST /runs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("POST /runs/{id}/recalc", s.handleRecalc)
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /runs/{a}/diff/{b}", s.handleDiff)
 	s.mux.HandleFunc("GET /runs/{id}/artifacts/{name}", s.handleArtifactGet)
 	s.mux.HandleFunc("PUT /runs/{id}/artifacts/{name}", s.handleArtifactPut)
 	s.mux.HandleFunc("GET /blobs/{hash}", s.handleBlob)

@@ -1,0 +1,318 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"distcoord/internal/agentnet"
+	"distcoord/internal/chaos"
+	"distcoord/internal/coord"
+	"distcoord/internal/flowtrace"
+	"distcoord/internal/nn"
+	"distcoord/internal/simnet"
+	"distcoord/internal/telemetry"
+)
+
+// recordingTracer accumulates raw trace events for post-run assembly.
+type recordingTracer struct {
+	events []simnet.TraceEvent
+}
+
+func (r *recordingTracer) Trace(e simnet.TraceEvent) { r.events = append(r.events, e) }
+
+// TestTracingEquivalenceInProcess pins that attaching a tracer to an
+// in-process run changes nothing about the simulation: metrics must be
+// byte-identical with tracing on and off.
+func TestTracingEquivalenceInProcess(t *testing.T) {
+	sc := Base()
+	sc.Horizon = 1200
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := testActorBytes(t, inst, 42)
+
+	run := func(tr simnet.FlowTracer) string {
+		inst, err := sc.Instantiate(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+		actor, err := nn.Load(bytes.NewReader(checkpoint))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := coord.NewDistributed(adapter, actor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Reseed(0)
+		m, err := inst.RunWith(d, RunOptions{Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metricsFingerprint(m)
+	}
+
+	rec := &recordingTracer{}
+	off, on := run(nil), run(rec)
+	if off != on {
+		t.Fatalf("tracing changed the in-process run:\noff:\n%s\non:\n%s", off, on)
+	}
+	if len(rec.events) == 0 {
+		t.Fatal("tracer saw no events")
+	}
+}
+
+// TestTracingEquivalenceRemote is the same oracle over real sockets: the
+// traced remote run must match the untraced remote run AND the untraced
+// in-process run. The decision timer capability is only consulted when a
+// tracer is attached, and this pins that consulting it has no
+// behavioral side effects.
+func TestTracingEquivalenceRemote(t *testing.T) {
+	sc := Base()
+	sc.Horizon = 1200
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := testActorBytes(t, inst, 42)
+
+	run := func(tr simnet.FlowTracer) string {
+		inst, err := sc.Instantiate(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+		endpoints := startAgents(t, 3, checkpoint)
+		r, err := coord.NewRemote(adapter, endpoints, 0, coord.RemoteOptions{
+			Stochastic: true,
+			Client:     testClientConfig(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		m, err := inst.RunWith(r, RunOptions{Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metricsFingerprint(m)
+	}
+
+	rec := &recordingTracer{}
+	off, on := run(nil), run(rec)
+	if off != on {
+		t.Fatalf("tracing changed the remote run:\noff:\n%s\non:\n%s", off, on)
+	}
+
+	// Traced decisions must carry server-informed RPC decompositions.
+	withRPC := 0
+	for _, e := range rec.events {
+		if e.Kind == simnet.TraceDecision && e.RPC.TotalNS != 0 {
+			withRPC++
+			if e.RPC.Sum() != e.RPC.TotalNS {
+				t.Fatalf("decision timing does not tile: %+v", e.RPC)
+			}
+		}
+	}
+	if withRPC == 0 {
+		t.Fatal("no traced decision carried an RPC decomposition")
+	}
+}
+
+// TestRemoteRPCTilingUnderFaults is the flowtrace acceptance criterion:
+// over a 3-agent run with an agent-kill fault window, every completed
+// flow's decision segment must be exactly tiled by its five sub-spans —
+// including decisions that failed into drops during the kill window.
+func TestRemoteRPCTilingUnderFaults(t *testing.T) {
+	sp, err := chaos.ParseSpec("agent-kill:start=400,duration=300,count=1,agent=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Base()
+	sc.Horizon = 1500
+	sc.Faults = sp
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := testActorBytes(t, inst, 42)
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+	endpoints := startAgents(t, 3, checkpoint)
+	r, err := coord.NewRemote(adapter, endpoints, 0, coord.RemoteOptions{
+		Stochastic: true,
+		Client:     testClientConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	act := chaos.NewAgentKillActuator(inst.Chaos.AgentKills, r.Pool().NumAgents(),
+		r.Pool().Sever, r.Pool().Revive)
+	r.OnTime = act.Advance
+
+	rec := &recordingTracer{}
+	if _, err := inst.RunWith(r, RunOptions{Tracer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if !act.Done() {
+		t.Fatal("agent-kill schedule did not fire")
+	}
+	spans, errs := flowtrace.AssembleLoose(rec.events)
+	if len(spans) == 0 {
+		t.Fatalf("no spans assembled (%d assembly errors)", len(errs))
+	}
+	checked, err := flowtrace.VerifyRPCTiling(spans)
+	if err != nil {
+		t.Fatalf("tiling violated: %v", err)
+	}
+	if checked == 0 {
+		t.Fatal("tiling verifier checked no decisions")
+	}
+	t.Logf("verified exact tiling of %d decisions across %d flows", checked, len(spans))
+}
+
+// TestFleetAndAgentScrapesDuringChaos is the race-tier observability
+// test: while a live 3-agent run takes an agent kill, concurrent
+// scrapers hammer the agent-side /metrics exposition and the
+// coordinator's /fleet and /metrics endpoints. Run under -race this
+// pins that fleet bookkeeping, agentd-style decision telemetry, and
+// Prometheus exposition never race the decide hot path.
+func TestFleetAndAgentScrapesDuringChaos(t *testing.T) {
+	sp, err := chaos.ParseSpec("agent-kill:start=300,duration=300,count=1,agent=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Base()
+	sc.Horizon = 1200
+	sc.Faults = sp
+	inst, err := sc.Instantiate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpoint := testActorBytes(t, inst, 42)
+	adapter := coord.NewAdapter(inst.Graph, inst.APSP)
+
+	// One agent gets the full cmd/agentd treatment: its own registry fed
+	// by the server's decision observer, exposed via an ObsServer handler.
+	agentReg := telemetry.NewRegistry()
+	host, err := coord.NewAgentHost("scraped-agent", checkpoint, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := agentnet.NewServer(host.NewBackend, agentnet.ServerConfig{
+		IdleTimeout: time.Minute,
+		ObserveDecide: func(batch int, serverNS, inferNS, encodeNS int64) {
+			agentReg.Counter("agentd.requests").Inc()
+			agentReg.Counter("agentd.decisions").Add(int64(batch))
+			agentReg.Histogram("agentd.server_us").Observe(float64(serverNS) / 1e3)
+		},
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	endpoints := append([]string{addr.String()}, startAgents(t, 2, checkpoint)...)
+
+	coordReg := telemetry.NewRegistry()
+	r, err := coord.NewRemote(adapter, endpoints, 0, coord.RemoteOptions{
+		Stochastic: true,
+		Client:     testClientConfig(),
+		Metrics:    coordReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	act := chaos.NewAgentKillActuator(inst.Chaos.AgentKills, r.Pool().NumAgents(),
+		r.Pool().Sever, r.Pool().Revive)
+	r.OnTime = act.Advance
+
+	agentObs := telemetry.NewObsServer("agentd-test", agentReg)
+	agentSrv := httptest.NewServer(agentObs.Handler())
+	defer agentSrv.Close()
+	coordObs := telemetry.NewObsServer("coordsim-test", coordReg)
+	coordObs.Mount("/fleet", r.Pool().FleetHandler())
+	coordSrv := httptest.NewServer(coordObs.Handler())
+	defer coordSrv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	scrape := func(url string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Errorf("scrape %s: %v", url, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("scrape %s: status %d", url, resp.StatusCode)
+				return
+			}
+		}
+	}
+	for _, url := range []string{
+		agentSrv.URL + "/metrics",
+		coordSrv.URL + "/fleet",
+		coordSrv.URL + "/metrics",
+	} {
+		wg.Add(1)
+		go scrape(url)
+	}
+
+	if _, err := inst.RunWith(r, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The agent-side telemetry saw this agent's share of the decisions.
+	if got := agentReg.Counter("agentd.decisions").Value(); got == 0 {
+		t.Error("agentd.decisions never incremented")
+	}
+	// The fleet snapshot records the kill and the recovery.
+	var snap agentnet.FleetSnapshot
+	resp, err := http.Get(coordSrv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.NumAgents != 3 || len(snap.Agents) != 3 {
+		t.Fatalf("fleet snapshot has %d agents, want 3", snap.NumAgents)
+	}
+	kinds := map[string]int{}
+	for _, ev := range snap.Agents[1].Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["sever"] == 0 || kinds["revive"] == 0 {
+		t.Errorf("agent 1 timeline missing kill/recovery events: %v", snap.Agents[1].Events)
+	}
+	if !snap.Agents[1].Up {
+		t.Error("agent 1 not back up after the fault window")
+	}
+	if snap.Agents[0].Decides == 0 {
+		t.Error("fleet snapshot shows no decisions for agent 0")
+	}
+	if snap.Failed == 0 {
+		t.Error("fleet snapshot shows no failed decisions despite the kill window")
+	}
+}

@@ -28,6 +28,77 @@ type NodeStat struct {
 // Busy returns the total flow time attributed to the node.
 func (n NodeStat) Busy() float64 { return n.Wait + n.Process + n.Transit }
 
+// AgentStat is NodeStat rolled up to the agent serving the nodes: with
+// N agents, node v is served by agent v mod N (the pool's routing rule),
+// so the table shows how decision load and flow time distribute across
+// the fleet rather than the topology.
+type AgentStat struct {
+	Agent     int     `json:"agent"`
+	Nodes     []int   `json:"nodes"`
+	Decisions int     `json:"decisions"`
+	Processes int     `json:"processes"`
+	Forwards  int     `json:"forwards"`
+	Keeps     int     `json:"keeps"`
+	Wait      float64 `json:"wait"`
+	Process   float64 `json:"process"`
+	Transit   float64 `json:"transit"`
+	Drops     int     `json:"drops"`
+}
+
+// Busy returns the total flow time attributed to the agent's nodes.
+func (a AgentStat) Busy() float64 { return a.Wait + a.Process + a.Transit }
+
+// GroupByAgent rolls node attribution up to numAgents agent slots
+// (node mod numAgents, the pool routing rule). Sorted by Busy()
+// descending like the node table; every slot appears even when idle, so
+// a dead agent's zero row is visible.
+func GroupByAgent(nodes []NodeStat, numAgents int) []AgentStat {
+	if numAgents <= 0 {
+		return nil
+	}
+	agents := make([]AgentStat, numAgents)
+	for i := range agents {
+		agents[i].Agent = i
+	}
+	for _, st := range nodes {
+		a := &agents[int(st.Node)%numAgents]
+		a.Nodes = append(a.Nodes, int(st.Node))
+		a.Decisions += st.Decisions
+		a.Processes += st.Processes
+		a.Forwards += st.Forwards
+		a.Keeps += st.Keeps
+		a.Wait += st.Wait
+		a.Process += st.Process
+		a.Transit += st.Transit
+		a.Drops += st.Drops
+	}
+	for i := range agents {
+		sort.Ints(agents[i].Nodes)
+	}
+	sort.Slice(agents, func(i, j int) bool {
+		if agents[i].Busy() != agents[j].Busy() {
+			return agents[i].Busy() > agents[j].Busy()
+		}
+		return agents[i].Agent < agents[j].Agent
+	})
+	return agents
+}
+
+// RPCStat aggregates the wall-time decomposition of every remote
+// decision round trip in the spans (decision segments with a nonzero
+// RPC block). Sub-span columns are totals in microseconds; by the
+// exact-tiling invariant Send+Net+Queue+Infer+Return == Total.
+type RPCStat struct {
+	Decisions int     `json:"decisions"`
+	TotalUS   float64 `json:"total_us"`
+	MeanUS    float64 `json:"mean_us"`
+	SendUS    float64 `json:"send_us"`
+	NetUS     float64 `json:"net_us"`
+	QueueUS   float64 `json:"queue_us"`
+	InferUS   float64 `json:"infer_us"`
+	ReturnUS  float64 `json:"return_us"`
+}
+
 // CauseStat aggregates the dropped flows sharing one drop cause.
 type CauseStat struct {
 	Cause     simnet.DropCause `json:"-"`
@@ -49,9 +120,10 @@ type Report struct {
 	DroppedTime Decomposition `json:"dropped_time"`
 	MeanDelay   float64       `json:"mean_delay"` // completed flows
 
-	Nodes   []NodeStat  `json:"nodes"`  // sorted by Busy() descending
-	Causes  []CauseStat `json:"causes"` // sorted by Count descending
-	Slowest []*FlowSpan `json:"-"`      // top-N completed flows by delay
+	Nodes   []NodeStat  `json:"nodes"`         // sorted by Busy() descending
+	Causes  []CauseStat `json:"causes"`        // sorted by Count descending
+	RPC     *RPCStat    `json:"rpc,omitempty"` // remote round trips; nil for in-process runs
+	Slowest []*FlowSpan `json:"-"`             // top-N completed flows by delay
 }
 
 // Analyze builds the report over assembled spans. topN bounds the
@@ -96,6 +168,18 @@ func Analyze(spans []*FlowSpan, topN int) *Report {
 				switch s.Phase {
 				case PhaseDecision:
 					st.Decisions++
+					if s.RPC.TotalNS != 0 {
+						if r.RPC == nil {
+							r.RPC = &RPCStat{}
+						}
+						r.RPC.Decisions++
+						r.RPC.TotalUS += float64(s.RPC.TotalNS) / 1e3
+						r.RPC.SendUS += float64(s.RPC.SendNS) / 1e3
+						r.RPC.NetUS += float64(s.RPC.NetNS) / 1e3
+						r.RPC.QueueUS += float64(s.RPC.QueueNS) / 1e3
+						r.RPC.InferUS += float64(s.RPC.InferNS) / 1e3
+						r.RPC.ReturnUS += float64(s.RPC.ReturnNS) / 1e3
+					}
 				case PhaseWait:
 					st.Wait += s.Duration()
 				case PhaseProcess:
@@ -112,6 +196,9 @@ func Analyze(spans []*FlowSpan, topN int) *Report {
 	}
 	if r.Completed > 0 {
 		r.MeanDelay /= float64(r.Completed)
+	}
+	if r.RPC != nil {
+		r.RPC.MeanUS = r.RPC.TotalUS / float64(r.RPC.Decisions)
 	}
 
 	for _, st := range nodes {

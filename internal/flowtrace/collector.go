@@ -21,6 +21,9 @@ import (
 //	    flow outcome counters
 //	flow.drop.<cause>
 //	    drop counters by cause
+//	flow.rpc.{total,send,net,queue,infer,return}_us
+//	    decision round-trip sub-span histograms (remote runs only:
+//	    decision segments carrying a DecideTiming block)
 //
 // Only terminated flows are folded in; per-flow event buffers are
 // released on termination, so memory is bounded by the number of flows
@@ -59,6 +62,19 @@ func (c *Collector) Trace(e simnet.TraceEvent) {
 	c.reg.Histogram("flow.phase.wait").Observe(d.Wait)
 	c.reg.Histogram("flow.phase.process").Observe(d.Process)
 	c.reg.Histogram("flow.phase.transit").Observe(d.Transit)
+	for i := range span.Visits {
+		for _, s := range span.Visits[i].Segments {
+			if s.Phase != PhaseDecision || s.RPC.TotalNS == 0 {
+				continue
+			}
+			c.reg.Histogram("flow.rpc.total_us").Observe(float64(s.RPC.TotalNS) / 1e3)
+			c.reg.Histogram("flow.rpc.send_us").Observe(float64(s.RPC.SendNS) / 1e3)
+			c.reg.Histogram("flow.rpc.net_us").Observe(float64(s.RPC.NetNS) / 1e3)
+			c.reg.Histogram("flow.rpc.queue_us").Observe(float64(s.RPC.QueueNS) / 1e3)
+			c.reg.Histogram("flow.rpc.infer_us").Observe(float64(s.RPC.InferNS) / 1e3)
+			c.reg.Histogram("flow.rpc.return_us").Observe(float64(s.RPC.ReturnNS) / 1e3)
+		}
+	}
 	if span.Completed {
 		c.reg.Counter("flow.traced.completed").Inc()
 		c.reg.Histogram("flow.phase.total").Observe(span.Delay())

@@ -55,6 +55,11 @@ type Segment struct {
 	Action int          // the coordinator's choice (decision segments); -1 otherwise
 	Start  float64
 	End    float64
+	// RPC, on decision segments of remote runs, is the wall-time
+	// decomposition of the decision round trip (zero TotalNS otherwise).
+	// Decision segments are zero-duration in simulation time; RPC is the
+	// wall-clock cost hiding behind that instant.
+	RPC simnet.DecideTiming
 }
 
 // Duration returns the segment's extent.
@@ -148,6 +153,35 @@ func (f *FlowSpan) CriticalPath() []Segment {
 	}
 	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Duration() > segs[j].Duration() })
 	return segs
+}
+
+// VerifyRPCTiling checks the exact-tiling invariant of every decision
+// round trip in the spans: each decision segment carrying an RPC
+// decomposition must have non-negative sub-spans summing exactly (in
+// integer nanoseconds — no float slack) to its total. Returns how many
+// round trips were checked and the first violation found. A remote run
+// whose trace fails this has a broken clock derivation, not a slow
+// network.
+func VerifyRPCTiling(spans []*FlowSpan) (int, error) {
+	checked := 0
+	for _, f := range spans {
+		for i := range f.Visits {
+			for _, s := range f.Visits[i].Segments {
+				if s.Phase != PhaseDecision || s.RPC.TotalNS == 0 {
+					continue
+				}
+				checked++
+				t := s.RPC
+				if t.SendNS < 0 || t.NetNS < 0 || t.QueueNS < 0 || t.InferNS < 0 || t.ReturnNS < 0 {
+					return checked, fmt.Errorf("flow %d decision at t=%g (node %d): negative sub-span in %+v", f.FlowID, s.Start, s.Node, t)
+				}
+				if t.Sum() != t.TotalNS {
+					return checked, fmt.Errorf("flow %d decision at t=%g (node %d): sub-spans sum to %dns, total %dns", f.FlowID, s.Start, s.Node, t.Sum(), t.TotalNS)
+				}
+			}
+		}
+	}
+	return checked, nil
 }
 
 // Assemble reassembles trace events into exactly one span tree per
@@ -249,7 +283,7 @@ func assembleFlow(id int, evs []simnet.TraceEvent) (*FlowSpan, error) {
 
 		case simnet.TraceDecision:
 			f.Decisions++
-			seg(Segment{Phase: PhaseDecision, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: e.Action, Start: e.Time, End: e.Time})
+			seg(Segment{Phase: PhaseDecision, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: e.Action, Start: e.Time, End: e.Time, RPC: e.RPC})
 			if next > e.Time {
 				seg(Segment{Phase: PhaseWait, Node: e.Node, Link: -1, Comp: e.CompIdx, Action: -1, Start: e.Time, End: next})
 			}

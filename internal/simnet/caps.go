@@ -23,6 +23,22 @@ type Caps struct {
 	Batch BatchDecider
 	// Shard provides per-shard coordinator instances for multi-shard runs.
 	Shard ShardableCoordinator
+	// Timing reports the wall-time decomposition of remote decision
+	// round trips for trace attribution.
+	Timing DecisionTimer
+}
+
+// DecisionTimer is an optional Coordinator capability: a coordinator
+// whose decisions cross a process boundary (coord.Remote) reports the
+// sub-span decomposition of its most recent decision round trip. The
+// engine consults it only while a flow tracer is installed, attaching
+// the decomposition to TraceDecision events so trace analysis can split
+// a decision segment into client-send / network / agent-queue /
+// inference / return sub-spans that exactly tile it.
+type DecisionTimer interface {
+	// LastDecideTiming returns the decomposition of the most recent
+	// decision round trip, and false while none has happened yet.
+	LastDecideTiming() (DecideTiming, bool)
 }
 
 // CapsProvider is implemented by coordinators whose capability set is
@@ -68,6 +84,9 @@ func Capabilities(c Coordinator) Caps {
 	}
 	if sc, ok := c.(ShardableCoordinator); ok {
 		caps.Shard = sc
+	}
+	if dt, ok := c.(DecisionTimer); ok {
+		caps.Timing = dt
 	}
 	return caps
 }

@@ -243,6 +243,9 @@ type exec struct {
 	// batcher is non-nil when Config.MaxBatch > 1 and the coordinator has
 	// the BatchDecider capability.
 	batcher *decisionBatcher
+	// timing is the coordinator's DecisionTimer capability; consulted only
+	// while a tracer is installed (see traceDecision).
+	timing DecisionTimer
 
 	nextID   int
 	idStride int // flow IDs are striped across shards: shard i issues i, i+S, i+2S, ...
@@ -306,6 +309,7 @@ func (s *Sim) newExec(id int, c Coordinator, tracer FlowTracer, listener Listene
 	}
 	x.resetter = caps.Resetter
 	x.topoObs = caps.Topology
+	x.timing = caps.Timing
 	if s.cfg.MaxBatch > 1 && caps.Batch != nil {
 		x.batcher = newDecisionBatcher(caps.Batch, s.cfg.MaxBatch, s.cfg.Graph.NumNodes())
 	}
@@ -604,7 +608,7 @@ func (x *exec) precheck(f *Flow, v graph.NodeID, now float64) bool {
 func (x *exec) applyDecision(f *Flow, v graph.NodeID, now float64, action int) {
 	f.Decisions++
 	x.metrics.Decisions++
-	x.trace(TraceDecision, f, v, now, action, -1, DropNone)
+	x.traceDecision(f, v, now, action)
 
 	if action == 0 {
 		x.processLocally(f, v, now)

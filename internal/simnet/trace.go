@@ -43,6 +43,33 @@ func (k TraceKind) String() string {
 	return fmt.Sprintf("TraceKind(%d)", int(k))
 }
 
+// DecideTiming decomposes one remote decision round trip into sub-spans
+// in integer nanoseconds of wall time. It is the simulator-side mirror
+// of agentnet.RPCTiming (simnet must stay independent of the transport
+// package, so the fields are duplicated rather than imported) and
+// carries the same exact-tiling invariant:
+//
+//	SendNS + NetNS + QueueNS + InferNS + ReturnNS == TotalNS
+//
+// attached to TraceDecision events so flow analysis can split a
+// decision segment into client-send / network / agent-queue / inference
+// / return without any rounding slack. A zero TotalNS means "no remote
+// round trip" (in-process decision); exports omit the block then.
+type DecideTiming struct {
+	TotalNS  int64 `json:"total_ns"`
+	SendNS   int64 `json:"send_ns"`
+	NetNS    int64 `json:"net_ns"`
+	QueueNS  int64 `json:"queue_ns"`
+	InferNS  int64 `json:"infer_ns"`
+	ReturnNS int64 `json:"return_ns"`
+}
+
+// Sum returns the sum of the five sub-spans — equal to TotalNS whenever
+// the decomposition is well-formed.
+func (t DecideTiming) Sum() int64 {
+	return t.SendNS + t.NetNS + t.QueueNS + t.InferNS + t.ReturnNS
+}
+
 // TraceEvent is one per-flow simulator event. It is a plain value — the
 // simulator constructs it on the stack only when a tracer is installed,
 // so disabled tracing adds no allocations to the decision path.
@@ -61,6 +88,10 @@ type TraceEvent struct {
 	// analysis split a processing segment into queue-wait and service
 	// time without knowing the service definitions.
 	Wait float64
+	// RPC, on TraceDecision events of remote runs, is the wall-time
+	// decomposition of the decision round trip. Zero (TotalNS == 0) for
+	// in-process coordinators.
+	RPC DecideTiming
 }
 
 // traceEventJSON is the export schema: compact keys, symbolic kind and
@@ -75,6 +106,10 @@ type traceEventJSON struct {
 	Link    *int     `json:"link,omitempty"`
 	Drop    string   `json:"drop,omitempty"`
 	Wait    *float64 `json:"wait,omitempty"`
+	// RPC uses int64 nanosecond fields, so the exact tiling invariant
+	// survives the JSON round trip bit-for-bit (float64 would hold these
+	// magnitudes exactly too, but integers make the contract obvious).
+	RPC *DecideTiming `json:"rpc,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler with symbolic kinds and causes,
@@ -98,6 +133,9 @@ func (e TraceEvent) MarshalJSON() ([]byte, error) {
 	}
 	if e.Wait > 0 {
 		out.Wait = &e.Wait
+	}
+	if e.RPC.TotalNS != 0 {
+		out.RPC = &e.RPC
 	}
 	return json.Marshal(out)
 }
@@ -160,6 +198,9 @@ func (e *TraceEvent) UnmarshalJSON(data []byte) error {
 	if in.Wait != nil {
 		e.Wait = *in.Wait
 	}
+	if in.RPC != nil {
+		e.RPC = *in.RPC
+	}
 	k, ok := traceKindByName[in.Kind]
 	if !ok {
 		return fmt.Errorf("simnet: unknown trace kind %q", in.Kind)
@@ -196,6 +237,32 @@ func (f TracerFunc) Trace(e TraceEvent) { f(e) }
 // before the TraceEvent literal, so the disabled path does no work.
 func (x *exec) trace(kind TraceKind, f *Flow, v graph.NodeID, now float64, action, link int, drop DropCause) {
 	x.traceWait(kind, f, v, now, action, link, drop, 0)
+}
+
+// traceDecision emits the TraceDecision event, attaching the remote
+// round-trip decomposition when the coordinator reports one (the
+// DecisionTimer capability). The tracer nil-check comes first: untraced
+// runs construct nothing and never consult the timer, keeping the
+// decide hot path allocation- and branch-light exactly like trace.
+func (x *exec) traceDecision(f *Flow, v graph.NodeID, now float64, action int) {
+	if x.tracer == nil {
+		return
+	}
+	e := TraceEvent{
+		Time:    now,
+		Kind:    TraceDecision,
+		FlowID:  f.ID,
+		Node:    v,
+		CompIdx: f.CompIdx,
+		Action:  action,
+		Link:    -1,
+	}
+	if x.timing != nil {
+		if t, ok := x.timing.LastDecideTiming(); ok {
+			e.RPC = t
+		}
+	}
+	x.tracer.Trace(e)
 }
 
 // traceWait is trace with the processing-start wait of TraceProcess

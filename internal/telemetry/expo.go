@@ -54,37 +54,46 @@ func promFloat(v float64) string {
 func (r *Registry) WriteProm(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 
+	// Handles are captured together with the names: re-fetching through
+	// the creating accessors after unlock would resurrect metrics a
+	// concurrent DeletePrefix retired mid-scrape.
 	r.mu.Lock()
-	counters := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		counters = append(counters, name)
+	counters := make(map[string]*Counter, len(r.counters))
+	cnames := make([]string, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+		cnames = append(cnames, name)
 	}
-	gauges := make([]string, 0, len(r.gauges))
-	for name := range r.gauges {
-		gauges = append(gauges, name)
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	gnames := make([]string, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+		gnames = append(gnames, name)
 	}
-	hists := make([]string, 0, len(r.hists))
-	for name := range r.hists {
-		hists = append(hists, name)
+	hists := make(map[string]*Histogram, len(r.hists))
+	hnames := make([]string, 0, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+		hnames = append(hnames, name)
 	}
 	r.mu.Unlock()
-	sort.Strings(counters)
-	sort.Strings(gauges)
-	sort.Strings(hists)
+	sort.Strings(cnames)
+	sort.Strings(gnames)
+	sort.Strings(hnames)
 
-	for _, name := range counters {
+	for _, name := range cnames {
 		pn := promName(name)
 		bw.WriteString("# TYPE " + pn + " counter\n")
-		bw.WriteString(pn + " " + strconv.FormatInt(r.Counter(name).Value(), 10) + "\n")
+		bw.WriteString(pn + " " + strconv.FormatInt(counters[name].Value(), 10) + "\n")
 	}
-	for _, name := range gauges {
+	for _, name := range gnames {
 		pn := promName(name)
 		bw.WriteString("# TYPE " + pn + " gauge\n")
-		bw.WriteString(pn + " " + promFloat(r.Gauge(name).Value()) + "\n")
+		bw.WriteString(pn + " " + promFloat(gauges[name].Value()) + "\n")
 	}
-	for _, name := range hists {
+	for _, name := range hnames {
 		pn := promName(name)
-		h := r.Histogram(name)
+		h := hists[name]
 		bw.WriteString("# TYPE " + pn + " histogram\n")
 		bs := h.CumulativeBuckets()
 		for _, b := range bs {

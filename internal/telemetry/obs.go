@@ -18,17 +18,19 @@ import (
 // (never http.DefaultServeMux, so it composes with the pprof listener
 // and leaks no globally registered handler):
 //
-//	/metrics   Prometheus text exposition of every registry metric
-//	/snapshot  the registry's JSON Snapshot
-//	/run       live run state: uptime, training episode/reward progress,
-//	           experiment grid progress with ETA, free-form info
+//	/metrics     Prometheus text exposition of every registry metric
+//	/snapshot    the registry's JSON Snapshot
+//	/run         live run state: uptime, training episode/reward progress,
+//	             experiment grid progress with ETA, free-form info
+//	/timeseries  recent sampled counter/gauge windows (EnableHistory)
 //
 // Handlers only read; the hot paths keep writing through the ordinary
 // Registry/Counter/Gauge/Histogram APIs, which are safe for concurrent
 // use, so scraping never blocks a simulation.
 type ObsServer struct {
-	reg *Registry
-	mux *http.ServeMux
+	reg  *Registry
+	mux  *http.ServeMux
+	hist *History
 
 	mu      sync.Mutex
 	binary  string
@@ -86,6 +88,17 @@ func (o *ObsServer) Mount(pattern string, h http.Handler) {
 // Registry returns the registry the server exposes.
 func (o *ObsServer) Registry() *Registry { return o.reg }
 
+// EnableHistory starts a background History sampler over the server's
+// registry and serves its window on /timeseries. interval and capacity
+// follow NewHistory's defaults when ≤0. Call before Start; Close stops
+// the sampler. Returns the History for direct inspection in tests.
+func (o *ObsServer) EnableHistory(interval time.Duration, capacity int) *History {
+	o.hist = NewHistory(o.reg, interval, capacity)
+	o.mux.Handle("/timeseries", o.hist.Handler())
+	o.hist.Start()
+	return o.hist
+}
+
 // Start binds the listener (":0" picks a free port; see Addr) and
 // serves in the background until Close.
 func (o *ObsServer) Start(addr string) error {
@@ -122,6 +135,10 @@ const shutdownTimeout = 2 * time.Second
 // racing Close used to lose its body to http.Server.Close). Safe to
 // call without Start.
 func (o *ObsServer) Close() error {
+	if o.hist != nil {
+		o.hist.Stop()
+		o.hist = nil
+	}
 	if o.srv == nil {
 		return nil
 	}
@@ -160,7 +177,7 @@ func (o *ObsServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "%s live observability\n\n/metrics   Prometheus text exposition\n/snapshot  registry snapshot (JSON)\n/run       live run state (JSON)\n", o.binary)
+	fmt.Fprintf(w, "%s live observability\n\n/metrics     Prometheus text exposition\n/snapshot    registry snapshot (JSON)\n/run         live run state (JSON)\n/timeseries  sampled metric windows (JSON)\n", o.binary)
 }
 
 func (o *ObsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {

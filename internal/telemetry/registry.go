@@ -13,7 +13,7 @@ import (
 	"encoding/json"
 	"io"
 	"math"
-	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -100,6 +100,38 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// DeletePrefix removes every counter, gauge, and histogram whose name
+// starts with prefix and returns how many metrics were retired. Metric
+// handles already held by callers keep working but are orphaned — they
+// no longer appear in snapshots or exports. This is how per-instance
+// series (e.g. the pool's agent.<slot>.* fleet metrics) are retired when
+// their owner goes away permanently, instead of surviving as stale
+// gauges that an obs scrape would keep reporting as live.
+func (r *Registry) DeletePrefix(prefix string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name := range r.counters {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.counters, name)
+			n++
+		}
+	}
+	for name := range r.gauges {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.gauges, name)
+			n++
+		}
+	}
+	for name := range r.hists {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.hists, name)
+			n++
+		}
+	}
+	return n
+}
+
 // Snapshot is a point-in-time export of every metric in a registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
@@ -107,43 +139,30 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot captures every metric's current value.
+// Snapshot captures every metric's current value. Values are read while
+// the registry lock is held: re-looking names up through the creating
+// accessors would resurrect metrics a concurrent DeletePrefix retired
+// between collection and read.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
-	counters := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		counters = append(counters, name)
-	}
-	gauges := make([]string, 0, len(r.gauges))
-	for name := range r.gauges {
-		gauges = append(gauges, name)
-	}
-	hists := make([]string, 0, len(r.hists))
-	for name := range r.hists {
-		hists = append(hists, name)
-	}
-	r.mu.Unlock()
-	sort.Strings(counters)
-	sort.Strings(gauges)
-	sort.Strings(hists)
-
+	defer r.mu.Unlock()
 	s := Snapshot{}
-	if len(counters) > 0 {
-		s.Counters = make(map[string]int64, len(counters))
-		for _, name := range counters {
-			s.Counters[name] = r.Counter(name).Value()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
 		}
 	}
-	if len(gauges) > 0 {
-		s.Gauges = make(map[string]float64, len(gauges))
-		for _, name := range gauges {
-			s.Gauges[name] = r.Gauge(name).Value()
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
 		}
 	}
-	if len(hists) > 0 {
-		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
-		for _, name := range hists {
-			s.Histograms[name] = r.Histogram(name).Snapshot()
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
 		}
 	}
 	return s

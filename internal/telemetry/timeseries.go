@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file adds short-horizon time-series memory to the registry: a
+// History periodically samples every counter and gauge into fixed-
+// capacity ring buffers, so transient behavior — a chaos fault's drop
+// spike, the recovery dip after an agent-kill, a reconnect burst — is
+// visible as a curve on the /timeseries endpoint instead of being
+// averaged away by the end-of-run snapshot. Counters are sampled as
+// running totals (clients diff adjacent samples for rates); gauges as
+// instantaneous values. Capacity bounds memory: at the default
+// 100ms × 600 samples a window covers the most recent minute.
+
+// Sample is one point of a sampled series: wall-clock time in Unix
+// seconds and the metric's value at that instant.
+type Sample struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// seriesRing is one metric's fixed-capacity sample window.
+type seriesRing struct {
+	buf     []Sample
+	next    int
+	wrapped bool
+}
+
+func (s *seriesRing) push(p Sample) {
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, p)
+		return
+	}
+	s.buf[s.next] = p
+	s.next = (s.next + 1) % len(s.buf)
+	s.wrapped = true
+}
+
+// window returns the samples oldest-first.
+func (s *seriesRing) window() []Sample {
+	if !s.wrapped {
+		out := make([]Sample, len(s.buf))
+		copy(out, s.buf)
+		return out
+	}
+	out := make([]Sample, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// History samples a Registry's counters and gauges on a fixed interval
+// into per-series ring buffers. Start/Stop manage the background
+// sampler; SampleNow takes one sample synchronously (tests, and a final
+// sample on Stop so the window always includes the end state).
+type History struct {
+	reg      *Registry
+	interval time.Duration
+	capacity int
+
+	mu     sync.Mutex
+	series map[string]*seriesRing
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHistory builds a sampler over reg. interval is the sampling period
+// (≤0 defaults to 100ms); capacity is the per-series window length in
+// samples (≤0 defaults to 600).
+func NewHistory(reg *Registry, interval time.Duration, capacity int) *History {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	if capacity <= 0 {
+		capacity = 600
+	}
+	return &History{
+		reg:      reg,
+		interval: interval,
+		capacity: capacity,
+		series:   make(map[string]*seriesRing),
+	}
+}
+
+// Start launches the background sampler. Idempotent only in the sense
+// that calling it twice leaks nothing but doubles the sampling rate —
+// callers own the lifecycle and call it once.
+func (h *History) Start() {
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.SampleNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the background sampler, taking one final sample so the
+// window's last point is the registry's end state. Safe without Start.
+func (h *History) Stop() {
+	if h.stop == nil {
+		return
+	}
+	close(h.stop)
+	<-h.done
+	h.stop, h.done = nil, nil
+	h.SampleNow()
+}
+
+// SampleNow appends the current value of every counter and gauge to its
+// ring. Series appear on first sight (metrics created mid-run get a
+// shorter window, not a gap of zeros); series whose metric was retired
+// (Registry.DeletePrefix) stop growing but keep their recorded window —
+// the timeline of a dead agent remains inspectable.
+func (h *History) SampleNow() {
+	snap := h.reg.Snapshot()
+	now := float64(time.Now().UnixNano()) / 1e9
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for name, v := range snap.Counters {
+		h.ring(name).push(Sample{T: now, V: float64(v)})
+	}
+	for name, v := range snap.Gauges {
+		h.ring(name).push(Sample{T: now, V: v})
+	}
+}
+
+func (h *History) ring(name string) *seriesRing {
+	r := h.series[name]
+	if r == nil {
+		r = &seriesRing{buf: make([]Sample, 0, h.capacity)}
+		h.series[name] = r
+	}
+	return r
+}
+
+// Window returns every series' samples, oldest-first.
+func (h *History) Window() map[string][]Sample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string][]Sample, len(h.series))
+	for name, r := range h.series {
+		out[name] = r.window()
+	}
+	return out
+}
+
+// timeseriesResponse is the /timeseries schema.
+type timeseriesResponse struct {
+	IntervalSeconds float64             `json:"interval_seconds"`
+	Capacity        int                 `json:"capacity"`
+	Series          map[string][]Sample `json:"series"`
+}
+
+// Handler returns the /timeseries endpoint: sampling parameters plus
+// every series' current window as JSON.
+func (h *History) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		resp := timeseriesResponse{
+			IntervalSeconds: h.interval.Seconds(),
+			Capacity:        h.capacity,
+			Series:          h.Window(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp) //nolint:errcheck // client went away
+	})
+}

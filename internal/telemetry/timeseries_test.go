@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestSeriesRingFillAndWrap(t *testing.T) {
+	r := &seriesRing{buf: make([]Sample, 0, 4)}
+	for i := 0; i < 3; i++ {
+		r.push(Sample{T: float64(i), V: float64(i * 10)})
+	}
+	w := r.window()
+	if len(w) != 3 || w[0].T != 0 || w[2].T != 2 {
+		t.Fatalf("pre-wrap window = %v", w)
+	}
+
+	// Overfill: 4..9 push out 0..5; the window keeps the newest 4,
+	// oldest-first.
+	for i := 3; i < 10; i++ {
+		r.push(Sample{T: float64(i), V: float64(i * 10)})
+	}
+	w = r.window()
+	if len(w) != 4 {
+		t.Fatalf("post-wrap window length = %d, want 4", len(w))
+	}
+	for i, s := range w {
+		want := float64(6 + i)
+		if s.T != want || s.V != want*10 {
+			t.Fatalf("post-wrap window[%d] = %+v, want t=%g", i, s, want)
+		}
+	}
+}
+
+func TestHistorySamplesCountersAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("flows.total")
+	g := reg.Gauge("queue.depth")
+	h := NewHistory(reg, time.Hour, 8) // manual sampling only
+
+	c.Add(3)
+	g.Set(1.5)
+	h.SampleNow()
+	c.Add(2)
+	g.Set(0.5)
+	h.SampleNow()
+
+	w := h.Window()
+	ct, gt := w["flows.total"], w["queue.depth"]
+	if len(ct) != 2 || ct[0].V != 3 || ct[1].V != 5 {
+		t.Errorf("counter sampled as %v, want running totals [3 5]", ct)
+	}
+	if len(gt) != 2 || gt[0].V != 1.5 || gt[1].V != 0.5 {
+		t.Errorf("gauge sampled as %v, want [1.5 0.5]", gt)
+	}
+	if ct[0].T <= 0 || ct[1].T < ct[0].T {
+		t.Errorf("timestamps not monotone: %v", ct)
+	}
+
+	// A series appearing mid-run gets a shorter window, not zeros.
+	reg.Counter("late.arrival").Inc()
+	h.SampleNow()
+	if late := h.Window()["late.arrival"]; len(late) != 1 || late[0].V != 1 {
+		t.Errorf("late series window = %v, want single sample of 1", late)
+	}
+
+	// A retired series keeps its recorded window but stops growing.
+	if n := reg.DeletePrefix("queue."); n != 1 {
+		t.Fatalf("DeletePrefix removed %d series, want 1", n)
+	}
+	recorded := len(h.Window()["queue.depth"])
+	h.SampleNow()
+	if got := h.Window()["queue.depth"]; len(got) != recorded {
+		t.Errorf("retired series grew from %d to %d samples", recorded, len(got))
+	}
+}
+
+func TestHistoryStartStopTakesFinalSample(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ticks")
+	h := NewHistory(reg, 5*time.Millisecond, 100)
+	h.Start()
+	c.Inc()
+	time.Sleep(20 * time.Millisecond)
+	c.Add(41)
+	h.Stop() // takes a final synchronous sample
+	w := h.Window()["ticks"]
+	if len(w) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	if last := w[len(w)-1]; last.V != 42 {
+		t.Errorf("final sample = %+v, want the end state 42", last)
+	}
+	h.Stop() // idempotent
+}
+
+func TestTimeseriesHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.count").Add(7)
+	reg.Gauge("b.level").Set(2.5)
+	h := NewHistory(reg, 250*time.Millisecond, 12)
+	h.SampleNow()
+
+	rr := httptest.NewRecorder()
+	h.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/timeseries", nil))
+	if rr.Code != 200 {
+		t.Fatalf("handler -> %d", rr.Code)
+	}
+	var resp struct {
+		IntervalSeconds float64             `json:"interval_seconds"`
+		Capacity        int                 `json:"capacity"`
+		Series          map[string][]Sample `json:"series"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if resp.IntervalSeconds != 0.25 || resp.Capacity != 12 {
+		t.Errorf("sampling params = %g/%d, want 0.25/12", resp.IntervalSeconds, resp.Capacity)
+	}
+	if s := resp.Series["a.count"]; len(s) != 1 || s[0].V != 7 {
+		t.Errorf("a.count series = %v", s)
+	}
+	if s := resp.Series["b.level"]; len(s) != 1 || s[0].V != 2.5 {
+		t.Errorf("b.level series = %v", s)
+	}
+}
+
+func TestDeletePrefixRetiresMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("agent.0.decides").Add(5)
+	reg.Gauge("agent.0.up").Set(1)
+	reg.Histogram("agent.0.rtt_us").Observe(10)
+	reg.Counter("agent.1.decides").Add(2)
+	reg.Counter("other.counter").Inc()
+
+	if n := reg.DeletePrefix("agent.0."); n != 3 {
+		t.Fatalf("DeletePrefix(agent.0.) = %d, want 3", n)
+	}
+	snap := reg.Snapshot()
+	for name := range snap.Counters {
+		if name == "agent.0.decides" {
+			t.Error("agent.0.decides survived DeletePrefix")
+		}
+	}
+	if _, ok := snap.Gauges["agent.0.up"]; ok {
+		t.Error("agent.0.up survived DeletePrefix")
+	}
+	if _, ok := snap.Counters["agent.1.decides"]; !ok {
+		t.Error("agent.1.decides was deleted by the agent.0. prefix")
+	}
+	if _, ok := snap.Counters["other.counter"]; !ok {
+		t.Error("other.counter was deleted")
+	}
+
+	// Recreating after retirement starts from zero — the old handle is
+	// detached from the registry.
+	if v := reg.Counter("agent.0.decides").Value(); v != 0 {
+		t.Errorf("recreated counter starts at %v, want 0", v)
+	}
+}

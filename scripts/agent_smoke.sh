@@ -9,7 +9,10 @@
 #   2. reruns with an agent-kill chaos schedule that terminates one
 #      agentd process mid-run and restarts it, asserting the recovery
 #      report attributes a dip to the agent-kill fault;
-#   3. SIGTERMs a -spawn-agents run mid-flight and asserts the driver
+#   3. reruns with observability on both tiers: agentd serves its own
+#      -obs-addr endpoint (agentd_* decision telemetry) and the driver
+#      serves /fleet + per-agent agent_<slot>_* series and /timeseries;
+#   4. SIGTERMs a -spawn-agents run mid-flight and asserts the driver
 #      reaps every spawned agentd — no orphan daemons survive either a
 #      clean exit or an interrupt.
 set -eu
@@ -53,9 +56,14 @@ echo "agent-smoke: training throwaway policy + in-process baseline..."
     >"$workdir/inproc.out" 2>"$workdir/inproc.err"
 
 # Spawn 3 agentd processes on free ports and collect their addresses.
+# Agent 1 also gets its own observability endpoint so the fleet
+# telemetry phase below can scrape a real daemon's /metrics.
 agents=""
 for i in 1 2 3; do
-    "$workdir/agentd" -listen 127.0.0.1:0 -model "$workdir/model.bin" -quiet \
+    obsflag=""
+    [ "$i" = 1 ] && obsflag="-obs-addr 127.0.0.1:0"
+    # shellcheck disable=SC2086 # obsflag is two words on purpose
+    "$workdir/agentd" -listen 127.0.0.1:0 -model "$workdir/model.bin" -quiet $obsflag \
         >"$workdir/agent$i.out" 2>"$workdir/agent$i.err" &
     pid=$!
     agent_pids="$agent_pids $pid"
@@ -105,6 +113,82 @@ if [ "${failed:-0}" -ne 0 ]; then
     echo "agent-smoke: healthy fleet reported $failed failed decisions" >&2
     exit 1
 fi
+
+# Fleet telemetry phase: rerun against the same fleet with the driver's
+# observability endpoint live, then scrape both tiers while -obs-wait
+# holds the final state (the pool — and its agent.<slot>.* series — is
+# only closed after the hold).
+echo "agent-smoke: fleet telemetry run..."
+agent_obs=""
+for _ in $(seq 1 100); do
+    agent_obs=$(sed -n 's#^observability listening on http://\([^/]*\)/.*#\1#p' "$workdir/agent1.err" | head -n1)
+    [ -n "$agent_obs" ] && break
+    sleep 0.1
+done
+if [ -z "$agent_obs" ]; then
+    echo "agent-smoke: agentd 1 never announced its observability endpoint" >&2
+    cat "$workdir/agent1.err" >&2
+    exit 1
+fi
+
+"$workdir/coordsim" -algo drl -model "$workdir/model.bin" -seed "$SEED" -horizon "$HORIZON" \
+    -agents "$agents" -obs-addr 127.0.0.1:0 -obs-wait 60s \
+    >"$workdir/obs.out" 2>"$workdir/obs.err" &
+obs_pid=$!
+agent_pids="$agent_pids $obs_pid"
+for _ in $(seq 1 300); do
+    grep -q "serving final state" "$workdir/obs.err" && break
+    if ! kill -0 "$obs_pid" 2>/dev/null; then
+        echo "agent-smoke: telemetry run exited before the -obs-wait hold" >&2
+        cat "$workdir/obs.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+coord_obs=$(sed -n 's#^observability listening on http://\([^/]*\)/.*#\1#p' "$workdir/obs.err" | head -n1)
+if [ -z "$coord_obs" ]; then
+    echo "agent-smoke: driver never announced its observability endpoint" >&2
+    cat "$workdir/obs.err" >&2
+    exit 1
+fi
+
+fetch() { curl -fsS --max-time 5 "$1"; }
+
+# The daemon's own endpoint serves its server-side decision telemetry.
+agent_metrics=$(fetch "http://$agent_obs/metrics")
+for series in agentd_decisions agentd_server_us agentd_infer_us; do
+    if ! echo "$agent_metrics" | grep -q "^$series"; then
+        echo "agent-smoke: agentd /metrics lacks $series:" >&2
+        echo "$agent_metrics" | head -30 >&2
+        exit 1
+    fi
+done
+echo "agent-smoke: agentd /metrics serves agentd_* decision telemetry"
+
+# The driver's endpoint aggregates per-agent fleet series and /fleet.
+coord_metrics=$(fetch "http://$coord_obs/metrics")
+for series in agent_0_rtt_us agent_1_decides agent_2_up rpc_decide_rtt_us; do
+    if ! echo "$coord_metrics" | grep -q "^$series"; then
+        echo "agent-smoke: driver /metrics lacks per-agent series $series:" >&2
+        echo "$coord_metrics" | head -30 >&2
+        exit 1
+    fi
+done
+fleet=$(fetch "http://$coord_obs/fleet")
+for want in '"num_agents": 3' '"slot": 2' '"model_hash"' '"rtt_p50_us"'; do
+    if ! echo "$fleet" | grep -q "$want"; then
+        echo "agent-smoke: /fleet lacks $want:" >&2
+        echo "$fleet" >&2
+        exit 1
+    fi
+done
+if ! fetch "http://$coord_obs/timeseries" | grep -q '"agent.0.decides"'; then
+    echo "agent-smoke: /timeseries lacks the sampled agent.0.decides series" >&2
+    exit 1
+fi
+echo "agent-smoke: driver /metrics, /fleet and /timeseries serve the fleet telemetry plane"
+kill "$obs_pid" 2>/dev/null || true
+wait "$obs_pid" 2>/dev/null || true
 
 for pid in $agent_pids; do
     kill "$pid" 2>/dev/null || true

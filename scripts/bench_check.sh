@@ -9,7 +9,7 @@
 # cross-machine threshold, while the per-decision hot path is stable
 # enough to bound.
 #
-# Usage: scripts/bench_check.sh [baseline.json] [fresh.json] [scale.json] [rpc.json]
+# Usage: scripts/bench_check.sh [baseline.json] [fresh.json] [scale.json] [rpc.json] [rpc_fresh.json]
 #   baseline.json  defaults to the committed BENCH_inference.json
 #   fresh.json     defaults to running `go run ./cmd/bench` to a temp file
 #   scale.json     defaults to BENCH_scale.json; its flows/sec series is
@@ -17,6 +17,12 @@
 #   rpc.json       defaults to BENCH_rpc.json; its RTT p50 must be finite
 #                  and > 0 for every record and no record may carry
 #                  "equal_metrics":false
+#   rpc_fresh.json optional: a freshly measured rpc JSONL (make bench-rpc
+#                  to another path). When given, each mode's RTT p50 is
+#                  gated at +5% of the committed rpc.json baseline — the
+#                  tracing-plumbed decide path must not tax the untraced
+#                  round trip. Omitted by default because a fresh RPC
+#                  measurement needs a spun-up fleet.
 #
 # Pass "-" for baseline.json, scale.json, or rpc.json to skip that gate
 # explicitly. A missing or unparsable gate input is NOT a skip:
@@ -36,7 +42,9 @@ BASELINE=${1:-BENCH_inference.json}
 FRESH=${2:-}
 SCALE=${3:-BENCH_scale.json}
 RPC=${4:-BENCH_rpc.json}
-LIMIT=125 # fresh ns/op may be at most this percent of baseline
+RPC_FRESH=${5:-}
+LIMIT=125     # fresh ns/op may be at most this percent of baseline
+RPC_LIMIT=105 # fresh rpc p50 may be at most this percent of baseline
 
 fail=0
 missing=0
@@ -166,6 +174,56 @@ else
 	if grep -q '"equal_metrics":false' "$RPC"; then
 		echo "bench_check: $RPC records a remote run that diverged from the in-process run" >&2
 		fail=1
+	fi
+fi
+
+# --- decision-RTT regression gate -----------------------------------------
+# Only with an explicit fresh measurement: per-mode p50 vs the committed
+# baseline, bounded at +5% so trace-context plumbing (always-on span
+# stamping and server-side timing) cannot silently tax the untraced
+# decide round trip.
+rpc_p50() {
+	awk -v want="$2" '
+		/"record":"rpc"/ {
+			if (index($0, "\"mode\":\"" want "\"") == 0) next
+			if (match($0, /"rtt_p50_us":[0-9.eE+-]+/)) {
+				print substr($0, RSTART + 13, RLENGTH - 13)
+				exit
+			}
+		}' "$1"
+}
+
+if [ -z "$RPC_FRESH" ] || [ "$RPC_FRESH" = "-" ]; then
+	: # gate not requested
+elif [ ! -f "$RPC_FRESH" ]; then
+	no_baseline "$RPC_FRESH not found (regenerate with 'make bench-rpc' to that path)"
+elif [ "$RPC" = "-" ] || [ ! -f "$RPC" ]; then
+	no_baseline "rpc p50 gate needs the committed $RPC baseline alongside $RPC_FRESH"
+else
+	gated=0
+	for mode in inproc socket; do
+		base=$(rpc_p50 "$RPC" "$mode")
+		cur=$(rpc_p50 "$RPC_FRESH" "$mode")
+		if [ -z "$base" ]; then
+			no_baseline "$RPC has no rpc/$mode p50 record"
+			continue
+		fi
+		if [ -z "$cur" ]; then
+			echo "bench_check: $RPC_FRESH has no rpc/$mode p50 record" >&2
+			fail=1
+			continue
+		fi
+		gated=$((gated + 1))
+		pct=$(awk -v b="$base" -v c="$cur" 'BEGIN { printf "%+.1f", (c - b) / b * 100 }')
+		if [ "$(awk -v b="$base" -v c="$cur" -v lim="$RPC_LIMIT" 'BEGIN { print (c <= b * lim / 100) ? 1 : 0 }')" = 1 ]; then
+			echo "bench_check: rpc/$mode p50 ok: $cur us vs baseline $base ($pct%)"
+		else
+			echo "bench_check: rpc/$mode p50 REGRESSED: $cur us vs baseline $base ($pct%, limit +5%)" >&2
+			fail=1
+		fi
+	done
+	if [ "$gated" -eq 0 ] && [ "$missing" -eq 0 ]; then
+		no_baseline "rpc p50 gate matched no modes between $RPC and $RPC_FRESH"
 	fi
 fi
 

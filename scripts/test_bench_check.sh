@@ -30,10 +30,19 @@ cat >"$tmp/scale.json" <<'EOF'
 {"record":"scale","nodes":100,"batch":8,"shards":2,"flows_per_sec":1500,"speedup":1.50,"deterministic":true,"arrived":500}
 EOF
 cat >"$tmp/rpc.json" <<'EOF'
-{"record":"rpc","mode":"remote","rtt_p50_us":120.5,"equal_metrics":true}
+{"record":"rpc","mode":"inproc","rtt_p50_us":60.0,"equal_metrics":true}
+{"record":"rpc","mode":"socket","rtt_p50_us":120.5,"equal_metrics":true}
 EOF
 cat >"$tmp/rpc_diverged.json" <<'EOF'
-{"record":"rpc","mode":"remote","rtt_p50_us":120.5,"equal_metrics":false}
+{"record":"rpc","mode":"socket","rtt_p50_us":120.5,"equal_metrics":false}
+EOF
+cat >"$tmp/rpc_fresh_ok.json" <<'EOF'
+{"record":"rpc","mode":"inproc","rtt_p50_us":61.0,"equal_metrics":true}
+{"record":"rpc","mode":"socket","rtt_p50_us":123.0,"equal_metrics":true}
+EOF
+cat >"$tmp/rpc_fresh_slow.json" <<'EOF'
+{"record":"rpc","mode":"inproc","rtt_p50_us":61.0,"equal_metrics":true}
+{"record":"rpc","mode":"socket","rtt_p50_us":140.0,"equal_metrics":true}
 EOF
 : >"$tmp/empty.json"
 
@@ -92,5 +101,17 @@ check "regression outranks missing baseline" 1 "REGRESSED" \
 
 check "rpc equivalence divergence is exit 1" 1 "diverged" \
 	"$tmp/base.json" "$tmp/fresh_ok.json" "$tmp/scale.json" "$tmp/rpc_diverged.json"
+
+check "fresh rpc within +5% passes" 0 "rpc/socket p50 ok" \
+	"$tmp/base.json" "$tmp/fresh_ok.json" "$tmp/scale.json" "$tmp/rpc.json" "$tmp/rpc_fresh_ok.json"
+
+check "fresh rpc p50 beyond +5% is exit 1" 1 "rpc/socket p50 REGRESSED" \
+	"$tmp/base.json" "$tmp/fresh_ok.json" "$tmp/scale.json" "$tmp/rpc.json" "$tmp/rpc_fresh_slow.json"
+
+check "missing fresh rpc file is exit 2" 2 "NO BASELINE" \
+	"$tmp/base.json" "$tmp/fresh_ok.json" "$tmp/scale.json" "$tmp/rpc.json" "$tmp/nonexistent.json"
+
+check "fresh rpc gate needs the committed baseline" 2 "NO BASELINE" \
+	"$tmp/base.json" "$tmp/fresh_ok.json" "$tmp/scale.json" "-" "$tmp/rpc_fresh_ok.json"
 
 echo "test_bench_check: OK"
